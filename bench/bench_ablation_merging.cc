@@ -1,0 +1,91 @@
+// Ablation C: group-merging strategies (Section 5.4.1).
+//
+// The paper reports preliminary tests where computation-cost merging
+// "results in more balanced loads among reducers and better overall
+// efficiency" than communication-cost merging. This bench reproduces that
+// comparison (plus plain round-robin distribution) on anti-correlated
+// data with fewer reducers than independent groups, reporting the modeled
+// runtime, per-reducer load imbalance, and shuffle traffic.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+constexpr double kScale = 0.01;
+constexpr size_t kPaperCard = 2000000;
+
+void Merging(benchmark::State& state) {
+  const auto strategy =
+      static_cast<skymr::core::GroupMergeStrategy>(state.range(0));
+  const auto dim = static_cast<size_t>(state.range(1));
+  const auto reducers = static_cast<int>(state.range(2));
+  const size_t card = skymr::bench::ScaledCardinality(kPaperCard, kScale);
+  const skymr::Dataset& data = skymr::bench::CachedDataset(
+      skymr::data::Distribution::kAntiCorrelated, card, dim);
+  skymr::RunnerConfig config =
+      skymr::bench::PaperConfig(skymr::Algorithm::kMrGpmrs, reducers);
+  config.merge = strategy;
+  for (auto _ : state) {
+    auto result = skymr::ComputeSkyline(data, config);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    const auto& reduce_tasks = result->jobs[1].reduce_tasks;
+    double max_busy = 0.0;
+    double total_busy = 0.0;
+    for (const auto& task : reduce_tasks) {
+      max_busy = std::max(max_busy, task.busy_seconds);
+      total_busy += task.busy_seconds;
+    }
+    const double mean_busy =
+        reduce_tasks.empty() ? 0.0
+                             : total_busy /
+                                   static_cast<double>(reduce_tasks.size());
+    state.counters["modeled_s"] = result->modeled_seconds;
+    state.counters["reduce_imbalance"] =
+        mean_busy > 0.0 ? max_busy / mean_busy : 0.0;
+    uint64_t shuffle = 0;
+    for (const auto& job : result->jobs) {
+      shuffle += job.shuffle_bytes;
+    }
+    state.counters["shuffleKB"] = static_cast<double>(shuffle) / 1024.0;
+    state.counters["skyline"] =
+        static_cast<double>(result->skyline.size());
+  }
+}
+
+void RegisterAll() {
+  for (const auto strategy :
+       {skymr::core::GroupMergeStrategy::kRoundRobin,
+        skymr::core::GroupMergeStrategy::kComputationCost,
+        skymr::core::GroupMergeStrategy::kCommunicationCost,
+        skymr::core::GroupMergeStrategy::kBalanced}) {
+    for (const size_t dim : {size_t{4}, size_t{8}}) {
+      for (const int reducers : {4, 13}) {
+        const std::string name =
+            std::string("AblationMerging/") +
+            skymr::core::GroupMergeStrategyName(strategy) +
+            "/d:" + std::to_string(dim) +
+            "/reducers:" + std::to_string(reducers);
+        benchmark::RegisterBenchmark(name.c_str(), Merging)
+            ->Args({static_cast<long>(strategy), static_cast<long>(dim),
+                    reducers})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

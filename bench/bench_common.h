@@ -1,0 +1,109 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Every bench binary regenerates one figure of the paper's Section 7 on a
+// scaled-down workload (the paper's largest runs need cluster-hours; see
+// EXPERIMENTS.md). Scaling is controlled by environment variables:
+//
+//   SKYMR_SCALE  multiplier on the per-figure default cardinality scale
+//                (default 1.0; e.g. SKYMR_SCALE=5 runs 5x more data)
+//   SKYMR_FULL   when set to 1, uses the paper's full cardinalities
+//                (several hours per figure on one machine)
+//
+// Each benchmark runs exactly one pipeline execution per reported row and
+// exposes the paper's y-axes as counters:
+//   modeled_s   modeled 13-node cluster makespan (paper "Runtime [s]")
+//   skyline     skyline cardinality
+//   shuffleKB   total shuffle traffic
+//   ppd         selected grid resolution
+
+#ifndef SKYMR_BENCH_BENCH_COMMON_H_
+#define SKYMR_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "src/skymr.h"
+
+namespace skymr::bench {
+
+/// Effective cardinality for a paper cardinality under the figure's
+/// default scale and the SKYMR_SCALE / SKYMR_FULL environment overrides.
+inline size_t ScaledCardinality(size_t paper_cardinality,
+                                double figure_scale) {
+  const char* full = std::getenv("SKYMR_FULL");
+  if (full != nullptr && std::string(full) == "1") {
+    return paper_cardinality;
+  }
+  double scale = figure_scale;
+  if (const char* env = std::getenv("SKYMR_SCALE"); env != nullptr) {
+    scale *= std::strtod(env, nullptr);
+  }
+  auto scaled = static_cast<size_t>(static_cast<double>(paper_cardinality) *
+                                    scale);
+  return scaled < 500 ? 500 : scaled;
+}
+
+/// Memoized dataset generation: figures sweep algorithms over the same
+/// dataset, so generate each (distribution, cardinality, dim) once.
+inline const Dataset& CachedDataset(data::Distribution distribution,
+                                    size_t cardinality, size_t dim) {
+  using Key = std::tuple<int, size_t, size_t>;
+  static std::map<Key, std::unique_ptr<Dataset>> cache;
+  const Key key{static_cast<int>(distribution), cardinality, dim};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    data::GeneratorConfig config;
+    config.distribution = distribution;
+    config.cardinality = cardinality;
+    config.dim = dim;
+    config.seed = 20140324;  // EDBT'14 conference date.
+    it = cache
+             .emplace(key, std::make_unique<Dataset>(
+                               std::move(data::Generate(config)).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+/// The paper's experimental configuration: 13 nodes, one mapper split per
+/// node, MR-GPMRS defaults to one reducer per node (Section 7.1).
+inline RunnerConfig PaperConfig(Algorithm algorithm, int reducers = 13) {
+  RunnerConfig config;
+  config.algorithm = algorithm;
+  config.engine.num_map_tasks = 13;
+  config.engine.num_reducers = reducers;
+  return config;
+}
+
+/// Runs one pipeline and reports the paper's metrics on the benchmark
+/// state. Aborts the benchmark on error or on a wrong skyline.
+inline void RunAndReport(benchmark::State& state, const Dataset& data,
+                         const RunnerConfig& config) {
+  for (auto _ : state) {
+    auto result = ComputeSkyline(data, config);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    uint64_t shuffle = 0;
+    for (const auto& job : result->jobs) {
+      shuffle += job.shuffle_bytes;
+    }
+    state.counters["modeled_s"] = result->modeled_seconds;
+    state.counters["compute_s"] = result->modeled_compute_seconds;
+    state.counters["skyline"] =
+        static_cast<double>(result->skyline.size());
+    state.counters["shuffleKB"] = static_cast<double>(shuffle) / 1024.0;
+    state.counters["ppd"] = static_cast<double>(result->ppd);
+    benchmark::DoNotOptimize(result->skyline.size());
+  }
+}
+
+}  // namespace skymr::bench
+
+#endif  // SKYMR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,105 @@
+// Cluster tuning: explores the knobs the paper analyzes — grid resolution
+// (PPD, Section 3.3), reducer count (Section 7.4), and group-merging
+// strategy (Section 5.4.1) — and prints the modeled cluster runtimes so
+// an operator can pick a configuration for their workload.
+
+#include <cstdio>
+
+#include "src/skymr.h"
+
+namespace {
+
+skymr::RunnerConfig BaseConfig() {
+  skymr::RunnerConfig config;
+  config.algorithm = skymr::Algorithm::kMrGpmrs;
+  config.engine.num_map_tasks = 13;
+  config.engine.num_reducers = 13;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const skymr::Dataset data =
+      skymr::data::GenerateAntiCorrelated(30000, 5, 2024);
+  std::printf("workload: %zu tuples, %zu-d anti-correlated\n\n", data.size(),
+              data.dim());
+
+  // ---- 1. Grid resolution (tuples per partition trade-off) ----
+  std::printf("PPD sweep (explicit grid resolutions vs the Section 3.3 "
+              "heuristic):\n");
+  std::printf("%6s %10s %12s %14s %16s\n", "ppd", "cells", "nonempty",
+              "modeled[s]", "partition cmps");
+  for (const uint32_t ppd : {2u, 3u, 4u, 6u, 8u}) {
+    skymr::RunnerConfig config = BaseConfig();
+    config.ppd.explicit_ppd = ppd;
+    auto result = skymr::ComputeSkyline(data, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "ppd %u failed: %s\n", ppd,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    int64_t comparisons = 0;
+    for (const auto& job : result->jobs) {
+      comparisons +=
+          job.counters.Get(skymr::mr::kCounterPartitionComparisons);
+    }
+    std::printf("%6u %10.0f %12llu %14.1f %16lld\n", ppd,
+                std::pow(static_cast<double>(ppd),
+                         static_cast<double>(data.dim())),
+                static_cast<unsigned long long>(result->nonempty_partitions),
+                result->modeled_seconds,
+                static_cast<long long>(comparisons));
+  }
+  {
+    auto result = skymr::ComputeSkyline(data, BaseConfig());
+    if (result.ok()) {
+      std::printf("heuristic (Section 3.3) selected PPD %u, modeled %.1f s\n",
+                  result->ppd, result->modeled_seconds);
+    }
+  }
+
+  // ---- 2. Reducer count (the paper's Figure 10 experiment) ----
+  std::printf("\nreducer sweep (modeled 13-node cluster):\n");
+  std::printf("%10s %14s %12s\n", "reducers", "modeled[s]", "skyline");
+  for (const int reducers : {1, 3, 5, 9, 13, 17}) {
+    skymr::RunnerConfig config = BaseConfig();
+    config.algorithm = reducers == 1 ? skymr::Algorithm::kMrGpsrs
+                                     : skymr::Algorithm::kMrGpmrs;
+    config.engine.num_reducers = reducers;
+    auto result = skymr::ComputeSkyline(data, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "r=%d failed: %s\n", reducers,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%10d %14.1f %12zu\n", reducers, result->modeled_seconds,
+                result->skyline.size());
+  }
+
+  // ---- 3. Group-merging strategy (Section 5.4.1) ----
+  std::printf("\ngroup-merging strategies with 4 reducers:\n");
+  std::printf("%20s %14s %14s\n", "strategy", "modeled[s]", "shuffle[KB]");
+  for (const auto strategy :
+       {skymr::core::GroupMergeStrategy::kRoundRobin,
+        skymr::core::GroupMergeStrategy::kComputationCost,
+        skymr::core::GroupMergeStrategy::kCommunicationCost,
+        skymr::core::GroupMergeStrategy::kBalanced}) {
+    skymr::RunnerConfig config = BaseConfig();
+    config.engine.num_reducers = 4;
+    config.merge = strategy;
+    auto result = skymr::ComputeSkyline(data, config);
+    if (!result.ok()) {
+      return 1;
+    }
+    uint64_t shuffle = 0;
+    for (const auto& job : result->jobs) {
+      shuffle += job.shuffle_bytes;
+    }
+    std::printf("%20s %14.1f %14.1f\n",
+                skymr::core::GroupMergeStrategyName(strategy),
+                result->modeled_seconds,
+                static_cast<double>(shuffle) / 1024.0);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "src/baselines/centralized.h"
+
+#include "src/common/stopwatch.h"
+#include "src/local/bnl.h"
+#include "src/local/naive.h"
+#include "src/local/sfs.h"
+
+namespace skymr::baselines {
+
+const char* CentralizedAlgorithmName(CentralizedAlgorithm algorithm) {
+  switch (algorithm) {
+    case CentralizedAlgorithm::kBnl:
+      return "bnl";
+    case CentralizedAlgorithm::kSfs:
+      return "sfs";
+    case CentralizedAlgorithm::kNaive:
+      return "naive";
+  }
+  return "unknown";
+}
+
+CentralizedRun RunCentralized(const Dataset& data,
+                              CentralizedAlgorithm algorithm) {
+  CentralizedRun run;
+  DominanceCounter counter;
+  Stopwatch clock;
+  switch (algorithm) {
+    case CentralizedAlgorithm::kBnl:
+      run.skyline = BnlSkyline(data, &counter);
+      break;
+    case CentralizedAlgorithm::kSfs:
+      run.skyline = SfsSkyline(data, &counter);
+      break;
+    case CentralizedAlgorithm::kNaive:
+      run.skyline = NaiveSkyline(data, &counter);
+      break;
+  }
+  run.wall_seconds = clock.ElapsedSeconds();
+  run.tuple_comparisons = counter.count();
+  return run;
+}
+
+}  // namespace skymr::baselines

@@ -1,0 +1,35 @@
+// Centralized (single-node) skyline drivers, used as non-MapReduce
+// comparison points in the examples and ablation benches.
+
+#ifndef SKYMR_BASELINES_CENTRALIZED_H_
+#define SKYMR_BASELINES_CENTRALIZED_H_
+
+#include <cstdint>
+
+#include "src/local/skyline_window.h"
+#include "src/relation/dataset.h"
+
+namespace skymr::baselines {
+
+/// Which single-node algorithm a centralized run uses.
+enum class CentralizedAlgorithm {
+  kBnl,
+  kSfs,
+  kNaive,
+};
+
+const char* CentralizedAlgorithmName(CentralizedAlgorithm algorithm);
+
+struct CentralizedRun {
+  SkylineWindow skyline;
+  double wall_seconds = 0.0;
+  uint64_t tuple_comparisons = 0;
+};
+
+/// Computes the skyline of `data` on a single thread.
+CentralizedRun RunCentralized(const Dataset& data,
+                              CentralizedAlgorithm algorithm);
+
+}  // namespace skymr::baselines
+
+#endif  // SKYMR_BASELINES_CENTRALIZED_H_

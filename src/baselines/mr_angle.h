@@ -1,0 +1,67 @@
+// MR-Angle (Chen, Hwang & Wu, IPDPS Workshops 2012), as described in the
+// paper's Section 2.2: the data space is divided with the angular
+// partitioning of Vlachou et al. (SIGMOD'08) — hyperspherical coordinates
+// with the angle space cut into equal cells — mappers compute a BNL local
+// skyline per angular partition, and a single reducer merges all local
+// skylines with BNL to obtain the global skyline.
+//
+// Angular partitions have no dominance order between them (every angular
+// region touches the origin), so unlike the grid algorithms the reducer
+// must compare all local skyline tuples pairwise; the benefit is that
+// local skylines are small because skyline tuples spread evenly over
+// angles.
+
+#ifndef SKYMR_BASELINES_MR_ANGLE_H_
+#define SKYMR_BASELINES_MR_ANGLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/skyline_job_common.h"
+
+namespace skymr::baselines {
+
+/// Maps tuples in the positive orthant to angular cells.
+class AngularPartitioner {
+ public:
+  /// Creates a partitioner over `dim`-dimensional data with
+  /// `parts_per_angle` cells on each of the d-1 hyperspherical angles.
+  /// `bounds` shifts the data so the origin is the best corner.
+  AngularPartitioner(size_t dim, uint32_t parts_per_angle, Bounds bounds);
+
+  /// Picks parts_per_angle so the total cell count is at least
+  /// `target_partitions` (and exactly 1 when d == 1).
+  static AngularPartitioner ForTargetPartitions(size_t dim,
+                                                uint32_t target_partitions,
+                                                Bounds bounds);
+
+  size_t dim() const { return dim_; }
+  uint32_t parts_per_angle() const { return parts_per_angle_; }
+  uint64_t num_partitions() const { return num_partitions_; }
+
+  /// The angular cell containing `row`.
+  uint64_t PartitionOf(const double* row) const;
+
+  /// The d-1 hyperspherical angles of `row`, each in [0, pi/2].
+  std::vector<double> AnglesOf(const double* row) const;
+
+ private:
+  size_t dim_;
+  uint32_t parts_per_angle_;
+  uint64_t num_partitions_;
+  Bounds bounds_;
+};
+
+/// Runs the MR-Angle job with roughly `target_partitions` angular cells.
+/// `engine.num_reducers` is forced to 1. When `constraint` is set, tuples
+/// outside the box are ignored.
+StatusOr<core::SkylineJobRun> RunMrAngleJob(
+    std::shared_ptr<const Dataset> data, const Bounds& bounds,
+    uint32_t target_partitions, const mr::EngineOptions& engine,
+    ThreadPool* pool = nullptr,
+    const std::optional<Box>& constraint = std::nullopt);
+
+}  // namespace skymr::baselines
+
+#endif  // SKYMR_BASELINES_MR_ANGLE_H_

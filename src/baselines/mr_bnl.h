@@ -1,0 +1,30 @@
+// MR-BNL (Zhang et al., DASFAA 2011 workshops), as described in the
+// paper's Section 2.2: each dimension's domain is split into two halves,
+// giving 2^d blocks; mappers compute a BNL local skyline per block over
+// their split; a single reducer merges the block skylines and removes
+// cross-block false positives using block-code incomparability.
+//
+// The half-per-dimension blocks are exactly a PPD-2 grid, so this baseline
+// reuses the grid machinery — but, unlike MR-GPSRS, there is no bitstring
+// job, no empty/dominated-partition pruning, and no map-side cross-block
+// filtering. Those are the paper's contributions that this baseline lacks.
+
+#ifndef SKYMR_BASELINES_MR_BNL_H_
+#define SKYMR_BASELINES_MR_BNL_H_
+
+#include <memory>
+
+#include "src/core/skyline_job_common.h"
+
+namespace skymr::baselines {
+
+/// Runs the MR-BNL job. `engine.num_reducers` is forced to 1. When
+/// `constraint` is set, tuples outside the box are ignored.
+StatusOr<core::SkylineJobRun> RunMrBnlJob(
+    std::shared_ptr<const Dataset> data, const Bounds& bounds,
+    const mr::EngineOptions& engine, ThreadPool* pool = nullptr,
+    const std::optional<Box>& constraint = std::nullopt);
+
+}  // namespace skymr::baselines
+
+#endif  // SKYMR_BASELINES_MR_BNL_H_

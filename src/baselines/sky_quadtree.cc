@@ -1,0 +1,144 @@
+#include "src/baselines/sky_quadtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/local/bnl.h"
+#include "src/relation/dominance.h"
+
+namespace skymr::baselines {
+
+size_t SkyQuadtree::ChildCode(const double* row,
+                              const std::vector<double>& lo,
+                              const std::vector<double>& hi, size_t dim) {
+  size_t code = 0;
+  for (size_t k = 0; k < dim; ++k) {
+    const double mid = lo[k] + (hi[k] - lo[k]) / 2.0;
+    if (row[k] >= mid) {
+      code |= size_t{1} << k;
+    }
+  }
+  return code;
+}
+
+SkyQuadtree SkyQuadtree::Build(const Dataset& data, const Bounds& bounds,
+                               const Options& options,
+                               const Box* constraint) {
+  SkyQuadtree tree;
+  tree.dim_ = data.dim();
+  const size_t dim = tree.dim_;
+
+  // Deterministic stride sample (restricted to the constraint box).
+  std::vector<TupleId> sample;
+  if (!data.empty() && options.sample_size > 0) {
+    const size_t stride =
+        std::max<size_t>(1, data.size() / options.sample_size);
+    for (size_t i = 0; i < data.size(); i += stride) {
+      const auto id = static_cast<TupleId>(i);
+      if (constraint != nullptr &&
+          !constraint->Contains(data.RowPtr(id), dim)) {
+        continue;
+      }
+      sample.push_back(id);
+    }
+  }
+  tree.sample_count_ = sample.size();
+
+  // Recursive split: nodes hold the sample ids routed to them.
+  struct Pending {
+    int32_t node;
+    std::vector<TupleId> ids;
+    int depth;
+  };
+  Node root;
+  root.lo = bounds.lo;
+  root.hi = bounds.hi;
+  tree.nodes_.push_back(root);
+  std::vector<Pending> stack;
+  stack.push_back({0, sample, 0});
+  const size_t fanout = size_t{1} << dim;
+
+  while (!stack.empty()) {
+    Pending task = std::move(stack.back());
+    stack.pop_back();
+    Node& node = tree.nodes_[static_cast<size_t>(task.node)];
+    const bool split = task.ids.size() > options.leaf_capacity &&
+                       task.depth < options.max_depth &&
+                       dim <= 20;  // Fanout guard.
+    if (!split) {
+      Leaf leaf;
+      leaf.lo = node.lo;
+      leaf.hi = node.hi;
+      node.leaf_index = static_cast<int32_t>(tree.leaves_.size());
+      tree.leaves_.push_back(std::move(leaf));
+      continue;
+    }
+    // Route sample points to children.
+    std::vector<std::vector<TupleId>> child_ids(fanout);
+    for (const TupleId id : task.ids) {
+      child_ids[ChildCode(data.RowPtr(id), node.lo, node.hi, dim)]
+          .push_back(id);
+    }
+    const auto first_child = static_cast<int32_t>(tree.nodes_.size());
+    tree.nodes_[static_cast<size_t>(task.node)].first_child = first_child;
+    // Create children (the reference to `node` may dangle after the
+    // push_backs below, so copy the box first).
+    const std::vector<double> lo = tree.nodes_[static_cast<size_t>(task.node)].lo;
+    const std::vector<double> hi = tree.nodes_[static_cast<size_t>(task.node)].hi;
+    for (size_t code = 0; code < fanout; ++code) {
+      Node child;
+      child.lo.resize(dim);
+      child.hi.resize(dim);
+      for (size_t k = 0; k < dim; ++k) {
+        const double mid = lo[k] + (hi[k] - lo[k]) / 2.0;
+        if ((code >> k) & 1u) {
+          child.lo[k] = mid;
+          child.hi[k] = hi[k];
+        } else {
+          child.lo[k] = lo[k];
+          child.hi[k] = mid;
+        }
+      }
+      tree.nodes_.push_back(std::move(child));
+    }
+    for (size_t code = 0; code < fanout; ++code) {
+      stack.push_back({first_child + static_cast<int32_t>(code),
+                       std::move(child_ids[code]), task.depth + 1});
+    }
+  }
+
+  // Mark pruned leaves using the sample skyline: a leaf whose best corner
+  // is dominated by a (real) sample tuple holds only dominated tuples.
+  if (tree.sample_count_ > 0) {
+    const SkylineWindow sample_skyline = BnlSkyline(data, sample);
+    for (Leaf& leaf : tree.leaves_) {
+      for (size_t s = 0; s < sample_skyline.size(); ++s) {
+        if (Dominates(sample_skyline.RowAt(s), leaf.lo.data(), dim)) {
+          leaf.pruned = true;
+          ++tree.num_pruned_;
+          break;
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+uint32_t SkyQuadtree::LeafOf(const double* row) const {
+  size_t node = 0;
+  while (nodes_[node].first_child >= 0) {
+    const Node& n = nodes_[node];
+    node = static_cast<size_t>(n.first_child) + ChildCode(row, n.lo, n.hi, dim_);
+  }
+  assert(nodes_[node].leaf_index >= 0);
+  return static_cast<uint32_t>(nodes_[node].leaf_index);
+}
+
+bool SkyQuadtree::CanDominate(uint32_t a, uint32_t b) const {
+  if (a == b) {
+    return false;
+  }
+  return DominatesOrEqual(leaves_[a].lo.data(), leaves_[b].hi.data(), dim_);
+}
+
+}  // namespace skymr::baselines

@@ -1,0 +1,104 @@
+// The sky-quadtree of SKY-MR (Park, Min & Shim, PVLDB 2013), the
+// sampling-based alternative the paper contrasts its bitstring with
+// (Section 2.2: "SKY-MR obtains a random sample of the entire data set
+// and builds a quadtree for the sample to identify dominated sampled
+// regions. In contrast, the bitstring used in this work does not require
+// sampling, and it is built in parallel by MapReduce.").
+//
+// The tree recursively splits the data space at box midpoints into 2^d
+// children until a leaf holds at most `leaf_capacity` sample points (or
+// the depth cap is reached). A leaf is marked *pruned* when some sample
+// point dominates the leaf's best corner — every tuple that falls in it
+// is dominated by that (real) sample tuple, so dropping the leaf is
+// exact, not approximate.
+
+#ifndef SKYMR_BASELINES_SKY_QUADTREE_H_
+#define SKYMR_BASELINES_SKY_QUADTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/relation/box.h"
+#include "src/relation/dataset.h"
+#include "src/relation/tuple.h"
+
+namespace skymr::baselines {
+
+/// An immutable quadtree over the data space, built from a sample.
+class SkyQuadtree {
+ public:
+  struct Options {
+    /// Deterministic stride-sample size.
+    size_t sample_size = 1024;
+    /// Maximum sample points per leaf before splitting.
+    size_t leaf_capacity = 16;
+    /// Depth cap: each level multiplies the leaf count by up to 2^d.
+    int max_depth = 6;
+  };
+
+  /// Builds the tree for `data` over `bounds` (which must enclose the
+  /// data). With a `constraint`, only in-box tuples are sampled — pruning
+  /// dominators must come from the constrained population for constrained
+  /// skylines to stay exact.
+  static SkyQuadtree Build(const Dataset& data, const Bounds& bounds,
+                           const Options& options,
+                           const Box* constraint = nullptr);
+
+  size_t dim() const { return dim_; }
+  uint32_t num_leaves() const { return static_cast<uint32_t>(leaves_.size()); }
+  /// Sample points used to build the tree.
+  size_t sample_count() const { return sample_count_; }
+
+  /// The leaf containing `row`.
+  uint32_t LeafOf(const double* row) const;
+
+  /// True when the leaf's whole region is dominated by a sample tuple.
+  bool IsPruned(uint32_t leaf) const { return leaves_[leaf].pruned; }
+  uint32_t num_pruned_leaves() const { return num_pruned_; }
+
+  /// True when tuples in leaf `a`'s region may dominate tuples in leaf
+  /// `b`'s region (a.min <= b.max componentwise, a != b). Conservative:
+  /// never false when a dominating pair could exist.
+  bool CanDominate(uint32_t a, uint32_t b) const;
+
+  /// Leaf region corners (closed boxes).
+  const std::vector<double>& LeafMin(uint32_t leaf) const {
+    return leaves_[leaf].lo;
+  }
+  const std::vector<double>& LeafMax(uint32_t leaf) const {
+    return leaves_[leaf].hi;
+  }
+
+ private:
+  struct Node {
+    std::vector<double> lo;
+    std::vector<double> hi;
+    /// Index of the first child node, or -1 for a leaf.
+    int32_t first_child = -1;
+    /// Leaf index (position in leaves_), valid for leaves only.
+    int32_t leaf_index = -1;
+  };
+
+  struct Leaf {
+    std::vector<double> lo;
+    std::vector<double> hi;
+    bool pruned = false;
+  };
+
+  SkyQuadtree() = default;
+
+  /// Child code of `row` within a node box: bit k set iff
+  /// row[k] >= midpoint[k].
+  static size_t ChildCode(const double* row, const std::vector<double>& lo,
+                          const std::vector<double>& hi, size_t dim);
+
+  size_t dim_ = 0;
+  size_t sample_count_ = 0;
+  uint32_t num_pruned_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<Leaf> leaves_;
+};
+
+}  // namespace skymr::baselines
+
+#endif  // SKYMR_BASELINES_SKY_QUADTREE_H_

@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for dataset import/export and experiment
+// output. Handles quoted fields, embedded commas, and CRLF line endings.
+
+#ifndef SKYMR_COMMON_CSV_H_
+#define SKYMR_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace skymr {
+
+/// Parses one CSV line into fields. Supports RFC-4180 double quoting.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Joins fields into one CSV line, quoting fields that need it.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// Reads a whole CSV file into rows of fields. Skips empty lines.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Writes rows of fields to a CSV file, overwriting it.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace skymr
+
+#endif  // SKYMR_COMMON_CSV_H_

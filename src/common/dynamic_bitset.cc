@@ -1,0 +1,135 @@
+#include "src/common/dynamic_bitset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace skymr {
+
+DynamicBitset::DynamicBitset(size_t size)
+    : size_(size), words_((size + 63) / 64, 0) {}
+
+DynamicBitset DynamicBitset::FromString(const std::string& bits) {
+  DynamicBitset out(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    assert(bits[i] == '0' || bits[i] == '1');
+    if (bits[i] == '1') {
+      out.Set(i);
+    }
+  }
+  return out;
+}
+
+DynamicBitset DynamicBitset::FromWords(size_t size,
+                                       std::vector<uint64_t> words) {
+  assert(words.size() == (size + 63) / 64);
+  DynamicBitset out;
+  out.size_ = size;
+  out.words_ = std::move(words);
+  out.TrimTail();
+  return out;
+}
+
+void DynamicBitset::Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+void DynamicBitset::Fill() {
+  std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+  TrimTail();
+}
+
+void DynamicBitset::TrimTail() {
+  const size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+size_t DynamicBitset::Count() const {
+  size_t count = 0;
+  for (uint64_t word : words_) {
+    count += static_cast<size_t>(__builtin_popcountll(word));
+  }
+  return count;
+}
+
+bool DynamicBitset::None() const {
+  for (uint64_t word : words_) {
+    if (word != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DynamicBitset::All() const { return Count() == size_; }
+
+size_t DynamicBitset::FindFirst() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * 64 + static_cast<size_t>(__builtin_ctzll(words_[w]));
+    }
+  }
+  return size_;
+}
+
+size_t DynamicBitset::FindNext(size_t index) const {
+  if (index + 1 >= size_) {
+    return size_;
+  }
+  size_t w = (index + 1) >> 6;
+  uint64_t word = words_[w] & (~uint64_t{0} << ((index + 1) & 63));
+  while (true) {
+    if (word != 0) {
+      return w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+    }
+    ++w;
+    if (w >= words_.size()) {
+      return size_;
+    }
+    word = words_[w];
+  }
+}
+
+size_t DynamicBitset::FindLast() const {
+  for (size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != 0) {
+      return w * 64 + 63 - static_cast<size_t>(__builtin_clzll(words_[w]));
+    }
+  }
+  return size_;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= other.words_[w];
+  }
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::AndNot(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= ~other.words_[w];
+  }
+  return *this;
+}
+
+bool DynamicBitset::operator==(const DynamicBitset& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string out(size_, '0');
+  ForEachSetBit([&out](size_t i) { out[i] = '1'; });
+  return out;
+}
+
+}  // namespace skymr

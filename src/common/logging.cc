@@ -1,0 +1,62 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace skymr {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace skymr

@@ -1,0 +1,80 @@
+// Minimal leveled logger with a process-wide level and stream sink.
+//
+// Usage:
+//   SKYMR_LOG(INFO) << "job finished in " << secs << "s";
+// Levels below the global threshold are compiled into a no-op branch.
+
+#ifndef SKYMR_COMMON_LOGGING_H_
+#define SKYMR_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace skymr {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns the process-wide minimum level that is emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum level. Thread-safe (relaxed atomic).
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement whose level is below the threshold.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace skymr
+
+#define SKYMR_LOG_LEVEL_DEBUG ::skymr::LogLevel::kDebug
+#define SKYMR_LOG_LEVEL_INFO ::skymr::LogLevel::kInfo
+#define SKYMR_LOG_LEVEL_WARNING ::skymr::LogLevel::kWarning
+#define SKYMR_LOG_LEVEL_ERROR ::skymr::LogLevel::kError
+#define SKYMR_LOG_LEVEL_FATAL ::skymr::LogLevel::kFatal
+
+#define SKYMR_LOG(severity)                                       \
+  (SKYMR_LOG_LEVEL_##severity < ::skymr::GetLogLevel())           \
+      ? (void)0                                                   \
+      : ::skymr::internal::LogMessageVoidify() &                  \
+            ::skymr::internal::LogMessage(SKYMR_LOG_LEVEL_##severity, \
+                                          __FILE__, __LINE__)     \
+                .stream()
+
+/// Always-on invariant check: aborts with a message when `cond` is false.
+#define SKYMR_CHECK(cond)                                              \
+  (cond) ? (void)0                                                     \
+         : ::skymr::internal::LogMessageVoidify() &                    \
+               ::skymr::internal::LogMessage(SKYMR_LOG_LEVEL_FATAL,    \
+                                             __FILE__, __LINE__)       \
+                   .stream()                                           \
+               << "Check failed: " #cond " "
+
+#endif  // SKYMR_COMMON_LOGGING_H_

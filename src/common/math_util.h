@@ -1,0 +1,60 @@
+// Small integer math helpers shared by the grid and the cost model.
+
+#ifndef SKYMR_COMMON_MATH_UTIL_H_
+#define SKYMR_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+namespace skymr {
+
+/// base^exp over uint64 with overflow detection; nullopt on overflow.
+inline std::optional<uint64_t> CheckedPow(uint64_t base, uint32_t exp) {
+  uint64_t result = 1;
+  for (uint32_t i = 0; i < exp; ++i) {
+    if (base != 0 && result > std::numeric_limits<uint64_t>::max() / base) {
+      return std::nullopt;
+    }
+    result *= base;
+  }
+  return result;
+}
+
+/// base^exp over uint64; callers must know the result fits.
+inline uint64_t PowU64(uint64_t base, uint32_t exp) {
+  uint64_t result = 1;
+  for (uint32_t i = 0; i < exp; ++i) {
+    result *= base;
+  }
+  return result;
+}
+
+/// Ceiling division for non-negative integers.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Integer floor of the d-th root of c: the largest n with n^d <= c.
+inline uint64_t FloorRoot(uint64_t c, uint32_t d) {
+  if (d == 0 || c == 0) {
+    return 0;
+  }
+  if (d == 1) {
+    return c;
+  }
+  uint64_t lo = 1;
+  uint64_t hi = c;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo + 1) / 2;
+    const std::optional<uint64_t> p = CheckedPow(mid, d);
+    if (p.has_value() && *p <= c) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace skymr
+
+#endif  // SKYMR_COMMON_MATH_UTIL_H_

@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation (xoshiro256++) used by the
+// data generators and tests. Seeded generators are fully reproducible across
+// platforms, which the experiment harness relies on.
+
+#ifndef SKYMR_COMMON_RNG_H_
+#define SKYMR_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace skymr {
+
+/// xoshiro256++ generator with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = SplitMix64(&x);
+    }
+    has_gaussian_ = false;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(NextU64()) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(NextU64()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (cached second draw).
+  double NextGaussian() {
+    if (has_gaussian_) {
+      has_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) {
+      u1 = NextDouble();
+    }
+    const double u2 = NextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = radius * std::sin(theta);
+    has_gaussian_ = true;
+    return radius * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace skymr
+
+#endif  // SKYMR_COMMON_RNG_H_

@@ -1,0 +1,187 @@
+// Binary serialization used by the MapReduce shuffle.
+//
+// The engine round-trips every shuffled key and value through this layer so
+// that (1) shuffle byte counts are exact, matching what a real Hadoop
+// deployment would put on the wire, and (2) no in-memory state can leak
+// between "nodes" through a value type.
+//
+// A type T is shuffle-serializable when Serde<T> provides:
+//   static void Write(const T&, ByteSink*);
+//   static T Read(ByteSource*);
+// Specializations are provided for arithmetic types, std::string,
+// std::pair, std::vector, and DynamicBitset. Library message types add
+// their own specializations next to their definitions.
+
+#ifndef SKYMR_COMMON_SERDE_H_
+#define SKYMR_COMMON_SERDE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/dynamic_bitset.h"
+
+namespace skymr {
+
+/// An append-only byte buffer used as a serialization target.
+class ByteSink {
+ public:
+  void Append(const void* data, size_t size) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + size);
+  }
+
+  template <typename T>
+  void AppendRaw(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Append(&value, sizeof(T));
+  }
+
+  size_t size() const { return buffer_.size(); }
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// A sequential reader over a byte buffer produced by ByteSink.
+class ByteSource {
+ public:
+  ByteSource(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteSource(const std::vector<uint8_t>& buffer)
+      : data_(buffer.data()), size_(buffer.size()) {}
+
+  void Read(void* out, size_t size) {
+    assert(pos_ + size <= size_ && "serde underflow");
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+
+  template <typename T>
+  T ReadRaw() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    Read(&value, sizeof(T));
+    return value;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+template <typename T, typename Enable = void>
+struct Serde;
+
+/// Arithmetic types and enums: raw little-endian bytes.
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_arithmetic_v<T> || std::is_enum_v<T>>> {
+  static void Write(const T& value, ByteSink* sink) { sink->AppendRaw(value); }
+  static T Read(ByteSource* source) { return source->ReadRaw<T>(); }
+};
+
+template <>
+struct Serde<std::string> {
+  static void Write(const std::string& value, ByteSink* sink) {
+    sink->AppendRaw<uint64_t>(value.size());
+    sink->Append(value.data(), value.size());
+  }
+  static std::string Read(ByteSource* source) {
+    const auto size = source->ReadRaw<uint64_t>();
+    std::string out(size, '\0');
+    source->Read(out.data(), size);
+    return out;
+  }
+};
+
+template <typename A, typename B>
+struct Serde<std::pair<A, B>> {
+  static void Write(const std::pair<A, B>& value, ByteSink* sink) {
+    Serde<A>::Write(value.first, sink);
+    Serde<B>::Write(value.second, sink);
+  }
+  static std::pair<A, B> Read(ByteSource* source) {
+    A first = Serde<A>::Read(source);
+    B second = Serde<B>::Read(source);
+    return {std::move(first), std::move(second)};
+  }
+};
+
+template <typename T>
+struct Serde<std::vector<T>> {
+  static void Write(const std::vector<T>& value, ByteSink* sink) {
+    sink->AppendRaw<uint64_t>(value.size());
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      sink->Append(value.data(), value.size() * sizeof(T));
+    } else {
+      for (const T& item : value) {
+        Serde<T>::Write(item, sink);
+      }
+    }
+  }
+  static std::vector<T> Read(ByteSource* source) {
+    const auto size = source->ReadRaw<uint64_t>();
+    std::vector<T> out;
+    out.reserve(size);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      out.resize(size);
+      source->Read(out.data(), size * sizeof(T));
+    } else {
+      for (uint64_t i = 0; i < size; ++i) {
+        out.push_back(Serde<T>::Read(source));
+      }
+    }
+    return out;
+  }
+};
+
+template <>
+struct Serde<DynamicBitset> {
+  static void Write(const DynamicBitset& value, ByteSink* sink) {
+    sink->AppendRaw<uint64_t>(value.size());
+    sink->Append(value.words().data(),
+                 value.words().size() * sizeof(uint64_t));
+  }
+  static DynamicBitset Read(ByteSource* source) {
+    const auto size = source->ReadRaw<uint64_t>();
+    std::vector<uint64_t> words((size + 63) / 64);
+    source->Read(words.data(), words.size() * sizeof(uint64_t));
+    return DynamicBitset::FromWords(size, std::move(words));
+  }
+};
+
+/// Serializes a value to a standalone byte vector.
+template <typename T>
+std::vector<uint8_t> SerializeToBytes(const T& value) {
+  ByteSink sink;
+  Serde<T>::Write(value, &sink);
+  return sink.TakeBuffer();
+}
+
+/// Deserializes a value previously produced by SerializeToBytes.
+template <typename T>
+T DeserializeFromBytes(const std::vector<uint8_t>& bytes) {
+  ByteSource source(bytes);
+  return Serde<T>::Read(&source);
+}
+
+/// Exact encoded size of a value, used for shuffle byte accounting.
+template <typename T>
+size_t SerializedByteSize(const T& value) {
+  ByteSink sink;
+  Serde<T>::Write(value, &sink);
+  return sink.size();
+}
+
+}  // namespace skymr
+
+#endif  // SKYMR_COMMON_SERDE_H_

@@ -1,0 +1,56 @@
+// A fixed-size worker pool used by the MapReduce engine to run map and
+// reduce tasks concurrently.
+
+#ifndef SKYMR_COMMON_THREAD_POOL_H_
+#define SKYMR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skymr {
+
+/// Fixed-size thread pool with a Submit/WaitIdle interface.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (minimum 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Default parallelism: hardware concurrency, at least 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_tasks_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `count` indexed tasks on `pool` and waits for all of them.
+/// `fn(i)` is invoked once for each i in [0, count).
+void ParallelFor(ThreadPool* pool, int count,
+                 const std::function<void(int)>& fn);
+
+}  // namespace skymr
+
+#endif  // SKYMR_COMMON_THREAD_POOL_H_

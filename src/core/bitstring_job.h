@@ -1,0 +1,101 @@
+// The bitstring generation MapReduce job (Section 3.2, Algorithms 1-2,
+// Figure 3), extended with the PPD-series selection of Section 3.3.
+//
+// Map (Algorithm 1): each mapper scans its split R_i and builds one local
+// bitstring per candidate PPD, marking the partitions its tuples fall in
+// (Equation 1). Reduce (Algorithm 2, single reducer): local bitstrings are
+// merged per candidate with bitwise OR, the candidate PPD is selected from
+// the observed occupancies, and dominated partitions of the winning
+// bitstring are cleared (Equation 2).
+
+#ifndef SKYMR_CORE_BITSTRING_JOB_H_
+#define SKYMR_CORE_BITSTRING_JOB_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/dynamic_bitset.h"
+#include "src/common/serde.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/core/partition_bitstring.h"
+#include "src/core/ppd.h"
+#include "src/mapreduce/job.h"
+#include "src/relation/box.h"
+#include "src/relation/dataset.h"
+
+namespace skymr::core {
+
+/// Distributed cache key for the input dataset (the "input file" every
+/// mapper reads its split from).
+inline constexpr const char* kCacheKeyDataset = "skymr.dataset";
+/// Distributed cache key for the bitstring job configuration.
+inline constexpr const char* kCacheKeyBitstringConfig =
+    "skymr.bitstring_config";
+
+/// Configuration broadcast to the bitstring job's tasks.
+struct BitstringJobConfig {
+  Bounds bounds;
+  /// Candidate PPD series (from CandidatePpds, or one explicit value).
+  std::vector<uint32_t> candidates;
+  PpdOptions ppd;
+  uint64_t cardinality = 0;
+  PruneMode prune_mode = PruneMode::kPrefix;
+  /// Constrained skyline: tuples outside this box are ignored, so
+  /// partitions outside it stay empty in the bitstring.
+  std::optional<Box> constraint;
+};
+
+/// The reducer's output: the selected grid resolution and its Equation 2
+/// bitstring, plus selection diagnostics.
+struct BitstringBuildResult {
+  uint32_t ppd = 0;
+  /// Bitstring after dominated-partition pruning (Equation 2).
+  DynamicBitset bits;
+  /// Non-empty partitions of the selected grid before pruning (rho).
+  uint64_t nonempty = 0;
+  /// Partitions cleared by dominance pruning.
+  uint64_t pruned = 0;
+  /// (candidate PPD, rho) for every candidate, ascending by PPD.
+  std::vector<PpdOccupancy> occupancies;
+};
+
+struct BitstringJobRun {
+  BitstringBuildResult result;
+  mr::JobMetrics metrics;
+};
+
+/// Runs the bitstring generation job. `data` must stay alive for the run.
+StatusOr<BitstringJobRun> RunBitstringJob(
+    std::shared_ptr<const Dataset> data, const BitstringJobConfig& config,
+    const mr::EngineOptions& engine, ThreadPool* pool = nullptr);
+
+}  // namespace skymr::core
+
+namespace skymr {
+
+template <>
+struct Serde<core::BitstringBuildResult> {
+  static void Write(const core::BitstringBuildResult& value, ByteSink* sink) {
+    sink->AppendRaw<uint32_t>(value.ppd);
+    Serde<DynamicBitset>::Write(value.bits, sink);
+    sink->AppendRaw<uint64_t>(value.nonempty);
+    sink->AppendRaw<uint64_t>(value.pruned);
+    Serde<std::vector<core::PpdOccupancy>>::Write(value.occupancies, sink);
+  }
+  static core::BitstringBuildResult Read(ByteSource* source) {
+    core::BitstringBuildResult out;
+    out.ppd = source->ReadRaw<uint32_t>();
+    out.bits = Serde<DynamicBitset>::Read(source);
+    out.nonempty = source->ReadRaw<uint64_t>();
+    out.pruned = source->ReadRaw<uint64_t>();
+    out.occupancies =
+        Serde<std::vector<core::PpdOccupancy>>::Read(source);
+    return out;
+  }
+};
+
+}  // namespace skymr
+
+#endif  // SKYMR_CORE_BITSTRING_JOB_H_

@@ -1,0 +1,39 @@
+#include "src/core/compare_partitions.h"
+
+#include <vector>
+
+namespace skymr::core {
+
+uint64_t CompareAllPartitions(const Grid& grid, CellWindowMap* windows,
+                              DominanceCounter* tuple_counter) {
+  const size_t d = grid.dim();
+  // Decode every partition's coordinates once.
+  std::vector<CellId> cells;
+  cells.reserve(windows->size());
+  for (const auto& [cell, window] : *windows) {
+    cells.push_back(cell);
+  }
+  std::vector<uint32_t> coords(cells.size() * d);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    grid.CoordsOf(cells[i], &coords[i * d]);
+  }
+
+  uint64_t partition_comparisons = 0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    SkylineWindow& target = (*windows)[cells[i]];
+    for (size_t j = 0; j < cells.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      // Algorithm 5, line 2: only partitions in p.ADR can hold dominators.
+      if (!grid.InAdrOfCoords(&coords[i * d], &coords[j * d])) {
+        continue;
+      }
+      ++partition_comparisons;
+      target.RemoveDominatedBy((*windows)[cells[j]], tuple_counter);
+    }
+  }
+  return partition_comparisons;
+}
+
+}  // namespace skymr::core

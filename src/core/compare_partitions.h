@@ -1,0 +1,27 @@
+// ComparePartitions (Algorithm 5): false-positive elimination across
+// partition-local skylines. For every partition p, tuples of S_p dominated
+// by a tuple of S_pi with p_i in p.ADR are removed. Used by the map step
+// (Algorithm 3 lines 9-10, Algorithm 8 lines 9-10) and the reduce step
+// (Algorithm 6 lines 7-8, Algorithm 9 lines 9-10).
+
+#ifndef SKYMR_CORE_COMPARE_PARTITIONS_H_
+#define SKYMR_CORE_COMPARE_PARTITIONS_H_
+
+#include <cstdint>
+
+#include "src/core/grid.h"
+#include "src/core/messages.h"
+
+namespace skymr::core {
+
+/// Applies Algorithm 5 to every window in `windows` against all others.
+/// Returns the number of partition-wise comparisons performed, i.e. how
+/// many times Algorithm 5's line 3 executed — the quantity the paper's
+/// cost model (Section 6) estimates and Section 7.5 measures.
+/// `tuple_counter` (optional) additionally accrues tuple dominance tests.
+uint64_t CompareAllPartitions(const Grid& grid, CellWindowMap* windows,
+                              DominanceCounter* tuple_counter);
+
+}  // namespace skymr::core
+
+#endif  // SKYMR_CORE_COMPARE_PARTITIONS_H_

@@ -1,0 +1,166 @@
+#include "src/core/gpmrs.h"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace skymr::core {
+namespace {
+
+/// Algorithm 8: Map of MR-GPMRS.
+class GpmrsMapper : public mr::Mapper<TupleId, uint32_t, GroupPayload> {
+ public:
+  void Setup(mr::MapContext<uint32_t, GroupPayload>& ctx) override {
+    phase_.Setup(ctx.cache());
+  }
+
+  void Map(const TupleId& id,
+           mr::MapContext<uint32_t, GroupPayload>& ctx) override {
+    (void)ctx;
+    phase_.Add(id);
+  }
+
+  void Cleanup(mr::MapContext<uint32_t, GroupPayload>& ctx) override {
+    const SkylineJobContext& context = phase_.context();
+    CellWindowMap windows = phase_.Finish(&ctx.counters());
+
+    // Line 11: generate the independent groups from the bitstring only, so
+    // every mapper derives exactly the same grouping (the consistency
+    // requirement Section 5.3 states). Merging and duplicate-output
+    // responsibility (Section 5.4) are equally bitstring-deterministic.
+    const std::vector<IndependentGroup> groups =
+        GenerateIndependentGroups(context.grid, context.bits);
+    const std::vector<ReducerGroup> reducer_groups = AssignGroupsToReducers(
+        context.grid, groups, context.num_reducers, context.merge);
+
+    // Lines 12-19: ship each group's local skylines to its reducer.
+    for (uint32_t i = 0; i < reducer_groups.size(); ++i) {
+      const ReducerGroup& group = reducer_groups[i];
+      GroupPayload payload;
+      payload.reducer_group = i;
+      payload.responsible = group.responsible;
+      for (const CellId cell : group.cells) {
+        const auto it = windows.find(cell);
+        if (it != windows.end()) {
+          payload.parts.push_back(PartitionSkyline{cell, it->second});
+        }
+      }
+      ctx.Emit(i, payload);
+    }
+  }
+
+ private:
+  LocalSkylinePhase phase_;
+};
+
+/// Algorithm 9: Reduce of MR-GPMRS. Each key is one (merged) independent
+/// group; the reducer finalizes that group's share of the global skyline.
+class GpmrsReducer
+    : public mr::Reducer<uint32_t, GroupPayload, SkylineWindow> {
+ public:
+  void Setup(mr::ReduceContext<SkylineWindow>& ctx) override {
+    context_ = ctx.cache().Get<SkylineJobContext>(kCacheKeySkylineContext);
+    if (context_ == nullptr) {
+      throw mr::TaskFailure("GPMRS reducer: job context missing");
+    }
+  }
+
+  void Reduce(const uint32_t& key, const std::vector<GroupPayload>& values,
+              mr::ReduceContext<SkylineWindow>& ctx) override {
+    (void)key;
+    if (values.empty()) {
+      return;
+    }
+    const size_t dim = context_->grid.dim();
+    DominanceCounter dominance_counter;
+    // Lines 2-8: merge per-partition skylines across mappers.
+    CellWindowMap windows;
+    for (const GroupPayload& payload : values) {
+      MergeParts(payload.parts, dim, &windows, &dominance_counter);
+    }
+    // Lines 9-10: false-positive elimination within the group. The group
+    // is independent (Definition 5), so every partition's full
+    // anti-dominating region is present.
+    const uint64_t partition_comparisons = CompareAllPartitions(
+        context_->grid, &windows, &dominance_counter);
+    ctx.counters().Add(mr::kCounterPartitionComparisons,
+                       static_cast<int64_t>(partition_comparisons));
+    ctx.counters().Add(mr::kCounterTupleComparisons,
+                       static_cast<int64_t>(dominance_counter.count()));
+
+    // Line 11 + Section 5.4.2: output only the partitions this group is
+    // responsible for, eliminating duplicates across replicated cells.
+    const std::unordered_set<CellId> responsible(
+        values[0].responsible.begin(), values[0].responsible.end());
+    SkylineWindow out(dim);
+    for (const auto& [cell, window] : windows) {
+      if (responsible.count(cell) == 0) {
+        continue;
+      }
+      for (size_t i = 0; i < window.size(); ++i) {
+        out.AppendUnchecked(window.RowAt(i), window.IdAt(i));
+      }
+    }
+    ctx.Emit(std::move(out));
+  }
+
+ private:
+  std::shared_ptr<const SkylineJobContext> context_;
+};
+
+}  // namespace
+
+StatusOr<SkylineJobRun> RunGpmrsJob(
+    std::shared_ptr<const Dataset> data, const Grid& grid,
+    const DynamicBitset& bits, GroupMergeStrategy merge,
+    const mr::EngineOptions& engine, ThreadPool* pool,
+    const std::optional<Box>& constraint, LocalAlgorithm local_algorithm) {
+  if (data == nullptr) {
+    return Status::InvalidArgument("GPMRS: dataset is null");
+  }
+  if (bits.size() != grid.num_cells()) {
+    return Status::InvalidArgument("GPMRS: bitstring/grid size mismatch");
+  }
+  if (constraint.has_value()) {
+    SKYMR_RETURN_IF_ERROR(constraint->Validate(data->dim()));
+  }
+
+  mr::DistributedCache cache;
+  SKYMR_RETURN_IF_ERROR(cache.Put(kCacheKeyDataset, data));
+  auto context = std::make_shared<SkylineJobContext>(grid, bits);
+  context->merge = merge;
+  context->num_reducers = engine.num_reducers;
+  context->constraint = constraint;
+  context->local_algorithm = local_algorithm;
+  SKYMR_RETURN_IF_ERROR(cache.Put(
+      kCacheKeySkylineContext,
+      std::shared_ptr<const SkylineJobContext>(std::move(context))));
+
+  std::vector<TupleId> ids(data->size());
+  std::iota(ids.begin(), ids.end(), 0);
+
+  mr::Job<TupleId, uint32_t, GroupPayload, SkylineWindow> job(
+      "mr-gpmrs", [] { return std::make_unique<GpmrsMapper>(); },
+      [] { return std::make_unique<GpmrsReducer>(); });
+  // Reducer-group i is pinned to reducer i (group count never exceeds the
+  // reducer count after merging).
+  job.set_partitioner([](const uint32_t& key, int r) {
+    return static_cast<int>(key % static_cast<uint32_t>(r));
+  });
+
+  auto result = job.Run(ids, engine, cache, pool);
+  if (!result.ok()) {
+    return result.status;
+  }
+
+  SkylineJobRun run;
+  run.metrics = std::move(result.metrics);
+  run.skyline = SkylineWindow(data->dim());
+  for (const SkylineWindow& window : result.outputs) {
+    for (size_t i = 0; i < window.size(); ++i) {
+      run.skyline.AppendUnchecked(window.RowAt(i), window.IdAt(i));
+    }
+  }
+  return run;
+}
+
+}  // namespace skymr::core

@@ -1,0 +1,33 @@
+// MR-GPMRS: Grid Partitioning based Multiple-Reducer Skyline computation
+// (Section 5 of the paper, Algorithms 8-9, Figure 5).
+//
+// Mappers run the same local phase as MR-GPSRS, then generate independent
+// partition groups from the bitstring (Algorithm 7) — identically on every
+// mapper — and ship each group's local skylines to its reducer. Every
+// reducer independently finalizes its groups' share of the global skyline
+// (Lemma 2), so no post-merge step exists. Section 5.4's group merging and
+// duplicate-elimination-by-responsible-group are applied.
+
+#ifndef SKYMR_CORE_GPMRS_H_
+#define SKYMR_CORE_GPMRS_H_
+
+#include <memory>
+
+#include "src/core/skyline_job_common.h"
+
+namespace skymr::core {
+
+/// Runs the MR-GPMRS skyline job with `engine.num_reducers` reducers.
+/// When `constraint` is set, the skyline is computed over the tuples
+/// inside the box only (the bitstring must have been built under the
+/// same box).
+StatusOr<SkylineJobRun> RunGpmrsJob(
+    std::shared_ptr<const Dataset> data, const Grid& grid,
+    const DynamicBitset& bits, GroupMergeStrategy merge,
+    const mr::EngineOptions& engine, ThreadPool* pool = nullptr,
+    const std::optional<Box>& constraint = std::nullopt,
+    LocalAlgorithm local_algorithm = LocalAlgorithm::kBnl);
+
+}  // namespace skymr::core
+
+#endif  // SKYMR_CORE_GPMRS_H_

@@ -1,0 +1,165 @@
+#include "src/core/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+
+namespace skymr::core {
+
+StatusOr<Grid> Grid::Create(size_t dim, uint32_t ppd, Bounds bounds,
+                            uint64_t max_cells) {
+  if (dim < 1) {
+    return Status::InvalidArgument("grid dimension must be >= 1");
+  }
+  if (ppd < 1) {
+    return Status::InvalidArgument("PPD must be >= 1");
+  }
+  if (bounds.lo.size() != dim || bounds.hi.size() != dim) {
+    return Status::InvalidArgument("bounds width does not match dimension");
+  }
+  for (size_t k = 0; k < dim; ++k) {
+    if (!(bounds.lo[k] <= bounds.hi[k])) {
+      return Status::InvalidArgument("bounds are inverted or NaN");
+    }
+  }
+  const std::optional<uint64_t> cells =
+      CheckedPow(ppd, static_cast<uint32_t>(dim));
+  if (!cells.has_value() || *cells > max_cells) {
+    return Status::OutOfRange("grid cell count n^d exceeds the budget");
+  }
+  return Grid(dim, ppd, std::move(bounds), *cells);
+}
+
+Grid::Grid(size_t dim, uint32_t ppd, Bounds bounds, uint64_t num_cells)
+    : dim_(dim),
+      ppd_(ppd),
+      num_cells_(num_cells),
+      bounds_(std::move(bounds)),
+      inv_width_(dim),
+      width_(dim) {
+  for (size_t k = 0; k < dim_; ++k) {
+    const double extent = bounds_.hi[k] - bounds_.lo[k];
+    if (extent > 0.0) {
+      inv_width_[k] = static_cast<double>(ppd_) / extent;
+      width_[k] = extent / static_cast<double>(ppd_);
+    } else {
+      // Degenerate dimension: every tuple falls in coordinate 0.
+      inv_width_[k] = 0.0;
+      width_[k] = 0.0;
+    }
+  }
+}
+
+CellId Grid::CellOf(const double* row) const {
+  CellId index = 0;
+  CellId stride = 1;
+  for (size_t k = 0; k < dim_; ++k) {
+    double offset = (row[k] - bounds_.lo[k]) * inv_width_[k];
+    if (!(offset > 0.0)) {
+      offset = 0.0;  // Clamp below-range and NaN to the first cell.
+    }
+    auto coord = static_cast<uint64_t>(offset);
+    if (coord >= ppd_) {
+      coord = ppd_ - 1;  // Clamp the upper boundary into the last cell.
+    }
+    index += coord * stride;
+    stride *= ppd_;
+  }
+  return index;
+}
+
+void Grid::CoordsOf(CellId cell, uint32_t* coords) const {
+  for (size_t k = 0; k < dim_; ++k) {
+    coords[k] = static_cast<uint32_t>(cell % ppd_);
+    cell /= ppd_;
+  }
+}
+
+std::vector<uint32_t> Grid::Coords(CellId cell) const {
+  std::vector<uint32_t> coords(dim_);
+  CoordsOf(cell, coords.data());
+  return coords;
+}
+
+CellId Grid::IndexOf(const uint32_t* coords) const {
+  CellId index = 0;
+  CellId stride = 1;
+  for (size_t k = 0; k < dim_; ++k) {
+    index += static_cast<CellId>(coords[k]) * stride;
+    stride *= ppd_;
+  }
+  return index;
+}
+
+bool Grid::CellDominates(CellId a, CellId b) const {
+  for (size_t k = 0; k < dim_; ++k) {
+    const auto ca = static_cast<uint32_t>(a % ppd_);
+    const auto cb = static_cast<uint32_t>(b % ppd_);
+    if (cb < ca + 1) {
+      return false;
+    }
+    a /= ppd_;
+    b /= ppd_;
+  }
+  return true;
+}
+
+bool Grid::InAdrOf(CellId p, CellId q) const {
+  if (p == q) {
+    return false;
+  }
+  for (size_t k = 0; k < dim_; ++k) {
+    const auto cp = static_cast<uint32_t>(p % ppd_);
+    const auto cq = static_cast<uint32_t>(q % ppd_);
+    if (cq > cp) {
+      return false;
+    }
+    p /= ppd_;
+    q /= ppd_;
+  }
+  return true;
+}
+
+bool Grid::InAdrOfCoords(const uint32_t* p, const uint32_t* q) const {
+  bool same = true;
+  for (size_t k = 0; k < dim_; ++k) {
+    if (q[k] > p[k]) {
+      return false;
+    }
+    same = same && q[k] == p[k];
+  }
+  return !same;
+}
+
+uint64_t Grid::AdrSize(CellId cell) const {
+  uint64_t product = 1;
+  for (size_t k = 0; k < dim_; ++k) {
+    product *= static_cast<uint64_t>(cell % ppd_) + 1;
+    cell /= ppd_;
+  }
+  return product - 1;
+}
+
+std::vector<double> Grid::MinCorner(CellId cell) const {
+  std::vector<double> corner(dim_);
+  for (size_t k = 0; k < dim_; ++k) {
+    const auto coord = static_cast<uint32_t>(cell % ppd_);
+    corner[k] = bounds_.lo[k] + static_cast<double>(coord) * width_[k];
+    cell /= ppd_;
+  }
+  return corner;
+}
+
+std::vector<double> Grid::MaxCorner(CellId cell) const {
+  std::vector<double> corner(dim_);
+  for (size_t k = 0; k < dim_; ++k) {
+    const auto coord = static_cast<uint32_t>(cell % ppd_);
+    corner[k] =
+        bounds_.lo[k] + static_cast<double>(coord + 1) * width_[k];
+    cell /= ppd_;
+  }
+  return corner;
+}
+
+}  // namespace skymr::core

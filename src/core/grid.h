@@ -1,0 +1,130 @@
+// Grid partitioning of the data space (Section 3.1 of the paper).
+//
+// An n x ... x n grid (n = partitions per dimension, PPD) divides a
+// d-dimensional bounding box into n^d cells. Cells are identified by a
+// column-major linear index, as in the paper's Figure 2:
+//   index = sum_k coord[k] * n^k,   coord[k] in [0, n).
+//
+// Cells are half-open boxes [min, max) except along the upper domain
+// boundary, where tuples equal to the boundary are clamped into the last
+// cell. With that convention, partition dominance (Definition 2) and the
+// dominating / anti-dominating regions (Definitions 3 and 4) reduce to
+// exact integer tests on cell coordinates:
+//
+//   p_i dominates p_j          <=>  coord_j[k] >= coord_i[k] + 1 for all k
+//   p_j in p_i.ADR (j != i)    <=>  coord_j[k] <= coord_i[k]     for all k
+//
+// which reproduces Figure 2 (p4.DR = {p8}, p4.ADR = {p0, p1, p3}) and
+// avoids floating-point boundary ambiguity entirely.
+
+#ifndef SKYMR_CORE_GRID_H_
+#define SKYMR_CORE_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relation/dataset.h"
+
+namespace skymr::core {
+
+/// Linear index of a grid cell (partition).
+using CellId = uint64_t;
+
+/// An immutable n^d grid over a bounding box.
+class Grid {
+ public:
+  /// Creates a grid; fails when ppd < 1, dim < 1, the cell count would
+  /// exceed `max_cells`, or the bounds are malformed.
+  static StatusOr<Grid> Create(size_t dim, uint32_t ppd, Bounds bounds,
+                               uint64_t max_cells = kDefaultMaxCells);
+
+  /// Default budget for n^d (2^24 cells = 2 MiB of bitstring).
+  static constexpr uint64_t kDefaultMaxCells = uint64_t{1} << 24;
+
+  size_t dim() const { return dim_; }
+  uint32_t ppd() const { return ppd_; }
+  uint64_t num_cells() const { return num_cells_; }
+  const Bounds& bounds() const { return bounds_; }
+
+  /// The cell containing `row` (values clamped into the bounding box).
+  CellId CellOf(const double* row) const;
+
+  /// Decodes a cell id into per-dimension coordinates (column-major).
+  void CoordsOf(CellId cell, uint32_t* coords) const;
+
+  /// Decoded coordinates as a vector (convenience).
+  std::vector<uint32_t> Coords(CellId cell) const;
+
+  /// Encodes coordinates into a cell id.
+  CellId IndexOf(const uint32_t* coords) const;
+
+  /// True iff cell `a` dominates cell `b` (Definition 2):
+  /// a.max dominates b.min.
+  bool CellDominates(CellId a, CellId b) const;
+
+  /// True iff cell `q` lies in cell `p`'s anti-dominating region
+  /// (Definition 4): q may contain tuples dominating p.max.
+  bool InAdrOf(CellId p, CellId q) const;
+
+  /// Same ADR test on pre-decoded coordinates (hot path of
+  /// ComparePartitions).
+  bool InAdrOfCoords(const uint32_t* p, const uint32_t* q) const;
+
+  /// |p.ADR| over the full grid: prod_k (coord[k] + 1) - 1.
+  /// This is Equation 6's rho_dom, the paper's per-partition cost estimate.
+  uint64_t AdrSize(CellId cell) const;
+
+  /// The cell's minimum (best) corner, p.min.
+  std::vector<double> MinCorner(CellId cell) const;
+
+  /// The cell's maximum (worst) corner, p.max.
+  std::vector<double> MaxCorner(CellId cell) const;
+
+  /// Calls fn(CellId) for every cell in `cell`'s dominating region
+  /// (Definition 3). Used by the literal Algorithm 2 pruning.
+  template <typename Fn>
+  void ForEachDominatedCell(CellId cell, Fn&& fn) const {
+    std::vector<uint32_t> base(dim_);
+    CoordsOf(cell, base.data());
+    for (size_t k = 0; k < dim_; ++k) {
+      if (base[k] + 1 >= ppd_) {
+        return;  // DR is empty: no room to move up in dimension k.
+      }
+    }
+    std::vector<uint32_t> cur(dim_);
+    for (size_t k = 0; k < dim_; ++k) {
+      cur[k] = base[k] + 1;
+    }
+    while (true) {
+      fn(IndexOf(cur.data()));
+      // Odometer increment over coords in [base[k]+1, ppd).
+      size_t k = 0;
+      while (k < dim_) {
+        if (cur[k] + 1 < ppd_) {
+          ++cur[k];
+          break;
+        }
+        cur[k] = base[k] + 1;
+        ++k;
+      }
+      if (k == dim_) {
+        return;
+      }
+    }
+  }
+
+ private:
+  Grid(size_t dim, uint32_t ppd, Bounds bounds, uint64_t num_cells);
+
+  size_t dim_;
+  uint32_t ppd_;
+  uint64_t num_cells_;
+  Bounds bounds_;
+  std::vector<double> inv_width_;  // ppd / (hi - lo) per dimension.
+  std::vector<double> width_;      // (hi - lo) / ppd per dimension.
+};
+
+}  // namespace skymr::core
+
+#endif  // SKYMR_CORE_GRID_H_

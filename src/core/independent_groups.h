@@ -1,0 +1,101 @@
+// Independent partition groups (Section 5 of the paper).
+//
+// Definition 5: a set of partitions P_I is independent iff every member's
+// anti-dominating region is contained in P_I. Lemma 2 then guarantees the
+// local skyline of P_I's tuples is a subset of the global skyline, which is
+// what lets MR-GPMRS use multiple reducers with no final merge.
+//
+// Algorithm 7 generates the groups: repeatedly take the non-empty partition
+// with the largest remaining index as a seed p_m (a maximum partition,
+// Definition 6), form {p_m} union (p_m.ADR restricted to non-empty
+// partitions), and clear the used bits from a *working copy* of the
+// bitstring. ADR membership always consults the original bitstring, so a
+// partition can be replicated across groups (Figure 6: p1 and p3 appear in
+// two groups each).
+//
+// Section 5.4.1: when there are more groups than reducers, groups are
+// merged. Both strategies from the paper are implemented — merging by
+// estimated computation cost |p_m.ADR| (the paper's preferred option) and
+// by communication cost (merge groups sharing the most partitions) — plus
+// plain round-robin distribution for the unmerged baseline behavior.
+//
+// Section 5.4.2: each replicated partition gets exactly one *responsible*
+// group (the group whose seed has minimal |p_m.ADR|); only the responsible
+// group's reducer outputs that partition's skyline, eliminating duplicates.
+
+#ifndef SKYMR_CORE_INDEPENDENT_GROUPS_H_
+#define SKYMR_CORE_INDEPENDENT_GROUPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/dynamic_bitset.h"
+#include "src/common/status.h"
+#include "src/core/grid.h"
+
+namespace skymr::core {
+
+/// One independent partition group {p_m} union p_m.ADR (non-empty cells).
+struct IndependentGroup {
+  /// The maximum partition p_m that seeded the group.
+  CellId seed = 0;
+  /// All member cells, sorted ascending; includes the seed.
+  std::vector<CellId> cells;
+  /// The paper's computation-cost estimate for the group: |p_m.ADR| over
+  /// the full grid (Equation 6's coordinate product minus one).
+  uint64_t cost = 0;
+};
+
+/// Runs Algorithm 7 on the (post-pruning) bitstring.
+std::vector<IndependentGroup> GenerateIndependentGroups(
+    const Grid& grid, const DynamicBitset& bits);
+
+/// Group-to-reducer assignment strategies (Section 5.4.1).
+enum class GroupMergeStrategy {
+  /// No merging: group i goes to reducer i % r (Algorithm 8 line 18).
+  kRoundRobin,
+  /// Merge so reducer loads (sum of |p_m.ADR|) balance; the paper's choice.
+  kComputationCost,
+  /// Merge groups sharing the most partitions to cut replication traffic.
+  kCommunicationCost,
+  /// Balance both costs (the paper's Section 8 future-work direction):
+  /// greedily place each group on the reducer minimizing the sum of its
+  /// normalized load increase and the normalized count of newly shipped
+  /// cells.
+  kBalanced,
+};
+
+const char* GroupMergeStrategyName(GroupMergeStrategy strategy);
+
+/// The unit of work sent to one reducer: the union of one or more
+/// independent groups, with duplicate-output responsibility resolved.
+struct ReducerGroup {
+  /// Distinct member cells, sorted ascending.
+  std::vector<CellId> cells;
+  /// Cells whose final skyline this reducer outputs. Every non-empty
+  /// unpruned cell appears in exactly one ReducerGroup's responsible set.
+  std::vector<CellId> responsible;
+  /// Indexes into the original group list (diagnostics).
+  std::vector<uint32_t> member_groups;
+  /// Total replicated-cell traffic this grouping causes for the reducer.
+  uint64_t cost = 0;
+};
+
+/// Assigns groups to at most `num_reducers` reducer groups using
+/// `strategy`, and computes responsibility per Section 5.4.2. The result
+/// is deterministic: mappers and reducers can both derive it from the
+/// bitstring alone, which Algorithm 8 (line 11) requires for consistency.
+std::vector<ReducerGroup> AssignGroupsToReducers(
+    const Grid& grid, const std::vector<IndependentGroup>& groups,
+    int num_reducers, GroupMergeStrategy strategy);
+
+/// Validates Definition 5 for every group: each member's non-empty ADR is
+/// inside the group. Returns an empty string or a diagnostic. Test helper.
+std::string ExplainGroupIndependenceViolation(
+    const Grid& grid, const DynamicBitset& bits,
+    const std::vector<IndependentGroup>& groups);
+
+}  // namespace skymr::core
+
+#endif  // SKYMR_CORE_INDEPENDENT_GROUPS_H_

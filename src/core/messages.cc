@@ -1,0 +1,26 @@
+#include "src/core/messages.h"
+
+namespace skymr::core {
+
+void MergeParts(const std::vector<PartitionSkyline>& parts, size_t dim,
+                CellWindowMap* windows, DominanceCounter* counter) {
+  for (const PartitionSkyline& part : parts) {
+    auto [it, inserted] = windows->try_emplace(part.cell, SkylineWindow(dim));
+    SkylineWindow& target = it->second;
+    for (size_t i = 0; i < part.window.size(); ++i) {
+      target.Insert(part.window.RowAt(i), part.window.IdAt(i), counter);
+    }
+  }
+}
+
+SkylineWindow UnionWindows(const CellWindowMap& windows, size_t dim) {
+  SkylineWindow out(dim);
+  for (const auto& [cell, window] : windows) {
+    for (size_t i = 0; i < window.size(); ++i) {
+      out.AppendUnchecked(window.RowAt(i), window.IdAt(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace skymr::core

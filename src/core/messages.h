@@ -1,0 +1,105 @@
+// Shuffle message types for the skyline MapReduce jobs, plus helpers for
+// merging per-partition skylines on the reduce side.
+
+#ifndef SKYMR_CORE_MESSAGES_H_
+#define SKYMR_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/core/grid.h"
+#include "src/local/skyline_window.h"
+
+namespace skymr::core {
+
+/// One partition's local skyline, S_p in the paper.
+struct PartitionSkyline {
+  CellId cell = 0;
+  SkylineWindow window;
+
+  bool operator==(const PartitionSkyline& other) const {
+    return cell == other.cell && window == other.window;
+  }
+};
+
+/// A mapper's full local skyline, organized by partition (the value sent
+/// to MR-GPSRS's single reducer, Figure 4).
+struct LocalSkylineSet {
+  std::vector<PartitionSkyline> parts;
+
+  bool operator==(const LocalSkylineSet& other) const {
+    return parts == other.parts;
+  }
+};
+
+/// The (S_i, ig) value MR-GPMRS mappers send to reducer `i` (Algorithm 8
+/// line 18), extended with the Section 5.4.2 designation notification: the
+/// cells whose skyline this reducer is responsible for outputting.
+struct GroupPayload {
+  uint32_t reducer_group = 0;
+  std::vector<CellId> responsible;
+  std::vector<PartitionSkyline> parts;
+};
+
+/// Ordered per-cell window map used on the reduce side.
+using CellWindowMap = std::map<CellId, SkylineWindow>;
+
+/// Merges `parts` into `windows` tuple by tuple with InsertTuple
+/// (Algorithm 6 lines 1-6 / Algorithm 9 lines 2-8).
+void MergeParts(const std::vector<PartitionSkyline>& parts, size_t dim,
+                CellWindowMap* windows, DominanceCounter* counter);
+
+/// Concatenates all windows into one (the reducer's output union).
+SkylineWindow UnionWindows(const CellWindowMap& windows, size_t dim);
+
+}  // namespace skymr::core
+
+namespace skymr {
+
+template <>
+struct Serde<core::PartitionSkyline> {
+  static void Write(const core::PartitionSkyline& value, ByteSink* sink) {
+    sink->AppendRaw<uint64_t>(value.cell);
+    Serde<SkylineWindow>::Write(value.window, sink);
+  }
+  static core::PartitionSkyline Read(ByteSource* source) {
+    core::PartitionSkyline out;
+    out.cell = source->ReadRaw<uint64_t>();
+    out.window = Serde<SkylineWindow>::Read(source);
+    return out;
+  }
+};
+
+template <>
+struct Serde<core::LocalSkylineSet> {
+  static void Write(const core::LocalSkylineSet& value, ByteSink* sink) {
+    Serde<std::vector<core::PartitionSkyline>>::Write(value.parts, sink);
+  }
+  static core::LocalSkylineSet Read(ByteSource* source) {
+    core::LocalSkylineSet out;
+    out.parts = Serde<std::vector<core::PartitionSkyline>>::Read(source);
+    return out;
+  }
+};
+
+template <>
+struct Serde<core::GroupPayload> {
+  static void Write(const core::GroupPayload& value, ByteSink* sink) {
+    sink->AppendRaw<uint32_t>(value.reducer_group);
+    Serde<std::vector<core::CellId>>::Write(value.responsible, sink);
+    Serde<std::vector<core::PartitionSkyline>>::Write(value.parts, sink);
+  }
+  static core::GroupPayload Read(ByteSource* source) {
+    core::GroupPayload out;
+    out.reducer_group = source->ReadRaw<uint32_t>();
+    out.responsible = Serde<std::vector<core::CellId>>::Read(source);
+    out.parts = Serde<std::vector<core::PartitionSkyline>>::Read(source);
+    return out;
+  }
+};
+
+}  // namespace skymr
+
+#endif  // SKYMR_CORE_MESSAGES_H_

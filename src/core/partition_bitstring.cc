@@ -1,0 +1,99 @@
+#include "src/core/partition_bitstring.h"
+
+#include <vector>
+
+namespace skymr::core {
+
+DynamicBitset BuildLocalBitstring(const Grid& grid, const Dataset& data,
+                                  TupleId begin, TupleId end) {
+  DynamicBitset bits(grid.num_cells());
+  for (TupleId id = begin; id < end; ++id) {
+    bits.Set(grid.CellOf(data.RowPtr(id)));
+  }
+  return bits;
+}
+
+uint64_t PruneDominated(const Grid& grid, DynamicBitset* bits,
+                        PruneMode mode) {
+  switch (mode) {
+    case PruneMode::kLiteral:
+      return PruneDominatedLiteral(grid, bits);
+    case PruneMode::kPrefix:
+      return PruneDominatedPrefix(grid, bits);
+  }
+  return 0;
+}
+
+uint64_t PruneDominatedLiteral(const Grid& grid, DynamicBitset* bits) {
+  // Algorithm 2, lines 4-7: for ascending i with BS[i] = 1, clear p_i.DR.
+  // Scanning the mutated bitstring is sound: if p_i was cleared by an
+  // earlier p_k (p_k dominates p_i), then p_k also dominates everything in
+  // p_i.DR by transitivity, so skipping p_i loses nothing.
+  uint64_t pruned = 0;
+  for (size_t i = bits->FindFirst(); i < bits->size();
+       i = bits->FindNext(i)) {
+    grid.ForEachDominatedCell(i, [bits, &pruned](CellId j) {
+      if (bits->Test(j)) {
+        bits->Reset(j);
+        ++pruned;
+      }
+    });
+  }
+  return pruned;
+}
+
+uint64_t PruneDominatedPrefix(const Grid& grid, DynamicBitset* bits) {
+  const uint64_t n = grid.ppd();
+  const size_t d = grid.dim();
+  const uint64_t cells = grid.num_cells();
+  if (n < 2 || bits->None()) {
+    return 0;  // A 1-per-dimension grid has empty dominating regions.
+  }
+
+  // closure[c] = 1 iff some originally-set cell has coords <= coords(c)
+  // componentwise. Computed with one prefix-OR sweep per dimension.
+  DynamicBitset closure = *bits;
+  uint64_t stride = 1;
+  for (size_t k = 0; k < d; ++k) {
+    for (uint64_t c = stride; c < cells; ++c) {
+      // coord_k(c) = (c / stride) % n; skip coordinate 0.
+      if ((c / stride) % n == 0) {
+        continue;
+      }
+      if (closure.Test(c - stride)) {
+        closure.Set(c);
+      }
+    }
+    stride *= n;
+  }
+
+  // Cell c is dominated iff closure holds at c - (1,...,1), i.e. at
+  // c - sum_k stride_k, valid only when every coordinate of c is >= 1.
+  uint64_t diag = 0;
+  stride = 1;
+  for (size_t k = 0; k < d; ++k) {
+    diag += stride;
+    stride *= n;
+  }
+  uint64_t pruned = 0;
+  for (size_t c = bits->FindFirst(); c < bits->size();
+       c = bits->FindNext(c)) {
+    // Check all coordinates >= 1.
+    bool interior = true;
+    uint64_t rest = c;
+    for (size_t k = 0; k < d; ++k) {
+      if (rest % n == 0) {
+        interior = false;
+        break;
+      }
+      rest /= n;
+    }
+    if (interior && closure.Test(c - diag)) {
+      bits->Reset(c);
+      ++pruned;
+    }
+  }
+  return pruned;
+}
+
+}  // namespace skymr::core

@@ -1,0 +1,54 @@
+// The bitstring representation of the grid partitioning (Section 3.2).
+//
+// Bit i is 1 iff partition p_i is non-empty (Equation 1). After merging the
+// per-mapper bitstrings with bitwise OR, dominated partitions are cleared
+// (Equation 2): bit i becomes 0 when some non-empty p_j dominates p_i.
+//
+// Two pruning implementations are provided:
+//  * PruneDominatedLiteral: Algorithm 2 verbatim — walk set bits in
+//    ascending index order and clear each one's dominating region. Correct
+//    because partition dominance is transitive, but enumerates DR cells
+//    repeatedly; O(#set-bits * |DR|) in the worst case.
+//  * PruneDominatedPrefix: an equivalent O(d * n^d) sum-over-subsets pass —
+//    compute the downward closure (is there a non-empty cell with
+//    coordinates <= mine?) with d prefix-OR sweeps, then clear cell c when
+//    the closure holds at c - (1,1,...,1).
+// Tests assert both produce identical bitstrings.
+
+#ifndef SKYMR_CORE_PARTITION_BITSTRING_H_
+#define SKYMR_CORE_PARTITION_BITSTRING_H_
+
+#include <cstdint>
+
+#include "src/common/dynamic_bitset.h"
+#include "src/core/grid.h"
+#include "src/relation/dataset.h"
+#include "src/relation/tuple.h"
+
+namespace skymr::core {
+
+/// How Equation 2's dominated-partition pruning is computed.
+enum class PruneMode {
+  kLiteral,  // Algorithm 2 as written in the paper.
+  kPrefix,   // Equivalent linear-time dynamic program.
+};
+
+/// Builds the Equation 1 bitstring for tuples [begin, end) of `data`
+/// (Algorithm 1, one mapper's view).
+DynamicBitset BuildLocalBitstring(const Grid& grid, const Dataset& data,
+                                  TupleId begin, TupleId end);
+
+/// Clears bits of partitions dominated by another set partition
+/// (Equation 1 -> Equation 2). Returns the number of bits cleared.
+uint64_t PruneDominated(const Grid& grid, DynamicBitset* bits,
+                        PruneMode mode = PruneMode::kPrefix);
+
+/// Algorithm 2's pruning loop, verbatim.
+uint64_t PruneDominatedLiteral(const Grid& grid, DynamicBitset* bits);
+
+/// The equivalent prefix-OR dynamic program.
+uint64_t PruneDominatedPrefix(const Grid& grid, DynamicBitset* bits);
+
+}  // namespace skymr::core
+
+#endif  // SKYMR_CORE_PARTITION_BITSTRING_H_

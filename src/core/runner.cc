@@ -1,0 +1,196 @@
+#include "src/core/runner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/baselines/mr_angle.h"
+#include "src/baselines/mr_bnl.h"
+#include "src/baselines/mr_skymr.h"
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/core/gpmrs.h"
+#include "src/core/gpsrs.h"
+
+namespace skymr {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kMrGpsrs:
+      return "mr-gpsrs";
+    case Algorithm::kMrGpmrs:
+      return "mr-gpmrs";
+    case Algorithm::kMrBnl:
+      return "mr-bnl";
+    case Algorithm::kMrAngle:
+      return "mr-angle";
+    case Algorithm::kHybrid:
+      return "hybrid";
+    case Algorithm::kSkyMr:
+      return "sky-mr";
+  }
+  return "unknown";
+}
+
+StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "mr-gpsrs") {
+    return Algorithm::kMrGpsrs;
+  }
+  if (name == "mr-gpmrs") {
+    return Algorithm::kMrGpmrs;
+  }
+  if (name == "mr-bnl") {
+    return Algorithm::kMrBnl;
+  }
+  if (name == "mr-angle") {
+    return Algorithm::kMrAngle;
+  }
+  if (name == "hybrid") {
+    return Algorithm::kHybrid;
+  }
+  if (name == "sky-mr" || name == "skymr") {
+    return Algorithm::kSkyMr;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+std::vector<TupleId> SkylineResult::SkylineIds() const {
+  std::vector<TupleId> ids = skyline.ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+namespace {
+
+/// Wraps a caller-owned dataset in a non-owning shared_ptr for the
+/// distributed cache. The RunnerConfig contract requires the dataset to
+/// outlive the call.
+std::shared_ptr<const Dataset> Unowned(const Dataset& data) {
+  return {&data, [](const Dataset*) {}};
+}
+
+/// Fills both makespan flavours from the per-job metrics.
+void FillModeledTimes(const mr::ClusterModel& cluster,
+                      SkylineResult* result) {
+  result->modeled_seconds = cluster.PipelineMakespan(result->jobs);
+  mr::ClusterModel no_overhead = cluster;
+  no_overhead.job_startup_seconds = 0.0;
+  no_overhead.task_startup_seconds = 0.0;
+  result->modeled_compute_seconds =
+      no_overhead.PipelineMakespan(result->jobs);
+}
+
+}  // namespace
+
+StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
+                                       const RunnerConfig& config) {
+  Stopwatch total_clock;
+  SkylineResult result;
+  if (config.constraint.has_value()) {
+    SKYMR_RETURN_IF_ERROR(config.constraint->Validate(data.dim()));
+  }
+  const Bounds bounds = config.unit_bounds ? Bounds::UnitCube(data.dim())
+                                           : data.ComputeBounds();
+  const std::shared_ptr<const Dataset> shared = Unowned(data);
+  const int threads = config.engine.num_threads > 0
+                          ? config.engine.num_threads
+                          : ThreadPool::DefaultThreads();
+  ThreadPool pool(threads);
+
+  // ---- Baselines: one job, no bitstring phase ----
+  if (config.algorithm == Algorithm::kMrBnl ||
+      config.algorithm == Algorithm::kMrAngle ||
+      config.algorithm == Algorithm::kSkyMr) {
+    auto run_or =
+        config.algorithm == Algorithm::kMrBnl
+            ? baselines::RunMrBnlJob(shared, bounds, config.engine, &pool,
+                                     config.constraint)
+        : config.algorithm == Algorithm::kMrAngle
+            ? baselines::RunMrAngleJob(shared, bounds,
+                                       config.angle_partitions,
+                                       config.engine, &pool,
+                                       config.constraint)
+            : baselines::RunSkyMrJob(shared, bounds, config.skymr,
+                                     config.engine, &pool,
+                                     config.constraint);
+    if (!run_or.ok()) {
+      return run_or.status();
+    }
+    result.skyline = std::move(run_or->skyline);
+    result.jobs.push_back(std::move(run_or->metrics));
+    result.algorithm_used = config.algorithm;
+    result.wall_seconds = total_clock.ElapsedSeconds();
+    FillModeledTimes(config.cluster, &result);
+    return result;
+  }
+
+  // ---- Grid algorithms: bitstring job first ----
+  core::BitstringJobConfig bitstring_config;
+  bitstring_config.bounds = bounds;
+  bitstring_config.candidates =
+      core::CandidatePpds(data.size(), data.dim(), config.ppd);
+  if (bitstring_config.candidates.empty()) {
+    return Status::InvalidArgument(
+        "no feasible PPD candidate: 2^d exceeds the cell budget");
+  }
+  bitstring_config.ppd = config.ppd;
+  bitstring_config.cardinality = data.size();
+  bitstring_config.prune_mode = config.prune_mode;
+  bitstring_config.constraint = config.constraint;
+
+  auto bitstring_or =
+      core::RunBitstringJob(shared, bitstring_config, config.engine, &pool);
+  if (!bitstring_or.ok()) {
+    return bitstring_or.status();
+  }
+  core::BitstringJobRun& bitstring = bitstring_or.value();
+  result.jobs.push_back(std::move(bitstring.metrics));
+  result.ppd = bitstring.result.ppd;
+  result.nonempty_partitions = bitstring.result.nonempty;
+  result.pruned_partitions = bitstring.result.pruned;
+  SKYMR_LOG(DEBUG) << "bitstring job: selected PPD " << result.ppd << ", "
+                   << result.nonempty_partitions << " non-empty cells, "
+                   << result.pruned_partitions << " pruned";
+
+  auto grid_or = core::Grid::Create(data.dim(), bitstring.result.ppd,
+                                    bounds, config.ppd.max_cells);
+  if (!grid_or.ok()) {
+    return grid_or.status();
+  }
+  const core::Grid& grid = grid_or.value();
+
+  // ---- Decide the skyline job ----
+  Algorithm algorithm = config.algorithm;
+  mr::EngineOptions engine = config.engine;
+  if (algorithm == Algorithm::kHybrid) {
+    result.hybrid_decision = core::DecideHybrid(
+        config.hybrid, data, grid, bitstring.result, config.constraint);
+    algorithm = result.hybrid_decision.use_multiple_reducers
+                    ? Algorithm::kMrGpmrs
+                    : Algorithm::kMrGpsrs;
+    engine.num_reducers = result.hybrid_decision.num_reducers;
+  }
+  result.algorithm_used = algorithm;
+
+  auto run_or =
+      algorithm == Algorithm::kMrGpmrs
+          ? core::RunGpmrsJob(shared, grid, bitstring.result.bits,
+                              config.merge, engine, &pool,
+                              config.constraint, config.local_algorithm)
+          : core::RunGpsrsJob(shared, grid, bitstring.result.bits, engine,
+                              &pool, config.constraint,
+                              config.local_algorithm);
+  if (!run_or.ok()) {
+    return run_or.status();
+  }
+  result.skyline = std::move(run_or->skyline);
+  result.jobs.push_back(std::move(run_or->metrics));
+  result.wall_seconds = total_clock.ElapsedSeconds();
+  FillModeledTimes(config.cluster, &result);
+  SKYMR_LOG(DEBUG) << AlgorithmName(result.algorithm_used) << ": skyline "
+                   << result.skyline.size() << " of " << data.size()
+                   << " tuples in " << result.wall_seconds << "s wall, "
+                   << result.modeled_seconds << "s modeled";
+  return result;
+}
+
+}  // namespace skymr

@@ -1,0 +1,103 @@
+// SkylineRunner: the library's main entry point. Given a dataset and a
+// configuration it executes the full pipeline the paper evaluates —
+// bitstring-generation job (with PPD selection) followed by the chosen
+// skyline job — and returns the skyline together with per-job metrics,
+// real wall time, and the modeled cluster makespan.
+
+#ifndef SKYMR_CORE_RUNNER_H_
+#define SKYMR_CORE_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/baselines/centralized.h"
+#include "src/baselines/sky_quadtree.h"
+#include "src/core/bitstring_job.h"
+#include "src/core/hybrid.h"
+#include "src/core/independent_groups.h"
+#include "src/core/skyline_job_common.h"
+#include "src/mapreduce/cluster_model.h"
+
+namespace skymr {
+
+/// The skyline computation strategies the library ships.
+enum class Algorithm {
+  kMrGpsrs,   // Paper Section 4.
+  kMrGpmrs,   // Paper Section 5.
+  kMrBnl,     // Baseline, Zhang et al. 2011.
+  kMrAngle,   // Baseline, Chen et al. 2012.
+  kHybrid,    // Paper Section 8 future work: auto GPSRS/GPMRS switch.
+  kSkyMr,     // Baseline, Park et al. 2013 (sampling + sky-quadtree).
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+StatusOr<Algorithm> ParseAlgorithm(const std::string& name);
+
+/// Full configuration for one skyline computation.
+struct RunnerConfig {
+  Algorithm algorithm = Algorithm::kMrGpmrs;
+  /// Map/reduce task counts and thread parallelism.
+  mr::EngineOptions engine;
+  /// Grid resolution policy (Section 3.3).
+  core::PpdOptions ppd;
+  /// How Equation 2 pruning is computed.
+  core::PruneMode prune_mode = core::PruneMode::kPrefix;
+  /// MR-GPMRS group merging policy (Section 5.4.1).
+  core::GroupMergeStrategy merge =
+      core::GroupMergeStrategy::kComputationCost;
+  /// Mapper-side local skyline algorithm (kBnl is the paper's
+  /// InsertTuple; kSfs realizes the Section 8 future-work optimization).
+  core::LocalAlgorithm local_algorithm = core::LocalAlgorithm::kBnl;
+  /// Hybrid switch tunables (Algorithm::kHybrid only).
+  core::HybridPolicy hybrid;
+  /// Modeled cluster for makespan accounting.
+  mr::ClusterModel cluster;
+  /// MR-Angle: approximate number of angular partitions.
+  uint32_t angle_partitions = 64;
+  /// SKY-MR: sample size, leaf capacity, and depth of the sky-quadtree.
+  baselines::SkyQuadtree::Options skymr;
+  /// Use the unit hypercube as the grid domain (true, the synthetic
+  /// generators' domain) or compute tight data bounds (false).
+  bool unit_bounds = true;
+  /// Constrained skyline query: when set, the skyline is computed over
+  /// only the tuples inside this box. Partitions outside the box never
+  /// enter the bitstring, so they are pruned before any tuple work.
+  std::optional<Box> constraint;
+};
+
+/// The outcome of a skyline computation.
+struct SkylineResult {
+  /// The global skyline: tuple values plus original tuple ids.
+  SkylineWindow skyline;
+  /// Sorted skyline tuple ids (convenience for verification).
+  std::vector<TupleId> SkylineIds() const;
+  /// Per-job engine metrics, in execution order (grid algorithms run the
+  /// bitstring job first, then the skyline job; baselines run one job).
+  std::vector<mr::JobMetrics> jobs;
+  /// Real wall time of the in-process simulation.
+  double wall_seconds = 0.0;
+  /// Modeled cluster makespan (the paper's "runtime" axis).
+  double modeled_seconds = 0.0;
+  /// Modeled makespan with job/task startup overheads zeroed: the part of
+  /// the runtime that scales with the data. At scaled-down cardinalities
+  /// the fixed Hadoop overheads dominate `modeled_seconds`, so figure
+  /// *shapes* (who wins, crossovers) are read off this component.
+  double modeled_compute_seconds = 0.0;
+  /// Selected PPD (grid algorithms; 0 for baselines).
+  uint32_t ppd = 0;
+  /// Non-empty partitions before / pruned by Equation 2.
+  uint64_t nonempty_partitions = 0;
+  uint64_t pruned_partitions = 0;
+  /// The algorithm that actually executed (resolves kHybrid).
+  Algorithm algorithm_used = Algorithm::kMrGpsrs;
+  /// Hybrid diagnostics (kHybrid only).
+  core::HybridDecision hybrid_decision;
+};
+
+/// Computes the skyline of `data`. The dataset must outlive the call.
+StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
+                                       const RunnerConfig& config);
+
+}  // namespace skymr
+
+#endif  // SKYMR_CORE_RUNNER_H_

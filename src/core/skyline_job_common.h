@@ -1,0 +1,142 @@
+// Shared plumbing of the two grid-partitioning skyline jobs (MR-GPSRS and
+// MR-GPMRS): the broadcast job context and the mapper-side local skyline
+// phase, which is identical in Algorithm 3 (lines 1-10) and Algorithm 8
+// (lines 1-10).
+
+#ifndef SKYMR_CORE_SKYLINE_JOB_COMMON_H_
+#define SKYMR_CORE_SKYLINE_JOB_COMMON_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/common/dynamic_bitset.h"
+#include "src/core/bitstring_job.h"
+#include "src/core/compare_partitions.h"
+#include "src/core/grid.h"
+#include "src/core/independent_groups.h"
+#include "src/core/messages.h"
+#include "src/local/sfs.h"
+#include "src/local/skyline_window.h"
+#include "src/mapreduce/job.h"
+#include "src/relation/box.h"
+
+namespace skymr::core {
+
+/// Distributed cache key for the SkylineJobContext.
+inline constexpr const char* kCacheKeySkylineContext = "skymr.skyline_ctx";
+
+/// Which single-node algorithm mappers use for per-partition local
+/// skylines. The paper uses InsertTuple (streaming BNL, Algorithm 4) and
+/// names optimizing this step as future work (Section 8); kSfs realizes
+/// that with presorting (Chomicki et al.): buffer a partition's tuples,
+/// sort by coordinate sum, then filter with one-directional checks.
+enum class LocalAlgorithm {
+  kBnl,
+  kSfs,
+};
+
+inline const char* LocalAlgorithmName(LocalAlgorithm algorithm) {
+  switch (algorithm) {
+    case LocalAlgorithm::kBnl:
+      return "bnl";
+    case LocalAlgorithm::kSfs:
+      return "sfs";
+  }
+  return "unknown";
+}
+
+/// Side data broadcast to every task of a skyline job: the grid, the
+/// Equation 2 bitstring BS_R, the optional constraint box, and (for
+/// MR-GPMRS) the group policy.
+struct SkylineJobContext {
+  Grid grid;
+  DynamicBitset bits;
+  GroupMergeStrategy merge = GroupMergeStrategy::kComputationCost;
+  int num_reducers = 1;
+  std::optional<Box> constraint;
+  LocalAlgorithm local_algorithm = LocalAlgorithm::kBnl;
+
+  SkylineJobContext(Grid g, DynamicBitset b)
+      : grid(std::move(g)), bits(std::move(b)) {}
+};
+
+/// Result of one skyline job: the global skyline plus engine metrics.
+struct SkylineJobRun {
+  SkylineWindow skyline;
+  mr::JobMetrics metrics;
+};
+
+/// The mapper-side local phase: per-partition BNL windows for unpruned
+/// partitions, then ComparePartitions across the mapper's windows.
+class LocalSkylinePhase {
+ public:
+  /// Loads the dataset and job context from the distributed cache.
+  /// Throws TaskFailure when side data is missing.
+  void Setup(const mr::DistributedCache& cache) {
+    data_ = cache.Get<Dataset>(kCacheKeyDataset);
+    context_ = cache.Get<SkylineJobContext>(kCacheKeySkylineContext);
+    if (data_ == nullptr || context_ == nullptr) {
+      throw mr::TaskFailure("skyline mapper: cache entries missing");
+    }
+  }
+
+  /// Algorithm 3 / 8, lines 2-8: route the tuple to its partition's window
+  /// unless the partition was pruned by the bitstring (or the tuple falls
+  /// outside the constraint box of a constrained skyline query).
+  void Add(TupleId id) {
+    const double* row = data_->RowPtr(id);
+    if (context_->constraint.has_value() &&
+        !context_->constraint->Contains(row, data_->dim())) {
+      return;
+    }
+    const CellId cell = context_->grid.CellOf(row);
+    if (!context_->bits.Test(cell)) {
+      ++tuples_pruned_;
+      return;  // Line 4: the partition cannot contain skyline tuples.
+    }
+    if (context_->local_algorithm == LocalAlgorithm::kSfs) {
+      buffered_[cell].push_back(id);  // SFS sorts the whole partition.
+      return;
+    }
+    auto [it, inserted] =
+        windows_.try_emplace(cell, SkylineWindow(data_->dim()));
+    it->second.Insert(row, id, &dominance_counter_);
+  }
+
+  /// Algorithm 3 / 8, lines 9-10: remove cross-partition false positives.
+  /// Returns the windows and records counters.
+  CellWindowMap Finish(mr::Counters* counters) {
+    if (context_->local_algorithm == LocalAlgorithm::kSfs) {
+      for (auto& [cell, ids] : buffered_) {
+        windows_.emplace(cell,
+                         SfsSkyline(*data_, ids, &dominance_counter_));
+      }
+      buffered_.clear();
+    }
+    const uint64_t partition_comparisons = CompareAllPartitions(
+        context_->grid, &windows_, &dominance_counter_);
+    counters->Add(mr::kCounterPartitionComparisons,
+                  static_cast<int64_t>(partition_comparisons));
+    counters->Add(mr::kCounterTupleComparisons,
+                  static_cast<int64_t>(dominance_counter_.count()));
+    counters->Add(mr::kCounterTuplesPruned,
+                  static_cast<int64_t>(tuples_pruned_));
+    return std::move(windows_);
+  }
+
+  const Dataset& data() const { return *data_; }
+  const SkylineJobContext& context() const { return *context_; }
+
+ private:
+  std::shared_ptr<const Dataset> data_;
+  std::shared_ptr<const SkylineJobContext> context_;
+  CellWindowMap windows_;
+  std::map<CellId, std::vector<TupleId>> buffered_;  // kSfs only.
+  DominanceCounter dominance_counter_;
+  uint64_t tuples_pruned_ = 0;
+};
+
+}  // namespace skymr::core
+
+#endif  // SKYMR_CORE_SKYLINE_JOB_COMMON_H_

@@ -1,0 +1,113 @@
+#include "src/cost/cost_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace skymr::cost {
+namespace {
+
+double PowD(double base, size_t exp) {
+  double result = 1.0;
+  for (size_t i = 0; i < exp; ++i) {
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace
+
+double RemainingPartitions(uint32_t ppd, size_t dim) {
+  const auto n = static_cast<double>(ppd);
+  return PowD(n, dim) - PowD(n - 1.0, dim);
+}
+
+double PartitionComparisons(const uint32_t* coords_1based, size_t dim) {
+  double product = 1.0;
+  for (size_t k = 0; k < dim; ++k) {
+    assert(coords_1based[k] >= 1);
+    product *= static_cast<double>(coords_1based[k]);
+  }
+  return product - 1.0;
+}
+
+double KappaFullGrid(uint32_t ppd, size_t dim) {
+  // sum over all cells of (prod coords - 1) = B^d - n^d, B = n(n+1)/2.
+  const auto n = static_cast<double>(ppd);
+  const double b = n * (n + 1.0) / 2.0;
+  return PowD(b, dim) - PowD(n, dim);
+}
+
+double KappaSurface(uint32_t ppd, size_t dim, size_t surface) {
+  assert(surface >= 1 && surface <= dim);
+  if (dim == 1) {
+    // A 1-d grid has a single "surface" cell at coordinate 1, which has no
+    // anti-dominating region.
+    return 0.0;
+  }
+  const auto n = static_cast<double>(ppd);
+  const double b = n * (n + 1.0) / 2.0;  // sum_{i=1..n} i
+  const double a = b - 1.0;              // sum_{i=2..n} i
+  // Surface `surface` fixes one coordinate at 1 (factor 1 in the product);
+  // the remaining d-1 running indexes contribute, with the first
+  // surface-1 of them starting at 2 to discount overlap with earlier
+  // surfaces. The subtracted term is the matching sum of the constant 1.
+  return PowD(a, surface - 1) * PowD(b, dim - surface) -
+         PowD(n - 1.0, surface - 1) * PowD(n, dim - surface);
+}
+
+double KappaSurfaceLiteral(uint32_t ppd, size_t dim, size_t surface) {
+  assert(surface >= 1 && surface <= dim);
+  if (dim == 1) {
+    return 0.0;
+  }
+  // d-1 running indexes i_1..i_{d-1}; the first (surface-1) run over
+  // [2, n], the rest over [1, n]. Summand: prod(i_k) - 1 (the fixed
+  // surface coordinate contributes a factor of 1).
+  const size_t free_dims = dim - 1;
+  std::vector<uint32_t> idx(free_dims);
+  for (size_t k = 0; k < free_dims; ++k) {
+    idx[k] = k < surface - 1 ? 2 : 1;
+  }
+  for (size_t k = 0; k < free_dims; ++k) {
+    if (idx[k] > ppd) {
+      return 0.0;  // Empty range (ppd < 2 with a shifted index).
+    }
+  }
+  double total = 0.0;
+  while (true) {
+    double product = 1.0;
+    for (size_t k = 0; k < free_dims; ++k) {
+      product *= static_cast<double>(idx[k]);
+    }
+    total += product - 1.0;
+    // Odometer increment.
+    size_t k = 0;
+    while (k < free_dims) {
+      if (idx[k] < ppd) {
+        ++idx[k];
+        break;
+      }
+      idx[k] = k < surface - 1 ? 2 : 1;
+      ++k;
+    }
+    if (k == free_dims) {
+      break;
+    }
+  }
+  return total;
+}
+
+double MapperCost(uint32_t ppd, size_t dim) {
+  double total = 0.0;
+  for (size_t j = 1; j <= dim; ++j) {
+    total += KappaSurface(ppd, dim, j);
+  }
+  return total;
+}
+
+double ReducerCost(uint32_t ppd, size_t dim) {
+  return KappaSurface(ppd, dim, 1);
+}
+
+}  // namespace skymr::cost

@@ -1,0 +1,71 @@
+#include "src/data/dataset_io.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "src/common/csv.h"
+
+namespace skymr::data {
+
+Status SaveCsv(const Dataset& data, const std::string& path,
+               const std::vector<std::string>& header) {
+  if (!header.empty() && header.size() != data.dim()) {
+    return Status::InvalidArgument("header width does not match dimension");
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(data.size() + 1);
+  if (!header.empty()) {
+    rows.push_back(header);
+  }
+  char buf[64];
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(data.dim());
+    const double* values = data.RowPtr(static_cast<TupleId>(i));
+    for (size_t k = 0; k < data.dim(); ++k) {
+      std::snprintf(buf, sizeof(buf), "%.17g", values[k]);
+      row.emplace_back(buf);
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, rows);
+}
+
+StatusOr<Dataset> LoadCsv(const std::string& path, bool has_header) {
+  auto rows_or = ReadCsvFile(path);
+  if (!rows_or.ok()) {
+    return rows_or.status();
+  }
+  const auto& rows = rows_or.value();
+  size_t start = has_header ? 1 : 0;
+  if (rows.size() <= start) {
+    return Status::InvalidArgument("CSV has no data rows: " + path);
+  }
+  const size_t dim = rows[start].size();
+  if (dim == 0) {
+    return Status::InvalidArgument("CSV has empty rows: " + path);
+  }
+  Dataset out(dim);
+  out.Reserve(rows.size() - start);
+  std::vector<double> row(dim);
+  for (size_t i = start; i < rows.size(); ++i) {
+    if (rows[i].size() != dim) {
+      return Status::InvalidArgument("CSV row width mismatch at line " +
+                                     std::to_string(i + 1));
+    }
+    for (size_t k = 0; k < dim; ++k) {
+      const std::string& field = rows[i][k];
+      char* end = nullptr;
+      row[k] = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || (end != nullptr && *end != '\0')) {
+        return Status::InvalidArgument("CSV field is not a number: '" +
+                                       field + "' at line " +
+                                       std::to_string(i + 1));
+      }
+    }
+    out.Append(row);
+  }
+  return out;
+}
+
+}  // namespace skymr::data

@@ -1,0 +1,27 @@
+// CSV import/export for datasets, used by the examples and for feeding real
+// data into the library.
+
+#ifndef SKYMR_DATA_DATASET_IO_H_
+#define SKYMR_DATA_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relation/dataset.h"
+
+namespace skymr::data {
+
+/// Writes `data` as CSV. When `header` is non-empty it becomes the first
+/// row and must have data.dim() entries.
+Status SaveCsv(const Dataset& data, const std::string& path,
+               const std::vector<std::string>& header = {});
+
+/// Reads a dataset from CSV. When `has_header` is true the first row is
+/// skipped. All fields must parse as doubles and all rows must have the
+/// same width.
+StatusOr<Dataset> LoadCsv(const std::string& path, bool has_header);
+
+}  // namespace skymr::data
+
+#endif  // SKYMR_DATA_DATASET_IO_H_

@@ -1,0 +1,195 @@
+#include "src/data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace skymr::data {
+namespace {
+
+/// "Peak" distribution on [0,1): mean of 12 uniforms, approximately normal
+/// around 0.5. This mirrors random_peak() in the original Börzsönyi
+/// generator.
+double RandomPeak(Rng* rng) {
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    sum += rng->NextDouble();
+  }
+  return sum / 12.0;
+}
+
+bool InUnitCube(const std::vector<double>& row) {
+  for (const double v : row) {
+    if (v < 0.0 || v >= 1.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One independent tuple: i.i.d. uniform per dimension.
+void MakeIndependent(Rng* rng, std::vector<double>* row) {
+  for (double& v : *row) {
+    v = rng->NextDouble();
+  }
+}
+
+/// One correlated tuple: a diagonal position v (peak-distributed, so its
+/// variance across tuples is large relative to the jitter) plus zero-sum
+/// pairwise shifts with small amplitude, so all dimensions move together.
+/// Rejection keeps the tuple inside the unit cube.
+void MakeCorrelated(Rng* rng, std::vector<double>* row) {
+  const size_t d = row->size();
+  while (true) {
+    const double v = RandomPeak(rng);
+    const double l = (v <= 0.5 ? v : 1.0 - v) * 0.1;
+    std::fill(row->begin(), row->end(), v);
+    for (size_t i = 0; i < d; ++i) {
+      const double h = rng->Uniform(-l, l);
+      (*row)[i] += h;
+      (*row)[(i + 1) % d] -= h;
+    }
+    if (InUnitCube(*row)) {
+      return;
+    }
+  }
+}
+
+/// One anti-correlated tuple: a normal plane position v with a *small*
+/// standard deviation (the tuples concentrate in a thin band around the
+/// anti-diagonal hyperplane sum(x) = d/2), then zero-sum pairwise shifts
+/// with amplitude up to the distance to the cube boundary, spreading
+/// tuples across the hyperplane. The thin band is what makes tuples
+/// mutually incomparable and skylines huge — the defining property the
+/// paper's Section 7 experiments rely on.
+void MakeAntiCorrelated(Rng* rng, std::vector<double>* row) {
+  const size_t d = row->size();
+  while (true) {
+    double v = rng->Gaussian(0.5, 0.05);
+    if (v < 0.0 || v >= 1.0) {
+      continue;
+    }
+    const double l = v <= 0.5 ? v : 1.0 - v;
+    std::fill(row->begin(), row->end(), v);
+    for (size_t i = 0; i < d; ++i) {
+      const double h = rng->Uniform(-l, l);
+      (*row)[i] += h;
+      (*row)[(i + 1) % d] -= h;
+    }
+    if (InUnitCube(*row)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const char* DistributionName(Distribution dist) {
+  switch (dist) {
+    case Distribution::kIndependent:
+      return "independent";
+    case Distribution::kCorrelated:
+      return "correlated";
+    case Distribution::kAntiCorrelated:
+      return "anti-correlated";
+    case Distribution::kClustered:
+      return "clustered";
+  }
+  return "unknown";
+}
+
+StatusOr<Distribution> ParseDistribution(const std::string& name) {
+  if (name == "independent") {
+    return Distribution::kIndependent;
+  }
+  if (name == "correlated") {
+    return Distribution::kCorrelated;
+  }
+  if (name == "anti-correlated" || name == "anticorrelated") {
+    return Distribution::kAntiCorrelated;
+  }
+  if (name == "clustered") {
+    return Distribution::kClustered;
+  }
+  return Status::InvalidArgument("unknown distribution: " + name);
+}
+
+StatusOr<Dataset> Generate(const GeneratorConfig& config) {
+  if (config.dim < 1) {
+    return Status::InvalidArgument("dimension must be >= 1");
+  }
+  if (config.distribution == Distribution::kClustered &&
+      config.num_clusters == 0) {
+    return Status::InvalidArgument("clustered data needs >= 1 cluster");
+  }
+  Rng rng(config.seed);
+  Dataset out(config.dim);
+  out.Reserve(config.cardinality);
+  std::vector<double> row(config.dim);
+
+  std::vector<std::vector<double>> centers;
+  if (config.distribution == Distribution::kClustered) {
+    centers.resize(config.num_clusters, std::vector<double>(config.dim));
+    for (auto& center : centers) {
+      for (double& v : center) {
+        v = rng.NextDouble();
+      }
+    }
+  }
+
+  for (size_t i = 0; i < config.cardinality; ++i) {
+    switch (config.distribution) {
+      case Distribution::kIndependent:
+        MakeIndependent(&rng, &row);
+        break;
+      case Distribution::kCorrelated:
+        MakeCorrelated(&rng, &row);
+        break;
+      case Distribution::kAntiCorrelated:
+        MakeAntiCorrelated(&rng, &row);
+        break;
+      case Distribution::kClustered: {
+        const auto& center = centers[rng.NextBounded(centers.size())];
+        do {
+          for (size_t k = 0; k < config.dim; ++k) {
+            row[k] = rng.Gaussian(center[k], 0.05);
+          }
+        } while (!InUnitCube(row));
+        break;
+      }
+    }
+    out.Append(row);
+  }
+  return out;
+}
+
+Dataset GenerateIndependent(size_t cardinality, size_t dim, uint64_t seed) {
+  GeneratorConfig config;
+  config.distribution = Distribution::kIndependent;
+  config.cardinality = cardinality;
+  config.dim = dim;
+  config.seed = seed;
+  return std::move(Generate(config)).value();
+}
+
+Dataset GenerateCorrelated(size_t cardinality, size_t dim, uint64_t seed) {
+  GeneratorConfig config;
+  config.distribution = Distribution::kCorrelated;
+  config.cardinality = cardinality;
+  config.dim = dim;
+  config.seed = seed;
+  return std::move(Generate(config)).value();
+}
+
+Dataset GenerateAntiCorrelated(size_t cardinality, size_t dim, uint64_t seed) {
+  GeneratorConfig config;
+  config.distribution = Distribution::kAntiCorrelated;
+  config.cardinality = cardinality;
+  config.dim = dim;
+  config.seed = seed;
+  return std::move(Generate(config)).value();
+}
+
+}  // namespace skymr::data

@@ -1,0 +1,27 @@
+#include "src/local/bnl.h"
+
+namespace skymr {
+
+SkylineWindow BnlSkyline(const Dataset& data, TupleId begin, TupleId end,
+                         DominanceCounter* counter) {
+  SkylineWindow window(data.dim());
+  for (TupleId id = begin; id < end; ++id) {
+    window.Insert(data.RowPtr(id), id, counter);
+  }
+  return window;
+}
+
+SkylineWindow BnlSkyline(const Dataset& data, DominanceCounter* counter) {
+  return BnlSkyline(data, 0, static_cast<TupleId>(data.size()), counter);
+}
+
+SkylineWindow BnlSkyline(const Dataset& data, const std::vector<TupleId>& ids,
+                         DominanceCounter* counter) {
+  SkylineWindow window(data.dim());
+  for (const TupleId id : ids) {
+    window.Insert(data.RowPtr(id), id, counter);
+  }
+  return window;
+}
+
+}  // namespace skymr

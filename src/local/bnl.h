@@ -1,0 +1,29 @@
+// Block Nested Loop skyline (Börzsönyi et al., ICDE'01) over an in-memory
+// dataset range. This is the local skyline algorithm the paper's mappers
+// run (Algorithm 3 uses InsertTuple, which is BNL's window maintenance).
+
+#ifndef SKYMR_LOCAL_BNL_H_
+#define SKYMR_LOCAL_BNL_H_
+
+#include <vector>
+
+#include "src/local/skyline_window.h"
+#include "src/relation/dataset.h"
+
+namespace skymr {
+
+/// Computes the skyline of tuples [begin, end) of `data` via BNL.
+SkylineWindow BnlSkyline(const Dataset& data, TupleId begin, TupleId end,
+                         DominanceCounter* counter = nullptr);
+
+/// Computes the skyline of the whole dataset via BNL.
+SkylineWindow BnlSkyline(const Dataset& data,
+                         DominanceCounter* counter = nullptr);
+
+/// Computes the skyline of an explicit id subset via BNL.
+SkylineWindow BnlSkyline(const Dataset& data, const std::vector<TupleId>& ids,
+                         DominanceCounter* counter = nullptr);
+
+}  // namespace skymr
+
+#endif  // SKYMR_LOCAL_BNL_H_

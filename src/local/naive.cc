@@ -1,0 +1,37 @@
+#include "src/local/naive.h"
+
+namespace skymr {
+
+SkylineWindow NaiveSkyline(const Dataset& data, TupleId begin, TupleId end,
+                           DominanceCounter* counter) {
+  const size_t dim = data.dim();
+  SkylineWindow window(dim);
+  uint64_t checks = 0;
+  for (TupleId i = begin; i < end; ++i) {
+    const double* row_i = data.RowPtr(i);
+    bool dominated = false;
+    for (TupleId j = begin; j < end; ++j) {
+      if (i == j) {
+        continue;
+      }
+      ++checks;
+      if (Dominates(data.RowPtr(j), row_i, dim)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      window.AppendUnchecked(row_i, i);
+    }
+  }
+  if (counter != nullptr) {
+    counter->Add(checks);
+  }
+  return window;
+}
+
+SkylineWindow NaiveSkyline(const Dataset& data, DominanceCounter* counter) {
+  return NaiveSkyline(data, 0, static_cast<TupleId>(data.size()), counter);
+}
+
+}  // namespace skymr

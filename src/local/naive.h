@@ -1,0 +1,23 @@
+// Naive O(n^2) skyline over a dataset range, as the most direct possible
+// encoding of Definition 1. Tests use it as the ground truth.
+
+#ifndef SKYMR_LOCAL_NAIVE_H_
+#define SKYMR_LOCAL_NAIVE_H_
+
+#include "src/local/skyline_window.h"
+#include "src/relation/dataset.h"
+
+namespace skymr {
+
+/// Computes the skyline of tuples [begin, end) of `data` by checking every
+/// tuple against every other.
+SkylineWindow NaiveSkyline(const Dataset& data, TupleId begin, TupleId end,
+                           DominanceCounter* counter = nullptr);
+
+/// Computes the skyline of the whole dataset naively.
+SkylineWindow NaiveSkyline(const Dataset& data,
+                           DominanceCounter* counter = nullptr);
+
+}  // namespace skymr
+
+#endif  // SKYMR_LOCAL_NAIVE_H_

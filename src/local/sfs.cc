@@ -1,0 +1,59 @@
+#include "src/local/sfs.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace skymr {
+
+SkylineWindow SfsSkyline(const Dataset& data, TupleId begin, TupleId end,
+                         DominanceCounter* counter) {
+  std::vector<TupleId> ids(end - begin);
+  std::iota(ids.begin(), ids.end(), begin);
+  return SfsSkyline(data, std::move(ids), counter);
+}
+
+SkylineWindow SfsSkyline(const Dataset& data, std::vector<TupleId> ids,
+                         DominanceCounter* counter) {
+  const size_t dim = data.dim();
+  // Monotone score: if score(a) <= score(b) then b cannot dominate a
+  // (dominance implies a strictly smaller coordinate sum, ties excepted;
+  // equal tuples never dominate each other).
+  auto score = [&data, dim](TupleId id) {
+    const double* row = data.RowPtr(id);
+    double sum = 0.0;
+    for (size_t k = 0; k < dim; ++k) {
+      sum += row[k];
+    }
+    return sum;
+  };
+  std::stable_sort(ids.begin(), ids.end(), [&score](TupleId a, TupleId b) {
+    return score(a) < score(b);
+  });
+
+  SkylineWindow window(dim);
+  uint64_t checks = 0;
+  for (const TupleId id : ids) {
+    const double* row = data.RowPtr(id);
+    bool dominated = false;
+    for (size_t i = 0; i < window.size(); ++i) {
+      ++checks;
+      if (Dominates(window.RowAt(i), row, dim)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      window.AppendUnchecked(row, id);
+    }
+  }
+  if (counter != nullptr) {
+    counter->Add(checks);
+  }
+  return window;
+}
+
+SkylineWindow SfsSkyline(const Dataset& data, DominanceCounter* counter) {
+  return SfsSkyline(data, 0, static_cast<TupleId>(data.size()), counter);
+}
+
+}  // namespace skymr

@@ -1,0 +1,30 @@
+// Sort Filter Skyline (Chomicki et al., ICDE'03): presort by a monotone
+// score so that no tuple can be dominated by a later one, then filter with
+// one-directional checks. Used as an optimized local skyline algorithm and
+// as the second correctness reference.
+
+#ifndef SKYMR_LOCAL_SFS_H_
+#define SKYMR_LOCAL_SFS_H_
+
+#include <vector>
+
+#include "src/local/skyline_window.h"
+#include "src/relation/dataset.h"
+
+namespace skymr {
+
+/// Computes the skyline of tuples [begin, end) of `data` via SFS.
+SkylineWindow SfsSkyline(const Dataset& data, TupleId begin, TupleId end,
+                         DominanceCounter* counter = nullptr);
+
+/// Computes the skyline of the whole dataset via SFS.
+SkylineWindow SfsSkyline(const Dataset& data,
+                         DominanceCounter* counter = nullptr);
+
+/// Computes the skyline of an explicit id subset via SFS.
+SkylineWindow SfsSkyline(const Dataset& data, std::vector<TupleId> ids,
+                         DominanceCounter* counter = nullptr);
+
+}  // namespace skymr
+
+#endif  // SKYMR_LOCAL_SFS_H_

@@ -1,0 +1,90 @@
+#include "src/local/skyline_window.h"
+
+#include <cassert>
+
+namespace skymr {
+
+bool SkylineWindow::Insert(const double* row, TupleId id,
+                           DominanceCounter* counter) {
+  assert(dim_ > 0);
+  uint64_t checks = 0;
+  size_t i = 0;
+  bool keep = true;
+  while (i < size()) {
+    const DominanceResult cmp = CompareDominance(RowAt(i), row, dim_);
+    ++checks;
+    if (cmp == DominanceResult::kADominatesB) {
+      // An existing window tuple dominates the candidate: reject.
+      keep = false;
+      break;
+    }
+    if (cmp == DominanceResult::kBDominatesA) {
+      // The candidate dominates a window tuple: evict it.
+      SwapRemove(i);
+      continue;  // The swapped-in tuple now sits at position i.
+    }
+    ++i;
+  }
+  if (counter != nullptr) {
+    counter->Add(checks);
+  }
+  if (keep) {
+    AppendUnchecked(row, id);
+  }
+  return keep;
+}
+
+void SkylineWindow::AppendUnchecked(const double* row, TupleId id) {
+  ids_.push_back(id);
+  values_.insert(values_.end(), row, row + dim_);
+}
+
+void SkylineWindow::RemoveDominatedBy(const SkylineWindow& other,
+                                      DominanceCounter* counter) {
+  assert(dim_ == other.dim_ || other.empty() || empty());
+  uint64_t checks = 0;
+  size_t i = 0;
+  while (i < size()) {
+    bool dominated = false;
+    for (size_t j = 0; j < other.size(); ++j) {
+      ++checks;
+      if (Dominates(other.RowAt(j), RowAt(i), dim_)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      SwapRemove(i);
+    } else {
+      ++i;
+    }
+  }
+  if (counter != nullptr) {
+    counter->Add(checks);
+  }
+}
+
+void SkylineWindow::Filter(const std::vector<bool>& keep) {
+  assert(keep.size() == size());
+  SkylineWindow kept(dim_);
+  for (size_t i = 0; i < size(); ++i) {
+    if (keep[i]) {
+      kept.AppendUnchecked(RowAt(i), IdAt(i));
+    }
+  }
+  *this = std::move(kept);
+}
+
+void SkylineWindow::SwapRemove(size_t i) {
+  const size_t last = size() - 1;
+  if (i != last) {
+    ids_[i] = ids_[last];
+    for (size_t k = 0; k < dim_; ++k) {
+      values_[i * dim_ + k] = values_[last * dim_ + k];
+    }
+  }
+  ids_.pop_back();
+  values_.resize(values_.size() - dim_);
+}
+
+}  // namespace skymr

@@ -1,0 +1,94 @@
+// SkylineWindow: the materialized local-skyline container shared by mappers
+// and reducers, together with the paper's InsertTuple routine (Algorithm 4).
+//
+// A window owns its tuple values (flat row-major) plus the original tuple
+// ids, so it can be serialized and shipped through the shuffle like the
+// local skylines in the paper's Figures 4 and 5.
+
+#ifndef SKYMR_LOCAL_SKYLINE_WINDOW_H_
+#define SKYMR_LOCAL_SKYLINE_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/relation/dominance.h"
+#include "src/relation/tuple.h"
+
+namespace skymr {
+
+/// A self-contained set of mutually non-dominated tuples.
+class SkylineWindow {
+ public:
+  SkylineWindow() = default;
+  explicit SkylineWindow(size_t dim) : dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  const double* RowAt(size_t i) const { return &values_[i * dim_]; }
+  TupleId IdAt(size_t i) const { return ids_[i]; }
+
+  /// Algorithm 4 (InsertTuple): adds `row` unless it is dominated by a
+  /// window tuple; removes window tuples dominated by `row`. Equal tuples
+  /// do not dominate each other, so duplicates are retained.
+  /// Returns true when the tuple was added. `counter` (optional) accrues
+  /// one unit per tuple-dominance test performed.
+  bool Insert(const double* row, TupleId id, DominanceCounter* counter);
+
+  /// Appends a tuple without any dominance check (caller guarantees the
+  /// window invariant, e.g. when deserializing a valid window).
+  void AppendUnchecked(const double* row, TupleId id);
+
+  /// Removes every tuple of this window that is dominated by some tuple of
+  /// `other` (the critical operation of Algorithm 5, line 3).
+  void RemoveDominatedBy(const SkylineWindow& other, DominanceCounter* counter);
+
+  /// Removes tuples at positions where `keep` is false.
+  void Filter(const std::vector<bool>& keep);
+
+  const std::vector<TupleId>& ids() const { return ids_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Exact wire size when shipped through the shuffle.
+  size_t ByteSize() const {
+    return sizeof(uint64_t) * 3 + values_.size() * sizeof(double) +
+           ids_.size() * sizeof(TupleId);
+  }
+
+  bool operator==(const SkylineWindow& other) const {
+    return dim_ == other.dim_ && ids_ == other.ids_ &&
+           values_ == other.values_;
+  }
+
+ private:
+  friend struct Serde<SkylineWindow>;
+
+  /// Removes the tuple at position i by swapping with the last (O(1)).
+  void SwapRemove(size_t i);
+
+  size_t dim_ = 0;
+  std::vector<TupleId> ids_;
+  std::vector<double> values_;  // Row-major, ids_.size() * dim_.
+};
+
+template <>
+struct Serde<SkylineWindow> {
+  static void Write(const SkylineWindow& window, ByteSink* sink) {
+    sink->AppendRaw<uint64_t>(window.dim_);
+    Serde<std::vector<TupleId>>::Write(window.ids_, sink);
+    Serde<std::vector<double>>::Write(window.values_, sink);
+  }
+  static SkylineWindow Read(ByteSource* source) {
+    SkylineWindow out;
+    out.dim_ = static_cast<size_t>(source->ReadRaw<uint64_t>());
+    out.ids_ = Serde<std::vector<TupleId>>::Read(source);
+    out.values_ = Serde<std::vector<double>>::Read(source);
+    return out;
+  }
+};
+
+}  // namespace skymr
+
+#endif  // SKYMR_LOCAL_SKYLINE_WINDOW_H_

@@ -1,0 +1,70 @@
+#include "src/mapreduce/cluster_model.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace skymr::mr {
+
+double ClusterModel::LptMakespan(std::vector<double> task_seconds,
+                                 int slots) {
+  if (task_seconds.empty()) {
+    return 0.0;
+  }
+  slots = std::max(1, slots);
+  std::sort(task_seconds.begin(), task_seconds.end(),
+            std::greater<double>());
+  // Min-heap of slot loads.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      loads;
+  for (int i = 0; i < slots; ++i) {
+    loads.push(0.0);
+  }
+  for (const double t : task_seconds) {
+    const double load = loads.top();
+    loads.pop();
+    loads.push(load + t);
+  }
+  double makespan = 0.0;
+  while (!loads.empty()) {
+    makespan = std::max(makespan, loads.top());
+    loads.pop();
+  }
+  return makespan;
+}
+
+double ClusterModel::JobMakespan(const JobMetrics& metrics) const {
+  std::vector<double> map_times;
+  map_times.reserve(metrics.map_tasks.size());
+  for (const TaskMetrics& t : metrics.map_tasks) {
+    map_times.push_back(t.busy_seconds + task_startup_seconds);
+  }
+  std::vector<double> reduce_times;
+  reduce_times.reserve(metrics.reduce_tasks.size());
+  double max_reduce_in_bytes = 0.0;
+  for (const TaskMetrics& t : metrics.reduce_tasks) {
+    reduce_times.push_back(t.busy_seconds + task_startup_seconds);
+    max_reduce_in_bytes =
+        std::max(max_reduce_in_bytes, static_cast<double>(t.input_bytes));
+  }
+  // The shuffle is bottlenecked by the most loaded reducer's inbound link.
+  const double shuffle_seconds =
+      network_bytes_per_second > 0.0
+          ? max_reduce_in_bytes / network_bytes_per_second
+          : 0.0;
+  return job_startup_seconds +
+         LptMakespan(std::move(map_times), num_nodes * map_slots_per_node) +
+         shuffle_seconds +
+         LptMakespan(std::move(reduce_times),
+                     num_nodes * reduce_slots_per_node);
+}
+
+double ClusterModel::PipelineMakespan(
+    const std::vector<JobMetrics>& jobs) const {
+  double total = 0.0;
+  for (const JobMetrics& job : jobs) {
+    total += JobMakespan(job);
+  }
+  return total;
+}
+
+}  // namespace skymr::mr

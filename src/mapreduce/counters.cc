@@ -1,0 +1,35 @@
+#include "src/mapreduce/counters.h"
+
+#include <sstream>
+
+namespace skymr::mr {
+
+void Counters::Add(const std::string& name, int64_t delta) {
+  values_[name] += delta;
+}
+
+int64_t Counters::Get(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+void Counters::Merge(const Counters& other) {
+  for (const auto& [name, value] : other.values_) {
+    values_[name] += value;
+  }
+}
+
+std::string Counters::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    os << name << "=" << value;
+  }
+  return os.str();
+}
+
+}  // namespace skymr::mr

@@ -1,0 +1,49 @@
+// Named int64 counters, the Hadoop-style mechanism tasks use to report
+// statistics (records processed, dominance tests, partition comparisons).
+// Each task owns a private Counters instance; the engine merges them into
+// job-level totals, so no synchronization is needed on the hot path.
+
+#ifndef SKYMR_MAPREDUCE_COUNTERS_H_
+#define SKYMR_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace skymr::mr {
+
+/// Well-known counter names used by the skyline algorithms.
+inline constexpr const char* kCounterTupleComparisons =
+    "skymr.tuple_comparisons";
+inline constexpr const char* kCounterPartitionComparisons =
+    "skymr.partition_comparisons";
+inline constexpr const char* kCounterTuplesPruned = "skymr.tuples_pruned";
+inline constexpr const char* kCounterPartitionsPruned =
+    "skymr.partitions_pruned";
+
+/// A mergeable bag of named counters with deterministic iteration order.
+class Counters {
+ public:
+  /// Adds `delta` to counter `name` (creating it at zero).
+  void Add(const std::string& name, int64_t delta);
+
+  /// Returns the value of `name`, or 0 when absent.
+  int64_t Get(const std::string& name) const;
+
+  /// Adds every counter of `other` into this.
+  void Merge(const Counters& other);
+
+  bool empty() const { return values_.empty(); }
+
+  const std::map<std::string, int64_t>& values() const { return values_; }
+
+  /// Renders "name=value" pairs separated by ", ".
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, int64_t> values_;
+};
+
+}  // namespace skymr::mr
+
+#endif  // SKYMR_MAPREDUCE_COUNTERS_H_

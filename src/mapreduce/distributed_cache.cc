@@ -1,0 +1,32 @@
+#include "src/mapreduce/distributed_cache.h"
+
+namespace skymr::mr {
+
+Status DistributedCache::PutErased(const std::string& key,
+                                   std::type_index type,
+                                   std::shared_ptr<const void> value) {
+  const auto [it, inserted] =
+      entries_.emplace(key, Entry{type, std::move(value)});
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("distributed cache key exists: " + key);
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const void> DistributedCache::GetErased(
+    const std::string& key, std::type_index type) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.type != type) {
+    return nullptr;
+  }
+  return it->second.value;
+}
+
+void DistributedCache::Remove(const std::string& key) { entries_.erase(key); }
+
+bool DistributedCache::Contains(const std::string& key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+}  // namespace skymr::mr

@@ -1,0 +1,68 @@
+// DistributedCache: Hadoop's mechanism for broadcasting read-only side data
+// to every map and reduce task. The paper relies on it to ship the global
+// bitstring BS_R (Section 2.1: "This paper assumes that the Distributed
+// Cache, or something similar, is available").
+//
+// Entries are immutable once put; tasks receive shared const pointers.
+
+#ifndef SKYMR_MAPREDUCE_DISTRIBUTED_CACHE_H_
+#define SKYMR_MAPREDUCE_DISTRIBUTED_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <typeindex>
+
+#include "src/common/status.h"
+
+namespace skymr::mr {
+
+/// A typed, immutable broadcast store keyed by string.
+class DistributedCache {
+ public:
+  /// Stores `value` under `key`. Fails when the key already exists (cache
+  /// entries are immutable for the lifetime of a job chain).
+  template <typename T>
+  Status Put(const std::string& key, std::shared_ptr<const T> value) {
+    return PutErased(key, std::type_index(typeid(T)),
+                     std::shared_ptr<const void>(std::move(value)));
+  }
+
+  /// Convenience overload that copies `value` into the cache.
+  template <typename T>
+  Status PutValue(const std::string& key, T value) {
+    return Put<T>(key, std::make_shared<const T>(std::move(value)));
+  }
+
+  /// Retrieves the entry under `key`. Returns nullptr when the key is
+  /// missing or was stored with a different type.
+  template <typename T>
+  std::shared_ptr<const T> Get(const std::string& key) const {
+    const std::shared_ptr<const void> erased =
+        GetErased(key, std::type_index(typeid(T)));
+    return std::static_pointer_cast<const T>(erased);
+  }
+
+  /// Removes an entry (used between chained jobs to replace side data).
+  void Remove(const std::string& key);
+
+  bool Contains(const std::string& key) const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::type_index type;
+    std::shared_ptr<const void> value;
+  };
+
+  Status PutErased(const std::string& key, std::type_index type,
+                   std::shared_ptr<const void> value);
+  std::shared_ptr<const void> GetErased(const std::string& key,
+                                        std::type_index type) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace skymr::mr
+
+#endif  // SKYMR_MAPREDUCE_DISTRIBUTED_CACHE_H_

@@ -1,0 +1,506 @@
+// The MapReduce engine: a faithful in-process implementation of the
+// programming model the paper targets (Section 2.1).
+//
+//   Map(k1, v1)        -> list(k2, v2)
+//   Reduce(k2, [v2])   -> list(k3, v3)
+//
+// Semantics reproduced from Hadoop 1.x:
+//  * the input is split into `num_map_tasks` contiguous splits, one mapper
+//    task per split, with Setup/Map/Cleanup lifecycle;
+//  * every emitted (k2, v2) is routed to a reducer by a Partitioner and
+//    *serialized* at the map side — values physically cross the "network"
+//    as bytes, so no shared in-memory state can leak between tasks and the
+//    shuffle byte counts are exact;
+//  * each reducer task receives its bucket grouped by key in sorted key
+//    order, with values ordered by (mapper id, emit order);
+//  * a DistributedCache broadcasts immutable side data to all tasks;
+//  * tasks may fail (throw TaskFailure) and are retried up to
+//    `max_task_attempts` times, mirroring Hadoop's speculative re-execution
+//    of failed tasks;
+//  * per-task busy times, record counts, byte counts, and Counters are
+//    captured so a ClusterModel can compute a modeled cluster makespan.
+//
+// Map and reduce tasks run concurrently on a ThreadPool.
+
+#ifndef SKYMR_MAPREDUCE_JOB_H_
+#define SKYMR_MAPREDUCE_JOB_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/status.h"
+#include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
+#include "src/mapreduce/counters.h"
+#include "src/mapreduce/distributed_cache.h"
+#include "src/mapreduce/task_metrics.h"
+
+namespace skymr::mr {
+
+/// Thrown by user code to signal a recoverable task failure; the engine
+/// retries the task up to EngineOptions::max_task_attempts times.
+class TaskFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Engine configuration for one job.
+struct EngineOptions {
+  /// Number of map tasks (m in the paper). The input is split into this
+  /// many contiguous splits.
+  int num_map_tasks = 4;
+  /// Number of reduce tasks (r in the paper).
+  int num_reducers = 1;
+  /// Worker threads simulating cluster slots; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Maximum attempts per task before the job fails (Hadoop default: 4).
+  int max_task_attempts = 1;
+};
+
+/// The interface map tasks use to emit records and report statistics.
+template <typename K2, typename V2>
+class MapContext {
+ public:
+  MapContext(int task_id, int num_reducers, const DistributedCache* cache,
+             const std::function<int(const K2&, int)>* partitioner)
+      : task_id_(task_id),
+        num_reducers_(num_reducers),
+        cache_(cache),
+        partitioner_(partitioner),
+        buckets_(static_cast<size_t>(num_reducers)) {}
+
+  /// Emits one intermediate record. The value is serialized immediately.
+  void Emit(const K2& key, const V2& value) {
+    int bucket = (*partitioner_)(key, num_reducers_);
+    if (bucket < 0 || bucket >= num_reducers_) {
+      throw TaskFailure("partitioner returned out-of-range bucket " +
+                        std::to_string(bucket));
+    }
+    Record record;
+    record.key = key;
+    record.key_bytes = SerializedByteSize(key);
+    record.value_bytes = SerializeToBytes(value);
+    buckets_[static_cast<size_t>(bucket)].push_back(std::move(record));
+    ++output_records_;
+  }
+
+  int task_id() const { return task_id_; }
+  int num_reducers() const { return num_reducers_; }
+  const DistributedCache& cache() const { return *cache_; }
+  Counters& counters() { return counters_; }
+
+ private:
+  template <typename In, typename KK, typename VV, typename Out>
+  friend class Job;
+
+  struct Record {
+    K2 key;
+    size_t key_bytes = 0;
+    std::vector<uint8_t> value_bytes;
+  };
+
+  void ResetForRetry() {
+    for (auto& bucket : buckets_) {
+      bucket.clear();
+    }
+    output_records_ = 0;
+    counters_ = Counters();
+  }
+
+  int task_id_;
+  int num_reducers_;
+  const DistributedCache* cache_;
+  const std::function<int(const K2&, int)>* partitioner_;
+  std::vector<std::vector<Record>> buckets_;
+  uint64_t output_records_ = 0;
+  Counters counters_;
+};
+
+/// The interface reduce tasks use to emit output records.
+template <typename Out>
+class ReduceContext {
+ public:
+  ReduceContext(int task_id, const DistributedCache* cache)
+      : task_id_(task_id), cache_(cache) {}
+
+  /// Emits one output record.
+  void Emit(Out value) {
+    output_bytes_ += SerializedByteSize(value);
+    outputs_.push_back(std::move(value));
+  }
+
+  int task_id() const { return task_id_; }
+  const DistributedCache& cache() const { return *cache_; }
+  Counters& counters() { return counters_; }
+
+ private:
+  template <typename In, typename KK, typename VV, typename OO>
+  friend class Job;
+
+  void ResetForRetry() {
+    outputs_.clear();
+    output_bytes_ = 0;
+    counters_ = Counters();
+  }
+
+  int task_id_;
+  const DistributedCache* cache_;
+  std::vector<Out> outputs_;
+  uint64_t output_bytes_ = 0;
+  Counters counters_;
+};
+
+/// User map task: one instance per task attempt.
+template <typename In, typename K2, typename V2>
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  /// Called once before the first record.
+  virtual void Setup(MapContext<K2, V2>& ctx) { (void)ctx; }
+  /// Called once per input record.
+  virtual void Map(const In& record, MapContext<K2, V2>& ctx) = 0;
+  /// Called once after the last record. Batch algorithms (like the
+  /// skyline mappers) emit their results here.
+  virtual void Cleanup(MapContext<K2, V2>& ctx) { (void)ctx; }
+};
+
+/// User reduce task: one instance per task attempt.
+template <typename K2, typename V2, typename Out>
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Setup(ReduceContext<Out>& ctx) { (void)ctx; }
+  /// Called once per distinct key, with all values for that key.
+  virtual void Reduce(const K2& key, const std::vector<V2>& values,
+                      ReduceContext<Out>& ctx) = 0;
+  virtual void Cleanup(ReduceContext<Out>& ctx) { (void)ctx; }
+};
+
+/// Result of running a job: outputs in reducer-id order plus metrics.
+template <typename Out>
+struct JobResult {
+  Status status;
+  std::vector<Out> outputs;
+  JobMetrics metrics;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// A configured MapReduce job. K2 must be copyable, LessThanComparable and
+/// Serde-serializable; V2 and Out must be Serde-serializable.
+template <typename In, typename K2, typename V2, typename Out>
+class Job {
+ public:
+  using MapperFactory =
+      std::function<std::unique_ptr<Mapper<In, K2, V2>>()>;
+  using ReducerFactory =
+      std::function<std::unique_ptr<Reducer<K2, V2, Out>>()>;
+  /// A Hadoop-style combiner: a reducer run on each map task's output
+  /// before the shuffle, re-emitting (key, value) pairs. Must be
+  /// idempotent with respect to the final reducer's semantics.
+  using Combiner = Reducer<K2, V2, std::pair<K2, V2>>;
+  using CombinerFactory = std::function<std::unique_ptr<Combiner>()>;
+  using Partitioner = std::function<int(const K2&, int)>;
+
+  Job(std::string name, MapperFactory mapper_factory,
+      ReducerFactory reducer_factory)
+      : name_(std::move(name)),
+        mapper_factory_(std::move(mapper_factory)),
+        reducer_factory_(std::move(reducer_factory)),
+        partitioner_([](const K2& key, int r) {
+          return static_cast<int>(std::hash<K2>{}(key) %
+                                  static_cast<size_t>(r));
+        }) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Replaces the default hash partitioner.
+  void set_partitioner(Partitioner partitioner) {
+    partitioner_ = std::move(partitioner);
+  }
+
+  /// Installs a combiner, applied to each map task's emitted records
+  /// (grouped by key) before the shuffle.
+  void set_combiner(CombinerFactory combiner_factory) {
+    combiner_factory_ = std::move(combiner_factory);
+  }
+
+  /// Runs the job over `input` with side data from `cache`.
+  /// When `pool` is null a private pool of options.num_threads is used.
+  JobResult<Out> Run(std::span<const In> input, const EngineOptions& options,
+                     const DistributedCache& cache,
+                     ThreadPool* pool = nullptr) {
+    JobResult<Out> result;
+    if (options.num_map_tasks < 1 || options.num_reducers < 1 ||
+        options.max_task_attempts < 1) {
+      result.status = Status::InvalidArgument(
+          "job '" + name_ + "': task counts must be >= 1");
+      return result;
+    }
+    Stopwatch job_clock;
+    std::unique_ptr<ThreadPool> owned_pool;
+    if (pool == nullptr) {
+      const int threads = options.num_threads > 0
+                              ? options.num_threads
+                              : ThreadPool::DefaultThreads();
+      owned_pool = std::make_unique<ThreadPool>(threads);
+      pool = owned_pool.get();
+    }
+
+    const int m = options.num_map_tasks;
+    const int r = options.num_reducers;
+
+    // ---- Map wave ----
+    std::vector<MapTaskOutput> map_outputs(static_cast<size_t>(m));
+    std::vector<Status> map_status(static_cast<size_t>(m));
+    ParallelFor(pool, m, [&](int task) {
+      map_status[static_cast<size_t>(task)] =
+          RunMapTask(task, SplitOf(input, task, m), r, options, cache,
+                     &map_outputs[static_cast<size_t>(task)]);
+    });
+    for (const Status& s : map_status) {
+      if (!s.ok()) {
+        result.status = s;
+        return result;
+      }
+    }
+
+    // ---- Shuffle: route records to reducer buckets, sort, group ----
+    result.metrics.map_tasks.reserve(static_cast<size_t>(m));
+    uint64_t shuffle_bytes = 0;
+    std::vector<std::vector<typename MapContext<K2, V2>::Record>> buckets(
+        static_cast<size_t>(r));
+    for (int task = 0; task < m; ++task) {
+      MapTaskOutput& out = map_outputs[static_cast<size_t>(task)];
+      result.metrics.map_tasks.push_back(std::move(out.metrics));
+      for (int bucket = 0; bucket < r; ++bucket) {
+        auto& src = out.context->buckets_[static_cast<size_t>(bucket)];
+        for (auto& record : src) {
+          shuffle_bytes += record.key_bytes + record.value_bytes.size();
+          buckets[static_cast<size_t>(bucket)].push_back(std::move(record));
+        }
+      }
+      out.context.reset();
+    }
+    result.metrics.shuffle_bytes = shuffle_bytes;
+
+    // ---- Reduce wave ----
+    std::vector<ReduceTaskOutput> reduce_outputs(static_cast<size_t>(r));
+    std::vector<Status> reduce_status(static_cast<size_t>(r));
+    ParallelFor(pool, r, [&](int task) {
+      reduce_status[static_cast<size_t>(task)] =
+          RunReduceTask(task, &buckets[static_cast<size_t>(task)], options,
+                        cache, &reduce_outputs[static_cast<size_t>(task)]);
+    });
+    for (const Status& s : reduce_status) {
+      if (!s.ok()) {
+        result.status = s;
+        return result;
+      }
+    }
+
+    for (int task = 0; task < r; ++task) {
+      ReduceTaskOutput& out = reduce_outputs[static_cast<size_t>(task)];
+      result.metrics.reduce_tasks.push_back(std::move(out.metrics));
+      for (Out& value : out.outputs) {
+        result.outputs.push_back(std::move(value));
+      }
+    }
+
+    for (const TaskMetrics& t : result.metrics.map_tasks) {
+      result.metrics.counters.Merge(t.counters);
+    }
+    for (const TaskMetrics& t : result.metrics.reduce_tasks) {
+      result.metrics.counters.Merge(t.counters);
+    }
+    result.metrics.wall_seconds = job_clock.ElapsedSeconds();
+    result.status = Status::OK();
+    return result;
+  }
+
+ private:
+  struct MapTaskOutput {
+    std::unique_ptr<MapContext<K2, V2>> context;
+    TaskMetrics metrics;
+  };
+
+  struct ReduceTaskOutput {
+    std::vector<Out> outputs;
+    TaskMetrics metrics;
+  };
+
+  static std::span<const In> SplitOf(std::span<const In> input, int task,
+                                     int m) {
+    // Contiguous splits; the first (n % m) splits get one extra record.
+    const size_t n = input.size();
+    const size_t base = n / static_cast<size_t>(m);
+    const size_t extra = n % static_cast<size_t>(m);
+    const auto t = static_cast<size_t>(task);
+    const size_t begin = t * base + std::min(t, extra);
+    const size_t size = base + (t < extra ? 1 : 0);
+    return input.subspan(begin, size);
+  }
+
+  Status RunMapTask(int task_id, std::span<const In> split, int num_reducers,
+                    const EngineOptions& options,
+                    const DistributedCache& cache, MapTaskOutput* out) {
+    for (int attempt = 1; attempt <= options.max_task_attempts; ++attempt) {
+      auto context = std::make_unique<MapContext<K2, V2>>(
+          task_id, num_reducers, &cache, &partitioner_);
+      Stopwatch clock;
+      try {
+        std::unique_ptr<Mapper<In, K2, V2>> mapper = mapper_factory_();
+        mapper->Setup(*context);
+        for (const In& record : split) {
+          mapper->Map(record, *context);
+        }
+        mapper->Cleanup(*context);
+        if (combiner_factory_) {
+          ApplyCombiner(task_id, cache, context.get());
+        }
+      } catch (const TaskFailure& failure) {
+        if (attempt == options.max_task_attempts) {
+          return Status::Internal("job '" + name_ + "' map task " +
+                                  std::to_string(task_id) + " failed after " +
+                                  std::to_string(attempt) +
+                                  " attempts: " + failure.what());
+        }
+        continue;
+      }
+      out->metrics.busy_seconds = clock.ElapsedSeconds();
+      out->metrics.input_records = split.size();
+      out->metrics.output_records = context->output_records_;
+      uint64_t bytes = 0;
+      for (const auto& bucket : context->buckets_) {
+        for (const auto& record : bucket) {
+          bytes += record.key_bytes + record.value_bytes.size();
+        }
+      }
+      out->metrics.output_bytes = bytes;
+      out->metrics.attempts = attempt;
+      out->metrics.counters = context->counters_;
+      out->context = std::move(context);
+      return Status::OK();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Runs the combiner over one map task's emitted records (grouped by
+  /// key within each reducer bucket) and replaces them with the
+  /// combiner's output. Keys never span buckets, so per-bucket grouping
+  /// matches Hadoop's per-spill combining.
+  void ApplyCombiner(int task_id, const DistributedCache& cache,
+                     MapContext<K2, V2>* context) {
+    std::unique_ptr<Combiner> combiner = combiner_factory_();
+    ReduceContext<std::pair<K2, V2>> combine_context(task_id, &cache);
+    combiner->Setup(combine_context);
+    uint64_t input_records = 0;
+    for (auto& bucket : context->buckets_) {
+      std::stable_sort(
+          bucket.begin(), bucket.end(),
+          [](const auto& a, const auto& b) { return a.key < b.key; });
+      size_t i = 0;
+      while (i < bucket.size()) {
+        size_t j = i;
+        std::vector<V2> values;
+        while (j < bucket.size() && !(bucket[i].key < bucket[j].key)) {
+          values.push_back(DeserializeFromBytes<V2>(bucket[j].value_bytes));
+          ++j;
+        }
+        combiner->Reduce(bucket[i].key, values, combine_context);
+        input_records += j - i;
+        i = j;
+      }
+    }
+    combiner->Cleanup(combine_context);
+    for (auto& bucket : context->buckets_) {
+      bucket.clear();
+    }
+    context->output_records_ = 0;
+    for (const auto& [key, value] : combine_context.outputs_) {
+      context->Emit(key, value);
+    }
+    context->counters_.Add("mr.combine_input_records",
+                           static_cast<int64_t>(input_records));
+    context->counters_.Add(
+        "mr.combine_output_records",
+        static_cast<int64_t>(context->output_records_));
+    context->counters_.Merge(combine_context.counters_);
+  }
+
+  Status RunReduceTask(
+      int task_id,
+      std::vector<typename MapContext<K2, V2>::Record>* bucket,
+      const EngineOptions& options, const DistributedCache& cache,
+      ReduceTaskOutput* out) {
+    // Sort-based grouping: stable by key, preserving (mapper, emit) order
+    // within each key, as Hadoop's merge sort does.
+    std::stable_sort(
+        bucket->begin(), bucket->end(),
+        [](const auto& a, const auto& b) { return a.key < b.key; });
+    uint64_t input_bytes = 0;
+    for (const auto& record : *bucket) {
+      input_bytes += record.key_bytes + record.value_bytes.size();
+    }
+
+    for (int attempt = 1; attempt <= options.max_task_attempts; ++attempt) {
+      ReduceContext<Out> context(task_id, &cache);
+      Stopwatch clock;
+      uint64_t groups = 0;
+      try {
+        std::unique_ptr<Reducer<K2, V2, Out>> reducer = reducer_factory_();
+        reducer->Setup(context);
+        size_t i = 0;
+        while (i < bucket->size()) {
+          size_t j = i;
+          std::vector<V2> values;
+          while (j < bucket->size() && !((*bucket)[i].key < (*bucket)[j].key)) {
+            // Deserialize: the value crosses the simulated network as bytes.
+            values.push_back(
+                DeserializeFromBytes<V2>((*bucket)[j].value_bytes));
+            ++j;
+          }
+          reducer->Reduce((*bucket)[i].key, values, context);
+          ++groups;
+          i = j;
+        }
+        reducer->Cleanup(context);
+      } catch (const TaskFailure& failure) {
+        if (attempt == options.max_task_attempts) {
+          return Status::Internal("job '" + name_ + "' reduce task " +
+                                  std::to_string(task_id) + " failed after " +
+                                  std::to_string(attempt) +
+                                  " attempts: " + failure.what());
+        }
+        continue;
+      }
+      out->metrics.busy_seconds = clock.ElapsedSeconds();
+      out->metrics.input_records = bucket->size();
+      out->metrics.input_bytes = input_bytes;
+      out->metrics.output_records = context.outputs_.size();
+      out->metrics.output_bytes = context.output_bytes_;
+      out->metrics.attempts = attempt;
+      out->metrics.counters = context.counters_;
+      out->outputs = std::move(context.outputs_);
+      return Status::OK();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  std::string name_;
+  MapperFactory mapper_factory_;
+  ReducerFactory reducer_factory_;
+  CombinerFactory combiner_factory_;
+  Partitioner partitioner_;
+};
+
+}  // namespace skymr::mr
+
+#endif  // SKYMR_MAPREDUCE_JOB_H_

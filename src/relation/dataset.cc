@@ -1,0 +1,55 @@
+#include "src/relation/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace skymr {
+
+Bounds Bounds::UnitCube(size_t dim) {
+  Bounds b;
+  b.lo.assign(dim, 0.0);
+  b.hi.assign(dim, 1.0);
+  return b;
+}
+
+Dataset::Dataset(size_t dim) : dim_(dim) { assert(dim >= 1); }
+
+StatusOr<Dataset> Dataset::FromFlat(size_t dim, std::vector<double> values) {
+  if (dim == 0) {
+    return Status::InvalidArgument("dimension must be >= 1");
+  }
+  if (values.size() % dim != 0) {
+    return Status::InvalidArgument(
+        "flat value count is not a multiple of the dimension");
+  }
+  Dataset out(dim);
+  out.size_ = values.size() / dim;
+  out.values_ = std::move(values);
+  return out;
+}
+
+TupleId Dataset::Append(std::span<const double> row) {
+  assert(row.size() == dim_);
+  values_.insert(values_.end(), row.begin(), row.end());
+  return static_cast<TupleId>(size_++);
+}
+
+Bounds Dataset::ComputeBounds() const {
+  if (size_ == 0) {
+    return Bounds::UnitCube(dim_);
+  }
+  Bounds b;
+  b.lo.assign(dim_, std::numeric_limits<double>::infinity());
+  b.hi.assign(dim_, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < size_; ++i) {
+    const double* row = RowPtr(static_cast<TupleId>(i));
+    for (size_t k = 0; k < dim_; ++k) {
+      b.lo[k] = std::min(b.lo[k], row[k]);
+      b.hi[k] = std::max(b.hi[k], row[k]);
+    }
+  }
+  return b;
+}
+
+}  // namespace skymr

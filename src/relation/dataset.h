@@ -1,0 +1,79 @@
+// Dataset: a column-bounded, row-major in-memory relation of d-dimensional
+// numeric tuples. This is the tuple set R of the paper.
+
+#ifndef SKYMR_RELATION_DATASET_H_
+#define SKYMR_RELATION_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relation/tuple.h"
+
+namespace skymr {
+
+/// An axis-aligned bounding box of the data space.
+struct Bounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  /// Unit hypercube [0,1]^d, the domain the synthetic generators use.
+  static Bounds UnitCube(size_t dim);
+};
+
+/// A dense in-memory relation with row-major storage.
+///
+/// Rows are addressed by TupleId in insertion order. The storage layout is
+/// one contiguous double array (dim * size), which keeps dominance checks
+/// cache-friendly.
+class Dataset {
+ public:
+  /// Creates an empty dataset with `dim` dimensions. Precondition: dim >= 1.
+  explicit Dataset(size_t dim);
+
+  /// Creates a dataset from flat row-major values.
+  /// Precondition: values.size() is a multiple of dim.
+  static StatusOr<Dataset> FromFlat(size_t dim, std::vector<double> values);
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends one tuple. Precondition: row.size() == dim().
+  TupleId Append(std::span<const double> row);
+
+  /// Appends one tuple from an initializer list (test convenience).
+  TupleId Append(std::initializer_list<double> row) {
+    return Append(std::span<const double>(row.begin(), row.size()));
+  }
+
+  /// Returns a view of tuple `id`. Precondition: id < size().
+  TupleView Row(TupleId id) const {
+    return TupleView(&values_[static_cast<size_t>(id) * dim_], dim_);
+  }
+
+  /// Raw pointer to tuple `id`'s first value.
+  const double* RowPtr(TupleId id) const {
+    return &values_[static_cast<size_t>(id) * dim_];
+  }
+
+  /// The flat row-major value buffer.
+  const std::vector<double>& values() const { return values_; }
+
+  /// Computes the tight bounding box of the data. For an empty dataset
+  /// returns the unit cube.
+  Bounds ComputeBounds() const;
+
+  /// Reserves storage for `n` tuples.
+  void Reserve(size_t n) { values_.reserve(n * dim_); }
+
+ private:
+  size_t dim_;
+  size_t size_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace skymr
+
+#endif  // SKYMR_RELATION_DATASET_H_

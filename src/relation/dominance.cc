@@ -1,0 +1,50 @@
+#include "src/relation/dominance.h"
+
+namespace skymr {
+
+bool Dominates(const double* a, const double* b, size_t dim) {
+  bool strictly_better = false;
+  for (size_t k = 0; k < dim; ++k) {
+    if (a[k] > b[k]) {
+      return false;
+    }
+    if (a[k] < b[k]) {
+      strictly_better = true;
+    }
+  }
+  return strictly_better;
+}
+
+bool DominatesOrEqual(const double* a, const double* b, size_t dim) {
+  for (size_t k = 0; k < dim; ++k) {
+    if (a[k] > b[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DominanceResult CompareDominance(const double* a, const double* b,
+                                 size_t dim) {
+  bool a_better = false;
+  bool b_better = false;
+  for (size_t k = 0; k < dim; ++k) {
+    if (a[k] < b[k]) {
+      a_better = true;
+    } else if (b[k] < a[k]) {
+      b_better = true;
+    }
+    if (a_better && b_better) {
+      return DominanceResult::kIncomparable;
+    }
+  }
+  if (a_better) {
+    return DominanceResult::kADominatesB;
+  }
+  if (b_better) {
+    return DominanceResult::kBDominatesA;
+  }
+  return DominanceResult::kEqual;
+}
+
+}  // namespace skymr

@@ -1,0 +1,56 @@
+// Tuple dominance (Definition 1 of the paper).
+//
+// Smaller is better on every dimension: a dominates b iff a[k] <= b[k] for
+// every k and a[k] < b[k] for at least one k.
+
+#ifndef SKYMR_RELATION_DOMINANCE_H_
+#define SKYMR_RELATION_DOMINANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/relation/tuple.h"
+
+namespace skymr {
+
+/// Outcome of a pairwise dominance comparison.
+enum class DominanceResult {
+  kADominatesB,
+  kBDominatesA,
+  kEqual,
+  kIncomparable,
+};
+
+/// True iff `a` dominates `b` (Definition 1).
+bool Dominates(const double* a, const double* b, size_t dim);
+
+inline bool Dominates(TupleView a, TupleView b) {
+  return Dominates(a.data(), b.data(), a.size());
+}
+
+/// True iff `a[k] <= b[k]` for every k (dominates-or-equal).
+bool DominatesOrEqual(const double* a, const double* b, size_t dim);
+
+/// Full three-way-plus-incomparable classification in one pass.
+DominanceResult CompareDominance(const double* a, const double* b, size_t dim);
+
+inline DominanceResult CompareDominance(TupleView a, TupleView b) {
+  return CompareDominance(a.data(), b.data(), a.size());
+}
+
+/// A per-thread counter of tuple-level dominance tests, used to reproduce
+/// the paper's comparison-count experiments (Section 7.5) without polluting
+/// the hot path with atomic operations.
+class DominanceCounter {
+ public:
+  void Add(uint64_t n) { count_ += n; }
+  uint64_t count() const { return count_; }
+  void Reset() { count_ = 0; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+}  // namespace skymr
+
+#endif  // SKYMR_RELATION_DOMINANCE_H_

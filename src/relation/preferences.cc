@@ -1,0 +1,29 @@
+#include "src/relation/preferences.h"
+
+#include <vector>
+
+namespace skymr {
+
+StatusOr<Dataset> ApplyPreferences(
+    const Dataset& data, const std::vector<Preference>& preferences) {
+  if (preferences.size() != data.dim()) {
+    return Status::InvalidArgument(
+        "preference count does not match the dimension");
+  }
+  const Bounds bounds = data.ComputeBounds();
+  Dataset out(data.dim());
+  out.Reserve(data.size());
+  std::vector<double> row(data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* src = data.RowPtr(static_cast<TupleId>(i));
+    for (size_t k = 0; k < data.dim(); ++k) {
+      row[k] = preferences[k] == Preference::kMaximize
+                   ? bounds.hi[k] - src[k]
+                   : src[k];
+    }
+    out.Append(row);
+  }
+  return out;
+}
+
+}  // namespace skymr

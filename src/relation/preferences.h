@@ -1,0 +1,33 @@
+// Per-dimension preference directions. The paper (like most skyline
+// literature) assumes smaller-is-better on every dimension; real queries
+// mix directions (minimize price, maximize rating). ApplyPreferences
+// transforms a dataset so the standard min-skyline applies: maximize
+// dimensions are reflected as v -> max_k - v, which preserves dominance
+// relationships exactly while keeping values non-negative. Tuple ids are
+// positional, so skyline ids from the transformed dataset index the
+// original one.
+
+#ifndef SKYMR_RELATION_PREFERENCES_H_
+#define SKYMR_RELATION_PREFERENCES_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relation/dataset.h"
+
+namespace skymr {
+
+enum class Preference {
+  kMinimize,
+  kMaximize,
+};
+
+/// Returns a copy of `data` where every kMaximize dimension is reflected
+/// about its maximum value. Fails when `preferences` does not match the
+/// dimension count.
+StatusOr<Dataset> ApplyPreferences(const Dataset& data,
+                                   const std::vector<Preference>& preferences);
+
+}  // namespace skymr
+
+#endif  // SKYMR_RELATION_PREFERENCES_H_

@@ -1,0 +1,74 @@
+#include "src/relation/skyline_verify.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/relation/dominance.h"
+
+namespace skymr {
+
+std::vector<TupleId> ReferenceSkyline(const Dataset& data) {
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  std::vector<TupleId> result;
+  for (size_t i = 0; i < n; ++i) {
+    const double* row_i = data.RowPtr(static_cast<TupleId>(i));
+    bool dominated = false;
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      if (Dominates(data.RowPtr(static_cast<TupleId>(j)), row_i, d)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      result.push_back(static_cast<TupleId>(i));
+    }
+  }
+  return result;
+}
+
+bool SameIdSet(std::vector<TupleId> candidate, std::vector<TupleId> expected) {
+  std::sort(candidate.begin(), candidate.end());
+  std::sort(expected.begin(), expected.end());
+  return candidate == expected;
+}
+
+std::string ExplainSkylineMismatch(const Dataset& data,
+                                   const std::vector<TupleId>& candidate) {
+  std::unordered_set<TupleId> seen;
+  for (const TupleId id : candidate) {
+    if (!seen.insert(id).second) {
+      std::ostringstream os;
+      os << "duplicate tuple id " << id << " in skyline output";
+      return os.str();
+    }
+    if (id >= data.size()) {
+      std::ostringstream os;
+      os << "tuple id " << id << " out of range (dataset size "
+         << data.size() << ")";
+      return os.str();
+    }
+  }
+  const std::vector<TupleId> expected = ReferenceSkyline(data);
+  std::unordered_set<TupleId> expected_set(expected.begin(), expected.end());
+  for (const TupleId id : candidate) {
+    if (expected_set.find(id) == expected_set.end()) {
+      std::ostringstream os;
+      os << "tuple id " << id << " is dominated but reported in skyline";
+      return os.str();
+    }
+  }
+  if (candidate.size() != expected.size()) {
+    std::ostringstream os;
+    os << "skyline size mismatch: got " << candidate.size() << ", expected "
+       << expected.size();
+    return os.str();
+  }
+  return "";
+}
+
+}  // namespace skymr

@@ -1,0 +1,21 @@
+// Tuple identifiers and lightweight tuple views over a Dataset.
+
+#ifndef SKYMR_RELATION_TUPLE_H_
+#define SKYMR_RELATION_TUPLE_H_
+
+#include <cstdint>
+#include <span>
+
+namespace skymr {
+
+/// Index of a tuple within its Dataset.
+using TupleId = uint32_t;
+
+/// A non-owning view of one tuple's dimensional values.
+/// Values follow the paper's convention: smaller is better on every
+/// dimension (Definition 1 discussion, Section 1).
+using TupleView = std::span<const double>;
+
+}  // namespace skymr
+
+#endif  // SKYMR_RELATION_TUPLE_H_

@@ -1,0 +1,54 @@
+// Umbrella header for the skymr library: efficient skyline computation in
+// (simulated) MapReduce, reproducing Mullesgaard, Pedersen, Lu & Zhou,
+// "Efficient Skyline Computation in MapReduce", EDBT 2014.
+//
+// Typical usage:
+//
+//   #include "src/skymr.h"
+//
+//   skymr::Dataset data = skymr::data::GenerateAntiCorrelated(100000, 6, 1);
+//   skymr::RunnerConfig config;
+//   config.algorithm = skymr::Algorithm::kMrGpmrs;
+//   config.engine.num_map_tasks = 13;
+//   config.engine.num_reducers = 13;
+//   auto result = skymr::ComputeSkyline(data, config);
+//   if (result.ok()) {
+//     // result->skyline holds the tuples; result->modeled_seconds the
+//     // modeled 13-node cluster runtime.
+//   }
+
+#ifndef SKYMR_SKYMR_H_
+#define SKYMR_SKYMR_H_
+
+#include "src/baselines/centralized.h"
+#include "src/baselines/mr_angle.h"
+#include "src/baselines/mr_bnl.h"
+#include "src/baselines/mr_skymr.h"
+#include "src/common/csv.h"
+#include "src/common/dynamic_bitset.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/stopwatch.h"
+#include "src/core/bitstring_job.h"
+#include "src/core/gpmrs.h"
+#include "src/core/gpsrs.h"
+#include "src/core/grid.h"
+#include "src/core/hybrid.h"
+#include "src/core/independent_groups.h"
+#include "src/core/partition_bitstring.h"
+#include "src/core/ppd.h"
+#include "src/core/runner.h"
+#include "src/cost/cost_model.h"
+#include "src/data/dataset_io.h"
+#include "src/data/generator.h"
+#include "src/local/bnl.h"
+#include "src/local/naive.h"
+#include "src/local/sfs.h"
+#include "src/mapreduce/cluster_model.h"
+#include "src/mapreduce/job.h"
+#include "src/relation/dataset.h"
+#include "src/relation/dominance.h"
+#include "src/relation/preferences.h"
+#include "src/relation/skyline_verify.h"
+
+#endif  // SKYMR_SKYMR_H_

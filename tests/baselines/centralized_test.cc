@@ -1,0 +1,53 @@
+#include "src/baselines/centralized.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr::baselines {
+namespace {
+
+TEST(CentralizedTest, AllAlgorithmsMatchReference) {
+  const Dataset data = data::GenerateAntiCorrelated(1200, 3, 7);
+  const std::vector<TupleId> expected = ReferenceSkyline(data);
+  for (const auto algorithm :
+       {CentralizedAlgorithm::kBnl, CentralizedAlgorithm::kSfs,
+        CentralizedAlgorithm::kNaive}) {
+    const CentralizedRun run = RunCentralized(data, algorithm);
+    std::vector<TupleId> ids = run.skyline.ids();
+    EXPECT_TRUE(SameIdSet(ids, expected))
+        << CentralizedAlgorithmName(algorithm);
+    EXPECT_GE(run.wall_seconds, 0.0);
+    EXPECT_GT(run.tuple_comparisons, 0u);
+  }
+}
+
+TEST(CentralizedTest, EmptyDataset) {
+  const Dataset data(2);
+  const CentralizedRun run = RunCentralized(data,
+                                            CentralizedAlgorithm::kBnl);
+  EXPECT_TRUE(run.skyline.empty());
+  EXPECT_EQ(run.tuple_comparisons, 0u);
+}
+
+TEST(CentralizedTest, AlgorithmNames) {
+  EXPECT_STREQ(CentralizedAlgorithmName(CentralizedAlgorithm::kBnl), "bnl");
+  EXPECT_STREQ(CentralizedAlgorithmName(CentralizedAlgorithm::kSfs), "sfs");
+  EXPECT_STREQ(CentralizedAlgorithmName(CentralizedAlgorithm::kNaive),
+               "naive");
+}
+
+TEST(CentralizedTest, SfsCheaperThanNaiveOnIndependent) {
+  const Dataset data = data::GenerateIndependent(3000, 3, 9);
+  const CentralizedRun sfs = RunCentralized(data,
+                                            CentralizedAlgorithm::kSfs);
+  const CentralizedRun naive =
+      RunCentralized(data, CentralizedAlgorithm::kNaive);
+  EXPECT_LT(sfs.tuple_comparisons, naive.tuple_comparisons);
+}
+
+}  // namespace
+}  // namespace skymr::baselines

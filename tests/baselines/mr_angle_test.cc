@@ -1,0 +1,118 @@
+#include "src/baselines/mr_angle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr::baselines {
+namespace {
+
+constexpr double kHalfPi = 1.57079632679489661923;
+
+std::shared_ptr<const Dataset> Share(Dataset data) {
+  return std::make_shared<const Dataset>(std::move(data));
+}
+
+TEST(AngularPartitionerTest, TwoDAnglesMatchAtan2) {
+  const AngularPartitioner partitioner(2, 4, Bounds::UnitCube(2));
+  const double p[] = {1.0, 1.0};
+  const auto angles = partitioner.AnglesOf(p);
+  ASSERT_EQ(angles.size(), 1u);
+  EXPECT_NEAR(angles[0], kHalfPi / 2.0, 1e-12);  // 45 degrees.
+  const double axis[] = {1.0, 0.0};
+  EXPECT_NEAR(partitioner.AnglesOf(axis)[0], 0.0, 1e-12);
+  const double other_axis[] = {0.0, 1.0};
+  EXPECT_NEAR(partitioner.AnglesOf(other_axis)[0], kHalfPi, 1e-12);
+}
+
+TEST(AngularPartitionerTest, PartitionIdsInRange) {
+  const AngularPartitioner partitioner(3, 5, Bounds::UnitCube(3));
+  EXPECT_EQ(partitioner.num_partitions(), 25u);
+  const Dataset data = data::GenerateIndependent(500, 3, 19);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LT(partitioner.PartitionOf(data.RowPtr(static_cast<TupleId>(i))),
+              25u);
+  }
+}
+
+TEST(AngularPartitionerTest, AnglesPartitionEvenlyIn2d) {
+  const AngularPartitioner partitioner(2, 2, Bounds::UnitCube(2));
+  const double low[] = {0.9, 0.1};  // Small angle -> bucket 0.
+  const double high[] = {0.1, 0.9};  // Large angle -> bucket 1.
+  EXPECT_EQ(partitioner.PartitionOf(low), 0u);
+  EXPECT_EQ(partitioner.PartitionOf(high), 1u);
+}
+
+TEST(AngularPartitionerTest, OneDimensionalSinglePartition) {
+  const AngularPartitioner partitioner(1, 9, Bounds::UnitCube(1));
+  EXPECT_EQ(partitioner.num_partitions(), 1u);
+  const double p[] = {0.5};
+  EXPECT_EQ(partitioner.PartitionOf(p), 0u);
+}
+
+TEST(AngularPartitionerTest, ForTargetPartitionsMeetsTarget) {
+  const auto partitioner = AngularPartitioner::ForTargetPartitions(
+      3, 64, Bounds::UnitCube(3));
+  EXPECT_GE(partitioner.num_partitions(), 64u);
+  EXPECT_EQ(partitioner.parts_per_angle(), 8u);  // 8^2 = 64.
+}
+
+TEST(AngularPartitionerTest, OriginShiftRespectsBounds) {
+  Bounds bounds;
+  bounds.lo = {10.0, 10.0};
+  bounds.hi = {20.0, 20.0};
+  const AngularPartitioner partitioner(2, 2, bounds);
+  const double near_x_axis[] = {19.0, 10.5};
+  const double near_y_axis[] = {10.5, 19.0};
+  EXPECT_EQ(partitioner.PartitionOf(near_x_axis), 0u);
+  EXPECT_EQ(partitioner.PartitionOf(near_y_axis), 1u);
+}
+
+TEST(MrAngleTest, ComputesExactSkyline) {
+  const auto data = Share(data::GenerateAntiCorrelated(1500, 3, 23));
+  mr::EngineOptions engine;
+  engine.num_map_tasks = 4;
+  auto run = RunMrAngleJob(data, Bounds::UnitCube(3), 32, engine);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(ExplainSkylineMismatch(*data, run->skyline.ids()), "");
+}
+
+TEST(MrAngleTest, MapperAndPartitionInvariance) {
+  const auto data = Share(data::GenerateIndependent(1200, 4, 29));
+  std::vector<TupleId> reference = ReferenceSkyline(*data);
+  for (const int m : {1, 3, 9}) {
+    for (const uint32_t parts : {1u, 8u, 64u}) {
+      mr::EngineOptions engine;
+      engine.num_map_tasks = m;
+      auto run = RunMrAngleJob(data, Bounds::UnitCube(4), parts, engine);
+      ASSERT_TRUE(run.ok());
+      std::vector<TupleId> ids = run->skyline.ids();
+      EXPECT_TRUE(SameIdSet(ids, reference))
+          << "m=" << m << " parts=" << parts;
+    }
+  }
+}
+
+TEST(MrAngleTest, EmptyDataset) {
+  const auto data = Share(Dataset(3));
+  mr::EngineOptions engine;
+  auto run = RunMrAngleJob(data, Bounds::UnitCube(3), 16, engine);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->skyline.empty());
+}
+
+TEST(MrAngleTest, ValidatesInputs) {
+  const auto data = Share(data::GenerateIndependent(10, 2, 1));
+  mr::EngineOptions engine;
+  EXPECT_FALSE(RunMrAngleJob(nullptr, Bounds::UnitCube(2), 4, engine).ok());
+  EXPECT_FALSE(
+      RunMrAngleJob(data, Bounds::UnitCube(3), 4, engine).ok());
+}
+
+}  // namespace
+}  // namespace skymr::baselines

@@ -1,0 +1,85 @@
+#include "src/baselines/mr_bnl.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr::baselines {
+namespace {
+
+std::shared_ptr<const Dataset> Share(Dataset data) {
+  return std::make_shared<const Dataset>(std::move(data));
+}
+
+TEST(MrBnlTest, ComputesExactSkyline) {
+  const auto data = Share(data::GenerateIndependent(2000, 3, 11));
+  mr::EngineOptions engine;
+  engine.num_map_tasks = 5;
+  auto run = RunMrBnlJob(data, Bounds::UnitCube(3), engine);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(ExplainSkylineMismatch(*data, run->skyline.ids()), "");
+}
+
+TEST(MrBnlTest, MapperCountInvariance) {
+  const auto data = Share(data::GenerateAntiCorrelated(900, 4, 13));
+  std::vector<TupleId> reference;
+  for (const int m : {1, 4, 11}) {
+    mr::EngineOptions engine;
+    engine.num_map_tasks = m;
+    auto run = RunMrBnlJob(data, Bounds::UnitCube(4), engine);
+    ASSERT_TRUE(run.ok());
+    std::vector<TupleId> ids = run->skyline.ids();
+    std::sort(ids.begin(), ids.end());
+    if (reference.empty()) {
+      reference = ids;
+      EXPECT_EQ(ExplainSkylineMismatch(*data, ids), "");
+    } else {
+      EXPECT_EQ(ids, reference);
+    }
+  }
+}
+
+TEST(MrBnlTest, SingleReducerAlways) {
+  const auto data = Share(data::GenerateIndependent(300, 2, 17));
+  mr::EngineOptions engine;
+  engine.num_reducers = 7;
+  auto run = RunMrBnlJob(data, Bounds::UnitCube(2), engine);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->metrics.reduce_tasks.size(), 1u);
+}
+
+TEST(MrBnlTest, EmptyDataset) {
+  const auto data = Share(Dataset(2));
+  mr::EngineOptions engine;
+  auto run = RunMrBnlJob(data, Bounds::UnitCube(2), engine);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->skyline.empty());
+}
+
+TEST(MrBnlTest, DuplicatesAndTies) {
+  Dataset dataset(2);
+  dataset.Append({0.25, 0.75});
+  dataset.Append({0.25, 0.75});
+  dataset.Append({0.75, 0.25});
+  dataset.Append({0.8, 0.8});  // Dominated.
+  const auto data = Share(std::move(dataset));
+  mr::EngineOptions engine;
+  engine.num_map_tasks = 2;
+  auto run = RunMrBnlJob(data, Bounds::UnitCube(2), engine);
+  ASSERT_TRUE(run.ok());
+  std::vector<TupleId> ids = run->skyline.ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<TupleId>{0, 1, 2}));
+}
+
+TEST(MrBnlTest, NullDatasetRejected) {
+  mr::EngineOptions engine;
+  EXPECT_FALSE(RunMrBnlJob(nullptr, Bounds::UnitCube(2), engine).ok());
+}
+
+}  // namespace
+}  // namespace skymr::baselines

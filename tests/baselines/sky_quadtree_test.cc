@@ -1,0 +1,137 @@
+#include "src/baselines/sky_quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/relation/dominance.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr::baselines {
+namespace {
+
+SkyQuadtree::Options SmallTree() {
+  SkyQuadtree::Options options;
+  options.sample_size = 256;
+  options.leaf_capacity = 8;
+  options.max_depth = 5;
+  return options;
+}
+
+TEST(SkyQuadtreeTest, SingleLeafForTinyData) {
+  Dataset data(2);
+  data.Append({0.5, 0.5});
+  const SkyQuadtree tree =
+      SkyQuadtree::Build(data, Bounds::UnitCube(2), SmallTree());
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  const double p[] = {0.3, 0.9};
+  EXPECT_EQ(tree.LeafOf(p), 0u);
+}
+
+TEST(SkyQuadtreeTest, SplitsWhenCapacityExceeded) {
+  const Dataset data = data::GenerateIndependent(2000, 2, 3);
+  const SkyQuadtree tree =
+      SkyQuadtree::Build(data, Bounds::UnitCube(2), SmallTree());
+  EXPECT_GT(tree.num_leaves(), 4u);
+  EXPECT_GT(tree.sample_count(), 100u);
+}
+
+TEST(SkyQuadtreeTest, EveryTupleLandsInItsLeafBox) {
+  const Dataset data = data::GenerateAntiCorrelated(1000, 3, 5);
+  const SkyQuadtree tree =
+      SkyQuadtree::Build(data, Bounds::UnitCube(3), SmallTree());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* row = data.RowPtr(static_cast<TupleId>(i));
+    const uint32_t leaf = tree.LeafOf(row);
+    ASSERT_LT(leaf, tree.num_leaves());
+    const auto& lo = tree.LeafMin(leaf);
+    const auto& hi = tree.LeafMax(leaf);
+    for (size_t k = 0; k < 3; ++k) {
+      EXPECT_GE(row[k], lo[k]);
+      EXPECT_LE(row[k], hi[k]);
+    }
+  }
+}
+
+TEST(SkyQuadtreeTest, PrunedLeavesContainNoSkylineTuples) {
+  const Dataset data = data::GenerateIndependent(3000, 2, 7);
+  const SkyQuadtree tree =
+      SkyQuadtree::Build(data, Bounds::UnitCube(2), SmallTree());
+  EXPECT_GT(tree.num_pruned_leaves(), 0u);  // Uniform data prunes a lot.
+  for (const TupleId id : ReferenceSkyline(data)) {
+    EXPECT_FALSE(tree.IsPruned(tree.LeafOf(data.RowPtr(id))))
+        << "skyline tuple " << id << " in pruned leaf";
+  }
+}
+
+TEST(SkyQuadtreeTest, CanDominateIsSoundForTuplePairs) {
+  const Dataset data = data::GenerateIndependent(500, 2, 9);
+  const SkyQuadtree tree =
+      SkyQuadtree::Build(data, Bounds::UnitCube(2), SmallTree());
+  // If a tuple dominates another, their leaves must satisfy CanDominate
+  // (or be the same leaf).
+  for (TupleId a = 0; a < 100; ++a) {
+    for (TupleId b = 0; b < 100; ++b) {
+      if (a == b ||
+          !Dominates(data.RowPtr(a), data.RowPtr(b), 2)) {
+        continue;
+      }
+      const uint32_t leaf_a = tree.LeafOf(data.RowPtr(a));
+      const uint32_t leaf_b = tree.LeafOf(data.RowPtr(b));
+      if (leaf_a != leaf_b) {
+        EXPECT_TRUE(tree.CanDominate(leaf_a, leaf_b))
+            << "tuples " << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(SkyQuadtreeTest, ConstraintRestrictsSample) {
+  Dataset data(2);
+  data.Append({0.01, 0.01});  // Global dominator, outside the box.
+  for (int i = 0; i < 200; ++i) {
+    data.Append({0.4 + 0.001 * i, 0.4 + 0.001 * (200 - i)});
+  }
+  Box box;
+  box.lo = {0.3, 0.3};
+  box.hi = {0.9, 0.9};
+  const SkyQuadtree tree = SkyQuadtree::Build(
+      data, Bounds::UnitCube(2), SmallTree(), &box);
+  // The out-of-box dominator must not prune in-box regions: no in-box
+  // tuple may land in a pruned leaf unless dominated by an in-box tuple.
+  for (size_t i = 1; i < data.size(); ++i) {
+    const double* row = data.RowPtr(static_cast<TupleId>(i));
+    const uint32_t leaf = tree.LeafOf(row);
+    if (!tree.IsPruned(leaf)) {
+      continue;
+    }
+    bool dominated_in_box = false;
+    for (size_t j = 1; j < data.size() && !dominated_in_box; ++j) {
+      dominated_in_box =
+          j != i && Dominates(data.RowPtr(static_cast<TupleId>(j)), row, 2);
+    }
+    EXPECT_TRUE(dominated_in_box) << "tuple " << i;
+  }
+}
+
+TEST(SkyQuadtreeTest, EmptyDataset) {
+  Dataset data(3);
+  const SkyQuadtree tree =
+      SkyQuadtree::Build(data, Bounds::UnitCube(3), SmallTree());
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_EQ(tree.sample_count(), 0u);
+  EXPECT_EQ(tree.num_pruned_leaves(), 0u);
+}
+
+TEST(SkyQuadtreeTest, DepthCapBoundsLeafCount) {
+  SkyQuadtree::Options options;
+  options.sample_size = 4096;
+  options.leaf_capacity = 1;
+  options.max_depth = 2;
+  const Dataset data = data::GenerateIndependent(5000, 2, 11);
+  const SkyQuadtree tree =
+      SkyQuadtree::Build(data, Bounds::UnitCube(2), options);
+  EXPECT_LE(tree.num_leaves(), 16u);  // (2^2)^2 at depth 2.
+}
+
+}  // namespace
+}  // namespace skymr::baselines

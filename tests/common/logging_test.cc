@@ -1,0 +1,88 @@
+#include "src/common/logging.h"
+
+#include <iostream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace skymr {
+namespace {
+
+/// Captures std::cerr for the lifetime of the object.
+class CerrCapture {
+ public:
+  CerrCapture() : old_buf_(std::cerr.rdbuf(stream_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_buf_); }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+  std::streambuf* old_buf_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_level_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_level_); }
+  LogLevel previous_level_;
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveThreshold) {
+  SetLogLevel(LogLevel::kInfo);
+  CerrCapture capture;
+  SKYMR_LOG(INFO) << "visible message";
+  SKYMR_LOG(WARNING) << "also visible";
+  EXPECT_NE(capture.str().find("visible message"), std::string::npos);
+  EXPECT_NE(capture.str().find("also visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressesBelowThreshold) {
+  SetLogLevel(LogLevel::kWarning);
+  CerrCapture capture;
+  SKYMR_LOG(INFO) << "should not appear";
+  SKYMR_LOG(DEBUG) << "nor this";
+  EXPECT_EQ(capture.str(), "");
+}
+
+TEST_F(LoggingTest, SuppressedStatementsDoNotEvaluateStreamArgs) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  SKYMR_LOG(INFO) << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  CerrCapture capture;
+  SKYMR_LOG(ERROR) << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, MessageIncludesLevelAndLocation) {
+  SetLogLevel(LogLevel::kDebug);
+  CerrCapture capture;
+  SKYMR_LOG(WARNING) << "tagged";
+  const std::string out = capture.str();
+  EXPECT_NE(out.find("[W "), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc:"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesThrough) {
+  SKYMR_CHECK(1 + 1 == 2) << "never printed";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, CheckFailureAborts) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_DEATH({ SKYMR_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+}  // namespace
+}  // namespace skymr

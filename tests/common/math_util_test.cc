@@ -1,0 +1,72 @@
+#include "src/common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace skymr {
+namespace {
+
+TEST(CheckedPowTest, SmallValues) {
+  EXPECT_EQ(CheckedPow(2, 10).value(), 1024u);
+  EXPECT_EQ(CheckedPow(3, 4).value(), 81u);
+  EXPECT_EQ(CheckedPow(10, 0).value(), 1u);
+  EXPECT_EQ(CheckedPow(0, 5).value(), 0u);
+  EXPECT_EQ(CheckedPow(0, 0).value(), 1u);
+  EXPECT_EQ(CheckedPow(1, 64).value(), 1u);
+}
+
+TEST(CheckedPowTest, DetectsOverflow) {
+  EXPECT_FALSE(CheckedPow(2, 64).has_value());
+  EXPECT_FALSE(CheckedPow(1u << 31, 3).has_value());
+  EXPECT_TRUE(CheckedPow(2, 63).has_value());
+}
+
+TEST(PowU64Test, MatchesCheckedPowInRange) {
+  for (uint64_t base = 1; base <= 7; ++base) {
+    for (uint32_t exp = 0; exp <= 10; ++exp) {
+      EXPECT_EQ(PowU64(base, exp), CheckedPow(base, exp).value());
+    }
+  }
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(1, 10), 1u);
+  EXPECT_EQ(CeilDiv(0, 7), 0u);
+}
+
+TEST(FloorRootTest, ExactPowers) {
+  EXPECT_EQ(FloorRoot(1024, 2), 32u);
+  EXPECT_EQ(FloorRoot(1000000, 2), 1000u);
+  EXPECT_EQ(FloorRoot(59049, 10), 3u);  // 3^10
+  EXPECT_EQ(FloorRoot(1, 5), 1u);
+}
+
+TEST(FloorRootTest, NonExactRoundsDown) {
+  EXPECT_EQ(FloorRoot(1023, 2), 31u);
+  EXPECT_EQ(FloorRoot(2000000, 10), 4u);  // 4^10 = 1048576 <= 2e6 < 5^10
+  EXPECT_EQ(FloorRoot(100000, 5), 10u);   // 10^5 = 1e5
+  EXPECT_EQ(FloorRoot(99999, 5), 9u);
+}
+
+TEST(FloorRootTest, DegenerateInputs) {
+  EXPECT_EQ(FloorRoot(0, 3), 0u);
+  EXPECT_EQ(FloorRoot(7, 0), 0u);
+  EXPECT_EQ(FloorRoot(7, 1), 7u);
+}
+
+TEST(FloorRootTest, PropertyHolds) {
+  // n = FloorRoot(c, d) satisfies n^d <= c < (n+1)^d.
+  for (uint64_t c : {5u, 100u, 4096u, 100000u, 123456u}) {
+    for (uint32_t d = 1; d <= 8; ++d) {
+      const uint64_t n = FloorRoot(c, d);
+      EXPECT_LE(CheckedPow(n, d).value(), c) << "c=" << c << " d=" << d;
+      const auto upper = CheckedPow(n + 1, d);
+      ASSERT_TRUE(upper.has_value());
+      EXPECT_GT(*upper, c) << "c=" << c << " d=" << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skymr

@@ -1,0 +1,115 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace skymr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedResets) {
+  Rng rng(9);
+  const uint64_t first = rng.NextU64();
+  rng.NextU64();
+  rng.Seed(9);
+  EXPECT_EQ(rng.NextU64(), first);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.5, 2.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 2.25);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeUniformly) {
+  Rng rng(7);
+  constexpr uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBound] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t v = rng.NextBounded(kBound);
+    ASSERT_LT(v, kBound);
+    ++counts[v];
+  }
+  // Each bucket should hold ~10% of samples; allow generous slack.
+  for (const int c : counts) {
+    EXPECT_GT(c, kSamples / kBound * 0.9);
+    EXPECT_LT(c, kSamples / kBound * 1.1);
+  }
+}
+
+TEST(RngTest, NextBoundedOne) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(11);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianScalesMeanAndStddev) {
+  Rng rng(12);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.Gaussian(5.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.05);
+}
+
+TEST(RngTest, DoubleStreamHasNoShortCycle) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(rng.NextU64());
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace skymr

@@ -1,0 +1,103 @@
+#include "src/common/serde.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/local/skyline_window.h"
+
+namespace skymr {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& value) {
+  return DeserializeFromBytes<T>(SerializeToBytes(value));
+}
+
+TEST(SerdeTest, Arithmetic) {
+  EXPECT_EQ(RoundTrip<int>(-42), -42);
+  EXPECT_EQ(RoundTrip<uint64_t>(uint64_t{1} << 63), uint64_t{1} << 63);
+  EXPECT_DOUBLE_EQ(RoundTrip<double>(3.14159), 3.14159);
+  EXPECT_EQ(RoundTrip<bool>(true), true);
+  EXPECT_EQ(RoundTrip<char>('x'), 'x');
+}
+
+TEST(SerdeTest, String) {
+  EXPECT_EQ(RoundTrip<std::string>(""), "");
+  EXPECT_EQ(RoundTrip<std::string>("hello world"), "hello world");
+  const std::string binary("\x00\x01\xffz", 4);
+  EXPECT_EQ(RoundTrip(binary), binary);
+}
+
+TEST(SerdeTest, Pair) {
+  const std::pair<int, std::string> p{7, "seven"};
+  EXPECT_EQ(RoundTrip(p), p);
+}
+
+TEST(SerdeTest, VectorOfTrivial) {
+  const std::vector<double> v{1.0, -2.5, 1e300};
+  EXPECT_EQ(RoundTrip(v), v);
+  EXPECT_EQ(RoundTrip(std::vector<int>{}), std::vector<int>{});
+}
+
+TEST(SerdeTest, VectorOfStrings) {
+  const std::vector<std::string> v{"a", "", "long string with spaces"};
+  EXPECT_EQ(RoundTrip(v), v);
+}
+
+TEST(SerdeTest, NestedVectors) {
+  const std::vector<std::vector<uint32_t>> v{{1, 2}, {}, {3}};
+  EXPECT_EQ(RoundTrip(v), v);
+}
+
+TEST(SerdeTest, DynamicBitset) {
+  DynamicBitset bits(131);
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(130);
+  const DynamicBitset round = RoundTrip(bits);
+  EXPECT_EQ(round, bits);
+  EXPECT_EQ(round.size(), 131u);
+}
+
+TEST(SerdeTest, SkylineWindow) {
+  SkylineWindow window(2);
+  const double a[] = {0.5, 0.4};
+  const double b[] = {0.1, 0.9};
+  window.Insert(a, 10, nullptr);
+  window.Insert(b, 20, nullptr);
+  const SkylineWindow round = RoundTrip(window);
+  EXPECT_EQ(round, window);
+  EXPECT_EQ(round.dim(), 2u);
+  EXPECT_EQ(round.size(), 2u);
+}
+
+TEST(SerdeTest, SerializedByteSizeMatchesBuffer) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(SerializedByteSize(v), SerializeToBytes(v).size());
+  EXPECT_EQ(SerializedByteSize(v), sizeof(uint64_t) + 3 * sizeof(double));
+}
+
+TEST(SerdeTest, SequentialReadsFromOneBuffer) {
+  ByteSink sink;
+  Serde<int>::Write(1, &sink);
+  Serde<std::string>::Write("two", &sink);
+  Serde<double>::Write(3.0, &sink);
+  ByteSource source(sink.buffer());
+  EXPECT_EQ(Serde<int>::Read(&source), 1);
+  EXPECT_EQ(Serde<std::string>::Read(&source), "two");
+  EXPECT_DOUBLE_EQ(Serde<double>::Read(&source), 3.0);
+  EXPECT_TRUE(source.AtEnd());
+}
+
+TEST(SerdeTest, SkylineWindowByteSizeIsExact) {
+  SkylineWindow window(3);
+  const double a[] = {0.5, 0.4, 0.3};
+  window.Insert(a, 1, nullptr);
+  EXPECT_EQ(window.ByteSize(), SerializeToBytes(window).size());
+}
+
+}  // namespace
+}  // namespace skymr

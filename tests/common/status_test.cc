@@ -1,0 +1,100 @@
+#include "src/common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace skymr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("dimension must be >= 1");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: dimension must be >= 1");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::NotFound("key");
+  EXPECT_EQ(os.str(), "NOT_FOUND: key");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::NotFound("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("hello"));
+  EXPECT_EQ(v->size(), 5u);
+}
+
+Status FailsThenPropagates() {
+  SKYMR_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThenPropagates().code(), StatusCode::kInternal);
+}
+
+Status SucceedsThrough() {
+  SKYMR_RETURN_IF_ERROR(Status::OK());
+  return Status::NotFound("fell through");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPassesOk) {
+  EXPECT_EQ(SucceedsThrough().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "UNIMPLEMENTED");
+}
+
+}  // namespace
+}  // namespace skymr

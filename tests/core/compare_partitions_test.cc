@@ -1,0 +1,105 @@
+#include "src/core/compare_partitions.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/local/bnl.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr::core {
+namespace {
+
+Grid MakeGrid(size_t dim, uint32_t ppd) {
+  return std::move(Grid::Create(dim, ppd, Bounds::UnitCube(dim))).value();
+}
+
+SkylineWindow OneTuple(TupleId id, std::vector<double> row) {
+  SkylineWindow window(row.size());
+  window.AppendUnchecked(row.data(), id);
+  return window;
+}
+
+TEST(CompareAllPartitionsTest, RemovesCrossPartitionFalsePositives) {
+  const Grid grid = MakeGrid(2, 3);
+  CellWindowMap windows;
+  // Cells 0 = (0,0) and 1 = (1,0) are not related by partition dominance
+  // (cell 0's max corner does not dominate cell 1's min corner), yet the
+  // tuple in cell 0 dominates the tuple in cell 1: exactly the false
+  // positive Algorithm 5 removes via the ADR check.
+  windows.emplace(0, OneTuple(0, {0.2, 0.2}));
+  windows.emplace(1, OneTuple(1, {0.4, 0.25}));  // Cell (1,0).
+  const uint64_t comparisons = CompareAllPartitions(grid, &windows, nullptr);
+  // Cell 1's ADR contains cell 0: one comparison; cell 0's ADR is empty.
+  EXPECT_EQ(comparisons, 1u);
+  EXPECT_EQ(windows[0].size(), 1u);
+  EXPECT_EQ(windows[1].size(), 0u);
+}
+
+TEST(CompareAllPartitionsTest, IncomparableTuplesSurvive) {
+  const Grid grid = MakeGrid(2, 3);
+  CellWindowMap windows;
+  windows.emplace(0, OneTuple(0, {0.3, 0.1}));
+  windows.emplace(3, OneTuple(1, {0.1, 0.5}));  // Cell (0,1).
+  CompareAllPartitions(grid, &windows, nullptr);
+  EXPECT_EQ(windows[0].size(), 1u);
+  EXPECT_EQ(windows[3].size(), 1u);
+}
+
+TEST(CompareAllPartitionsTest, ComparisonCountMatchesAdrPairs) {
+  const Grid grid = MakeGrid(2, 3);
+  CellWindowMap windows;
+  for (const CellId cell : {0, 1, 3, 4}) {
+    windows.emplace(cell, SkylineWindow(2));
+  }
+  // ADR pairs among {0,1,3,4}: 1->{0}, 3->{0}, 4->{0,1,3}. Total 5.
+  EXPECT_EQ(CompareAllPartitions(grid, &windows, nullptr), 5u);
+}
+
+TEST(CompareAllPartitionsTest, EmptyMapZeroComparisons) {
+  const Grid grid = MakeGrid(2, 3);
+  CellWindowMap windows;
+  EXPECT_EQ(CompareAllPartitions(grid, &windows, nullptr), 0u);
+}
+
+TEST(CompareAllPartitionsTest, SinglePartitionZeroComparisons) {
+  const Grid grid = MakeGrid(2, 3);
+  CellWindowMap windows;
+  windows.emplace(4, OneTuple(0, {0.5, 0.5}));
+  EXPECT_EQ(CompareAllPartitions(grid, &windows, nullptr), 0u);
+  EXPECT_EQ(windows[4].size(), 1u);
+}
+
+TEST(CompareAllPartitionsTest, ProducesGlobalSkylineFromCellWindows) {
+  // Build per-cell local skylines for the full dataset; after
+  // CompareAllPartitions the union must be exactly the global skyline.
+  const Dataset dataset = data::GenerateIndependent(1500, 3, 31);
+  const Grid grid = MakeGrid(3, 4);
+  CellWindowMap windows;
+  DominanceCounter counter;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const auto id = static_cast<TupleId>(i);
+    const CellId cell = grid.CellOf(dataset.RowPtr(id));
+    auto [it, inserted] = windows.try_emplace(cell, SkylineWindow(3));
+    it->second.Insert(dataset.RowPtr(id), id, &counter);
+  }
+  CompareAllPartitions(grid, &windows, &counter);
+  std::vector<TupleId> ids;
+  for (const auto& [cell, window] : windows) {
+    ids.insert(ids.end(), window.ids().begin(), window.ids().end());
+  }
+  EXPECT_EQ(ExplainSkylineMismatch(dataset, ids), "");
+  EXPECT_GT(counter.count(), 0u);
+}
+
+TEST(CompareAllPartitionsTest, CountsTupleChecksIntoCounter) {
+  const Grid grid = MakeGrid(2, 2);
+  CellWindowMap windows;
+  windows.emplace(0, OneTuple(0, {0.2, 0.2}));
+  windows.emplace(1, OneTuple(1, {0.6, 0.4}));
+  DominanceCounter counter;
+  CompareAllPartitions(grid, &windows, &counter);
+  EXPECT_EQ(counter.count(), 1u);
+}
+
+}  // namespace
+}  // namespace skymr::core

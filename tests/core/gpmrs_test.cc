@@ -1,0 +1,189 @@
+#include "src/core/gpmrs.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/partition_bitstring.h"
+#include "src/data/generator.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr::core {
+namespace {
+
+struct Prepared {
+  std::shared_ptr<const Dataset> data;
+  std::unique_ptr<Grid> grid;
+  DynamicBitset bits;
+};
+
+Prepared Prepare(Dataset dataset, uint32_t ppd) {
+  Prepared p;
+  p.data = std::make_shared<const Dataset>(std::move(dataset));
+  p.grid = std::make_unique<Grid>(std::move(
+      Grid::Create(p.data->dim(), ppd, Bounds::UnitCube(p.data->dim())))
+                                      .value());
+  p.bits = BuildLocalBitstring(*p.grid, *p.data, 0,
+                               static_cast<TupleId>(p.data->size()));
+  PruneDominated(*p.grid, &p.bits);
+  return p;
+}
+
+std::vector<TupleId> SortedIds(const SkylineWindow& window) {
+  std::vector<TupleId> ids = window.ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(GpmrsTest, ComputesExactSkyline) {
+  const Prepared p = Prepare(data::GenerateAntiCorrelated(2500, 3, 71), 4);
+  mr::EngineOptions engine;
+  engine.num_map_tasks = 5;
+  engine.num_reducers = 4;
+  auto run = RunGpmrsJob(p.data, *p.grid, p.bits,
+                         GroupMergeStrategy::kComputationCost, engine);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(ExplainSkylineMismatch(*p.data, run->skyline.ids()), "");
+}
+
+class GpmrsConfigProperty
+    : public ::testing::TestWithParam<
+          std::tuple<int /*mappers*/, int /*reducers*/,
+                     GroupMergeStrategy>> {};
+
+TEST_P(GpmrsConfigProperty, SkylineInvariantUnderConfiguration) {
+  const auto& [mappers, reducers, strategy] = GetParam();
+  static const Dataset dataset = data::GenerateAntiCorrelated(1500, 3, 73);
+  const Prepared p = Prepare(Dataset(dataset), 3);
+  mr::EngineOptions engine;
+  engine.num_map_tasks = mappers;
+  engine.num_reducers = reducers;
+  auto run = RunGpmrsJob(p.data, *p.grid, p.bits, strategy, engine);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(ExplainSkylineMismatch(*p.data, run->skyline.ids()), "");
+  EXPECT_EQ(run->metrics.reduce_tasks.size(),
+            static_cast<size_t>(reducers));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GpmrsConfigProperty,
+    ::testing::Combine(
+        ::testing::Values(1, 4, 9),
+        ::testing::Values(1, 2, 5, 17),
+        ::testing::Values(GroupMergeStrategy::kRoundRobin,
+                          GroupMergeStrategy::kComputationCost,
+                          GroupMergeStrategy::kCommunicationCost,
+                          GroupMergeStrategy::kBalanced)),
+    ([](const auto& info) {
+      const auto& [m, r, s] = info.param;
+      std::string name = "m";
+      name += std::to_string(m);
+      name += "_r";
+      name += std::to_string(r);
+      name += "_";
+      name += GroupMergeStrategyName(s);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    }));
+
+TEST(GpmrsTest, MatchesGpsrsResult) {
+  // The two algorithms must produce identical skylines; MR-GPMRS merely
+  // parallelizes the reduce side.
+  const Prepared p = Prepare(data::GenerateIndependent(2000, 4, 79), 3);
+  mr::EngineOptions engine;
+  engine.num_map_tasks = 4;
+  engine.num_reducers = 6;
+  auto gpmrs = RunGpmrsJob(p.data, *p.grid, p.bits,
+                           GroupMergeStrategy::kComputationCost, engine);
+  ASSERT_TRUE(gpmrs.ok());
+  const std::vector<TupleId> expected = ReferenceSkyline(*p.data);
+  EXPECT_TRUE(SameIdSet(SortedIds(gpmrs->skyline), expected));
+}
+
+TEST(GpmrsTest, NoDuplicateOutputsWithReplicatedPartitions) {
+  // Anti-correlated data creates many overlapping groups; replicated
+  // partitions must be output by exactly one reducer (Section 5.4.2).
+  const Prepared p = Prepare(data::GenerateAntiCorrelated(2000, 2, 83), 6);
+  mr::EngineOptions engine;
+  engine.num_map_tasks = 3;
+  engine.num_reducers = 3;
+  auto run = RunGpmrsJob(p.data, *p.grid, p.bits,
+                         GroupMergeStrategy::kComputationCost, engine);
+  ASSERT_TRUE(run.ok());
+  std::vector<TupleId> ids = run->skyline.ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "duplicate skyline tuples emitted";
+  EXPECT_EQ(ExplainSkylineMismatch(*p.data, run->skyline.ids()), "");
+}
+
+TEST(GpmrsTest, MoreReducersThanGroupsStillCorrect) {
+  // A dataset collapsing into very few groups.
+  Dataset dataset(2);
+  dataset.Append({0.05, 0.05});
+  dataset.Append({0.06, 0.04});
+  dataset.Append({0.9, 0.9});
+  const Prepared p = Prepare(std::move(dataset), 4);
+  mr::EngineOptions engine;
+  engine.num_reducers = 10;
+  auto run = RunGpmrsJob(p.data, *p.grid, p.bits,
+                         GroupMergeStrategy::kComputationCost, engine);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(ExplainSkylineMismatch(*p.data, run->skyline.ids()), "");
+}
+
+TEST(GpmrsTest, EmptyDataset) {
+  const Prepared p = Prepare(Dataset(2), 3);
+  mr::EngineOptions engine;
+  engine.num_reducers = 4;
+  auto run = RunGpmrsJob(p.data, *p.grid, p.bits,
+                         GroupMergeStrategy::kComputationCost, engine);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->skyline.empty());
+}
+
+TEST(GpmrsTest, ReducerWorkIsDistributed) {
+  // With enough groups and anti-correlated data, more than one reducer
+  // must receive real work.
+  const Prepared p = Prepare(data::GenerateAntiCorrelated(3000, 3, 89), 4);
+  mr::EngineOptions engine;
+  engine.num_map_tasks = 4;
+  engine.num_reducers = 4;
+  auto run = RunGpmrsJob(p.data, *p.grid, p.bits,
+                         GroupMergeStrategy::kComputationCost, engine);
+  ASSERT_TRUE(run.ok());
+  int reducers_with_input = 0;
+  for (const auto& task : run->metrics.reduce_tasks) {
+    if (task.input_records > 0) {
+      ++reducers_with_input;
+    }
+  }
+  EXPECT_GT(reducers_with_input, 1);
+}
+
+TEST(GpmrsTest, CountersPopulated) {
+  const Prepared p = Prepare(data::GenerateAntiCorrelated(1000, 3, 97), 3);
+  mr::EngineOptions engine;
+  engine.num_reducers = 3;
+  auto run = RunGpmrsJob(p.data, *p.grid, p.bits,
+                         GroupMergeStrategy::kComputationCost, engine);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->metrics.counters.Get(mr::kCounterTupleComparisons), 0);
+  EXPECT_GT(run->metrics.counters.Get(mr::kCounterPartitionComparisons), 0);
+}
+
+TEST(GpmrsTest, RejectsBadInputs) {
+  const Prepared p = Prepare(data::GenerateIndependent(100, 2, 101), 3);
+  mr::EngineOptions engine;
+  DynamicBitset wrong_size(4);
+  EXPECT_FALSE(RunGpmrsJob(p.data, *p.grid, wrong_size,
+                           GroupMergeStrategy::kComputationCost, engine)
+                   .ok());
+  EXPECT_FALSE(RunGpmrsJob(nullptr, *p.grid, p.bits,
+                           GroupMergeStrategy::kComputationCost, engine)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace skymr::core

@@ -1,0 +1,93 @@
+// The mapper-side local skyline algorithm option (Section 8 future work:
+// "it is still interesting to optimize the local skyline computations").
+
+#include <gtest/gtest.h>
+
+#include "src/skymr.h"
+
+namespace skymr {
+namespace {
+
+TEST(LocalAlgorithmTest, SfsAndBnlProduceIdenticalSkylines) {
+  for (const auto dist : {data::Distribution::kIndependent,
+                          data::Distribution::kAntiCorrelated,
+                          data::Distribution::kCorrelated}) {
+    data::GeneratorConfig gen;
+    gen.distribution = dist;
+    gen.cardinality = 1200;
+    gen.dim = 3;
+    gen.seed = 31;
+    const Dataset data = std::move(data::Generate(gen)).value();
+    for (const Algorithm algorithm :
+         {Algorithm::kMrGpsrs, Algorithm::kMrGpmrs}) {
+      RunnerConfig bnl;
+      bnl.algorithm = algorithm;
+      bnl.engine.num_map_tasks = 4;
+      bnl.engine.num_reducers = 3;
+      bnl.ppd.max_candidate = 5;
+      bnl.local_algorithm = core::LocalAlgorithm::kBnl;
+      RunnerConfig sfs = bnl;
+      sfs.local_algorithm = core::LocalAlgorithm::kSfs;
+      auto bnl_result = ComputeSkyline(data, bnl);
+      auto sfs_result = ComputeSkyline(data, sfs);
+      ASSERT_TRUE(bnl_result.ok());
+      ASSERT_TRUE(sfs_result.ok());
+      EXPECT_TRUE(SameIdSet(bnl_result->SkylineIds(),
+                            sfs_result->SkylineIds()))
+          << AlgorithmName(algorithm) << " "
+          << data::DistributionName(dist);
+      EXPECT_EQ(ExplainSkylineMismatch(data, sfs_result->SkylineIds()), "")
+          << AlgorithmName(algorithm);
+    }
+  }
+}
+
+TEST(LocalAlgorithmTest, SfsDoesFewerTupleComparisonsOnCorrelated) {
+  // Presorting shines when most tuples are dominated early.
+  const Dataset data = data::GenerateCorrelated(5000, 3, 37);
+  RunnerConfig bnl;
+  bnl.algorithm = Algorithm::kMrGpsrs;
+  bnl.engine.num_map_tasks = 2;
+  bnl.ppd.explicit_ppd = 2;  // Coarse grid: big per-partition workloads.
+  bnl.local_algorithm = core::LocalAlgorithm::kBnl;
+  RunnerConfig sfs = bnl;
+  sfs.local_algorithm = core::LocalAlgorithm::kSfs;
+  auto bnl_result = ComputeSkyline(data, bnl);
+  auto sfs_result = ComputeSkyline(data, sfs);
+  ASSERT_TRUE(bnl_result.ok());
+  ASSERT_TRUE(sfs_result.ok());
+  const int64_t bnl_cmps =
+      bnl_result->jobs[1].counters.Get(mr::kCounterTupleComparisons);
+  const int64_t sfs_cmps =
+      sfs_result->jobs[1].counters.Get(mr::kCounterTupleComparisons);
+  EXPECT_LT(sfs_cmps, bnl_cmps);
+}
+
+TEST(LocalAlgorithmTest, SfsRespectsConstraints) {
+  const Dataset data = data::GenerateAntiCorrelated(1500, 3, 41);
+  Box box;
+  box.lo.assign(3, 0.25);
+  box.hi.assign(3, 0.75);
+  RunnerConfig bnl;
+  bnl.algorithm = Algorithm::kMrGpmrs;
+  bnl.engine.num_reducers = 3;
+  bnl.ppd.max_candidate = 4;
+  bnl.constraint = box;
+  bnl.local_algorithm = core::LocalAlgorithm::kBnl;
+  RunnerConfig sfs = bnl;
+  sfs.local_algorithm = core::LocalAlgorithm::kSfs;
+  auto bnl_result = ComputeSkyline(data, bnl);
+  auto sfs_result = ComputeSkyline(data, sfs);
+  ASSERT_TRUE(bnl_result.ok());
+  ASSERT_TRUE(sfs_result.ok());
+  EXPECT_TRUE(
+      SameIdSet(bnl_result->SkylineIds(), sfs_result->SkylineIds()));
+}
+
+TEST(LocalAlgorithmTest, Names) {
+  EXPECT_STREQ(core::LocalAlgorithmName(core::LocalAlgorithm::kBnl), "bnl");
+  EXPECT_STREQ(core::LocalAlgorithmName(core::LocalAlgorithm::kSfs), "sfs");
+}
+
+}  // namespace
+}  // namespace skymr

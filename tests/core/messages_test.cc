@@ -1,0 +1,88 @@
+#include "src/core/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace skymr::core {
+namespace {
+
+SkylineWindow MakeWindow(std::vector<std::pair<TupleId, std::vector<double>>>
+                             tuples,
+                         size_t dim) {
+  SkylineWindow window(dim);
+  for (const auto& [id, row] : tuples) {
+    window.AppendUnchecked(row.data(), id);
+  }
+  return window;
+}
+
+TEST(MessagesSerdeTest, PartitionSkylineRoundTrip) {
+  PartitionSkyline part;
+  part.cell = 42;
+  part.window = MakeWindow({{1, {0.1, 0.9}}, {2, {0.9, 0.1}}}, 2);
+  const auto round =
+      DeserializeFromBytes<PartitionSkyline>(SerializeToBytes(part));
+  EXPECT_EQ(round, part);
+}
+
+TEST(MessagesSerdeTest, LocalSkylineSetRoundTrip) {
+  LocalSkylineSet set;
+  set.parts.push_back({7, MakeWindow({{3, {0.5, 0.5}}}, 2)});
+  set.parts.push_back({9, SkylineWindow(2)});
+  const auto round =
+      DeserializeFromBytes<LocalSkylineSet>(SerializeToBytes(set));
+  EXPECT_EQ(round, set);
+}
+
+TEST(MessagesSerdeTest, GroupPayloadRoundTrip) {
+  GroupPayload payload;
+  payload.reducer_group = 3;
+  payload.responsible = {1, 5, 9};
+  payload.parts.push_back({5, MakeWindow({{0, {0.2, 0.3, 0.4}}}, 3)});
+  const auto round =
+      DeserializeFromBytes<GroupPayload>(SerializeToBytes(payload));
+  EXPECT_EQ(round.reducer_group, 3u);
+  EXPECT_EQ(round.responsible, payload.responsible);
+  EXPECT_EQ(round.parts, payload.parts);
+}
+
+TEST(MergePartsTest, MergesPerCellWithDominance) {
+  CellWindowMap windows;
+  DominanceCounter counter;
+  // Mapper 1: cell 4 holds {0.5, 0.5}.
+  MergeParts({{4, MakeWindow({{0, {0.5, 0.5}}}, 2)}}, 2, &windows,
+             &counter);
+  // Mapper 2: cell 4 holds {0.4, 0.4} (dominates) and cell 7 a tuple.
+  MergeParts({{4, MakeWindow({{1, {0.4, 0.4}}}, 2)},
+              {7, MakeWindow({{2, {0.1, 0.8}}}, 2)}},
+             2, &windows, &counter);
+  ASSERT_EQ(windows.size(), 2u);
+  ASSERT_EQ(windows[4].size(), 1u);
+  EXPECT_EQ(windows[4].IdAt(0), 1u);
+  EXPECT_EQ(windows[7].size(), 1u);
+  EXPECT_GT(counter.count(), 0u);
+}
+
+TEST(MergePartsTest, IncomparableTuplesAccumulate) {
+  CellWindowMap windows;
+  MergeParts({{0, MakeWindow({{0, {0.1, 0.9}}}, 2)}}, 2, &windows, nullptr);
+  MergeParts({{0, MakeWindow({{1, {0.9, 0.1}}}, 2)}}, 2, &windows, nullptr);
+  EXPECT_EQ(windows[0].size(), 2u);
+}
+
+TEST(UnionWindowsTest, ConcatenatesInCellOrder) {
+  CellWindowMap windows;
+  windows.emplace(9, MakeWindow({{5, {0.9, 0.1}}}, 2));
+  windows.emplace(2, MakeWindow({{3, {0.1, 0.9}}}, 2));
+  const SkylineWindow out = UnionWindows(windows, 2);
+  ASSERT_EQ(out.size(), 2u);
+  // std::map iterates ascending: cell 2 first.
+  EXPECT_EQ(out.IdAt(0), 3u);
+  EXPECT_EQ(out.IdAt(1), 5u);
+}
+
+TEST(UnionWindowsTest, EmptyMap) {
+  EXPECT_TRUE(UnionWindows({}, 3).empty());
+}
+
+}  // namespace
+}  // namespace skymr::core

@@ -1,0 +1,185 @@
+#include "src/core/partition_bitstring.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/generator.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr::core {
+namespace {
+
+Grid MakeGrid(size_t dim, uint32_t ppd) {
+  return std::move(Grid::Create(dim, ppd, Bounds::UnitCube(dim))).value();
+}
+
+TEST(BuildLocalBitstringTest, MarksOccupiedCells) {
+  const Grid grid = MakeGrid(2, 3);
+  Dataset data(2);
+  data.Append({0.1, 0.1});  // Cell 0.
+  data.Append({0.5, 0.1});  // Cell 1.
+  data.Append({0.55, 0.15});  // Cell 1 again.
+  data.Append({0.9, 0.9});  // Cell 8.
+  const DynamicBitset bits =
+      BuildLocalBitstring(grid, data, 0, static_cast<TupleId>(data.size()));
+  EXPECT_EQ(bits.ToString(), "110000001");
+}
+
+TEST(BuildLocalBitstringTest, RangeRestricted) {
+  const Grid grid = MakeGrid(2, 3);
+  Dataset data(2);
+  data.Append({0.1, 0.1});
+  data.Append({0.9, 0.9});
+  const DynamicBitset bits = BuildLocalBitstring(grid, data, 1, 2);
+  EXPECT_EQ(bits.Count(), 1u);
+  EXPECT_TRUE(bits.Test(8));
+}
+
+TEST(BuildLocalBitstringTest, EmptyRange) {
+  const Grid grid = MakeGrid(2, 3);
+  Dataset data(2);
+  const DynamicBitset bits = BuildLocalBitstring(grid, data, 0, 0);
+  EXPECT_TRUE(bits.None());
+}
+
+TEST(PruneDominatedTest, Figure2Example) {
+  // Figure 2: non-empty cells {1,2,3,4,6} -> bitstring 011110100.
+  // p4 is dominated? p4's dominators need coords <= (0,0): cell 0 is
+  // empty, so p4 survives. p8 empty anyway. Nothing prunable: cells
+  // 1(1,0),2(2,0),3(0,1),4(1,1),6(0,2): a dominator of 4 would be cell 0.
+  const Grid grid = MakeGrid(2, 3);
+  DynamicBitset bits = DynamicBitset::FromString("011110100");
+  DynamicBitset literal = bits;
+  EXPECT_EQ(PruneDominatedLiteral(grid, &literal), 0u);
+  EXPECT_EQ(literal.ToString(), "011110100");
+}
+
+TEST(PruneDominatedTest, OriginPrunesInterior) {
+  const Grid grid = MakeGrid(2, 3);
+  // All cells occupied: cell 0 dominates {4,5,7,8}.
+  DynamicBitset bits(9);
+  bits.Fill();
+  DynamicBitset pruned = bits;
+  EXPECT_EQ(PruneDominatedLiteral(grid, &pruned), 4u);
+  // Survivors are the cells with some zero coordinate: {0,1,2,3,6}.
+  EXPECT_EQ(pruned.ToString(), "111100100");
+  // Section 6's worked claim: rho_rem(3,2) = 3^2 - 2^2 = 5 survive.
+  EXPECT_EQ(pruned.Count(), 5u);
+}
+
+TEST(PruneDominatedTest, TransitiveChainPrunedBySingleSeed) {
+  // 1-d-style chain embedded in 2-d: cells (0,0), (1,1), (2,2).
+  const Grid grid = MakeGrid(2, 3);
+  DynamicBitset bits(9);
+  bits.Set(0);
+  bits.Set(4);
+  bits.Set(8);
+  DynamicBitset pruned = bits;
+  EXPECT_EQ(PruneDominatedLiteral(grid, &pruned), 2u);
+  EXPECT_TRUE(pruned.Test(0));
+  EXPECT_FALSE(pruned.Test(4));
+  EXPECT_FALSE(pruned.Test(8));
+}
+
+TEST(PruneDominatedTest, PrefixMatchesLiteralExhaustive2d) {
+  const Grid grid = MakeGrid(2, 4);
+  // All 2^16 occupancy patterns of a 4x4 grid.
+  for (uint32_t pattern = 0; pattern < (1u << 16); ++pattern) {
+    DynamicBitset bits(16);
+    for (size_t i = 0; i < 16; ++i) {
+      if ((pattern >> i) & 1u) {
+        bits.Set(i);
+      }
+    }
+    DynamicBitset literal = bits;
+    DynamicBitset prefix = bits;
+    const uint64_t a = PruneDominatedLiteral(grid, &literal);
+    const uint64_t b = PruneDominatedPrefix(grid, &prefix);
+    ASSERT_EQ(literal, prefix) << "pattern=" << pattern;
+    ASSERT_EQ(a, b) << "pattern=" << pattern;
+  }
+}
+
+TEST(PruneDominatedTest, PrefixMatchesLiteralRandomHighDim) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t dim = 1 + rng.NextBounded(4);
+    const uint32_t ppd = static_cast<uint32_t>(2 + rng.NextBounded(4));
+    const Grid grid = MakeGrid(dim, ppd);
+    DynamicBitset bits(grid.num_cells());
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (rng.NextBounded(3) == 0) {
+        bits.Set(i);
+      }
+    }
+    DynamicBitset literal = bits;
+    DynamicBitset prefix = bits;
+    PruneDominatedLiteral(grid, &literal);
+    PruneDominatedPrefix(grid, &prefix);
+    ASSERT_EQ(literal, prefix) << "dim=" << dim << " ppd=" << ppd;
+  }
+}
+
+TEST(PruneDominatedTest, PpdOneNothingToPrune) {
+  const Grid grid = MakeGrid(3, 1);
+  DynamicBitset bits(1);
+  bits.Set(0);
+  EXPECT_EQ(PruneDominated(grid, &bits, PruneMode::kLiteral), 0u);
+  EXPECT_EQ(PruneDominated(grid, &bits, PruneMode::kPrefix), 0u);
+  EXPECT_TRUE(bits.Test(0));
+}
+
+TEST(PruneDominatedTest, EmptyBitstringNoop) {
+  const Grid grid = MakeGrid(2, 3);
+  DynamicBitset bits(9);
+  EXPECT_EQ(PruneDominated(grid, &bits, PruneMode::kPrefix), 0u);
+  EXPECT_TRUE(bits.None());
+}
+
+TEST(PruneDominatedTest, NeverPrunesSkylineTuplesCells) {
+  // Safety property behind Lemma 1: pruning a partition must never drop a
+  // skyline tuple.
+  for (const auto dist : {data::Distribution::kIndependent,
+                          data::Distribution::kAntiCorrelated,
+                          data::Distribution::kCorrelated}) {
+    data::GeneratorConfig config;
+    config.distribution = dist;
+    config.cardinality = 800;
+    config.dim = 3;
+    config.seed = 7;
+    const Dataset dataset = std::move(data::Generate(config)).value();
+    const Grid grid = MakeGrid(3, 4);
+    DynamicBitset bits = BuildLocalBitstring(
+        grid, dataset, 0, static_cast<TupleId>(dataset.size()));
+    PruneDominated(grid, &bits, PruneMode::kPrefix);
+    for (const TupleId id : ReferenceSkyline(dataset)) {
+      EXPECT_TRUE(bits.Test(grid.CellOf(dataset.RowPtr(id))))
+          << "skyline tuple " << id << " lost to pruning ("
+          << data::DistributionName(dist) << ")";
+    }
+  }
+}
+
+TEST(PruneDominatedTest, PrunedCellsContainOnlyDominatedTuples) {
+  const Dataset dataset = data::GenerateIndependent(1000, 2, 13);
+  const Grid grid = MakeGrid(2, 5);
+  DynamicBitset before = BuildLocalBitstring(
+      grid, dataset, 0, static_cast<TupleId>(dataset.size()));
+  DynamicBitset after = before;
+  PruneDominated(grid, &after, PruneMode::kLiteral);
+  const std::vector<TupleId> skyline = ReferenceSkyline(dataset);
+  const std::set<TupleId> skyline_set(skyline.begin(), skyline.end());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const auto id = static_cast<TupleId>(i);
+    const CellId cell = grid.CellOf(dataset.RowPtr(id));
+    if (before.Test(cell) && !after.Test(cell)) {
+      EXPECT_EQ(skyline_set.count(id), 0u)
+          << "tuple " << id << " in pruned cell is in the skyline";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skymr::core

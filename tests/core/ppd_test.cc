@@ -1,0 +1,128 @@
+#include "src/core/ppd.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.h"
+
+namespace skymr::core {
+namespace {
+
+TEST(CandidatePpdsTest, SeriesRunsFrom2ToNm) {
+  PpdOptions options;
+  // c = 10^6, d = 2 -> n_m = 1000, capped at max_candidate = 64.
+  const std::vector<uint32_t> candidates =
+      CandidatePpds(1000000, 2, options);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates.front(), 2u);
+  EXPECT_EQ(candidates.back(), 64u);
+  EXPECT_EQ(candidates.size(), 63u);
+}
+
+TEST(CandidatePpdsTest, NmBoundsSeriesForHighDim) {
+  PpdOptions options;
+  // c = 2*10^6, d = 10 -> n_m = floor(c^0.1) = 4.
+  const std::vector<uint32_t> candidates =
+      CandidatePpds(2000000, 10, options);
+  EXPECT_EQ(candidates, (std::vector<uint32_t>{2, 3, 4}));
+}
+
+TEST(CandidatePpdsTest, CellBudgetTruncates) {
+  PpdOptions options;
+  options.max_cells = 1000;  // 2^10 = 1024 > 1000 for d = 10...
+  const std::vector<uint32_t> candidates =
+      CandidatePpds(2000000, 10, options);
+  EXPECT_TRUE(candidates.empty());  // Even PPD 2 busts the budget.
+
+  options.max_cells = 100000;  // 3^10 = 59049 fits, 4^10 doesn't.
+  const std::vector<uint32_t> c2 = CandidatePpds(2000000, 10, options);
+  EXPECT_EQ(c2, (std::vector<uint32_t>{2, 3}));
+}
+
+TEST(CandidatePpdsTest, TinyCardinalityFallsBackToPpd2) {
+  PpdOptions options;
+  // c = 3 < 2^2: n_m = 1, so the series would be empty.
+  const std::vector<uint32_t> candidates = CandidatePpds(3, 2, options);
+  EXPECT_EQ(candidates, (std::vector<uint32_t>{2}));
+}
+
+TEST(CandidatePpdsTest, ExplicitPpdShortCircuits) {
+  PpdOptions options;
+  options.explicit_ppd = 7;
+  EXPECT_EQ(CandidatePpds(1000000, 2, options),
+            (std::vector<uint32_t>{7}));
+}
+
+TEST(SelectPpdTest, PaperLiteralPicksFinestFullyOccupiedGrid) {
+  PpdOptions options;
+  options.strategy = PpdStrategy::kPaperLiteral;
+  // Occupancies: PPD 2 and 3 fully occupied (diff 0), PPD 4 has empties.
+  const std::vector<PpdOccupancy> occupancies = {
+      {2, 4}, {3, 9}, {4, 12}};
+  EXPECT_EQ(SelectPpd(options, 1000, 2, occupancies), 3u);
+}
+
+TEST(SelectPpdTest, PaperLiteralArgminWhenNoExactTie) {
+  PpdOptions options;
+  options.strategy = PpdStrategy::kPaperLiteral;
+  // c=1000, d=2. PPD 2: rho=3 -> |333.3-250|=83.3.
+  // PPD 3: rho=8 -> |125-111.1|=13.9. PPD 4: rho=10 -> |100-62.5|=37.5.
+  const std::vector<PpdOccupancy> occupancies = {{2, 3}, {3, 8}, {4, 10}};
+  EXPECT_EQ(SelectPpd(options, 1000, 2, occupancies), 3u);
+}
+
+TEST(SelectPpdTest, TargetTppPicksClosestEstimate) {
+  PpdOptions options;
+  options.strategy = PpdStrategy::kTargetTpp;
+  options.target_tpp = 100.0;
+  // Estimated TPP: 1000/4=250, 1000/9=111, 1000/14=71.
+  const std::vector<PpdOccupancy> occupancies = {{2, 4}, {3, 9}, {4, 14}};
+  EXPECT_EQ(SelectPpd(options, 1000, 2, occupancies), 3u);
+}
+
+TEST(SelectPpdTest, ZeroCardinalityPicksFirst) {
+  PpdOptions options;
+  const std::vector<PpdOccupancy> occupancies = {{2, 0}, {3, 0}};
+  EXPECT_EQ(SelectPpd(options, 0, 2, occupancies), 2u);
+}
+
+TEST(SelectPpdTest, EmptyOccupancyRhoTreatedAsWorst) {
+  PpdOptions options;
+  options.strategy = PpdStrategy::kTargetTpp;
+  options.target_tpp = 50.0;
+  const std::vector<PpdOccupancy> occupancies = {{2, 0}, {3, 20}};
+  EXPECT_EQ(SelectPpd(options, 1000, 2, occupancies), 3u);
+}
+
+TEST(SelectPpdTest, SingleCandidateAlwaysWins) {
+  PpdOptions options;
+  const std::vector<PpdOccupancy> occupancies = {{5, 100}};
+  EXPECT_EQ(SelectPpd(options, 12345, 3, occupancies), 5u);
+}
+
+TEST(PpdStrategyTest, Names) {
+  EXPECT_STREQ(PpdStrategyName(PpdStrategy::kPaperLiteral),
+               "paper-literal");
+  EXPECT_STREQ(PpdStrategyName(PpdStrategy::kTargetTpp), "target-tpp");
+}
+
+TEST(CandidatePpdsTest, Equation4Consistency) {
+  // Equation 4: n = (c / TPP)^(1/d). With TPP = 1 the candidate ceiling
+  // n_m = floor(c^(1/d)) must satisfy n_m^d <= c.
+  PpdOptions options;
+  options.max_candidate = 1000000;
+  options.max_cells = uint64_t{1} << 40;
+  for (const uint64_t c : {100u, 5000u, 250000u}) {
+    for (const size_t d : {size_t{2}, size_t{3}, size_t{5}}) {
+      const auto candidates = CandidatePpds(c, d, options);
+      ASSERT_FALSE(candidates.empty());
+      const uint64_t nm = candidates.back();
+      if (nm > 2) {
+        EXPECT_LE(PowU64(nm, static_cast<uint32_t>(d)), c);
+        EXPECT_GT(PowU64(nm + 1, static_cast<uint32_t>(d)), c);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skymr::core

@@ -1,0 +1,109 @@
+// Direct specification tests: Equation 2's surviving set and Lemma 1's
+// guarantee, checked against brute-force oracles on random inputs.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/partition_bitstring.h"
+#include "src/data/generator.h"
+#include "src/local/bnl.h"
+
+namespace skymr::core {
+namespace {
+
+Grid MakeGrid(size_t dim, uint32_t ppd) {
+  return std::move(Grid::Create(dim, ppd, Bounds::UnitCube(dim))).value();
+}
+
+TEST(PruningSpecTest, SurvivorsAreExactlyTheUndominatedNonEmptyCells) {
+  // Equation 2 spec: bit i survives iff p_i is non-empty and no non-empty
+  // p_j dominates p_i. Brute force over random occupancy patterns.
+  Rng rng(314);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t dim = 1 + rng.NextBounded(4);
+    const uint32_t ppd = static_cast<uint32_t>(1 + rng.NextBounded(5));
+    const Grid grid = MakeGrid(dim, ppd);
+    DynamicBitset bits(grid.num_cells());
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (rng.NextBounded(2) == 0) {
+        bits.Set(i);
+      }
+    }
+    DynamicBitset pruned = bits;
+    PruneDominated(grid, &pruned,
+                   trial % 2 == 0 ? PruneMode::kLiteral
+                                  : PruneMode::kPrefix);
+    for (CellId cell = 0; cell < grid.num_cells(); ++cell) {
+      bool expected = bits.Test(cell);
+      if (expected) {
+        for (size_t dominator = bits.FindFirst(); dominator < bits.size();
+             dominator = bits.FindNext(dominator)) {
+          if (grid.CellDominates(dominator, cell)) {
+            expected = false;
+            break;
+          }
+        }
+      }
+      ASSERT_EQ(pruned.Test(cell), expected)
+          << "trial " << trial << " cell " << cell << " dim " << dim
+          << " ppd " << ppd;
+    }
+  }
+}
+
+TEST(PruningSpecTest, Lemma1EveryTupleOfDominatingCellBeatsEveryTupleOf) {
+  // Lemma 1: p_i < p_j implies every tuple of p_i dominates every tuple
+  // of p_j. Sampled over random tuples of random cell pairs.
+  Rng rng(2718);
+  const Grid grid = MakeGrid(3, 4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const CellId a = rng.NextBounded(grid.num_cells());
+    const CellId b = rng.NextBounded(grid.num_cells());
+    if (!grid.CellDominates(a, b)) {
+      continue;
+    }
+    // Random tuples strictly inside each half-open cell.
+    const std::vector<double> a_lo = grid.MinCorner(a);
+    const std::vector<double> a_hi = grid.MaxCorner(a);
+    const std::vector<double> b_lo = grid.MinCorner(b);
+    const std::vector<double> b_hi = grid.MaxCorner(b);
+    double ta[3];
+    double tb[3];
+    for (size_t k = 0; k < 3; ++k) {
+      ta[k] = a_lo[k] + (a_hi[k] - a_lo[k]) * 0.999 * rng.NextDouble();
+      tb[k] = b_lo[k] + (b_hi[k] - b_lo[k]) * 0.999 * rng.NextDouble();
+    }
+    EXPECT_TRUE(Dominates(ta, tb, 3))
+        << "cells " << a << " -> " << b << " violated Lemma 1";
+  }
+}
+
+TEST(PruningSpecTest, BitstringIsUnionOfLocalBitstrings) {
+  // Figure 3 / Algorithm 2 line 3 spec: OR of per-split bitstrings equals
+  // the whole-dataset bitstring, for any split.
+  const Dataset data = data::GenerateAntiCorrelated(600, 3, 55);
+  const Grid grid = MakeGrid(3, 4);
+  const DynamicBitset whole = BuildLocalBitstring(
+      grid, data, 0, static_cast<TupleId>(data.size()));
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random split points.
+    std::set<TupleId> cuts = {0, static_cast<TupleId>(data.size())};
+    for (int c = 0; c < 4; ++c) {
+      cuts.insert(static_cast<TupleId>(rng.NextBounded(data.size())));
+    }
+    DynamicBitset merged(grid.num_cells());
+    auto it = cuts.begin();
+    TupleId prev = *it;
+    for (++it; it != cuts.end(); ++it) {
+      merged |= BuildLocalBitstring(grid, data, prev, *it);
+      prev = *it;
+    }
+    EXPECT_EQ(merged, whole) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace skymr::core

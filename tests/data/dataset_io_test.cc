@@ -1,0 +1,86 @@
+#include "src/data/dataset_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+
+namespace skymr::data {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(DatasetIoTest, RoundTripWithoutHeader) {
+  const Dataset original = GenerateIndependent(50, 3, 42);
+  const std::string path = TempPath("skymr_io_roundtrip.csv");
+  ASSERT_TRUE(SaveCsv(original, path).ok());
+  auto loaded = LoadCsv(path, /*has_header=*/false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dim(), 3u);
+  EXPECT_EQ(loaded->size(), 50u);
+  // %.17g output preserves doubles exactly.
+  EXPECT_EQ(loaded->values(), original.values());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RoundTripWithHeader) {
+  Dataset original(2);
+  original.Append({0.25, 0.75});
+  const std::string path = TempPath("skymr_io_header.csv");
+  ASSERT_TRUE(SaveCsv(original, path, {"price", "distance"}).ok());
+  auto loaded = LoadCsv(path, /*has_header=*/true);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded->Row(0)[1], 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, HeaderWidthMismatchRejected) {
+  Dataset original(2);
+  original.Append({0.1, 0.2});
+  EXPECT_FALSE(SaveCsv(original, TempPath("x.csv"), {"only-one"}).ok());
+}
+
+TEST(DatasetIoTest, NonNumericFieldRejected) {
+  const std::string path = TempPath("skymr_io_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "0.1,0.2\n0.3,oops\n";
+  }
+  auto loaded = LoadCsv(path, false);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RaggedRowsRejected) {
+  const std::string path = TempPath("skymr_io_ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "0.1,0.2\n0.3\n";
+  }
+  auto loaded = LoadCsv(path, false);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, HeaderOnlyFileRejected) {
+  const std::string path = TempPath("skymr_io_headeronly.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\n";
+  }
+  EXPECT_FALSE(LoadCsv(path, true).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFileRejected) {
+  EXPECT_FALSE(LoadCsv("/no/such/file.csv", false).ok());
+}
+
+}  // namespace
+}  // namespace skymr::data

@@ -1,0 +1,152 @@
+#include "src/data/generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/relation/skyline_verify.h"
+
+namespace skymr::data {
+namespace {
+
+TEST(GeneratorTest, CardinalityAndDimRespected) {
+  for (const Distribution dist :
+       {Distribution::kIndependent, Distribution::kCorrelated,
+        Distribution::kAntiCorrelated, Distribution::kClustered}) {
+    GeneratorConfig config;
+    config.distribution = dist;
+    config.cardinality = 500;
+    config.dim = 4;
+    auto data = Generate(config);
+    ASSERT_TRUE(data.ok()) << DistributionName(dist);
+    EXPECT_EQ(data->size(), 500u);
+    EXPECT_EQ(data->dim(), 4u);
+  }
+}
+
+TEST(GeneratorTest, ValuesInUnitCube) {
+  for (const Distribution dist :
+       {Distribution::kIndependent, Distribution::kCorrelated,
+        Distribution::kAntiCorrelated, Distribution::kClustered}) {
+    GeneratorConfig config;
+    config.distribution = dist;
+    config.cardinality = 2000;
+    config.dim = 5;
+    config.seed = 99;
+    const Dataset data = std::move(Generate(config)).value();
+    for (size_t i = 0; i < data.size(); ++i) {
+      for (size_t k = 0; k < data.dim(); ++k) {
+        const double v = data.Row(static_cast<TupleId>(i))[k];
+        EXPECT_GE(v, 0.0) << DistributionName(dist);
+        EXPECT_LT(v, 1.0) << DistributionName(dist);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const Dataset a = GenerateAntiCorrelated(100, 3, 7);
+  const Dataset b = GenerateAntiCorrelated(100, 3, 7);
+  EXPECT_EQ(a.values(), b.values());
+  const Dataset c = GenerateAntiCorrelated(100, 3, 8);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(GeneratorTest, ZeroCardinality) {
+  const Dataset data = GenerateIndependent(0, 2, 1);
+  EXPECT_TRUE(data.empty());
+}
+
+TEST(GeneratorTest, RejectsZeroDim) {
+  GeneratorConfig config;
+  config.dim = 0;
+  config.cardinality = 10;
+  EXPECT_FALSE(Generate(config).ok());
+}
+
+TEST(GeneratorTest, RejectsClusteredWithoutClusters) {
+  GeneratorConfig config;
+  config.distribution = Distribution::kClustered;
+  config.cardinality = 10;
+  config.num_clusters = 0;
+  EXPECT_FALSE(Generate(config).ok());
+}
+
+TEST(GeneratorTest, IndependentDimensionsUncorrelated) {
+  const Dataset data = GenerateIndependent(20000, 2, 5);
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  const auto n = static_cast<double>(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double x = data.Row(static_cast<TupleId>(i))[0];
+    const double y = data.Row(static_cast<TupleId>(i))[1];
+    sx += x;
+    sy += y;
+    sxy += x * y;
+    sxx += x * x;
+    syy += y * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double corr = cov / std::sqrt((sxx / n - (sx / n) * (sx / n)) *
+                                      (syy / n - (sy / n) * (sy / n)));
+  EXPECT_NEAR(corr, 0.0, 0.03);
+}
+
+TEST(GeneratorTest, CorrelatedHasPositiveAndAntiNegativeCorrelation) {
+  auto pairwise_corr = [](const Dataset& data) {
+    double sx = 0.0;
+    double sy = 0.0;
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    const auto n = static_cast<double>(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      const double x = data.Row(static_cast<TupleId>(i))[0];
+      const double y = data.Row(static_cast<TupleId>(i))[1];
+      sx += x;
+      sy += y;
+      sxy += x * y;
+      sxx += x * x;
+      syy += y * y;
+    }
+    const double cov = sxy / n - (sx / n) * (sy / n);
+    return cov / std::sqrt((sxx / n - (sx / n) * (sx / n)) *
+                           (syy / n - (sy / n) * (sy / n)));
+  };
+  EXPECT_GT(pairwise_corr(GenerateCorrelated(20000, 2, 6)), 0.5);
+  EXPECT_LT(pairwise_corr(GenerateAntiCorrelated(20000, 2, 6)), -0.5);
+}
+
+TEST(GeneratorTest, SkylineSizeOrdering) {
+  // The defining property the paper's experiments rely on (Section 7):
+  // anti-correlated data has far larger skylines than independent data,
+  // which in turn beats correlated data.
+  constexpr size_t kN = 3000;
+  constexpr size_t kD = 4;
+  const size_t corr =
+      ReferenceSkyline(GenerateCorrelated(kN, kD, 11)).size();
+  const size_t indep =
+      ReferenceSkyline(GenerateIndependent(kN, kD, 11)).size();
+  const size_t anti =
+      ReferenceSkyline(GenerateAntiCorrelated(kN, kD, 11)).size();
+  EXPECT_LT(corr, indep);
+  EXPECT_LT(indep, anti);
+  EXPECT_GT(anti, kN / 20);  // Anti-correlated skylines are a large chunk.
+}
+
+TEST(GeneratorTest, DistributionNamesRoundTrip) {
+  for (const Distribution dist :
+       {Distribution::kIndependent, Distribution::kCorrelated,
+        Distribution::kAntiCorrelated, Distribution::kClustered}) {
+    auto parsed = ParseDistribution(DistributionName(dist));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), dist);
+  }
+  EXPECT_FALSE(ParseDistribution("zipfian").ok());
+}
+
+}  // namespace
+}  // namespace skymr::data

@@ -1,0 +1,143 @@
+// Constrained skyline queries: the skyline restricted to a box must equal
+// the reference skyline of the filtered dataset, for every algorithm.
+
+#include <gtest/gtest.h>
+
+#include "src/skymr.h"
+
+namespace skymr {
+namespace {
+
+/// Reference: filter the dataset to the box, keep original ids.
+std::vector<TupleId> ConstrainedReference(const Dataset& data,
+                                          const Box& box) {
+  Dataset filtered(data.dim());
+  std::vector<TupleId> original_ids;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto id = static_cast<TupleId>(i);
+    if (box.Contains(data.RowPtr(id), data.dim())) {
+      filtered.Append(data.Row(id));
+      original_ids.push_back(id);
+    }
+  }
+  std::vector<TupleId> result;
+  for (const TupleId local : ReferenceSkyline(filtered)) {
+    result.push_back(original_ids[local]);
+  }
+  return result;
+}
+
+Box MiddleBox(size_t dim) {
+  Box box;
+  box.lo.assign(dim, 0.2);
+  box.hi.assign(dim, 0.8);
+  return box;
+}
+
+TEST(ConstrainedSkylineTest, AllAlgorithmsMatchFilteredReference) {
+  const Dataset data = data::GenerateAntiCorrelated(2000, 3, 17);
+  const Box box = MiddleBox(3);
+  const std::vector<TupleId> expected = ConstrainedReference(data, box);
+  ASSERT_FALSE(expected.empty());
+  for (const Algorithm algorithm :
+       {Algorithm::kMrGpsrs, Algorithm::kMrGpmrs, Algorithm::kMrBnl,
+        Algorithm::kMrAngle, Algorithm::kHybrid}) {
+    RunnerConfig config;
+    config.algorithm = algorithm;
+    config.engine.num_map_tasks = 3;
+    config.engine.num_reducers = 4;
+    config.ppd.max_candidate = 6;
+    config.constraint = box;
+    auto result = ComputeSkyline(data, config);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm) << ": "
+                             << result.status();
+    EXPECT_TRUE(SameIdSet(result->SkylineIds(), expected))
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST(ConstrainedSkylineTest, ConstraintChangesTheAnswer) {
+  // A tuple that dominates everything globally sits outside the box; the
+  // constrained skyline must not contain it, and tuples it dominated can
+  // resurface.
+  Dataset data(2);
+  data.Append({0.05, 0.05});  // Outside [0.2, 0.8]^2, dominates all.
+  data.Append({0.3, 0.4});
+  data.Append({0.4, 0.3});
+  data.Append({0.5, 0.5});  // Dominated inside the box too.
+  RunnerConfig config;
+  config.algorithm = Algorithm::kMrGpmrs;
+  config.ppd.explicit_ppd = 4;
+  config.constraint = MiddleBox(2);
+  auto constrained = ComputeSkyline(data, config);
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_TRUE(SameIdSet(constrained->SkylineIds(), {1, 2}));
+
+  RunnerConfig unconstrained = config;
+  unconstrained.constraint.reset();
+  auto global = ComputeSkyline(data, unconstrained);
+  ASSERT_TRUE(global.ok());
+  EXPECT_TRUE(SameIdSet(global->SkylineIds(), {0}));
+}
+
+TEST(ConstrainedSkylineTest, EmptyBoxEmptySkyline) {
+  const Dataset data = data::GenerateIndependent(500, 2, 19);
+  Box box;
+  box.lo = {2.0, 2.0};  // Entirely outside the unit cube.
+  box.hi = {3.0, 3.0};
+  RunnerConfig config;
+  config.algorithm = Algorithm::kMrGpsrs;
+  config.ppd.max_candidate = 4;
+  config.constraint = box;
+  auto result = ComputeSkyline(data, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->skyline.empty());
+}
+
+TEST(ConstrainedSkylineTest, FullBoxEqualsUnconstrained) {
+  const Dataset data = data::GenerateIndependent(800, 3, 23);
+  Box box;
+  box.lo.assign(3, 0.0);
+  box.hi.assign(3, 1.0);
+  RunnerConfig config;
+  config.algorithm = Algorithm::kMrGpmrs;
+  config.engine.num_reducers = 3;
+  config.ppd.max_candidate = 4;
+  config.constraint = box;
+  auto constrained = ComputeSkyline(data, config);
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_EQ(ExplainSkylineMismatch(data, constrained->SkylineIds()), "");
+}
+
+TEST(ConstrainedSkylineTest, InvalidBoxRejected) {
+  const Dataset data = data::GenerateIndependent(100, 2, 29);
+  RunnerConfig config;
+  config.algorithm = Algorithm::kMrGpsrs;
+  Box bad;
+  bad.lo = {0.5};  // Wrong width.
+  bad.hi = {0.6};
+  config.constraint = bad;
+  EXPECT_FALSE(ComputeSkyline(data, config).ok());
+  Box inverted;
+  inverted.lo = {0.8, 0.8};
+  inverted.hi = {0.2, 0.2};
+  config.constraint = inverted;
+  EXPECT_FALSE(ComputeSkyline(data, config).ok());
+}
+
+TEST(BoxTest, ContainsSemantics) {
+  Box box;
+  box.lo = {0.2, 0.2};
+  box.hi = {0.8, 0.8};
+  const double inside[] = {0.5, 0.5};
+  const double on_edge[] = {0.2, 0.8};  // Closed box: edges included.
+  const double outside[] = {0.1, 0.5};
+  EXPECT_TRUE(box.Contains(inside, 2));
+  EXPECT_TRUE(box.Contains(on_edge, 2));
+  EXPECT_FALSE(box.Contains(outside, 2));
+  EXPECT_TRUE(box.Validate(2).ok());
+  EXPECT_FALSE(box.Validate(3).ok());
+}
+
+}  // namespace
+}  // namespace skymr

@@ -1,0 +1,125 @@
+// Property suite: every local skyline algorithm (BNL, SFS, naive) computes
+// exactly the reference skyline across distributions, dimensions, and
+// cardinalities.
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/local/bnl.h"
+#include "src/local/naive.h"
+#include "src/local/sfs.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr {
+namespace {
+
+using data::Distribution;
+
+std::vector<TupleId> SortedIds(const SkylineWindow& window) {
+  std::vector<TupleId> ids = window.ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+using LocalParam = std::tuple<Distribution, size_t /*dim*/, size_t /*n*/>;
+
+class LocalSkylineProperty : public ::testing::TestWithParam<LocalParam> {};
+
+TEST_P(LocalSkylineProperty, AllAlgorithmsMatchReference) {
+  const auto& [dist, dim, n] = GetParam();
+  data::GeneratorConfig config;
+  config.distribution = dist;
+  config.dim = dim;
+  config.cardinality = n;
+  config.seed = 1234 + dim * 31 + n;
+  const Dataset dataset = std::move(data::Generate(config)).value();
+
+  const std::vector<TupleId> expected = ReferenceSkyline(dataset);
+  EXPECT_TRUE(SameIdSet(SortedIds(BnlSkyline(dataset)), expected));
+  EXPECT_TRUE(SameIdSet(SortedIds(SfsSkyline(dataset)), expected));
+  EXPECT_TRUE(SameIdSet(SortedIds(NaiveSkyline(dataset)), expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LocalSkylineProperty,
+    ::testing::Combine(
+        ::testing::Values(Distribution::kIndependent,
+                          Distribution::kCorrelated,
+                          Distribution::kAntiCorrelated,
+                          Distribution::kClustered),
+        ::testing::Values(size_t{1}, size_t{2}, size_t{4}, size_t{7}),
+        ::testing::Values(size_t{1}, size_t{50}, size_t{600})),
+    ([](const ::testing::TestParamInfo<LocalParam>& info) {
+      const auto& [dist, dim, n] = info.param;
+      std::string name = data::DistributionName(dist);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_d" + std::to_string(dim) + "_n" + std::to_string(n);
+    }));
+
+TEST(LocalSkylineTest, EmptyRange) {
+  const Dataset data = data::GenerateIndependent(10, 2, 1);
+  EXPECT_TRUE(BnlSkyline(data, 3, 3).empty());
+  EXPECT_TRUE(SfsSkyline(data, 3, 3).empty());
+  EXPECT_TRUE(NaiveSkyline(data, 3, 3).empty());
+}
+
+TEST(LocalSkylineTest, SubrangeOnlySeesItsTuples) {
+  Dataset data(2);
+  data.Append({0.0, 0.0});  // Dominates everything, outside the range.
+  data.Append({0.5, 0.6});
+  data.Append({0.6, 0.5});
+  const SkylineWindow window = BnlSkyline(data, 1, 3);
+  EXPECT_TRUE(SameIdSet(SortedIds(window), {1, 2}));
+}
+
+TEST(LocalSkylineTest, ExplicitIdSubset) {
+  Dataset data(2);
+  data.Append({0.1, 0.1});
+  data.Append({0.5, 0.6});
+  data.Append({0.6, 0.5});
+  const SkylineWindow window = BnlSkyline(data, std::vector<TupleId>{1, 2});
+  EXPECT_TRUE(SameIdSet(SortedIds(window), {1, 2}));
+}
+
+TEST(LocalSkylineTest, TiesOnEveryDimension) {
+  Dataset data(3);
+  for (int i = 0; i < 5; ++i) {
+    data.Append({0.5, 0.5, 0.5});
+  }
+  EXPECT_EQ(BnlSkyline(data).size(), 5u);
+  EXPECT_EQ(SfsSkyline(data).size(), 5u);
+  EXPECT_EQ(NaiveSkyline(data).size(), 5u);
+}
+
+TEST(LocalSkylineTest, CoarseGridDataWithManyTies) {
+  // Values restricted to {0, 0.25, 0.5, 0.75} stress tie handling.
+  Dataset data(3);
+  uint64_t state = 12345;
+  for (int i = 0; i < 400; ++i) {
+    double row[3];
+    for (double& v : row) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      v = static_cast<double>((state >> 33) % 4) * 0.25;
+    }
+    data.Append({row[0], row[1], row[2]});
+  }
+  const std::vector<TupleId> expected = ReferenceSkyline(data);
+  EXPECT_TRUE(SameIdSet(SortedIds(BnlSkyline(data)), expected));
+  EXPECT_TRUE(SameIdSet(SortedIds(SfsSkyline(data)), expected));
+}
+
+TEST(LocalSkylineTest, SfsDoesFewerChecksThanNaiveOnCorrelated) {
+  const Dataset data = data::GenerateCorrelated(2000, 3, 3);
+  DominanceCounter sfs_counter;
+  DominanceCounter naive_counter;
+  SfsSkyline(data, &sfs_counter);
+  NaiveSkyline(data, &naive_counter);
+  EXPECT_LT(sfs_counter.count(), naive_counter.count());
+}
+
+}  // namespace
+}  // namespace skymr

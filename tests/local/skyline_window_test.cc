@@ -1,0 +1,171 @@
+#include "src/local/skyline_window.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace skymr {
+namespace {
+
+TEST(SkylineWindowTest, InsertKeepsNonDominated) {
+  SkylineWindow window(2);
+  const double a[] = {0.5, 0.5};
+  const double b[] = {0.2, 0.8};
+  EXPECT_TRUE(window.Insert(a, 0, nullptr));
+  EXPECT_TRUE(window.Insert(b, 1, nullptr));
+  EXPECT_EQ(window.size(), 2u);
+}
+
+TEST(SkylineWindowTest, InsertRejectsDominated) {
+  SkylineWindow window(2);
+  const double a[] = {0.2, 0.2};
+  const double b[] = {0.5, 0.5};
+  EXPECT_TRUE(window.Insert(a, 0, nullptr));
+  EXPECT_FALSE(window.Insert(b, 1, nullptr));
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_EQ(window.IdAt(0), 0u);
+}
+
+TEST(SkylineWindowTest, InsertEvictsDominatedEntries) {
+  // Algorithm 4 lines 6-7: the new tuple removes window tuples it
+  // dominates.
+  SkylineWindow window(2);
+  const double a[] = {0.5, 0.6};
+  const double b[] = {0.6, 0.5};
+  const double winner[] = {0.1, 0.1};
+  window.Insert(a, 0, nullptr);
+  window.Insert(b, 1, nullptr);
+  EXPECT_TRUE(window.Insert(winner, 2, nullptr));
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_EQ(window.IdAt(0), 2u);
+}
+
+TEST(SkylineWindowTest, EvictsMultipleInOnePass) {
+  SkylineWindow window(1);
+  const double v9[] = {0.9};
+  const double v8[] = {0.8};
+  const double v7[] = {0.7};
+  // 1-d tuples are totally ordered, but inserting descending keeps only
+  // the latest.
+  window.Insert(v9, 0, nullptr);
+  EXPECT_EQ(window.size(), 1u);
+  window.Insert(v8, 1, nullptr);
+  window.Insert(v7, 2, nullptr);
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_EQ(window.IdAt(0), 2u);
+}
+
+TEST(SkylineWindowTest, DuplicateTuplesCoexist) {
+  SkylineWindow window(2);
+  const double a[] = {0.3, 0.3};
+  EXPECT_TRUE(window.Insert(a, 0, nullptr));
+  EXPECT_TRUE(window.Insert(a, 1, nullptr));
+  EXPECT_EQ(window.size(), 2u);
+}
+
+TEST(SkylineWindowTest, CounterCountsChecks) {
+  SkylineWindow window(2);
+  DominanceCounter counter;
+  const double a[] = {0.5, 0.5};
+  const double b[] = {0.4, 0.6};
+  const double c[] = {0.6, 0.4};
+  window.Insert(a, 0, &counter);
+  EXPECT_EQ(counter.count(), 0u);  // Empty window: no checks.
+  window.Insert(b, 1, &counter);
+  EXPECT_EQ(counter.count(), 1u);
+  window.Insert(c, 2, &counter);
+  EXPECT_EQ(counter.count(), 3u);  // Compared against both entries.
+}
+
+TEST(SkylineWindowTest, RemoveDominatedBy) {
+  SkylineWindow target(2);
+  const double t1[] = {0.5, 0.5};
+  const double t2[] = {0.1, 0.9};
+  target.Insert(t1, 0, nullptr);
+  target.Insert(t2, 1, nullptr);
+
+  SkylineWindow other(2);
+  const double o1[] = {0.4, 0.4};  // Dominates t1, not t2.
+  other.Insert(o1, 7, nullptr);
+
+  target.RemoveDominatedBy(other, nullptr);
+  ASSERT_EQ(target.size(), 1u);
+  EXPECT_EQ(target.IdAt(0), 1u);
+}
+
+TEST(SkylineWindowTest, RemoveDominatedByEmptyOtherIsNoop) {
+  SkylineWindow target(2);
+  const double t1[] = {0.5, 0.5};
+  target.Insert(t1, 0, nullptr);
+  SkylineWindow other(2);
+  target.RemoveDominatedBy(other, nullptr);
+  EXPECT_EQ(target.size(), 1u);
+}
+
+TEST(SkylineWindowTest, RemoveDominatedByCanEmptyWindow) {
+  SkylineWindow target(2);
+  const double t1[] = {0.5, 0.5};
+  const double t2[] = {0.6, 0.6};
+  target.Insert(t1, 0, nullptr);
+  target.AppendUnchecked(t2, 1);
+  SkylineWindow other(2);
+  const double o1[] = {0.1, 0.1};
+  other.Insert(o1, 9, nullptr);
+  target.RemoveDominatedBy(other, nullptr);
+  EXPECT_TRUE(target.empty());
+}
+
+TEST(SkylineWindowTest, FilterKeepsSelected) {
+  SkylineWindow window(2);
+  const double a[] = {0.1, 0.9};
+  const double b[] = {0.5, 0.5};
+  const double c[] = {0.9, 0.1};
+  window.AppendUnchecked(a, 0);
+  window.AppendUnchecked(b, 1);
+  window.AppendUnchecked(c, 2);
+  window.Filter({true, false, true});
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window.IdAt(0), 0u);
+  EXPECT_EQ(window.IdAt(1), 2u);
+  EXPECT_DOUBLE_EQ(window.RowAt(1)[0], 0.9);
+}
+
+TEST(SkylineWindowTest, WindowInvariantAfterRandomInserts) {
+  SkylineWindow window(3);
+  uint64_t state = 88172645463325252ULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state % 1000) / 1000.0;
+  };
+  double row[3];
+  for (TupleId id = 0; id < 500; ++id) {
+    for (double& v : row) {
+      v = next();
+    }
+    window.Insert(row, id, nullptr);
+  }
+  // Invariant: no window tuple dominates another.
+  for (size_t i = 0; i < window.size(); ++i) {
+    for (size_t j = 0; j < window.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(Dominates(window.RowAt(i), window.RowAt(j), 3));
+      }
+    }
+  }
+}
+
+TEST(SkylineWindowTest, EqualityAndValuesLayout) {
+  SkylineWindow a(2);
+  const double r[] = {0.25, 0.75};
+  a.AppendUnchecked(r, 5);
+  SkylineWindow b(2);
+  b.AppendUnchecked(r, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.values(), (std::vector<double>{0.25, 0.75}));
+  EXPECT_EQ(a.ids(), (std::vector<TupleId>{5}));
+}
+
+}  // namespace
+}  // namespace skymr

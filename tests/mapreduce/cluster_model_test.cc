@@ -1,0 +1,116 @@
+#include "src/mapreduce/cluster_model.h"
+
+#include <gtest/gtest.h>
+
+namespace skymr::mr {
+namespace {
+
+TEST(LptMakespanTest, EmptyTasks) {
+  EXPECT_DOUBLE_EQ(ClusterModel::LptMakespan({}, 4), 0.0);
+}
+
+TEST(LptMakespanTest, SingleSlotSumsTasks) {
+  EXPECT_DOUBLE_EQ(ClusterModel::LptMakespan({1.0, 2.0, 3.0}, 1), 6.0);
+}
+
+TEST(LptMakespanTest, PerfectSplit) {
+  EXPECT_DOUBLE_EQ(ClusterModel::LptMakespan({2.0, 2.0, 2.0, 2.0}, 4), 2.0);
+}
+
+TEST(LptMakespanTest, LongestTaskLowerBounds) {
+  EXPECT_DOUBLE_EQ(ClusterModel::LptMakespan({10.0, 1.0, 1.0}, 8), 10.0);
+}
+
+TEST(LptMakespanTest, LptGreedyBalances) {
+  // Tasks {5,4,3,3,3} on 2 slots: LPT gives {5,3,3}=9... actually
+  // {5,3} = 8 and {4,3,3} = 10 -> makespan 9: 5 -> slot A, 4 -> slot B,
+  // 3 -> B(7), 3 -> A(8), 3 -> B(10)? No: after 5|4, least loaded is B(4);
+  // 3 -> B(7); next least is A(5); 3 -> A(8); least is B(7)... -> B(10).
+  // Wait: loads 8 and 10 -> makespan 10? Recompute: sorted {5,4,3,3,3}.
+  // 5->A(5), 4->B(4), 3->B(7), 3->A(8), 3->B(10). Makespan 10.
+  EXPECT_DOUBLE_EQ(ClusterModel::LptMakespan({3.0, 5.0, 3.0, 4.0, 3.0}, 2),
+                   10.0);
+}
+
+TEST(LptMakespanTest, ZeroSlotsClampedToOne) {
+  EXPECT_DOUBLE_EQ(ClusterModel::LptMakespan({1.0, 1.0}, 0), 2.0);
+}
+
+JobMetrics MakeJob(std::vector<double> map_secs,
+                   std::vector<double> reduce_secs,
+                   uint64_t reduce_in_bytes) {
+  JobMetrics metrics;
+  for (const double s : map_secs) {
+    TaskMetrics t;
+    t.busy_seconds = s;
+    metrics.map_tasks.push_back(t);
+  }
+  for (const double s : reduce_secs) {
+    TaskMetrics t;
+    t.busy_seconds = s;
+    t.input_bytes = reduce_in_bytes;
+    metrics.reduce_tasks.push_back(t);
+  }
+  return metrics;
+}
+
+TEST(ClusterModelTest, JobMakespanComposition) {
+  ClusterModel model;
+  model.num_nodes = 2;
+  model.map_slots_per_node = 1;
+  model.reduce_slots_per_node = 1;
+  model.job_startup_seconds = 10.0;
+  model.task_startup_seconds = 1.0;
+  model.network_bytes_per_second = 100.0;
+
+  // 2 map tasks of 3s on 2 slots -> 4s with startup; 1 reduce of 5s -> 6s;
+  // shuffle: 200 bytes / 100 Bps = 2s. Total = 10 + 4 + 2 + 6 = 22.
+  const JobMetrics metrics = MakeJob({3.0, 3.0}, {5.0}, 200);
+  EXPECT_DOUBLE_EQ(model.JobMakespan(metrics), 22.0);
+}
+
+TEST(ClusterModelTest, MoreReduceSlotsShortenReduceWave) {
+  ClusterModel model;
+  model.num_nodes = 1;
+  model.reduce_slots_per_node = 1;
+  model.job_startup_seconds = 0.0;
+  model.task_startup_seconds = 0.0;
+  model.network_bytes_per_second = 0.0;  // Disable shuffle accounting.
+  const JobMetrics metrics = MakeJob({}, {4.0, 4.0, 4.0, 4.0}, 0);
+  const double serial = model.JobMakespan(metrics);
+  model.reduce_slots_per_node = 4;
+  const double parallel = model.JobMakespan(metrics);
+  EXPECT_DOUBLE_EQ(serial, 16.0);
+  EXPECT_DOUBLE_EQ(parallel, 4.0);
+}
+
+TEST(ClusterModelTest, ShuffleBottleneckIsMaxReducerInbound) {
+  ClusterModel model;
+  model.num_nodes = 4;
+  model.job_startup_seconds = 0.0;
+  model.task_startup_seconds = 0.0;
+  model.network_bytes_per_second = 1000.0;
+  JobMetrics metrics = MakeJob({}, {0.0, 0.0}, 0);
+  metrics.reduce_tasks[0].input_bytes = 5000;
+  metrics.reduce_tasks[1].input_bytes = 1000;
+  EXPECT_DOUBLE_EQ(model.JobMakespan(metrics), 5.0);
+}
+
+TEST(ClusterModelTest, PipelineSumsJobs) {
+  ClusterModel model;
+  model.job_startup_seconds = 7.0;
+  model.task_startup_seconds = 0.0;
+  model.network_bytes_per_second = 0.0;
+  const JobMetrics a = MakeJob({1.0}, {}, 0);
+  const JobMetrics b = MakeJob({2.0}, {}, 0);
+  EXPECT_DOUBLE_EQ(model.PipelineMakespan({a, b}), 7.0 + 1.0 + 7.0 + 2.0);
+}
+
+TEST(ClusterModelTest, DefaultsMatchPaperCluster) {
+  const ClusterModel model;
+  EXPECT_EQ(model.num_nodes, 13);
+  EXPECT_DOUBLE_EQ(model.network_bytes_per_second, 100e6 / 8.0);
+}
+
+}  // namespace
+}  // namespace skymr::mr

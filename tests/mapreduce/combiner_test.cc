@@ -1,0 +1,178 @@
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/mapreduce/job.h"
+
+namespace skymr::mr {
+namespace {
+
+class WordCountMapper : public Mapper<std::string, std::string, int> {
+ public:
+  void Map(const std::string& line,
+           MapContext<std::string, int>& ctx) override {
+    std::istringstream stream(line);
+    std::string word;
+    while (stream >> word) {
+      ctx.Emit(word, 1);
+    }
+  }
+};
+
+class SumCombiner
+    : public Reducer<std::string, int, std::pair<std::string, int>> {
+ public:
+  void Reduce(const std::string& word, const std::vector<int>& counts,
+              ReduceContext<std::pair<std::string, int>>& ctx) override {
+    int total = 0;
+    for (const int c : counts) {
+      total += c;
+    }
+    ctx.Emit({word, total});
+  }
+};
+
+class WordCountReducer
+    : public Reducer<std::string, int, std::pair<std::string, int>> {
+ public:
+  void Reduce(const std::string& word, const std::vector<int>& counts,
+              ReduceContext<std::pair<std::string, int>>& ctx) override {
+    int total = 0;
+    for (const int c : counts) {
+      total += c;
+    }
+    ctx.Emit({word, total});
+  }
+};
+
+using WordCountJob =
+    Job<std::string, std::string, int, std::pair<std::string, int>>;
+
+WordCountJob MakeJob(bool with_combiner) {
+  WordCountJob job(
+      "wordcount", [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<WordCountReducer>(); });
+  if (with_combiner) {
+    job.set_combiner([] { return std::make_unique<SumCombiner>(); });
+  }
+  return job;
+}
+
+const std::vector<std::string> kCorpus = {
+    "a a a b", "b a a", "c c c c a", "a b c",
+};
+
+std::map<std::string, int> ToMap(
+    const std::vector<std::pair<std::string, int>>& outputs) {
+  std::map<std::string, int> result;
+  for (const auto& [word, count] : outputs) {
+    result[word] += count;
+  }
+  return result;
+}
+
+TEST(CombinerTest, SameResultWithAndWithoutCombiner) {
+  EngineOptions options;
+  options.num_map_tasks = 2;
+  options.num_reducers = 3;
+  DistributedCache cache;
+  WordCountJob plain = MakeJob(false);
+  WordCountJob combined = MakeJob(true);
+  auto a = plain.Run(kCorpus, options, cache);
+  auto b = combined.Run(kCorpus, options, cache);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ToMap(a.outputs), ToMap(b.outputs));
+  const auto counts = ToMap(b.outputs);
+  EXPECT_EQ(counts.at("a"), 7);
+  EXPECT_EQ(counts.at("b"), 3);
+  EXPECT_EQ(counts.at("c"), 5);
+}
+
+TEST(CombinerTest, ReducesShuffleTraffic) {
+  EngineOptions options;
+  options.num_map_tasks = 2;
+  options.num_reducers = 2;
+  DistributedCache cache;
+  WordCountJob plain = MakeJob(false);
+  WordCountJob combined = MakeJob(true);
+  auto a = plain.Run(kCorpus, options, cache);
+  auto b = combined.Run(kCorpus, options, cache);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // 15 words in the corpus; the combiner collapses per-mapper duplicates.
+  EXPECT_LT(b.metrics.shuffle_bytes, a.metrics.shuffle_bytes);
+  uint64_t combined_records = 0;
+  for (const auto& t : b.metrics.reduce_tasks) {
+    combined_records += t.input_records;
+  }
+  EXPECT_LT(combined_records, 15u);
+  EXPECT_EQ(b.metrics.counters.Get("mr.combine_input_records"), 15);
+  EXPECT_EQ(b.metrics.counters.Get("mr.combine_output_records"),
+            static_cast<int64_t>(combined_records));
+}
+
+TEST(CombinerTest, CombinerSeesOnlyItsOwnMapperRecords) {
+  // With one map task per record, the combiner cannot collapse anything:
+  // shuffle record count equals the plain run.
+  EngineOptions options;
+  options.num_map_tasks = 16;
+  options.num_reducers = 1;
+  DistributedCache cache;
+  WordCountJob combined = MakeJob(true);
+  auto result =
+      combined.Run(std::vector<std::string>{"x", "x", "x"}, options, cache);
+  ASSERT_TRUE(result.ok());
+  uint64_t records = 0;
+  for (const auto& t : result.metrics.reduce_tasks) {
+    records += t.input_records;
+  }
+  EXPECT_EQ(records, 3u);  // One "x" per mapper: nothing to combine.
+  EXPECT_EQ(ToMap(result.outputs).at("x"), 3);
+}
+
+TEST(CombinerTest, FailingCombinerRetriesTask) {
+  class FlakyCombiner
+      : public Reducer<std::string, int, std::pair<std::string, int>> {
+   public:
+    explicit FlakyCombiner(std::atomic<int>* calls) : calls_(calls) {}
+    void Reduce(const std::string& word, const std::vector<int>& counts,
+                ReduceContext<std::pair<std::string, int>>& ctx) override {
+      if (calls_->fetch_add(1) == 0) {
+        throw TaskFailure("combiner hiccup");
+      }
+      int total = 0;
+      for (const int c : counts) {
+        total += c;
+      }
+      ctx.Emit({word, total});
+    }
+
+   private:
+    std::atomic<int>* calls_;
+  };
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  WordCountJob job(
+      "flaky-combine", [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<WordCountReducer>(); });
+  job.set_combiner(
+      [calls] { return std::make_unique<FlakyCombiner>(calls.get()); });
+  EngineOptions options;
+  options.num_map_tasks = 1;
+  options.max_task_attempts = 3;
+  DistributedCache cache;
+  auto result =
+      job.Run(std::vector<std::string>{"a a b"}, options, cache);
+  ASSERT_TRUE(result.ok()) << result.status;
+  const auto counts = ToMap(result.outputs);
+  EXPECT_EQ(counts.at("a"), 2);
+  EXPECT_EQ(counts.at("b"), 1);
+  EXPECT_EQ(result.metrics.map_tasks[0].attempts, 2);
+}
+
+}  // namespace
+}  // namespace skymr::mr

@@ -1,0 +1,56 @@
+#include "src/mapreduce/counters.h"
+
+#include <gtest/gtest.h>
+
+namespace skymr::mr {
+namespace {
+
+TEST(CountersTest, StartsEmpty) {
+  Counters counters;
+  EXPECT_TRUE(counters.empty());
+  EXPECT_EQ(counters.Get("anything"), 0);
+}
+
+TEST(CountersTest, AddAccumulates) {
+  Counters counters;
+  counters.Add("a", 3);
+  counters.Add("a", 4);
+  counters.Add("b", -2);
+  EXPECT_EQ(counters.Get("a"), 7);
+  EXPECT_EQ(counters.Get("b"), -2);
+}
+
+TEST(CountersTest, MergeSumsPerName) {
+  Counters a;
+  a.Add("x", 1);
+  a.Add("y", 2);
+  Counters b;
+  b.Add("y", 5);
+  b.Add("z", 7);
+  a.Merge(b);
+  EXPECT_EQ(a.Get("x"), 1);
+  EXPECT_EQ(a.Get("y"), 7);
+  EXPECT_EQ(a.Get("z"), 7);
+}
+
+TEST(CountersTest, MergeEmptyIsNoop) {
+  Counters a;
+  a.Add("x", 1);
+  a.Merge(Counters());
+  EXPECT_EQ(a.Get("x"), 1);
+}
+
+TEST(CountersTest, ToStringDeterministicOrder) {
+  Counters counters;
+  counters.Add("zeta", 1);
+  counters.Add("alpha", 2);
+  EXPECT_EQ(counters.ToString(), "alpha=2, zeta=1");
+}
+
+TEST(CountersTest, WellKnownNamesAreDistinct) {
+  EXPECT_STRNE(kCounterTupleComparisons, kCounterPartitionComparisons);
+  EXPECT_STRNE(kCounterTuplesPruned, kCounterPartitionsPruned);
+}
+
+}  // namespace
+}  // namespace skymr::mr

@@ -1,0 +1,68 @@
+#include "src/mapreduce/distributed_cache.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skymr::mr {
+namespace {
+
+TEST(DistributedCacheTest, PutAndGet) {
+  DistributedCache cache;
+  ASSERT_TRUE(cache.PutValue<int>("answer", 42).ok());
+  const auto value = cache.Get<int>("answer");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 42);
+}
+
+TEST(DistributedCacheTest, MissingKeyReturnsNull) {
+  DistributedCache cache;
+  EXPECT_EQ(cache.Get<int>("nope"), nullptr);
+}
+
+TEST(DistributedCacheTest, WrongTypeReturnsNull) {
+  DistributedCache cache;
+  ASSERT_TRUE(cache.PutValue<int>("answer", 42).ok());
+  EXPECT_EQ(cache.Get<double>("answer"), nullptr);
+  EXPECT_EQ(cache.Get<std::string>("answer"), nullptr);
+}
+
+TEST(DistributedCacheTest, EntriesAreImmutable) {
+  DistributedCache cache;
+  ASSERT_TRUE(cache.PutValue<int>("k", 1).ok());
+  const Status s = cache.PutValue<int>("k", 2);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(*cache.Get<int>("k"), 1);
+}
+
+TEST(DistributedCacheTest, RemoveAllowsReplace) {
+  DistributedCache cache;
+  ASSERT_TRUE(cache.PutValue<int>("k", 1).ok());
+  cache.Remove("k");
+  EXPECT_FALSE(cache.Contains("k"));
+  ASSERT_TRUE(cache.PutValue<int>("k", 2).ok());
+  EXPECT_EQ(*cache.Get<int>("k"), 2);
+}
+
+TEST(DistributedCacheTest, SharedOwnership) {
+  DistributedCache cache;
+  auto big = std::make_shared<const std::vector<double>>(1000, 3.14);
+  ASSERT_TRUE(cache.Put<std::vector<double>>("data", big).ok());
+  auto fetched = cache.Get<std::vector<double>>("data");
+  EXPECT_EQ(fetched.get(), big.get());  // No copy: broadcast by reference.
+  EXPECT_EQ(fetched->size(), 1000u);
+}
+
+TEST(DistributedCacheTest, ContainsAndSize) {
+  DistributedCache cache;
+  EXPECT_EQ(cache.size(), 0u);
+  ASSERT_TRUE(cache.PutValue<int>("a", 1).ok());
+  ASSERT_TRUE(cache.PutValue<double>("b", 2.0).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("c"));
+}
+
+}  // namespace
+}  // namespace skymr::mr

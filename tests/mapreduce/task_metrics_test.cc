@@ -1,0 +1,47 @@
+#include "src/mapreduce/task_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace skymr::mr {
+namespace {
+
+TaskMetrics WithCounter(const char* name, int64_t value) {
+  TaskMetrics t;
+  t.counters.Add(name, value);
+  return t;
+}
+
+TEST(JobMetricsTest, MaxMapCounterPicksLargest) {
+  JobMetrics metrics;
+  metrics.map_tasks.push_back(WithCounter("x", 5));
+  metrics.map_tasks.push_back(WithCounter("x", 12));
+  metrics.map_tasks.push_back(WithCounter("x", 3));
+  EXPECT_EQ(metrics.MaxMapCounter("x"), 12);
+  EXPECT_EQ(metrics.MaxMapCounter("absent"), 0);
+}
+
+TEST(JobMetricsTest, MaxReduceCounterPicksLargest) {
+  JobMetrics metrics;
+  metrics.reduce_tasks.push_back(WithCounter("y", 7));
+  metrics.reduce_tasks.push_back(WithCounter("y", 2));
+  EXPECT_EQ(metrics.MaxReduceCounter("y"), 7);
+}
+
+TEST(JobMetricsTest, EmptyTaskListsYieldZero) {
+  JobMetrics metrics;
+  EXPECT_EQ(metrics.MaxMapCounter("x"), 0);
+  EXPECT_EQ(metrics.MaxReduceCounter("x"), 0);
+}
+
+TEST(TaskMetricsTest, Defaults) {
+  TaskMetrics t;
+  EXPECT_DOUBLE_EQ(t.busy_seconds, 0.0);
+  EXPECT_EQ(t.input_records, 0u);
+  EXPECT_EQ(t.output_records, 0u);
+  EXPECT_EQ(t.input_bytes, 0u);
+  EXPECT_EQ(t.output_bytes, 0u);
+  EXPECT_EQ(t.attempts, 1);
+}
+
+}  // namespace
+}  // namespace skymr::mr

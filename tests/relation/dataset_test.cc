@@ -1,0 +1,88 @@
+#include "src/relation/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace skymr {
+namespace {
+
+TEST(DatasetTest, EmptyDataset) {
+  Dataset data(3);
+  EXPECT_EQ(data.dim(), 3u);
+  EXPECT_EQ(data.size(), 0u);
+  EXPECT_TRUE(data.empty());
+}
+
+TEST(DatasetTest, AppendAndRead) {
+  Dataset data(2);
+  const TupleId a = data.Append({0.1, 0.2});
+  const TupleId b = data.Append({0.3, 0.4});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.Row(0)[0], 0.1);
+  EXPECT_DOUBLE_EQ(data.Row(0)[1], 0.2);
+  EXPECT_DOUBLE_EQ(data.Row(1)[0], 0.3);
+  EXPECT_DOUBLE_EQ(data.RowPtr(1)[1], 0.4);
+}
+
+TEST(DatasetTest, RowMajorContiguousStorage) {
+  Dataset data(2);
+  data.Append({1.0, 2.0});
+  data.Append({3.0, 4.0});
+  const std::vector<double> expected{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(data.values(), expected);
+}
+
+TEST(DatasetTest, FromFlatValid) {
+  auto data = Dataset::FromFlat(2, {1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 2u);
+  EXPECT_DOUBLE_EQ(data->Row(1)[0], 3.0);
+}
+
+TEST(DatasetTest, FromFlatRejectsMisalignedBuffer) {
+  EXPECT_FALSE(Dataset::FromFlat(3, {1.0, 2.0, 3.0, 4.0}).ok());
+}
+
+TEST(DatasetTest, FromFlatRejectsZeroDim) {
+  EXPECT_FALSE(Dataset::FromFlat(0, {}).ok());
+}
+
+TEST(DatasetTest, ComputeBoundsTight) {
+  Dataset data(2);
+  data.Append({0.5, 0.9});
+  data.Append({0.2, 1.5});
+  data.Append({0.7, 0.1});
+  const Bounds b = data.ComputeBounds();
+  EXPECT_DOUBLE_EQ(b.lo[0], 0.2);
+  EXPECT_DOUBLE_EQ(b.lo[1], 0.1);
+  EXPECT_DOUBLE_EQ(b.hi[0], 0.7);
+  EXPECT_DOUBLE_EQ(b.hi[1], 1.5);
+}
+
+TEST(DatasetTest, ComputeBoundsEmptyIsUnitCube) {
+  Dataset data(4);
+  const Bounds b = data.ComputeBounds();
+  ASSERT_EQ(b.lo.size(), 4u);
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(b.lo[k], 0.0);
+    EXPECT_DOUBLE_EQ(b.hi[k], 1.0);
+  }
+}
+
+TEST(BoundsTest, UnitCube) {
+  const Bounds b = Bounds::UnitCube(3);
+  EXPECT_EQ(b.lo, (std::vector<double>{0.0, 0.0, 0.0}));
+  EXPECT_EQ(b.hi, (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(DatasetTest, SingleValuePoint) {
+  Dataset data(1);
+  data.Append({0.5});
+  const Bounds b = data.ComputeBounds();
+  EXPECT_DOUBLE_EQ(b.lo[0], 0.5);
+  EXPECT_DOUBLE_EQ(b.hi[0], 0.5);
+}
+
+}  // namespace
+}  // namespace skymr

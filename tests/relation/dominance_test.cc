@@ -1,0 +1,125 @@
+#include "src/relation/dominance.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace skymr {
+namespace {
+
+TEST(DominanceTest, StrictDominance) {
+  const double a[] = {0.1, 0.2};
+  const double b[] = {0.3, 0.4};
+  EXPECT_TRUE(Dominates(a, b, 2));
+  EXPECT_FALSE(Dominates(b, a, 2));
+}
+
+TEST(DominanceTest, EqualOnSomeDimensionsStillDominates) {
+  // Definition 1: not worse on all, strictly better on at least one.
+  const double a[] = {0.1, 0.5};
+  const double b[] = {0.3, 0.5};
+  EXPECT_TRUE(Dominates(a, b, 2));
+  EXPECT_FALSE(Dominates(b, a, 2));
+}
+
+TEST(DominanceTest, EqualTuplesDoNotDominate) {
+  const double a[] = {0.4, 0.4, 0.4};
+  const double b[] = {0.4, 0.4, 0.4};
+  EXPECT_FALSE(Dominates(a, b, 3));
+  EXPECT_FALSE(Dominates(b, a, 3));
+  EXPECT_TRUE(DominatesOrEqual(a, b, 3));
+}
+
+TEST(DominanceTest, IncomparableTuples) {
+  const double a[] = {0.1, 0.9};
+  const double b[] = {0.9, 0.1};
+  EXPECT_FALSE(Dominates(a, b, 2));
+  EXPECT_FALSE(Dominates(b, a, 2));
+}
+
+TEST(DominanceTest, OneDimensional) {
+  const double a[] = {0.1};
+  const double b[] = {0.2};
+  EXPECT_TRUE(Dominates(a, b, 1));
+  EXPECT_FALSE(Dominates(a, a, 1));
+}
+
+TEST(CompareDominanceTest, AllOutcomes) {
+  const double a[] = {0.1, 0.2};
+  const double b[] = {0.3, 0.4};
+  const double c[] = {0.9, 0.0};
+  EXPECT_EQ(CompareDominance(a, b, 2), DominanceResult::kADominatesB);
+  EXPECT_EQ(CompareDominance(b, a, 2), DominanceResult::kBDominatesA);
+  EXPECT_EQ(CompareDominance(a, a, 2), DominanceResult::kEqual);
+  EXPECT_EQ(CompareDominance(a, c, 2), DominanceResult::kIncomparable);
+}
+
+TEST(CompareDominanceTest, ConsistentWithDominates) {
+  Rng rng(3);
+  std::vector<double> a(4);
+  std::vector<double> b(4);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (int k = 0; k < 4; ++k) {
+      // Coarse values force frequent ties.
+      a[static_cast<size_t>(k)] = static_cast<double>(rng.NextBounded(4));
+      b[static_cast<size_t>(k)] = static_cast<double>(rng.NextBounded(4));
+    }
+    const DominanceResult r = CompareDominance(a.data(), b.data(), 4);
+    const bool a_dom = Dominates(a.data(), b.data(), 4);
+    const bool b_dom = Dominates(b.data(), a.data(), 4);
+    switch (r) {
+      case DominanceResult::kADominatesB:
+        EXPECT_TRUE(a_dom);
+        EXPECT_FALSE(b_dom);
+        break;
+      case DominanceResult::kBDominatesA:
+        EXPECT_TRUE(b_dom);
+        EXPECT_FALSE(a_dom);
+        break;
+      case DominanceResult::kEqual:
+      case DominanceResult::kIncomparable:
+        EXPECT_FALSE(a_dom);
+        EXPECT_FALSE(b_dom);
+        break;
+    }
+  }
+}
+
+TEST(DominanceTest, TransitivityProperty) {
+  // The paper's Lemma 1 proof rests on transitivity.
+  Rng rng(4);
+  std::vector<double> a(3);
+  std::vector<double> b(3);
+  std::vector<double> c(3);
+  int confirmed = 0;
+  for (int trial = 0; trial < 20000 && confirmed < 50; ++trial) {
+    for (int k = 0; k < 3; ++k) {
+      a[static_cast<size_t>(k)] = static_cast<double>(rng.NextBounded(5));
+      b[static_cast<size_t>(k)] =
+          a[static_cast<size_t>(k)] + static_cast<double>(rng.NextBounded(2));
+      c[static_cast<size_t>(k)] =
+          b[static_cast<size_t>(k)] + static_cast<double>(rng.NextBounded(2));
+    }
+    if (Dominates(a.data(), b.data(), 3) &&
+        Dominates(b.data(), c.data(), 3)) {
+      EXPECT_TRUE(Dominates(a.data(), c.data(), 3));
+      ++confirmed;
+    }
+  }
+  EXPECT_GT(confirmed, 0);
+}
+
+TEST(DominanceCounterTest, Accumulates) {
+  DominanceCounter counter;
+  EXPECT_EQ(counter.count(), 0u);
+  counter.Add(5);
+  counter.Add(7);
+  EXPECT_EQ(counter.count(), 12u);
+  counter.Reset();
+  EXPECT_EQ(counter.count(), 0u);
+}
+
+}  // namespace
+}  // namespace skymr

@@ -1,0 +1,85 @@
+#include "src/relation/preferences.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/relation/dominance.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr {
+namespace {
+
+TEST(PreferencesTest, MinimizeEverywhereIsIdentity) {
+  const Dataset data = data::GenerateIndependent(100, 3, 5);
+  auto out = ApplyPreferences(
+      data, {Preference::kMinimize, Preference::kMinimize,
+             Preference::kMinimize});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->values(), data.values());
+}
+
+TEST(PreferencesTest, MaximizeReflectsDimension) {
+  Dataset data(2);
+  data.Append({1.0, 10.0});
+  data.Append({2.0, 30.0});
+  auto out =
+      ApplyPreferences(data, {Preference::kMinimize, Preference::kMaximize});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->Row(0)[1], 20.0);  // 30 - 10.
+  EXPECT_DOUBLE_EQ(out->Row(1)[1], 0.0);   // 30 - 30: best becomes 0.
+  EXPECT_DOUBLE_EQ(out->Row(0)[0], 1.0);   // Minimize dim untouched.
+}
+
+TEST(PreferencesTest, SkylineMatchesManualSemantics) {
+  // Minimize price, maximize rating. Hotel 0 is cheap but bad; hotel 1
+  // expensive but great; hotel 2 dominated (pricier than 0, worse than 1).
+  Dataset hotels(2);
+  hotels.Append({50.0, 2.0});
+  hotels.Append({200.0, 5.0});
+  hotels.Append({100.0, 2.0});
+  auto flipped = ApplyPreferences(
+      hotels, {Preference::kMinimize, Preference::kMaximize});
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_EQ(ReferenceSkyline(*flipped), (std::vector<TupleId>{0, 1}));
+}
+
+TEST(PreferencesTest, DominancePreservedUnderReflection) {
+  // Property: a dominates b in flipped space iff a is no worse everywhere
+  // and better somewhere under the mixed semantics.
+  const Dataset data = data::GenerateIndependent(300, 2, 9);
+  auto flipped = ApplyPreferences(
+      data, {Preference::kMaximize, Preference::kMinimize});
+  ASSERT_TRUE(flipped.ok());
+  for (TupleId a = 0; a < 50; ++a) {
+    for (TupleId b = 0; b < 50; ++b) {
+      if (a == b) {
+        continue;
+      }
+      const double* ra = data.RowPtr(a);
+      const double* rb = data.RowPtr(b);
+      const bool mixed_dominates =
+          ra[0] >= rb[0] && ra[1] <= rb[1] &&
+          (ra[0] > rb[0] || ra[1] < rb[1]);
+      EXPECT_EQ(Dominates(flipped->RowPtr(a), flipped->RowPtr(b), 2),
+                mixed_dominates)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(PreferencesTest, WidthMismatchRejected) {
+  const Dataset data = data::GenerateIndependent(10, 3, 1);
+  EXPECT_FALSE(
+      ApplyPreferences(data, {Preference::kMinimize}).ok());
+}
+
+TEST(PreferencesTest, EmptyDataset) {
+  Dataset data(2);
+  auto out = ApplyPreferences(
+      data, {Preference::kMaximize, Preference::kMaximize});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+}  // namespace
+}  // namespace skymr

@@ -1,0 +1,284 @@
+// skymr_cli: command-line front end for the library.
+//
+//   skymr_cli generate --dist=anti-correlated --card=100000 --dim=4
+//             --seed=7 --out=data.csv
+//   skymr_cli skyline  --in=data.csv [--header] [--algorithm=mr-gpmrs]
+//             [--mappers=13] [--reducers=13] [--ppd=0] [--data-bounds]
+//             [--constraint=lo:hi,lo:hi,...] [--out=skyline.csv] [--verify]
+//   skymr_cli compare  --in=data.csv [--header] [--mappers] [--reducers]
+//
+// `generate` writes a synthetic dataset as CSV; `skyline` computes a
+// (possibly constrained) skyline of a CSV dataset and prints metrics;
+// `compare` runs all algorithms on the same input and prints a table.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/skymr.h"
+
+namespace {
+
+/// Parsed --name=value flags plus positional arguments.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const {
+    return flags.find(name) != flags.end();
+  }
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& name, long fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::strtol(it->second.c_str(),
+                                                      nullptr, 10);
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n",
+                   token.c_str());
+      std::exit(2);
+    }
+    token.erase(0, 2);
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      args.flags.insert_or_assign(token, std::string("1"));
+    } else {
+      args.flags.insert_or_assign(token.substr(0, eq), token.substr(eq + 1));
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  skymr_cli generate --dist=<independent|correlated|"
+      "anti-correlated|clustered>\n"
+      "            --card=N --dim=D [--seed=S] --out=FILE\n"
+      "  skymr_cli skyline --in=FILE [--header] [--algorithm=NAME]\n"
+      "            [--mappers=M] [--reducers=R] [--ppd=N] [--data-bounds]\n"
+      "            [--constraint=lo:hi,lo:hi,...] [--out=FILE] [--verify]\n"
+      "  skymr_cli compare --in=FILE [--header] [--mappers=M] "
+      "[--reducers=R]\n"
+      "algorithms: mr-gpsrs mr-gpmrs mr-bnl mr-angle hybrid sky-mr\n");
+  return 2;
+}
+
+bool ParseConstraint(const std::string& text, size_t dim, skymr::Box* box) {
+  box->lo.clear();
+  box->hi.clear();
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string part =
+        text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return false;
+    }
+    box->lo.push_back(std::strtod(part.substr(0, colon).c_str(), nullptr));
+    box->hi.push_back(std::strtod(part.substr(colon + 1).c_str(), nullptr));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return box->lo.size() == dim;
+}
+
+int RunGenerate(const Args& args) {
+  auto dist = skymr::data::ParseDistribution(
+      args.GetString("dist", "independent"));
+  if (!dist.ok()) {
+    std::fprintf(stderr, "%s\n", dist.status().ToString().c_str());
+    return 1;
+  }
+  skymr::data::GeneratorConfig config;
+  config.distribution = dist.value();
+  config.cardinality = static_cast<size_t>(args.GetInt("card", 10000));
+  config.dim = static_cast<size_t>(args.GetInt("dim", 3));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string out = args.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate requires --out=FILE\n");
+    return 2;
+  }
+  auto data = skymr::data::Generate(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = skymr::data::SaveCsv(*data, out); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu x %zu %s tuples to %s\n", data->size(),
+              data->dim(), skymr::data::DistributionName(config.distribution),
+              out.c_str());
+  return 0;
+}
+
+skymr::StatusOr<skymr::Dataset> LoadInput(const Args& args) {
+  const std::string in = args.GetString("in", "");
+  if (in.empty()) {
+    return skymr::Status::InvalidArgument("missing --in=FILE");
+  }
+  return skymr::data::LoadCsv(in, args.Has("header"));
+}
+
+void PrintResultSummary(const skymr::Dataset& data,
+                        const skymr::SkylineResult& result) {
+  std::printf("algorithm: %s\n",
+              skymr::AlgorithmName(result.algorithm_used));
+  std::printf("skyline:   %zu of %zu tuples\n", result.skyline.size(),
+              data.size());
+  if (result.ppd > 0) {
+    std::printf("grid:      PPD %u, %llu non-empty partitions, %llu "
+                "pruned\n",
+                result.ppd,
+                static_cast<unsigned long long>(result.nonempty_partitions),
+                static_cast<unsigned long long>(result.pruned_partitions));
+  }
+  uint64_t shuffle = 0;
+  for (const auto& job : result.jobs) {
+    shuffle += job.shuffle_bytes;
+  }
+  std::printf("jobs:      %zu, shuffle %.1f KB\n", result.jobs.size(),
+              static_cast<double>(shuffle) / 1024.0);
+  std::printf("runtime:   %.3f s wall, %.1f s modeled (13-node cluster)\n",
+              result.wall_seconds, result.modeled_seconds);
+}
+
+int RunSkyline(const Args& args) {
+  auto data = LoadInput(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto algorithm =
+      skymr::ParseAlgorithm(args.GetString("algorithm", "mr-gpmrs"));
+  if (!algorithm.ok()) {
+    std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());
+    return 1;
+  }
+  skymr::RunnerConfig config;
+  config.algorithm = algorithm.value();
+  config.engine.num_map_tasks = static_cast<int>(args.GetInt("mappers", 13));
+  config.engine.num_reducers = static_cast<int>(args.GetInt("reducers", 13));
+  config.ppd.explicit_ppd = static_cast<uint32_t>(args.GetInt("ppd", 0));
+  config.unit_bounds = !args.Has("data-bounds");
+  if (args.Has("constraint")) {
+    skymr::Box box;
+    if (!ParseConstraint(args.GetString("constraint", ""), data->dim(),
+                         &box)) {
+      std::fprintf(stderr,
+                   "bad --constraint (need %zu lo:hi pairs, e.g. "
+                   "0:0.5,0.2:1)\n",
+                   data->dim());
+      return 2;
+    }
+    config.constraint = box;
+  }
+
+  auto result = skymr::ComputeSkyline(*data, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  PrintResultSummary(*data, *result);
+
+  if (args.Has("verify") && !config.constraint.has_value()) {
+    const std::string mismatch =
+        skymr::ExplainSkylineMismatch(*data, result->SkylineIds());
+    std::printf("verify:    %s\n",
+                mismatch.empty() ? "EXACT" : mismatch.c_str());
+    if (!mismatch.empty()) {
+      return 1;
+    }
+  }
+
+  const std::string out = args.GetString("out", "");
+  if (!out.empty()) {
+    skymr::Dataset skyline_data(data->dim());
+    for (size_t i = 0; i < result->skyline.size(); ++i) {
+      skyline_data.Append(std::span<const double>(
+          result->skyline.RowAt(i), data->dim()));
+    }
+    if (auto s = skymr::data::SaveCsv(skyline_data, out); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote skyline to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int RunCompare(const Args& args) {
+  auto data = LoadInput(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-10s %10s %12s %12s %10s\n", "algorithm", "skyline",
+              "modeled[s]", "shuffle[KB]", "wall[s]");
+  for (const skymr::Algorithm algorithm :
+       {skymr::Algorithm::kMrGpsrs, skymr::Algorithm::kMrGpmrs,
+        skymr::Algorithm::kMrBnl, skymr::Algorithm::kMrAngle,
+        skymr::Algorithm::kHybrid, skymr::Algorithm::kSkyMr}) {
+    skymr::RunnerConfig config;
+    config.algorithm = algorithm;
+    config.engine.num_map_tasks =
+        static_cast<int>(args.GetInt("mappers", 13));
+    config.engine.num_reducers =
+        static_cast<int>(args.GetInt("reducers", 13));
+    auto result = skymr::ComputeSkyline(*data, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", skymr::AlgorithmName(algorithm),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t shuffle = 0;
+    for (const auto& job : result->jobs) {
+      shuffle += job.shuffle_bytes;
+    }
+    std::printf("%-10s %10zu %12.1f %12.1f %10.3f\n",
+                skymr::AlgorithmName(algorithm), result->skyline.size(),
+                result->modeled_seconds,
+                static_cast<double>(shuffle) / 1024.0,
+                result->wall_seconds);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  if (args.command == "generate") {
+    return RunGenerate(args);
+  }
+  if (args.command == "skyline") {
+    return RunSkyline(args);
+  }
+  if (args.command == "compare") {
+    return RunCompare(args);
+  }
+  return Usage();
+}
