@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ppd.dir/bench_ablation_ppd.cc.o"
+  "CMakeFiles/bench_ablation_ppd.dir/bench_ablation_ppd.cc.o.d"
+  "bench_ablation_ppd"
+  "bench_ablation_ppd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ppd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

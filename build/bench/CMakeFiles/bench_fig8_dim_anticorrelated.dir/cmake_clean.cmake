@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dim_anticorrelated.dir/bench_fig8_dim_anticorrelated.cc.o"
+  "CMakeFiles/bench_fig8_dim_anticorrelated.dir/bench_fig8_dim_anticorrelated.cc.o.d"
+  "bench_fig8_dim_anticorrelated"
+  "bench_fig8_dim_anticorrelated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dim_anticorrelated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cluster_tuning.dir/cluster_tuning.cpp.o"
+  "CMakeFiles/example_cluster_tuning.dir/cluster_tuning.cpp.o.d"
+  "example_cluster_tuning"
+  "example_cluster_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cluster_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

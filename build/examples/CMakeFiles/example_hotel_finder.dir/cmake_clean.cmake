@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hotel_finder.dir/hotel_finder.cpp.o"
+  "CMakeFiles/example_hotel_finder.dir/hotel_finder.cpp.o.d"
+  "example_hotel_finder"
+  "example_hotel_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hotel_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

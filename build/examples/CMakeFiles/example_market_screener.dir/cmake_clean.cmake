@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_market_screener.dir/market_screener.cpp.o"
+  "CMakeFiles/example_market_screener.dir/market_screener.cpp.o.d"
+  "example_market_screener"
+  "example_market_screener.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_market_screener.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/centralized.cc" "src/CMakeFiles/skymr.dir/baselines/centralized.cc.o" "gcc" "src/CMakeFiles/skymr.dir/baselines/centralized.cc.o.d"
+  "/root/repo/src/baselines/mr_angle.cc" "src/CMakeFiles/skymr.dir/baselines/mr_angle.cc.o" "gcc" "src/CMakeFiles/skymr.dir/baselines/mr_angle.cc.o.d"
+  "/root/repo/src/baselines/mr_bnl.cc" "src/CMakeFiles/skymr.dir/baselines/mr_bnl.cc.o" "gcc" "src/CMakeFiles/skymr.dir/baselines/mr_bnl.cc.o.d"
+  "/root/repo/src/baselines/mr_skymr.cc" "src/CMakeFiles/skymr.dir/baselines/mr_skymr.cc.o" "gcc" "src/CMakeFiles/skymr.dir/baselines/mr_skymr.cc.o.d"
+  "/root/repo/src/baselines/sky_quadtree.cc" "src/CMakeFiles/skymr.dir/baselines/sky_quadtree.cc.o" "gcc" "src/CMakeFiles/skymr.dir/baselines/sky_quadtree.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/skymr.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/skymr.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/dynamic_bitset.cc" "src/CMakeFiles/skymr.dir/common/dynamic_bitset.cc.o" "gcc" "src/CMakeFiles/skymr.dir/common/dynamic_bitset.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/skymr.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/skymr.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/skymr.dir/common/status.cc.o" "gcc" "src/CMakeFiles/skymr.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/skymr.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/skymr.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/bitstring_job.cc" "src/CMakeFiles/skymr.dir/core/bitstring_job.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/bitstring_job.cc.o.d"
+  "/root/repo/src/core/compare_partitions.cc" "src/CMakeFiles/skymr.dir/core/compare_partitions.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/compare_partitions.cc.o.d"
+  "/root/repo/src/core/gpmrs.cc" "src/CMakeFiles/skymr.dir/core/gpmrs.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/gpmrs.cc.o.d"
+  "/root/repo/src/core/gpsrs.cc" "src/CMakeFiles/skymr.dir/core/gpsrs.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/gpsrs.cc.o.d"
+  "/root/repo/src/core/grid.cc" "src/CMakeFiles/skymr.dir/core/grid.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/grid.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/CMakeFiles/skymr.dir/core/hybrid.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/hybrid.cc.o.d"
+  "/root/repo/src/core/independent_groups.cc" "src/CMakeFiles/skymr.dir/core/independent_groups.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/independent_groups.cc.o.d"
+  "/root/repo/src/core/messages.cc" "src/CMakeFiles/skymr.dir/core/messages.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/messages.cc.o.d"
+  "/root/repo/src/core/partition_bitstring.cc" "src/CMakeFiles/skymr.dir/core/partition_bitstring.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/partition_bitstring.cc.o.d"
+  "/root/repo/src/core/ppd.cc" "src/CMakeFiles/skymr.dir/core/ppd.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/ppd.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/skymr.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/skymr.dir/core/runner.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/skymr.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/skymr.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/skymr.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/skymr.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/skymr.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/skymr.dir/data/generator.cc.o.d"
+  "/root/repo/src/local/bnl.cc" "src/CMakeFiles/skymr.dir/local/bnl.cc.o" "gcc" "src/CMakeFiles/skymr.dir/local/bnl.cc.o.d"
+  "/root/repo/src/local/naive.cc" "src/CMakeFiles/skymr.dir/local/naive.cc.o" "gcc" "src/CMakeFiles/skymr.dir/local/naive.cc.o.d"
+  "/root/repo/src/local/sfs.cc" "src/CMakeFiles/skymr.dir/local/sfs.cc.o" "gcc" "src/CMakeFiles/skymr.dir/local/sfs.cc.o.d"
+  "/root/repo/src/local/skyline_window.cc" "src/CMakeFiles/skymr.dir/local/skyline_window.cc.o" "gcc" "src/CMakeFiles/skymr.dir/local/skyline_window.cc.o.d"
+  "/root/repo/src/mapreduce/cluster_model.cc" "src/CMakeFiles/skymr.dir/mapreduce/cluster_model.cc.o" "gcc" "src/CMakeFiles/skymr.dir/mapreduce/cluster_model.cc.o.d"
+  "/root/repo/src/mapreduce/counters.cc" "src/CMakeFiles/skymr.dir/mapreduce/counters.cc.o" "gcc" "src/CMakeFiles/skymr.dir/mapreduce/counters.cc.o.d"
+  "/root/repo/src/mapreduce/distributed_cache.cc" "src/CMakeFiles/skymr.dir/mapreduce/distributed_cache.cc.o" "gcc" "src/CMakeFiles/skymr.dir/mapreduce/distributed_cache.cc.o.d"
+  "/root/repo/src/relation/dataset.cc" "src/CMakeFiles/skymr.dir/relation/dataset.cc.o" "gcc" "src/CMakeFiles/skymr.dir/relation/dataset.cc.o.d"
+  "/root/repo/src/relation/dominance.cc" "src/CMakeFiles/skymr.dir/relation/dominance.cc.o" "gcc" "src/CMakeFiles/skymr.dir/relation/dominance.cc.o.d"
+  "/root/repo/src/relation/preferences.cc" "src/CMakeFiles/skymr.dir/relation/preferences.cc.o" "gcc" "src/CMakeFiles/skymr.dir/relation/preferences.cc.o.d"
+  "/root/repo/src/relation/skyline_verify.cc" "src/CMakeFiles/skymr.dir/relation/skyline_verify.cc.o" "gcc" "src/CMakeFiles/skymr.dir/relation/skyline_verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

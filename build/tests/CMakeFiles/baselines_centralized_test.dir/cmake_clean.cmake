@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_centralized_test.dir/baselines/centralized_test.cc.o"
+  "CMakeFiles/baselines_centralized_test.dir/baselines/centralized_test.cc.o.d"
+  "baselines_centralized_test"
+  "baselines_centralized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_centralized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_mr_angle_test.dir/baselines/mr_angle_test.cc.o"
+  "CMakeFiles/baselines_mr_angle_test.dir/baselines/mr_angle_test.cc.o.d"
+  "baselines_mr_angle_test"
+  "baselines_mr_angle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_mr_angle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

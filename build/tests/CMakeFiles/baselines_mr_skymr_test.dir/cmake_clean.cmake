@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_mr_skymr_test.dir/baselines/mr_skymr_test.cc.o"
+  "CMakeFiles/baselines_mr_skymr_test.dir/baselines/mr_skymr_test.cc.o.d"
+  "baselines_mr_skymr_test"
+  "baselines_mr_skymr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_mr_skymr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for baselines_mr_skymr_test.
+# This may be replaced when dependencies are built.

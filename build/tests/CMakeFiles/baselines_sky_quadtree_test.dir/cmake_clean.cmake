@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_sky_quadtree_test.dir/baselines/sky_quadtree_test.cc.o"
+  "CMakeFiles/baselines_sky_quadtree_test.dir/baselines/sky_quadtree_test.cc.o.d"
+  "baselines_sky_quadtree_test"
+  "baselines_sky_quadtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_sky_quadtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

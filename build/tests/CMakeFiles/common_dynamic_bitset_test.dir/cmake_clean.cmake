@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_dynamic_bitset_test.dir/common/dynamic_bitset_test.cc.o"
+  "CMakeFiles/common_dynamic_bitset_test.dir/common/dynamic_bitset_test.cc.o.d"
+  "common_dynamic_bitset_test"
+  "common_dynamic_bitset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_dynamic_bitset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_serde_test.dir/common/serde_test.cc.o"
+  "CMakeFiles/common_serde_test.dir/common/serde_test.cc.o.d"
+  "common_serde_test"
+  "common_serde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_serde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bitstring_job_test.dir/core/bitstring_job_test.cc.o"
+  "CMakeFiles/core_bitstring_job_test.dir/core/bitstring_job_test.cc.o.d"
+  "core_bitstring_job_test"
+  "core_bitstring_job_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bitstring_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_compare_partitions_test.dir/core/compare_partitions_test.cc.o"
+  "CMakeFiles/core_compare_partitions_test.dir/core/compare_partitions_test.cc.o.d"
+  "core_compare_partitions_test"
+  "core_compare_partitions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_compare_partitions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

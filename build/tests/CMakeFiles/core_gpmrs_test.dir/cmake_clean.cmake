@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gpmrs_test.dir/core/gpmrs_test.cc.o"
+  "CMakeFiles/core_gpmrs_test.dir/core/gpmrs_test.cc.o.d"
+  "core_gpmrs_test"
+  "core_gpmrs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gpmrs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gpsrs_test.dir/core/gpsrs_test.cc.o"
+  "CMakeFiles/core_gpsrs_test.dir/core/gpsrs_test.cc.o.d"
+  "core_gpsrs_test"
+  "core_gpsrs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gpsrs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_grid_test.dir/core/grid_test.cc.o"
+  "CMakeFiles/core_grid_test.dir/core/grid_test.cc.o.d"
+  "core_grid_test"
+  "core_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_independent_groups_test.dir/core/independent_groups_test.cc.o"
+  "CMakeFiles/core_independent_groups_test.dir/core/independent_groups_test.cc.o.d"
+  "core_independent_groups_test"
+  "core_independent_groups_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_independent_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

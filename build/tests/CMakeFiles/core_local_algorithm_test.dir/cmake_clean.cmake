@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_local_algorithm_test.dir/core/local_algorithm_test.cc.o"
+  "CMakeFiles/core_local_algorithm_test.dir/core/local_algorithm_test.cc.o.d"
+  "core_local_algorithm_test"
+  "core_local_algorithm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_local_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_messages_test.dir/core/messages_test.cc.o"
+  "CMakeFiles/core_messages_test.dir/core/messages_test.cc.o.d"
+  "core_messages_test"
+  "core_messages_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

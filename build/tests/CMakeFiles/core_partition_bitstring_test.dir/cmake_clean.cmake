@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_partition_bitstring_test.dir/core/partition_bitstring_test.cc.o"
+  "CMakeFiles/core_partition_bitstring_test.dir/core/partition_bitstring_test.cc.o.d"
+  "core_partition_bitstring_test"
+  "core_partition_bitstring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_partition_bitstring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

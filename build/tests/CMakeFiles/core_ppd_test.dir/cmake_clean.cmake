@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ppd_test.dir/core/ppd_test.cc.o"
+  "CMakeFiles/core_ppd_test.dir/core/ppd_test.cc.o.d"
+  "core_ppd_test"
+  "core_ppd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ppd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

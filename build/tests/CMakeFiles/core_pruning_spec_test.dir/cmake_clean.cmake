@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pruning_spec_test.dir/core/pruning_spec_test.cc.o"
+  "CMakeFiles/core_pruning_spec_test.dir/core/pruning_spec_test.cc.o.d"
+  "core_pruning_spec_test"
+  "core_pruning_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pruning_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

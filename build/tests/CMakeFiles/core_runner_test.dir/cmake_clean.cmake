@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_runner_test.dir/core/runner_test.cc.o"
+  "CMakeFiles/core_runner_test.dir/core/runner_test.cc.o.d"
+  "core_runner_test"
+  "core_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_constrained_skyline_test.dir/integration/constrained_skyline_test.cc.o"
+  "CMakeFiles/integration_constrained_skyline_test.dir/integration/constrained_skyline_test.cc.o.d"
+  "integration_constrained_skyline_test"
+  "integration_constrained_skyline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_constrained_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_local_skyline_test.dir/local/local_skyline_test.cc.o"
+  "CMakeFiles/local_local_skyline_test.dir/local/local_skyline_test.cc.o.d"
+  "local_local_skyline_test"
+  "local_local_skyline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_local_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

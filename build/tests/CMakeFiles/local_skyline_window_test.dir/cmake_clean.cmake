@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_skyline_window_test.dir/local/skyline_window_test.cc.o"
+  "CMakeFiles/local_skyline_window_test.dir/local/skyline_window_test.cc.o.d"
+  "local_skyline_window_test"
+  "local_skyline_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_skyline_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

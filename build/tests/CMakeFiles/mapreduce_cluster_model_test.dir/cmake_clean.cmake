@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_cluster_model_test.dir/mapreduce/cluster_model_test.cc.o"
+  "CMakeFiles/mapreduce_cluster_model_test.dir/mapreduce/cluster_model_test.cc.o.d"
+  "mapreduce_cluster_model_test"
+  "mapreduce_cluster_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_cluster_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

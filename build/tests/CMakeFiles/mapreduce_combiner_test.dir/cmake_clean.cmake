@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_combiner_test.dir/mapreduce/combiner_test.cc.o"
+  "CMakeFiles/mapreduce_combiner_test.dir/mapreduce/combiner_test.cc.o.d"
+  "mapreduce_combiner_test"
+  "mapreduce_combiner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_combiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_counters_test.dir/mapreduce/counters_test.cc.o"
+  "CMakeFiles/mapreduce_counters_test.dir/mapreduce/counters_test.cc.o.d"
+  "mapreduce_counters_test"
+  "mapreduce_counters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

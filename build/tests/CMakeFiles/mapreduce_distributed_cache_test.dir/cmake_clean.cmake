@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_distributed_cache_test.dir/mapreduce/distributed_cache_test.cc.o"
+  "CMakeFiles/mapreduce_distributed_cache_test.dir/mapreduce/distributed_cache_test.cc.o.d"
+  "mapreduce_distributed_cache_test"
+  "mapreduce_distributed_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_distributed_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_task_metrics_test.dir/mapreduce/task_metrics_test.cc.o"
+  "CMakeFiles/mapreduce_task_metrics_test.dir/mapreduce/task_metrics_test.cc.o.d"
+  "mapreduce_task_metrics_test"
+  "mapreduce_task_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_task_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_dataset_test.dir/relation/dataset_test.cc.o"
+  "CMakeFiles/relation_dataset_test.dir/relation/dataset_test.cc.o.d"
+  "relation_dataset_test"
+  "relation_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_dominance_test.dir/relation/dominance_test.cc.o"
+  "CMakeFiles/relation_dominance_test.dir/relation/dominance_test.cc.o.d"
+  "relation_dominance_test"
+  "relation_dominance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_dominance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

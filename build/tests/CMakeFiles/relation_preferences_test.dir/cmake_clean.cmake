@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_preferences_test.dir/relation/preferences_test.cc.o"
+  "CMakeFiles/relation_preferences_test.dir/relation/preferences_test.cc.o.d"
+  "relation_preferences_test"
+  "relation_preferences_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_preferences_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

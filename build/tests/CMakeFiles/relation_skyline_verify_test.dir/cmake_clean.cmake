@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_skyline_verify_test.dir/relation/skyline_verify_test.cc.o"
+  "CMakeFiles/relation_skyline_verify_test.dir/relation/skyline_verify_test.cc.o.d"
+  "relation_skyline_verify_test"
+  "relation_skyline_verify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_skyline_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

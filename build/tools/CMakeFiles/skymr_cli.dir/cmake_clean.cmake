@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skymr_cli.dir/skymr_cli.cc.o"
+  "CMakeFiles/skymr_cli.dir/skymr_cli.cc.o.d"
+  "skymr_cli"
+  "skymr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skymr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_cli_usage "/root/repo/build/tools/skymr_cli")
+set_tests_properties(tools_cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_cli_end_to_end "bash" "-c" "set -e; T=\$(mktemp -d); trap 'rm -rf \$T' EXIT; /root/repo/build/tools/skymr_cli generate --dist=anti-correlated --card=2000 --dim=3 --seed=5 --out=\$T/d.csv; /root/repo/build/tools/skymr_cli skyline --in=\$T/d.csv --algorithm=mr-gpmrs --verify --out=\$T/s.csv; /root/repo/build/tools/skymr_cli skyline --in=\$T/d.csv --algorithm=sky-mr --verify; /root/repo/build/tools/skymr_cli skyline --in=\$T/d.csv --constraint=0:1,0:1,0:0.5; /root/repo/build/tools/skymr_cli compare --in=\$T/d.csv")
+set_tests_properties(tools_cli_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
