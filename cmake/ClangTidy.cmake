@@ -1,0 +1,31 @@
+# clang-tidy wiring.
+#
+#   cmake -B build-tidy -S . -DSKYMR_CLANG_TIDY=ON
+#   cmake --build build-tidy        # every src/ TU is linted as it compiles
+#
+# The check set lives in the committed .clang-tidy at the repo root.
+# Warnings are promoted to errors so a violation fails the build. The
+# property is applied to the `skymr` library (all of src/) by
+# src/CMakeLists.txt; tests and benches stay unlinted to keep iteration
+# fast — lint them by setting CMAKE_CXX_CLANG_TIDY yourself if wanted.
+#
+# Exports: SKYMR_CLANG_TIDY_COMMAND (empty when the toggle is off).
+
+option(SKYMR_CLANG_TIDY "Lint src/ with clang-tidy during the build" OFF)
+
+set(SKYMR_CLANG_TIDY_COMMAND "")
+
+if(SKYMR_CLANG_TIDY)
+  find_program(SKYMR_CLANG_TIDY_EXE
+               NAMES clang-tidy
+                     clang-tidy-19 clang-tidy-18 clang-tidy-17
+                     clang-tidy-16 clang-tidy-15 clang-tidy-14)
+  if(NOT SKYMR_CLANG_TIDY_EXE)
+    message(FATAL_ERROR
+        "SKYMR_CLANG_TIDY=ON but no clang-tidy executable was found; "
+        "install clang-tidy or configure with -DSKYMR_CLANG_TIDY=OFF")
+  endif()
+  set(SKYMR_CLANG_TIDY_COMMAND
+      "${SKYMR_CLANG_TIDY_EXE};--warnings-as-errors=*")
+  message(STATUS "skymr: clang-tidy enabled: ${SKYMR_CLANG_TIDY_EXE}")
+endif()

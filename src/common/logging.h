@@ -77,4 +77,32 @@ struct LogMessageVoidify {
                    .stream()                                           \
                << "Check failed: " #cond " "
 
+// Debug-only checks guard hot-path invariants (grid cell ranges,
+// bitstring sizes, group coverage) that are too expensive for release
+// builds. They are on in debug builds and whenever SKYMR_FORCE_DCHECKS
+// is defined — the sanitizer CMake configurations define it so
+// ASan/UBSan/TSan CI exercises every invariant.
+#if !defined(NDEBUG) || defined(SKYMR_FORCE_DCHECKS)
+#define SKYMR_DCHECK_IS_ON 1
+#else
+#define SKYMR_DCHECK_IS_ON 0
+#endif
+
+#if SKYMR_DCHECK_IS_ON
+#define SKYMR_DCHECK(cond) SKYMR_CHECK(cond)
+#else
+// `true || (cond)` keeps `cond` compiled (names stay checked and used)
+// while the short-circuit guarantees it is never evaluated; the dead
+// branch — including streamed operands — folds away entirely.
+#define SKYMR_DCHECK(cond) SKYMR_CHECK(true || (cond))
+#endif
+
+namespace skymr {
+
+/// Runtime view of SKYMR_DCHECK_IS_ON, for gating verification passes
+/// too expensive to hide behind a single macro expression.
+inline constexpr bool DchecksEnabled() { return SKYMR_DCHECK_IS_ON != 0; }
+
+}  // namespace skymr
+
 #endif  // SKYMR_COMMON_LOGGING_H_

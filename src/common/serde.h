@@ -15,7 +15,6 @@
 #ifndef SKYMR_COMMON_SERDE_H_
 #define SKYMR_COMMON_SERDE_H_
 
-#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -24,6 +23,7 @@
 #include <vector>
 
 #include "src/common/dynamic_bitset.h"
+#include "src/common/logging.h"
 
 namespace skymr {
 
@@ -31,6 +31,9 @@ namespace skymr {
 class ByteSink {
  public:
   void Append(const void* data, size_t size) {
+    if (size == 0) {
+      return;  // `data` may be null (e.g. an empty vector's data()).
+    }
     const auto* bytes = static_cast<const uint8_t*>(data);
     buffer_.insert(buffer_.end(), bytes, bytes + size);
   }
@@ -57,7 +60,10 @@ class ByteSource {
       : data_(buffer.data()), size_(buffer.size()) {}
 
   void Read(void* out, size_t size) {
-    assert(pos_ + size <= size_ && "serde underflow");
+    SKYMR_DCHECK(pos_ + size <= size_) << "serde underflow";
+    if (size == 0) {
+      return;  // `out` may be null (e.g. an empty vector's data()).
+    }
     std::memcpy(out, data_ + pos_, size);
     pos_ += size;
   }

@@ -1,6 +1,9 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
+#include <utility>
 
 namespace skymr {
 
@@ -33,7 +36,26 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
+  // Manual predicate loop (not a lambda) so the thread-safety analysis
+  // sees the guarded reads happen under mutex_.
+  while (!queue_.empty() || active_tasks_ != 0) {
+    all_done_.wait(lock);
+  }
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) {
+      return false;
+    }
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_tasks_;
+  }
+  RunTask(std::move(task));
+  return true;
 }
 
 int ThreadPool::DefaultThreads() {
@@ -41,37 +63,97 @@ int ThreadPool::DefaultThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+void ThreadPool::RunTask(std::function<void()> task) {
+  // Caller has already incremented active_tasks_ while popping `task`.
+  task();
+  std::lock_guard<std::mutex> lock(mutex_);
+  --active_tasks_;
+  if (queue_.empty() && active_tasks_ == 0) {
+    all_done_.notify_all();
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.wait(lock);
+      }
       if (queue_.empty()) {
-        return;  // Shutting down.
+        return;  // Shutting down and fully drained.
       }
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_tasks_;
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --active_tasks_;
-      if (queue_.empty() && active_tasks_ == 0) {
-        all_done_.notify_all();
-      }
-    }
+    RunTask(std::move(task));
   }
 }
 
 void ParallelFor(ThreadPool* pool, int count,
                  const std::function<void(int)>& fn) {
-  for (int i = 0; i < count; ++i) {
-    pool->Submit([&fn, i] { fn(i); });
+  if (count <= 0) {
+    return;
   }
-  pool->WaitIdle();
+  // Per-call completion state. A pool-wide WaitIdle would (a) wait on
+  // unrelated tasks when several ParallelFor calls share the pool and
+  // (b) deadlock when called from inside a task, because the caller
+  // itself counts as active. Tracking exactly our `count` tasks — and
+  // helping run queued work while waiting — fixes both.
+  struct CallState {
+    std::mutex mutex;
+    std::condition_variable done;
+    int remaining = 0;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<CallState>();
+  state->remaining = count;
+
+  for (int i = 0; i < count; ++i) {
+    // `fn` is captured by reference: ParallelFor does not return before
+    // every wrapper has finished, so the reference cannot dangle.
+    pool->Submit([state, &fn, i] {
+      std::exception_ptr error;
+      try {
+        fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (error != nullptr && state->first_error == nullptr) {
+        state->first_error = error;
+      }
+      if (--state->remaining == 0) {
+        state->done.notify_all();
+      }
+    });
+  }
+
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (state->remaining == 0) {
+        break;
+      }
+    }
+    if (pool->TryRunOneTask()) {
+      continue;  // Helped drain the queue; re-check completion.
+    }
+    // Queue momentarily empty: all of this call's tasks are running on
+    // other threads (any nested ParallelFor they start helps itself), so
+    // blocking here cannot deadlock.
+    std::unique_lock<std::mutex> lock(state->mutex);
+    while (state->remaining != 0) {
+      state->done.wait(lock);
+    }
+    break;
+  }
+
+  if (state->first_error != nullptr) {
+    std::rethrow_exception(state->first_error);
+  }
 }
 
 }  // namespace skymr

@@ -1,5 +1,18 @@
 // A fixed-size worker pool used by the MapReduce engine to run map and
 // reduce tasks concurrently.
+//
+// Concurrency contract (checked by Clang -Wthread-safety and by the TSan
+// configuration of the test suite):
+//  * Submit/WaitIdle/TryRunOneTask are safe to call from any thread,
+//    including from inside a running task.
+//  * ParallelFor tracks completion per call, so concurrent ParallelFor
+//    calls on a shared pool do not wait on each other's tasks, and a task
+//    may itself call ParallelFor (nested parallelism): the waiting thread
+//    helps execute queued tasks instead of blocking a worker slot, which
+//    is what makes nesting deadlock-free even on a 1-thread pool.
+//  * Exceptions thrown by a ParallelFor body are caught, the remaining
+//    indices still run, and the first exception is rethrown to the
+//    caller. Tasks passed to raw Submit must not throw.
 
 #ifndef SKYMR_COMMON_THREAD_POOL_H_
 #define SKYMR_COMMON_THREAD_POOL_H_
@@ -10,6 +23,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace skymr {
 
@@ -23,11 +38,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution. The task must not throw.
+  void Submit(std::function<void()> task) SKYMR_EXCLUDES(mutex_);
 
-  /// Blocks until every submitted task has finished.
-  void WaitIdle();
+  /// Blocks until every submitted task has finished. Note this waits for
+  /// *global* idleness; per-call completion is what ParallelFor tracks.
+  /// Must not be called from inside a task (the calling task itself
+  /// counts as active, so it would never return).
+  void WaitIdle() SKYMR_EXCLUDES(mutex_);
+
+  /// Dequeues and runs one pending task on the calling thread. Returns
+  /// false when the queue was empty. Lets waiting threads help drain the
+  /// queue (see ParallelFor) instead of occupying a worker.
+  bool TryRunOneTask() SKYMR_EXCLUDES(mutex_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -35,19 +58,24 @@ class ThreadPool {
   static int DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SKYMR_EXCLUDES(mutex_);
+
+  /// Runs `task` and maintains the active count / idle signal around it.
+  void RunTask(std::function<void()> task) SKYMR_EXCLUDES(mutex_);
 
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_ SKYMR_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  int active_tasks_ = 0;
-  bool shutting_down_ = false;
+  int active_tasks_ SKYMR_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ SKYMR_GUARDED_BY(mutex_) = false;
 };
 
-/// Runs `count` indexed tasks on `pool` and waits for all of them.
-/// `fn(i)` is invoked once for each i in [0, count).
+/// Runs `count` indexed tasks on `pool` and waits for exactly those tasks
+/// to finish. `fn(i)` is invoked once for each i in [0, count). Safe to
+/// call concurrently from multiple threads and from inside pool tasks;
+/// the first exception thrown by `fn` is rethrown after all indices ran.
 void ParallelFor(ThreadPool* pool, int count,
                  const std::function<void(int)>& fn);
 

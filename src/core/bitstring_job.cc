@@ -4,6 +4,8 @@
 #include <numeric>
 #include <utility>
 
+#include "src/common/logging.h"
+
 namespace skymr::core {
 namespace {
 
@@ -107,6 +109,10 @@ class BitstringReducer
     }
     result.pruned =
         PruneDominated(grid_or.value(), &result.bits, config_->prune_mode);
+    // Equations 1-2: the broadcast bitstring BS_R has exactly n^d bits,
+    // and pruning only ever clears bits, never flips them on.
+    SKYMR_CHECK(result.bits.size() == grid_or.value().num_cells());
+    SKYMR_DCHECK(result.bits.Count() + result.pruned == result.nonempty);
     ctx.counters().Add(mr::kCounterPartitionsPruned,
                        static_cast<int64_t>(result.pruned));
     ctx.Emit(std::move(result));

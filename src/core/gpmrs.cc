@@ -160,6 +160,7 @@ StatusOr<SkylineJobRun> RunGpmrsJob(
       run.skyline.AppendUnchecked(window.RowAt(i), window.IdAt(i));
     }
   }
+  DebugVerifySkyline("MR-GPMRS", *data, run.skyline, constraint);
   return run;
 }
 

@@ -121,6 +121,7 @@ StatusOr<SkylineJobRun> RunGpsrsJob(std::shared_ptr<const Dataset> data,
   } else {
     return Status::Internal("GPSRS produced multiple outputs");
   }
+  DebugVerifySkyline("MR-GPSRS", *data, run.skyline, constraint);
   return run;
 }
 

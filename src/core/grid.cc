@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/logging.h"
 #include "src/common/math_util.h"
 
 namespace skymr::core {
@@ -66,10 +67,14 @@ CellId Grid::CellOf(const double* row) const {
     index += coord * stride;
     stride *= ppd_;
   }
+  // Clamping bounds every coordinate into [0, ppd), so the linear index
+  // is always a valid cell id.
+  SKYMR_DCHECK(index < num_cells_);
   return index;
 }
 
 void Grid::CoordsOf(CellId cell, uint32_t* coords) const {
+  SKYMR_DCHECK(cell < num_cells_);
   for (size_t k = 0; k < dim_; ++k) {
     coords[k] = static_cast<uint32_t>(cell % ppd_);
     cell /= ppd_;
@@ -86,6 +91,7 @@ CellId Grid::IndexOf(const uint32_t* coords) const {
   CellId index = 0;
   CellId stride = 1;
   for (size_t k = 0; k < dim_; ++k) {
+    SKYMR_DCHECK(coords[k] < ppd_);
     index += static_cast<CellId>(coords[k]) * stride;
     stride *= ppd_;
   }
@@ -93,6 +99,8 @@ CellId Grid::IndexOf(const uint32_t* coords) const {
 }
 
 bool Grid::CellDominates(CellId a, CellId b) const {
+  SKYMR_DCHECK(a < num_cells_);
+  SKYMR_DCHECK(b < num_cells_);
   for (size_t k = 0; k < dim_; ++k) {
     const auto ca = static_cast<uint32_t>(a % ppd_);
     const auto cb = static_cast<uint32_t>(b % ppd_);
@@ -106,6 +114,8 @@ bool Grid::CellDominates(CellId a, CellId b) const {
 }
 
 bool Grid::InAdrOf(CellId p, CellId q) const {
+  SKYMR_DCHECK(p < num_cells_);
+  SKYMR_DCHECK(q < num_cells_);
   if (p == q) {
     return false;
   }
@@ -133,6 +143,7 @@ bool Grid::InAdrOfCoords(const uint32_t* p, const uint32_t* q) const {
 }
 
 uint64_t Grid::AdrSize(CellId cell) const {
+  SKYMR_DCHECK(cell < num_cells_);
   uint64_t product = 1;
   for (size_t k = 0; k < dim_; ++k) {
     product *= static_cast<uint64_t>(cell % ppd_) + 1;
@@ -142,6 +153,7 @@ uint64_t Grid::AdrSize(CellId cell) const {
 }
 
 std::vector<double> Grid::MinCorner(CellId cell) const {
+  SKYMR_DCHECK(cell < num_cells_);
   std::vector<double> corner(dim_);
   for (size_t k = 0; k < dim_; ++k) {
     const auto coord = static_cast<uint32_t>(cell % ppd_);
@@ -152,6 +164,7 @@ std::vector<double> Grid::MinCorner(CellId cell) const {
 }
 
 std::vector<double> Grid::MaxCorner(CellId cell) const {
+  SKYMR_DCHECK(cell < num_cells_);
   std::vector<double> corner(dim_);
   for (size_t k = 0; k < dim_; ++k) {
     const auto coord = static_cast<uint32_t>(cell % ppd_);

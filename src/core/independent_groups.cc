@@ -1,12 +1,13 @@
 #include "src/core/independent_groups.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <queue>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "src/common/logging.h"
 
 namespace skymr::core {
 
@@ -50,6 +51,21 @@ std::vector<IndependentGroup> GenerateIndependentGroups(
     }
     groups.push_back(std::move(group));
   }
+  if (DchecksEnabled()) {
+    // Definition 5 bookkeeping: the groups must cover exactly the
+    // non-empty cells — every member is a set bit (no phantom cells) and
+    // every set bit is in some group (no partition's skyline is lost).
+    DynamicBitset covered(bits.size());
+    for (const IndependentGroup& group : groups) {
+      for (const CellId cell : group.cells) {
+        SKYMR_DCHECK(bits.Test(cell))
+            << "group contains empty cell " << cell;
+        covered.Set(cell);
+      }
+    }
+    SKYMR_DCHECK(covered == bits)
+        << "independent groups do not cover all non-empty cells";
+  }
   return groups;
 }
 
@@ -89,7 +105,7 @@ ReducerGroup BuildReducerGroup(
                                                 out.member_groups.end());
   for (const CellId cell : out.cells) {
     const auto it = owner_of_cell.find(cell);
-    assert(it != owner_of_cell.end());
+    SKYMR_DCHECK(it != owner_of_cell.end());
     if (member_set.count(it->second) > 0) {
       out.responsible.push_back(cell);
     }
@@ -186,7 +202,7 @@ std::vector<std::vector<uint32_t>> PackByCommunicationCost(
         best_overlap = shared;
       }
     }
-    assert(best < clusters.size());
+    SKYMR_DCHECK(best < clusters.size());
     Cluster& dst = clusters[best];
     Cluster& src = clusters[smallest];
     dst.members.insert(dst.members.end(), src.members.begin(),
@@ -337,6 +353,22 @@ std::vector<ReducerGroup> AssignGroupsToReducers(
     }
     out.push_back(BuildReducerGroup(groups, std::move(members),
                                     owner_of_cell));
+  }
+  if (DchecksEnabled()) {
+    // Section 5.4.2: duplicate elimination is correct only if every
+    // non-empty cell is the responsibility of exactly one reducer group.
+    std::unordered_map<CellId, int> responsible_count;
+    for (const ReducerGroup& group : out) {
+      for (const CellId cell : group.responsible) {
+        ++responsible_count[cell];
+      }
+    }
+    SKYMR_DCHECK(responsible_count.size() == owner_of_cell.size())
+        << "some cells have no responsible reducer group";
+    for (const auto& [cell, count] : responsible_count) {
+      SKYMR_DCHECK(count == 1)
+          << "cell " << cell << " is output by " << count << " groups";
+    }
   }
   return out;
 }

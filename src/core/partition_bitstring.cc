@@ -2,10 +2,14 @@
 
 #include <vector>
 
+#include "src/common/logging.h"
+
 namespace skymr::core {
 
 DynamicBitset BuildLocalBitstring(const Grid& grid, const Dataset& data,
                                   TupleId begin, TupleId end) {
+  SKYMR_DCHECK(begin <= end);
+  SKYMR_DCHECK(end <= data.size());
   DynamicBitset bits(grid.num_cells());
   for (TupleId id = begin; id < end; ++id) {
     bits.Set(grid.CellOf(data.RowPtr(id)));
@@ -15,6 +19,12 @@ DynamicBitset BuildLocalBitstring(const Grid& grid, const Dataset& data,
 
 uint64_t PruneDominated(const Grid& grid, DynamicBitset* bits,
                         PruneMode mode) {
+  // Equations 1-2: the bitstring always has exactly n^d bits, one per
+  // grid cell. Everything downstream (group generation, mapper pruning)
+  // indexes it by cell id, so a size mismatch is memory corruption.
+  SKYMR_CHECK(bits->size() == grid.num_cells())
+      << "bitstring has " << bits->size() << " bits for a grid of "
+      << grid.num_cells() << " cells";
   switch (mode) {
     case PruneMode::kLiteral:
       return PruneDominatedLiteral(grid, bits);
@@ -25,6 +35,7 @@ uint64_t PruneDominated(const Grid& grid, DynamicBitset* bits,
 }
 
 uint64_t PruneDominatedLiteral(const Grid& grid, DynamicBitset* bits) {
+  SKYMR_DCHECK(bits->size() == grid.num_cells());
   // Algorithm 2, lines 4-7: for ascending i with BS[i] = 1, clear p_i.DR.
   // Scanning the mutated bitstring is sound: if p_i was cleared by an
   // earlier p_k (p_k dominates p_i), then p_k also dominates everything in
@@ -43,6 +54,7 @@ uint64_t PruneDominatedLiteral(const Grid& grid, DynamicBitset* bits) {
 }
 
 uint64_t PruneDominatedPrefix(const Grid& grid, DynamicBitset* bits) {
+  SKYMR_DCHECK(bits->size() == grid.num_cells());
   const uint64_t n = grid.ppd();
   const size_t d = grid.dim();
   const uint64_t cells = grid.num_cells();

@@ -16,10 +16,12 @@
 #include "src/core/grid.h"
 #include "src/core/independent_groups.h"
 #include "src/core/messages.h"
+#include "src/common/logging.h"
 #include "src/local/sfs.h"
 #include "src/local/skyline_window.h"
 #include "src/mapreduce/job.h"
 #include "src/relation/box.h"
+#include "src/relation/skyline_verify.h"
 
 namespace skymr::core {
 
@@ -66,6 +68,33 @@ struct SkylineJobRun {
   SkylineWindow skyline;
   mr::JobMetrics metrics;
 };
+
+/// Input-size ceiling for the debug-only skyline cross-check below; the
+/// reference is O(n^2), so the check is restricted to inputs where it
+/// stays cheap enough to run after every job in sanitizer CI.
+inline constexpr size_t kDebugSkylineVerifyMaxTuples = 4096;
+
+/// Debug/sanitizer builds only (SKYMR_DCHECK_IS_ON): cross-checks a
+/// finished GPSRS/GPMRS run against the O(n^2) reference skyline and
+/// aborts on any mismatch. Constrained runs are skipped — the reference
+/// is defined over the whole dataset — as are inputs too large for the
+/// quadratic check.
+inline void DebugVerifySkyline(const char* algorithm, const Dataset& data,
+                               const SkylineWindow& skyline,
+                               const std::optional<Box>& constraint) {
+  if (!DchecksEnabled() || constraint.has_value() ||
+      data.size() > kDebugSkylineVerifyMaxTuples) {
+    return;
+  }
+  std::vector<TupleId> ids;
+  ids.reserve(skyline.size());
+  for (size_t i = 0; i < skyline.size(); ++i) {
+    ids.push_back(skyline.IdAt(i));
+  }
+  const std::string mismatch = ExplainSkylineMismatch(data, ids);
+  SKYMR_CHECK(mismatch.empty())
+      << algorithm << " produced a wrong skyline: " << mismatch;
+}
 
 /// The mapper-side local phase: per-partition BNL windows for unpruned
 /// partitions, then ComparePartitions across the mapper's windows.

@@ -5,6 +5,7 @@ namespace skymr::mr {
 Status DistributedCache::PutErased(const std::string& key,
                                    std::type_index type,
                                    std::shared_ptr<const void> value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] =
       entries_.emplace(key, Entry{type, std::move(value)});
   (void)it;
@@ -16,6 +17,7 @@ Status DistributedCache::PutErased(const std::string& key,
 
 std::shared_ptr<const void> DistributedCache::GetErased(
     const std::string& key, std::type_index type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end() || it->second.type != type) {
     return nullptr;
@@ -23,10 +25,19 @@ std::shared_ptr<const void> DistributedCache::GetErased(
   return it->second.value;
 }
 
-void DistributedCache::Remove(const std::string& key) { entries_.erase(key); }
+void DistributedCache::Remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(key);
+}
 
 bool DistributedCache::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return entries_.find(key) != entries_.end();
+}
+
+size_t DistributedCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
 }
 
 }  // namespace skymr::mr

@@ -4,16 +4,20 @@
 // Cache, or something similar, is available").
 //
 // Entries are immutable once put; tasks receive shared const pointers.
+// The entry map itself is mutex-protected so Put/Remove (between chained
+// jobs) cannot race the concurrent Get calls tasks issue during a job.
 
 #ifndef SKYMR_MAPREDUCE_DISTRIBUTED_CACHE_H_
 #define SKYMR_MAPREDUCE_DISTRIBUTED_CACHE_H_
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <typeindex>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace skymr::mr {
 
@@ -44,10 +48,10 @@ class DistributedCache {
   }
 
   /// Removes an entry (used between chained jobs to replace side data).
-  void Remove(const std::string& key);
+  void Remove(const std::string& key) SKYMR_EXCLUDES(mutex_);
 
-  bool Contains(const std::string& key) const;
-  size_t size() const { return entries_.size(); }
+  bool Contains(const std::string& key) const SKYMR_EXCLUDES(mutex_);
+  size_t size() const SKYMR_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -56,11 +60,14 @@ class DistributedCache {
   };
 
   Status PutErased(const std::string& key, std::type_index type,
-                   std::shared_ptr<const void> value);
+                   std::shared_ptr<const void> value)
+      SKYMR_EXCLUDES(mutex_);
   std::shared_ptr<const void> GetErased(const std::string& key,
-                                        std::type_index type) const;
+                                        std::type_index type) const
+      SKYMR_EXCLUDES(mutex_);
 
-  std::map<std::string, Entry> entries_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_ SKYMR_GUARDED_BY(mutex_);
 };
 
 }  // namespace skymr::mr

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/serde.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
@@ -258,6 +259,10 @@ class Job {
     const int r = options.num_reducers;
 
     // ---- Map wave ----
+    // Task isolation contract: concurrent tasks touch only their own
+    // slot of these per-task vectors (task i writes index i and nothing
+    // else), so no locking is needed. The merge passes below run on the
+    // caller's thread after the ParallelFor completion barrier.
     std::vector<MapTaskOutput> map_outputs(static_cast<size_t>(m));
     std::vector<Status> map_status(static_cast<size_t>(m));
     ParallelFor(pool, m, [&](int task) {
@@ -279,6 +284,10 @@ class Job {
         static_cast<size_t>(r));
     for (int task = 0; task < m; ++task) {
       MapTaskOutput& out = map_outputs[static_cast<size_t>(task)];
+      // Every successful map task hands exactly one context (with one
+      // bucket per reducer) to the shuffle.
+      SKYMR_DCHECK(out.context != nullptr);
+      SKYMR_DCHECK(out.context->buckets_.size() == static_cast<size_t>(r));
       result.metrics.map_tasks.push_back(std::move(out.metrics));
       for (int bucket = 0; bucket < r; ++bucket) {
         auto& src = out.context->buckets_[static_cast<size_t>(bucket)];
@@ -345,12 +354,17 @@ class Job {
     const auto t = static_cast<size_t>(task);
     const size_t begin = t * base + std::min(t, extra);
     const size_t size = base + (t < extra ? 1 : 0);
+    SKYMR_DCHECK(begin + size <= n);
     return input.subspan(begin, size);
   }
 
   Status RunMapTask(int task_id, std::span<const In> split, int num_reducers,
                     const EngineOptions& options,
                     const DistributedCache& cache, MapTaskOutput* out) {
+    // Retry isolation: every attempt gets a fresh context and a fresh
+    // mapper instance, and `out` (the task's metrics/output slot shared
+    // with the job) is written only after an attempt succeeds — a failed
+    // attempt can never leak partial state into the shuffle or metrics.
     for (int attempt = 1; attempt <= options.max_task_attempts; ++attempt) {
       auto context = std::make_unique<MapContext<K2, V2>>(
           task_id, num_reducers, &cache, &partitioner_);

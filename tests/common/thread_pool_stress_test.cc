@@ -1,0 +1,190 @@
+// Concurrency stress for ThreadPool and ParallelFor. These tests encode
+// the pool's contract (thread_pool.h) under contention and are most
+// meaningful in the SKYMR_SANITIZE=thread configuration:
+//
+//   cmake -B build-tsan -S . -DSKYMR_SANITIZE=thread
+//   cmake --build build-tsan -j && ctest --test-dir build-tsan -L concurrency
+//
+// Regression background: the original ParallelFor waited via pool-wide
+// WaitIdle, so (a) a nested call deadlocked — the waiting task counted as
+// active forever — (b) concurrent callers waited on each other's tasks,
+// and (c) an exception in a body escaped the worker loop and terminated
+// the process. The tests below pin down all three behaviours.
+
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skymr {
+namespace {
+
+TEST(ThreadPoolStressTest, ManyConcurrentSubmitters) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksPerSubmitter = 500;
+  std::atomic<int> counter{0};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerSubmitter; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksPerSubmitter);
+}
+
+TEST(ThreadPoolStressTest, SubmittersRacingWaitIdle) {
+  // WaitIdle may run concurrently with Submit from other threads; it only
+  // promises that tasks submitted *before* it started are done when it
+  // returns. The test checks nothing is lost or double-run in the race.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::atomic<bool> stop{false};
+
+  std::thread submitter([&] {
+    for (int i = 0; i < 2000; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    stop.store(true);
+  });
+  while (!stop.load()) {
+    pool.WaitIdle();
+  }
+  submitter.join();
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 2000);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentParallelForCallsAreIndependent) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  static constexpr int kCount = 200;
+  std::vector<std::atomic<int>> totals(kCallers);
+
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &totals, c] {
+      ParallelFor(&pool, kCount,
+                  [&totals, c](int) { totals[c].fetch_add(1); });
+      // Per-call completion: by the time ParallelFor returns, *this*
+      // caller's indices all ran, regardless of the other callers.
+      EXPECT_EQ(totals[c].load(), kCount);
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+}
+
+TEST(ThreadPoolStressTest, NestedParallelFor) {
+  ThreadPool pool(4);
+  constexpr int kOuter = 16;
+  constexpr int kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+
+  ParallelFor(&pool, kOuter, [&pool, &hits](int i) {
+    ParallelFor(&pool, kInner, [&hits, i](int j) {
+      hits[i * kInner + j].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolStressTest, NestedParallelForOnSingleThreadPool) {
+  // The hardest case for work-helping: one worker, three nesting levels.
+  // The waiting thread must drain the queue itself or this deadlocks.
+  ThreadPool pool(1);
+  std::atomic<int> leaves{0};
+  ParallelFor(&pool, 4, [&pool, &leaves](int) {
+    ParallelFor(&pool, 4, [&pool, &leaves](int) {
+      ParallelFor(&pool, 4, [&leaves](int) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 4 * 4 * 4);
+}
+
+TEST(ThreadPoolStressTest, ExceptionInBodyIsRethrownAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    ParallelFor(&pool, 100, [&ran](int i) {
+      ran.fetch_add(1);
+      if (i == 37) {
+        throw std::runtime_error("index 37 failed");
+      }
+    });
+    FAIL() << "ParallelFor should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "index 37 failed");
+  }
+  // Every index ran despite the failure, and the pool is still usable.
+  EXPECT_EQ(ran.load(), 100);
+  std::atomic<int> after{0};
+  ParallelFor(&pool, 50, [&after](int) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 50);
+}
+
+TEST(ThreadPoolStressTest, ExceptionPropagatesThroughNestedParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> outer_done{0};
+  EXPECT_THROW(
+      ParallelFor(&pool, 8,
+                  [&pool, &outer_done](int i) {
+                    ParallelFor(&pool, 8, [i](int j) {
+                      if (i == 3 && j == 5) {
+                        throw std::logic_error("nested failure");
+                      }
+                    });
+                    outer_done.fetch_add(1);
+                  }),
+      std::logic_error);
+  // Outer indices other than the failing one completed normally.
+  EXPECT_EQ(outer_done.load(), 7);
+}
+
+TEST(ThreadPoolStressTest, MixedSubmitAndParallelForFromTasks) {
+  // Tasks themselves submit work and run ParallelFor while outside
+  // threads do the same — the access pattern of the MR engine's map wave
+  // with per-task retries.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kRounds = 20;
+
+  for (int round = 0; round < kRounds; ++round) {
+    pool.Submit([&pool, &counter] {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+      ParallelFor(&pool, 10, [&counter](int) { counter.fetch_add(1); });
+    });
+    ParallelFor(&pool, 5, [&counter](int) { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), kRounds * (1 + 10 + 5));
+}
+
+TEST(ThreadPoolStressTest, RepeatedWavesKeepPoolConsistent) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int wave = 0; wave < 50; ++wave) {
+    ParallelFor(&pool, 64, [&total](int i) { total.fetch_add(i); });
+  }
+  EXPECT_EQ(total.load(), 50L * (63 * 64 / 2));
+}
+
+}  // namespace
+}  // namespace skymr
