@@ -80,12 +80,23 @@ inline RunnerConfig PaperConfig(Algorithm algorithm, int reducers = 13) {
   return config;
 }
 
+/// One worker pool for the whole bench binary: every pipeline iteration
+/// reuses it instead of spawning threads per ComputeSkyline call.
+inline ThreadPool& SharedBenchPool() {
+  static ThreadPool pool(ThreadPool::DefaultThreads());
+  return pool;
+}
+
 /// Runs one pipeline and reports the paper's metrics on the benchmark
 /// state. Aborts the benchmark on error or on a wrong skyline.
 inline void RunAndReport(benchmark::State& state, const Dataset& data,
                          const RunnerConfig& config) {
+  RunnerConfig pooled = config;
+  if (pooled.pool == nullptr) {
+    pooled.pool = &SharedBenchPool();
+  }
   for (auto _ : state) {
-    auto result = ComputeSkyline(data, config);
+    auto result = ComputeSkyline(data, pooled);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       return;

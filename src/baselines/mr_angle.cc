@@ -141,13 +141,14 @@ class MrAngleReducer
     : public mr::Reducer<uint32_t, LocalSkylineSet, SkylineWindow> {
  public:
   void Reduce(const uint32_t& key,
-              const std::vector<LocalSkylineSet>& values,
+              mr::ValueIterator<LocalSkylineSet>& values,
               mr::ReduceContext<SkylineWindow>& ctx) override {
     (void)key;
     DominanceCounter dominance_counter;
     SkylineWindow global;
     bool first = true;
-    for (const LocalSkylineSet& set : values) {
+    while (values.HasNext()) {
+      const LocalSkylineSet set = values.Next();
       for (const PartitionSkyline& part : set.parts) {
         if (first && part.window.dim() > 0) {
           global = SkylineWindow(part.window.dim());

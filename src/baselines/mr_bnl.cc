@@ -72,12 +72,13 @@ class MrBnlReducer
   }
 
   void Reduce(const uint32_t& key,
-              const std::vector<LocalSkylineSet>& values,
+              mr::ValueIterator<LocalSkylineSet>& values,
               mr::ReduceContext<SkylineWindow>& ctx) override {
     (void)key;
     DominanceCounter dominance_counter;
     CellWindowMap windows;
-    for (const LocalSkylineSet& set : values) {
+    while (values.HasNext()) {
+      const LocalSkylineSet set = values.Next();
       core::MergeParts(set.parts, grid_->dim(), &windows,
                        &dominance_counter);
     }

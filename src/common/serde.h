@@ -15,8 +15,10 @@
 #ifndef SKYMR_COMMON_SERDE_H_
 #define SKYMR_COMMON_SERDE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -26,6 +28,16 @@
 #include "src/common/logging.h"
 
 namespace skymr {
+
+/// Thrown when a deserializer would read past the end of its buffer
+/// (truncated or corrupt shuffle data). Checked in every build mode; the
+/// MapReduce engine treats it like a task failure, so a bad payload fails
+/// the task instead of reading out of bounds.
+class SerdeUnderflow : public std::runtime_error {
+ public:
+  explicit SerdeUnderflow(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// An append-only byte buffer used as a serialization target.
 class ByteSink {
@@ -45,8 +57,13 @@ class ByteSink {
   }
 
   size_t size() const { return buffer_.size(); }
+  const uint8_t* data() const { return buffer_.data(); }
   const std::vector<uint8_t>& buffer() const { return buffer_; }
   std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+  /// Empties the buffer but keeps its capacity (arena reuse across
+  /// map-task retries).
+  void Clear() { buffer_.clear(); }
 
  private:
   std::vector<uint8_t> buffer_;
@@ -60,7 +77,11 @@ class ByteSource {
       : data_(buffer.data()), size_(buffer.size()) {}
 
   void Read(void* out, size_t size) {
-    SKYMR_DCHECK(pos_ + size <= size_) << "serde underflow";
+    if (size > size_ - pos_) {  // pos_ <= size_ always holds.
+      throw SerdeUnderflow("serde underflow: need " + std::to_string(size) +
+                           " bytes, " + std::to_string(size_ - pos_) +
+                           " remaining");
+    }
     if (size == 0) {
       return;  // `out` may be null (e.g. an empty vector's data()).
     }
@@ -103,6 +124,11 @@ struct Serde<std::string> {
   }
   static std::string Read(ByteSource* source) {
     const auto size = source->ReadRaw<uint64_t>();
+    if (size > source->remaining()) {
+      throw SerdeUnderflow("serde underflow: string length " +
+                           std::to_string(size) + " exceeds remaining " +
+                           std::to_string(source->remaining()));
+    }
     std::string out(size, '\0');
     source->Read(out.data(), size);
     return out;
@@ -137,11 +163,18 @@ struct Serde<std::vector<T>> {
   static std::vector<T> Read(ByteSource* source) {
     const auto size = source->ReadRaw<uint64_t>();
     std::vector<T> out;
-    out.reserve(size);
     if constexpr (std::is_trivially_copyable_v<T>) {
+      if (size > source->remaining() / sizeof(T)) {
+        throw SerdeUnderflow("serde underflow: vector length " +
+                             std::to_string(size) + " exceeds remaining " +
+                             std::to_string(source->remaining()));
+      }
       out.resize(size);
       source->Read(out.data(), size * sizeof(T));
     } else {
+      // Element reads underflow on their own; just bound the reservation
+      // so a corrupt length cannot force a huge allocation up front.
+      out.reserve(std::min<uint64_t>(size, source->remaining()));
       for (uint64_t i = 0; i < size; ++i) {
         out.push_back(Serde<T>::Read(source));
       }
@@ -159,7 +192,13 @@ struct Serde<DynamicBitset> {
   }
   static DynamicBitset Read(ByteSource* source) {
     const auto size = source->ReadRaw<uint64_t>();
-    std::vector<uint64_t> words((size + 63) / 64);
+    const uint64_t word_count = size / 64 + (size % 64 != 0 ? 1 : 0);
+    if (word_count > source->remaining() / sizeof(uint64_t)) {
+      throw SerdeUnderflow("serde underflow: bitset size " +
+                           std::to_string(size) + " exceeds remaining " +
+                           std::to_string(source->remaining()));
+    }
+    std::vector<uint64_t> words(word_count);
     source->Read(words.data(), words.size() * sizeof(uint64_t));
     return DynamicBitset::FromWords(size, std::move(words));
   }

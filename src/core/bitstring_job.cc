@@ -72,15 +72,15 @@ class BitstringReducer
     }
   }
 
-  void Reduce(const uint32_t& ppd, const std::vector<DynamicBitset>& values,
+  void Reduce(const uint32_t& ppd, mr::ValueIterator<DynamicBitset>& values,
               mr::ReduceContext<BitstringBuildResult>& ctx) override {
     (void)ctx;
-    if (values.empty()) {
+    if (!values.HasNext()) {
       return;
     }
-    DynamicBitset merged = values[0];
-    for (size_t i = 1; i < values.size(); ++i) {
-      merged |= values[i];
+    DynamicBitset merged = values.Next();
+    while (values.HasNext()) {
+      merged |= values.Next();
     }
     merged_[ppd] = std::move(merged);
   }

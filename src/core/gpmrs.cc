@@ -64,17 +64,23 @@ class GpmrsReducer
     }
   }
 
-  void Reduce(const uint32_t& key, const std::vector<GroupPayload>& values,
+  void Reduce(const uint32_t& key, mr::ValueIterator<GroupPayload>& values,
               mr::ReduceContext<SkylineWindow>& ctx) override {
     (void)key;
-    if (values.empty()) {
+    if (!values.HasNext()) {
       return;
     }
     const size_t dim = context_->grid.dim();
     DominanceCounter dominance_counter;
-    // Lines 2-8: merge per-partition skylines across mappers.
+    // Lines 2-8: merge per-partition skylines across mappers, one payload
+    // at a time. Every mapper ships the same responsibility list for a
+    // group, so remembering the first payload's copy is enough.
+    const GroupPayload first = values.Next();
+    std::vector<CellId> responsible_cells = first.responsible;
     CellWindowMap windows;
-    for (const GroupPayload& payload : values) {
+    MergeParts(first.parts, dim, &windows, &dominance_counter);
+    while (values.HasNext()) {
+      const GroupPayload payload = values.Next();
       MergeParts(payload.parts, dim, &windows, &dominance_counter);
     }
     // Lines 9-10: false-positive elimination within the group. The group
@@ -89,8 +95,8 @@ class GpmrsReducer
 
     // Line 11 + Section 5.4.2: output only the partitions this group is
     // responsible for, eliminating duplicates across replicated cells.
-    const std::unordered_set<CellId> responsible(
-        values[0].responsible.begin(), values[0].responsible.end());
+    const std::unordered_set<CellId> responsible(responsible_cells.begin(),
+                                                 responsible_cells.end());
     SkylineWindow out(dim);
     for (const auto& [cell, window] : windows) {
       if (responsible.count(cell) == 0) {
@@ -143,9 +149,7 @@ StatusOr<SkylineJobRun> RunGpmrsJob(
       [] { return std::make_unique<GpmrsReducer>(); });
   // Reducer-group i is pinned to reducer i (group count never exceeds the
   // reducer count after merging).
-  job.set_partitioner([](const uint32_t& key, int r) {
-    return static_cast<int>(key % static_cast<uint32_t>(r));
-  });
+  job.UseModuloPartitioner();
 
   auto result = job.Run(ids, engine, cache, pool);
   if (!result.ok()) {

@@ -45,14 +45,17 @@ class GpsrsReducer
   }
 
   void Reduce(const uint32_t& key,
-              const std::vector<LocalSkylineSet>& values,
+              mr::ValueIterator<LocalSkylineSet>& values,
               mr::ReduceContext<SkylineWindow>& ctx) override {
     (void)key;
     const size_t dim = context_->grid.dim();
     DominanceCounter dominance_counter;
     // Lines 1-6: merge the mappers' per-partition skylines with InsertTuple.
+    // One mapper's set is deserialized at a time; the whole value list is
+    // never resident at once.
     CellWindowMap windows;
-    for (const LocalSkylineSet& set : values) {
+    while (values.HasNext()) {
+      const LocalSkylineSet set = values.Next();
       MergeParts(set.parts, dim, &windows, &dominance_counter);
     }
     // Lines 7-8: eliminate cross-partition false positives globally.

@@ -91,10 +91,18 @@ StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
   const Bounds bounds = config.unit_bounds ? Bounds::UnitCube(data.dim())
                                            : data.ComputeBounds();
   const std::shared_ptr<const Dataset> shared = Unowned(data);
-  const int threads = config.engine.num_threads > 0
-                          ? config.engine.num_threads
-                          : ThreadPool::DefaultThreads();
-  ThreadPool pool(threads);
+  // One pool drives every job of the pipeline; with config.pool the
+  // caller amortizes thread startup across ComputeSkyline calls too.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool_ptr = config.pool;
+  if (pool_ptr == nullptr) {
+    const int threads = config.engine.num_threads > 0
+                            ? config.engine.num_threads
+                            : ThreadPool::DefaultThreads();
+    owned_pool = std::make_unique<ThreadPool>(threads);
+    pool_ptr = owned_pool.get();
+  }
+  ThreadPool& pool = *pool_ptr;
 
   // ---- Baselines: one job, no bitstring phase ----
   if (config.algorithm == Algorithm::kMrBnl ||

@@ -12,6 +12,7 @@
 
 #include "src/baselines/centralized.h"
 #include "src/baselines/sky_quadtree.h"
+#include "src/common/thread_pool.h"
 #include "src/core/bitstring_job.h"
 #include "src/core/hybrid.h"
 #include "src/core/independent_groups.h"
@@ -63,6 +64,12 @@ struct RunnerConfig {
   /// only the tuples inside this box. Partitions outside the box never
   /// enter the bitstring, so they are pruned before any tuple work.
   std::optional<Box> constraint;
+  /// Worker pool shared across ComputeSkyline calls. When null (the
+  /// default) a private pool of engine.num_threads is built per call;
+  /// callers running many computations (benchmark loops, the CLI compare
+  /// command) pass one pool here so threads are spawned once. The pool
+  /// must outlive the call, and engine.num_threads is ignored when set.
+  ThreadPool* pool = nullptr;
 };
 
 /// The outcome of a skyline computation.

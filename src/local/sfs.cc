@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/relation/dominance_kernel.h"
+
 namespace skymr {
 
 SkylineWindow SfsSkyline(const Dataset& data, TupleId begin, TupleId end,
@@ -19,30 +21,23 @@ SkylineWindow SfsSkyline(const Dataset& data, std::vector<TupleId> ids,
   // (dominance implies a strictly smaller coordinate sum, ties excepted;
   // equal tuples never dominate each other).
   auto score = [&data, dim](TupleId id) {
-    const double* row = data.RowPtr(id);
-    double sum = 0.0;
-    for (size_t k = 0; k < dim; ++k) {
-      sum += row[k];
-    }
-    return sum;
+    return CoordinateSum(data.RowPtr(id), dim);
   };
   std::stable_sort(ids.begin(), ids.end(), [&score](TupleId a, TupleId b) {
     return score(a) < score(b);
   });
 
+  // Sorting makes every window row's sum <= the candidate's, so the sum
+  // screen cannot help here; the block kernel alone carries the scan.
   SkylineWindow window(dim);
   uint64_t checks = 0;
   for (const TupleId id : ids) {
     const double* row = data.RowPtr(id);
-    bool dominated = false;
-    for (size_t i = 0; i < window.size(); ++i) {
-      ++checks;
-      if (Dominates(window.RowAt(i), row, dim)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) {
+    const size_t n = window.size();
+    const size_t first = FirstDominatorIndex(row, 0.0, window.values().data(),
+                                             /*sums=*/nullptr, n, dim);
+    checks += (first != n) ? first + 1 : n;
+    if (first == n) {
       window.AppendUnchecked(row, id);
     }
   }

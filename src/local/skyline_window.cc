@@ -1,66 +1,68 @@
 #include "src/local/skyline_window.h"
 
 #include <cassert>
+#include <cstring>
+
+#include "src/relation/dominance_kernel.h"
 
 namespace skymr {
 
 bool SkylineWindow::Insert(const double* row, TupleId id,
                            DominanceCounter* counter) {
   assert(dim_ > 0);
-  uint64_t checks = 0;
-  size_t i = 0;
-  bool keep = true;
-  while (i < size()) {
-    const DominanceResult cmp = CompareDominance(RowAt(i), row, dim_);
-    ++checks;
-    if (cmp == DominanceResult::kADominatesB) {
-      // An existing window tuple dominates the candidate: reject.
-      keep = false;
-      break;
-    }
-    if (cmp == DominanceResult::kBDominatesA) {
-      // The candidate dominates a window tuple: evict it.
-      SwapRemove(i);
-      continue;  // The swapped-in tuple now sits at position i.
-    }
-    ++i;
-  }
+  static thread_local std::vector<uint32_t> evicted;
+  evicted.clear();
+  const size_t n = size();
+  const size_t first = InsertScan(row, values_.data(), n, dim_, &evicted);
   if (counter != nullptr) {
-    counter->Add(checks);
+    // Same count as the tuple-at-a-time loop: on rejection it compared
+    // rows 0..first once each; on acceptance every row exactly once (under
+    // the window invariant a dominator and an eviction cannot coexist, and
+    // each swapped-in row is a not-yet-compared row).
+    counter->Add(first != n ? first + 1 : n);
   }
-  if (keep) {
-    AppendUnchecked(row, id);
+  if (first != n) {
+    return false;
   }
-  return keep;
+  if (!evicted.empty()) {
+    EvictAscending(evicted);
+  }
+  AppendUnchecked(row, id);
+  return true;
 }
 
 void SkylineWindow::AppendUnchecked(const double* row, TupleId id) {
   ids_.push_back(id);
   values_.insert(values_.end(), row, row + dim_);
+  sums_.push_back(CoordinateSum(row, dim_));
 }
 
 void SkylineWindow::RemoveDominatedBy(const SkylineWindow& other,
                                       DominanceCounter* counter) {
   assert(dim_ == other.dim_ || other.empty() || empty());
+  if (empty() || other.empty()) {
+    return;
+  }
+  static thread_local std::vector<uint32_t> dominated;
+  dominated.clear();
   uint64_t checks = 0;
-  size_t i = 0;
-  while (i < size()) {
-    bool dominated = false;
-    for (size_t j = 0; j < other.size(); ++j) {
-      ++checks;
-      if (Dominates(other.RowAt(j), RowAt(i), dim_)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (dominated) {
-      SwapRemove(i);
+  const size_t m = other.size();
+  for (size_t i = 0; i < size(); ++i) {
+    const size_t first =
+        FirstDominatorIndex(RowAt(i), sums_[i], other.values_.data(),
+                            other.sums_.data(), m, dim_);
+    if (first != m) {
+      dominated.push_back(static_cast<uint32_t>(i));
+      checks += first + 1;
     } else {
-      ++i;
+      checks += m;
     }
   }
   if (counter != nullptr) {
     counter->Add(checks);
+  }
+  if (!dominated.empty()) {
+    EvictAscending(dominated);
   }
 }
 
@@ -75,16 +77,44 @@ void SkylineWindow::Filter(const std::vector<bool>& keep) {
   *this = std::move(kept);
 }
 
-void SkylineWindow::SwapRemove(size_t i) {
-  const size_t last = size() - 1;
-  if (i != last) {
-    ids_[i] = ids_[last];
-    for (size_t k = 0; k < dim_; ++k) {
-      values_[i * dim_ + k] = values_[last * dim_ + k];
+void SkylineWindow::EvictAscending(const std::vector<uint32_t>& evicted) {
+  // Replays the scalar loop "while (i < m) { dominated ? swap last into i
+  // and re-check i : ++i }": popping already-doomed rows off the back first
+  // means the first surviving row from the back is the one that lands in
+  // slot i, exactly as the re-check would have arranged.
+  size_t m = size();
+  size_t i = 0;
+  size_t lo = 0;               // Next unconsumed eviction (ascending).
+  size_t hi = evicted.size();  // One past the last unconsumed eviction.
+  while (i < m) {
+    if (lo < hi && evicted[lo] == i) {
+      ++lo;
+      while (m - 1 > i && hi > lo && evicted[hi - 1] == m - 1) {
+        --hi;
+        --m;
+      }
+      const size_t last = m - 1;
+      if (i != last) {
+        ids_[i] = ids_[last];
+        sums_[i] = sums_[last];
+        std::memcpy(&values_[i * dim_], &values_[last * dim_],
+                    dim_ * sizeof(double));
+      }
+      --m;
+    } else {
+      ++i;
     }
   }
-  ids_.pop_back();
-  values_.resize(values_.size() - dim_);
+  ids_.resize(m);
+  sums_.resize(m);
+  values_.resize(m * dim_);
+}
+
+void SkylineWindow::RecomputeSums() {
+  sums_.resize(ids_.size());
+  if (dim_ > 0 && !ids_.empty()) {
+    CoordinateSums(values_.data(), ids_.size(), dim_, sums_.data());
+  }
 }
 
 }  // namespace skymr

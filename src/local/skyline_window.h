@@ -4,6 +4,15 @@
 // A window owns its tuple values (flat row-major) plus the original tuple
 // ids, so it can be serialized and shipped through the shuffle like the
 // local skylines in the paper's Figures 4 and 5.
+//
+// Insert and RemoveDominatedBy run on the block dominance kernels
+// (src/relation/dominance_kernel.h): one flat scan over the row-major
+// storage classifies every window tuple against the candidate, and evicted
+// rows are then removed in a replay of the original swap-remove sequence —
+// the resulting row order and the reported comparison counts are identical
+// to the scalar tuple-at-a-time implementation. Each row also carries its
+// monotone coordinate-sum key (sums()), which lets RemoveDominatedBy and
+// the reducer-side merges skip rows that provably cannot dominate.
 
 #ifndef SKYMR_LOCAL_SKYLINE_WINDOW_H_
 #define SKYMR_LOCAL_SKYLINE_WINDOW_H_
@@ -51,6 +60,10 @@ class SkylineWindow {
   const std::vector<TupleId>& ids() const { return ids_; }
   const std::vector<double>& values() const { return values_; }
 
+  /// Per-row monotone dominance keys (CoordinateSum of each row), kept in
+  /// step with the rows. Not serialized: recomputed on deserialization.
+  const std::vector<double>& sums() const { return sums_; }
+
   /// Exact wire size when shipped through the shuffle.
   size_t ByteSize() const {
     return sizeof(uint64_t) * 3 + values_.size() * sizeof(double) +
@@ -65,12 +78,18 @@ class SkylineWindow {
  private:
   friend struct Serde<SkylineWindow>;
 
-  /// Removes the tuple at position i by swapping with the last (O(1)).
-  void SwapRemove(size_t i);
+  /// Removes the rows at the given ascending positions, replaying the
+  /// swap-remove-with-recheck order of the scalar eviction loop so the
+  /// surviving rows end up in exactly the same positions.
+  void EvictAscending(const std::vector<uint32_t>& evicted);
+
+  /// Rebuilds sums_ from values_ (after deserialization).
+  void RecomputeSums();
 
   size_t dim_ = 0;
   std::vector<TupleId> ids_;
   std::vector<double> values_;  // Row-major, ids_.size() * dim_.
+  std::vector<double> sums_;    // Per-row CoordinateSum, ids_.size().
 };
 
 template <>
@@ -85,6 +104,7 @@ struct Serde<SkylineWindow> {
     out.dim_ = static_cast<size_t>(source->ReadRaw<uint64_t>());
     out.ids_ = Serde<std::vector<TupleId>>::Read(source);
     out.values_ = Serde<std::vector<double>>::Read(source);
+    out.RecomputeSums();
     return out;
   }
 };

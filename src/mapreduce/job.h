@@ -21,6 +21,16 @@
 //    captured so a ClusterModel can compute a modeled cluster makespan.
 //
 // Map and reduce tasks run concurrently on a ThreadPool.
+//
+// Shuffle storage is allocation-lean: each map task owns one contiguous
+// byte arena per reducer bucket into which Emit serializes key and value
+// back to back (one write doubles as the byte-count measurement), plus a
+// small offset/length record index. The shuffle moves whole arenas to the
+// reducer side — never per-record buffers — and each reducer's merge and
+// sort runs as its own pool task. Reducers consume values through a
+// streaming ValueIterator that deserializes one value at a time straight
+// out of the arena, so a key group is never materialized as a
+// std::vector<V2>.
 
 #ifndef SKYMR_MAPREDUCE_JOB_H_
 #define SKYMR_MAPREDUCE_JOB_H_
@@ -31,6 +41,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -65,30 +76,89 @@ struct EngineOptions {
   int max_task_attempts = 1;
 };
 
+/// How emitted keys are routed to reducers. The common routings are plain
+/// enum cases so MapContext::Emit dispatches with an inlineable switch
+/// instead of a std::function call per record.
+enum class PartitionerKind {
+  kSingleReducer,  ///< One reducer: every record goes to bucket 0.
+  kHash,           ///< std::hash(key) % num_reducers (the default).
+  kModulo,         ///< key % num_reducers for integral keys.
+  kCustom,         ///< User std::function (validated per record).
+};
+
+/// Streams one key group's values out of the shuffle arena, deserializing
+/// lazily: Next() decodes exactly one value, so a reducer that keeps only
+/// a running aggregate never materializes the group.
+template <typename V2>
+class ValueIterator {
+ public:
+  /// One serialized value inside a shuffle arena.
+  struct Slice {
+    const uint8_t* data;
+    size_t size;
+  };
+
+  ValueIterator(const Slice* slices, size_t count)
+      : slices_(slices), count_(count) {}
+
+  bool HasNext() const { return next_ < count_; }
+  size_t remaining() const { return count_ - next_; }
+
+  /// Deserializes and returns the next value. Requires HasNext().
+  V2 Next() {
+    SKYMR_DCHECK(HasNext());
+    const Slice& slice = slices_[next_++];
+    ByteSource source(slice.data, slice.size);
+    return Serde<V2>::Read(&source);
+  }
+
+  /// Materializes every remaining value. Convenience for callers that
+  /// genuinely need the whole group at once; prefer streaming with Next().
+  std::vector<V2> Drain() {
+    std::vector<V2> out;
+    out.reserve(remaining());
+    while (HasNext()) {
+      out.push_back(Next());
+    }
+    return out;
+  }
+
+ private:
+  const Slice* slices_;
+  size_t count_;
+  size_t next_ = 0;
+};
+
 /// The interface map tasks use to emit records and report statistics.
 template <typename K2, typename V2>
 class MapContext {
  public:
   MapContext(int task_id, int num_reducers, const DistributedCache* cache,
-             const std::function<int(const K2&, int)>* partitioner)
+             PartitionerKind partitioner_kind,
+             const std::function<int(const K2&, int)>* custom_partitioner)
       : task_id_(task_id),
         num_reducers_(num_reducers),
         cache_(cache),
-        partitioner_(partitioner),
+        partitioner_kind_(partitioner_kind),
+        custom_partitioner_(custom_partitioner),
         buckets_(static_cast<size_t>(num_reducers)) {}
 
-  /// Emits one intermediate record. The value is serialized immediately.
+  /// Emits one intermediate record. Key and value are serialized once,
+  /// back to back, into the destination bucket's arena; the arena growth
+  /// is the byte count, so nothing is encoded twice.
   void Emit(const K2& key, const V2& value) {
-    int bucket = (*partitioner_)(key, num_reducers_);
-    if (bucket < 0 || bucket >= num_reducers_) {
-      throw TaskFailure("partitioner returned out-of-range bucket " +
-                        std::to_string(bucket));
-    }
+    const int bucket_index = Route(key);
+    Bucket& bucket = buckets_[static_cast<size_t>(bucket_index)];
+    const size_t key_begin = bucket.arena.size();
+    Serde<K2>::Write(key, &bucket.arena);
+    const size_t value_begin = bucket.arena.size();
+    Serde<V2>::Write(value, &bucket.arena);
     Record record;
     record.key = key;
-    record.key_bytes = SerializedByteSize(key);
-    record.value_bytes = SerializeToBytes(value);
-    buckets_[static_cast<size_t>(bucket)].push_back(std::move(record));
+    record.value_offset = value_begin;
+    record.key_bytes = value_begin - key_begin;
+    record.value_bytes = bucket.arena.size() - value_begin;
+    bucket.records.push_back(std::move(record));
     ++output_records_;
   }
 
@@ -103,13 +173,48 @@ class MapContext {
 
   struct Record {
     K2 key;
+    size_t value_offset = 0;  // Of the value bytes within the arena.
     size_t key_bytes = 0;
-    std::vector<uint8_t> value_bytes;
+    size_t value_bytes = 0;
   };
+
+  /// One reducer bucket: a contiguous serialization arena plus the record
+  /// index into it.
+  struct Bucket {
+    ByteSink arena;
+    std::vector<Record> records;
+  };
+
+  int Route(const K2& key) {
+    switch (partitioner_kind_) {
+      case PartitionerKind::kSingleReducer:
+        return 0;
+      case PartitionerKind::kHash:
+        return static_cast<int>(std::hash<K2>{}(key) %
+                                static_cast<size_t>(num_reducers_));
+      case PartitionerKind::kModulo:
+        if constexpr (std::is_integral_v<K2>) {
+          return static_cast<int>(static_cast<uint64_t>(key) %
+                                  static_cast<uint64_t>(num_reducers_));
+        } else {
+          return 0;  // Unreachable: UseModuloPartitioner is static_asserted.
+        }
+      case PartitionerKind::kCustom: {
+        const int bucket = (*custom_partitioner_)(key, num_reducers_);
+        if (bucket < 0 || bucket >= num_reducers_) {
+          throw TaskFailure("partitioner returned out-of-range bucket " +
+                            std::to_string(bucket));
+        }
+        return bucket;
+      }
+    }
+    return 0;
+  }
 
   void ResetForRetry() {
     for (auto& bucket : buckets_) {
-      bucket.clear();
+      bucket.arena.Clear();
+      bucket.records.clear();
     }
     output_records_ = 0;
     counters_ = Counters();
@@ -118,8 +223,9 @@ class MapContext {
   int task_id_;
   int num_reducers_;
   const DistributedCache* cache_;
-  const std::function<int(const K2&, int)>* partitioner_;
-  std::vector<std::vector<Record>> buckets_;
+  PartitionerKind partitioner_kind_;
+  const std::function<int(const K2&, int)>* custom_partitioner_;
+  std::vector<Bucket> buckets_;
   uint64_t output_records_ = 0;
   Counters counters_;
 };
@@ -178,8 +284,9 @@ class Reducer {
  public:
   virtual ~Reducer() = default;
   virtual void Setup(ReduceContext<Out>& ctx) { (void)ctx; }
-  /// Called once per distinct key, with all values for that key.
-  virtual void Reduce(const K2& key, const std::vector<V2>& values,
+  /// Called once per distinct key, with that key's values as a stream in
+  /// (mapper id, emit order). Values not pulled are never deserialized.
+  virtual void Reduce(const K2& key, ValueIterator<V2>& values,
                       ReduceContext<Out>& ctx) = 0;
   virtual void Cleanup(ReduceContext<Out>& ctx) { (void)ctx; }
 };
@@ -214,17 +321,24 @@ class Job {
       ReducerFactory reducer_factory)
       : name_(std::move(name)),
         mapper_factory_(std::move(mapper_factory)),
-        reducer_factory_(std::move(reducer_factory)),
-        partitioner_([](const K2& key, int r) {
-          return static_cast<int>(std::hash<K2>{}(key) %
-                                  static_cast<size_t>(r));
-        }) {}
+        reducer_factory_(std::move(reducer_factory)) {}
 
   const std::string& name() const { return name_; }
 
-  /// Replaces the default hash partitioner.
+  /// Replaces the default hash partitioner with a user function. The
+  /// function's result is range-checked on every record; prefer
+  /// UseModuloPartitioner for plain `key % r` routing.
   void set_partitioner(Partitioner partitioner) {
     partitioner_ = std::move(partitioner);
+    partitioner_kind_ = PartitionerKind::kCustom;
+  }
+
+  /// Routes integral keys as `key % num_reducers` (treating the key as
+  /// unsigned) without a std::function call per record.
+  void UseModuloPartitioner() {
+    static_assert(std::is_integral_v<K2>,
+                  "modulo partitioning requires an integral key type");
+    partitioner_kind_ = PartitionerKind::kModulo;
   }
 
   /// Installs a combiner, applied to each map task's emitted records
@@ -276,38 +390,43 @@ class Job {
         return result;
       }
     }
-
-    // ---- Shuffle: route records to reducer buckets, sort, group ----
-    result.metrics.map_tasks.reserve(static_cast<size_t>(m));
-    uint64_t shuffle_bytes = 0;
-    std::vector<std::vector<typename MapContext<K2, V2>::Record>> buckets(
-        static_cast<size_t>(r));
     for (int task = 0; task < m; ++task) {
-      MapTaskOutput& out = map_outputs[static_cast<size_t>(task)];
       // Every successful map task hands exactly one context (with one
       // bucket per reducer) to the shuffle.
-      SKYMR_DCHECK(out.context != nullptr);
-      SKYMR_DCHECK(out.context->buckets_.size() == static_cast<size_t>(r));
-      result.metrics.map_tasks.push_back(std::move(out.metrics));
-      for (int bucket = 0; bucket < r; ++bucket) {
-        auto& src = out.context->buckets_[static_cast<size_t>(bucket)];
-        for (auto& record : src) {
-          shuffle_bytes += record.key_bytes + record.value_bytes.size();
-          buckets[static_cast<size_t>(bucket)].push_back(std::move(record));
-        }
-      }
-      out.context.reset();
+      SKYMR_DCHECK(map_outputs[static_cast<size_t>(task)].context != nullptr);
+      SKYMR_DCHECK(map_outputs[static_cast<size_t>(task)]
+                       .context->buckets_.size() == static_cast<size_t>(r));
     }
-    result.metrics.shuffle_bytes = shuffle_bytes;
 
-    // ---- Reduce wave ----
+    // ---- Shuffle + reduce wave ----
+    // One pool task per reducer does the whole pipeline for its bucket:
+    // move the arenas over (no record copies), merge the record indexes,
+    // stable-sort by key, and run the reduce task. Reducer task i touches
+    // only bucket i of every map context, so the wave needs no locking.
+    std::vector<ReducerInput> reducer_inputs(static_cast<size_t>(r));
     std::vector<ReduceTaskOutput> reduce_outputs(static_cast<size_t>(r));
     std::vector<Status> reduce_status(static_cast<size_t>(r));
     ParallelFor(pool, r, [&](int task) {
+      BuildReducerInput(map_outputs, task,
+                        &reducer_inputs[static_cast<size_t>(task)]);
       reduce_status[static_cast<size_t>(task)] =
-          RunReduceTask(task, &buckets[static_cast<size_t>(task)], options,
-                        cache, &reduce_outputs[static_cast<size_t>(task)]);
+          RunReduceTask(task, &reducer_inputs[static_cast<size_t>(task)],
+                        options, cache,
+                        &reduce_outputs[static_cast<size_t>(task)]);
     });
+
+    result.metrics.map_tasks.reserve(static_cast<size_t>(m));
+    for (int task = 0; task < m; ++task) {
+      MapTaskOutput& out = map_outputs[static_cast<size_t>(task)];
+      result.metrics.map_tasks.push_back(std::move(out.metrics));
+      out.context.reset();
+    }
+    uint64_t shuffle_bytes = 0;
+    for (const ReducerInput& in : reducer_inputs) {
+      shuffle_bytes += in.input_bytes;
+    }
+    result.metrics.shuffle_bytes = shuffle_bytes;
+
     for (const Status& s : reduce_status) {
       if (!s.ok()) {
         result.status = s;
@@ -335,6 +454,8 @@ class Job {
   }
 
  private:
+  using Slice = typename ValueIterator<V2>::Slice;
+
   struct MapTaskOutput {
     std::unique_ptr<MapContext<K2, V2>> context;
     TaskMetrics metrics;
@@ -343,6 +464,24 @@ class Job {
   struct ReduceTaskOutput {
     std::vector<Out> outputs;
     TaskMetrics metrics;
+  };
+
+  /// One record after the shuffle: the key plus a view of the serialized
+  /// value inside one of the owned arena segments.
+  struct ShuffleEntry {
+    K2 key;
+    const uint8_t* value_data;
+    size_t value_size;
+  };
+
+  /// Everything one reduce task consumes: the arena segments moved over
+  /// from the map side (which own the bytes the entries point into) and
+  /// the merged, key-sorted record index.
+  struct ReducerInput {
+    std::vector<std::vector<uint8_t>> segments;
+    std::vector<ShuffleEntry> entries;
+    std::vector<Slice> slices;
+    uint64_t input_bytes = 0;
   };
 
   static std::span<const In> SplitOf(std::span<const In> input, int task,
@@ -361,13 +500,17 @@ class Job {
   Status RunMapTask(int task_id, std::span<const In> split, int num_reducers,
                     const EngineOptions& options,
                     const DistributedCache& cache, MapTaskOutput* out) {
+    PartitionerKind kind = partitioner_kind_;
+    if (kind != PartitionerKind::kCustom && num_reducers == 1) {
+      kind = PartitionerKind::kSingleReducer;
+    }
     // Retry isolation: every attempt gets a fresh context and a fresh
     // mapper instance, and `out` (the task's metrics/output slot shared
     // with the job) is written only after an attempt succeeds — a failed
     // attempt can never leak partial state into the shuffle or metrics.
     for (int attempt = 1; attempt <= options.max_task_attempts; ++attempt) {
       auto context = std::make_unique<MapContext<K2, V2>>(
-          task_id, num_reducers, &cache, &partitioner_);
+          task_id, num_reducers, &cache, kind, &partitioner_);
       Stopwatch clock;
       try {
         std::unique_ptr<Mapper<In, K2, V2>> mapper = mapper_factory_();
@@ -387,14 +530,22 @@ class Job {
                                   " attempts: " + failure.what());
         }
         continue;
+      } catch (const SerdeUnderflow& failure) {
+        if (attempt == options.max_task_attempts) {
+          return Status::Internal("job '" + name_ + "' map task " +
+                                  std::to_string(task_id) + " failed after " +
+                                  std::to_string(attempt) +
+                                  " attempts: " + failure.what());
+        }
+        continue;
       }
       out->metrics.busy_seconds = clock.ElapsedSeconds();
       out->metrics.input_records = split.size();
       out->metrics.output_records = context->output_records_;
       uint64_t bytes = 0;
       for (const auto& bucket : context->buckets_) {
-        for (const auto& record : bucket) {
-          bytes += record.key_bytes + record.value_bytes.size();
+        for (const auto& record : bucket.records) {
+          bytes += record.key_bytes + record.value_bytes;
         }
       }
       out->metrics.output_bytes = bytes;
@@ -416,26 +567,35 @@ class Job {
     ReduceContext<std::pair<K2, V2>> combine_context(task_id, &cache);
     combiner->Setup(combine_context);
     uint64_t input_records = 0;
+    std::vector<Slice> slices;
     for (auto& bucket : context->buckets_) {
+      auto& records = bucket.records;
       std::stable_sort(
-          bucket.begin(), bucket.end(),
+          records.begin(), records.end(),
           [](const auto& a, const auto& b) { return a.key < b.key; });
+      const uint8_t* base = bucket.arena.data();
+      slices.clear();
+      slices.reserve(records.size());
+      for (const auto& record : records) {
+        slices.push_back(Slice{base + record.value_offset,
+                               record.value_bytes});
+      }
       size_t i = 0;
-      while (i < bucket.size()) {
+      while (i < records.size()) {
         size_t j = i;
-        std::vector<V2> values;
-        while (j < bucket.size() && !(bucket[i].key < bucket[j].key)) {
-          values.push_back(DeserializeFromBytes<V2>(bucket[j].value_bytes));
+        while (j < records.size() && !(records[i].key < records[j].key)) {
           ++j;
         }
-        combiner->Reduce(bucket[i].key, values, combine_context);
+        ValueIterator<V2> values(slices.data() + i, j - i);
+        combiner->Reduce(records[i].key, values, combine_context);
         input_records += j - i;
         i = j;
       }
     }
     combiner->Cleanup(combine_context);
     for (auto& bucket : context->buckets_) {
-      bucket.clear();
+      bucket.arena.Clear();
+      bucket.records.clear();
     }
     context->output_records_ = 0;
     for (const auto& [key, value] : combine_context.outputs_) {
@@ -449,40 +609,61 @@ class Job {
     context->counters_.Merge(combine_context.counters_);
   }
 
-  Status RunReduceTask(
-      int task_id,
-      std::vector<typename MapContext<K2, V2>::Record>* bucket,
-      const EngineOptions& options, const DistributedCache& cache,
-      ReduceTaskOutput* out) {
-    // Sort-based grouping: stable by key, preserving (mapper, emit) order
-    // within each key, as Hadoop's merge sort does.
-    std::stable_sort(
-        bucket->begin(), bucket->end(),
-        [](const auto& a, const auto& b) { return a.key < b.key; });
-    uint64_t input_bytes = 0;
-    for (const auto& record : *bucket) {
-      input_bytes += record.key_bytes + record.value_bytes.size();
+  /// Moves reducer `reducer`'s bucket out of every map context: arenas are
+  /// taken whole (the bytes never move again), record indexes are merged
+  /// in task order and stable-sorted by key, preserving (mapper, emit)
+  /// order within each key as Hadoop's merge sort does.
+  void BuildReducerInput(std::vector<MapTaskOutput>& map_outputs, int reducer,
+                         ReducerInput* in) {
+    const auto bucket_index = static_cast<size_t>(reducer);
+    size_t total_records = 0;
+    for (const MapTaskOutput& out : map_outputs) {
+      total_records += out.context->buckets_[bucket_index].records.size();
     }
+    in->segments.reserve(map_outputs.size());
+    in->entries.reserve(total_records);
+    for (MapTaskOutput& out : map_outputs) {
+      auto& bucket = out.context->buckets_[bucket_index];
+      in->segments.push_back(bucket.arena.TakeBuffer());
+      const uint8_t* base = in->segments.back().data();
+      for (auto& record : bucket.records) {
+        in->input_bytes += record.key_bytes + record.value_bytes;
+        in->entries.push_back(ShuffleEntry{std::move(record.key),
+                                           base + record.value_offset,
+                                           record.value_bytes});
+      }
+    }
+    std::stable_sort(
+        in->entries.begin(), in->entries.end(),
+        [](const ShuffleEntry& a, const ShuffleEntry& b) {
+          return a.key < b.key;
+        });
+    in->slices.reserve(in->entries.size());
+    for (const ShuffleEntry& entry : in->entries) {
+      in->slices.push_back(Slice{entry.value_data, entry.value_size});
+    }
+  }
 
+  Status RunReduceTask(int task_id, ReducerInput* in,
+                       const EngineOptions& options,
+                       const DistributedCache& cache, ReduceTaskOutput* out) {
+    const std::vector<ShuffleEntry>& entries = in->entries;
     for (int attempt = 1; attempt <= options.max_task_attempts; ++attempt) {
       ReduceContext<Out> context(task_id, &cache);
       Stopwatch clock;
-      uint64_t groups = 0;
       try {
         std::unique_ptr<Reducer<K2, V2, Out>> reducer = reducer_factory_();
         reducer->Setup(context);
         size_t i = 0;
-        while (i < bucket->size()) {
+        while (i < entries.size()) {
           size_t j = i;
-          std::vector<V2> values;
-          while (j < bucket->size() && !((*bucket)[i].key < (*bucket)[j].key)) {
-            // Deserialize: the value crosses the simulated network as bytes.
-            values.push_back(
-                DeserializeFromBytes<V2>((*bucket)[j].value_bytes));
+          while (j < entries.size() && !(entries[i].key < entries[j].key)) {
             ++j;
           }
-          reducer->Reduce((*bucket)[i].key, values, context);
-          ++groups;
+          // Values stream out of the arena; nothing is deserialized until
+          // the reducer pulls it.
+          ValueIterator<V2> values(in->slices.data() + i, j - i);
+          reducer->Reduce(entries[i].key, values, context);
           i = j;
         }
         reducer->Cleanup(context);
@@ -494,10 +675,18 @@ class Job {
                                   " attempts: " + failure.what());
         }
         continue;
+      } catch (const SerdeUnderflow& failure) {
+        if (attempt == options.max_task_attempts) {
+          return Status::Internal("job '" + name_ + "' reduce task " +
+                                  std::to_string(task_id) + " failed after " +
+                                  std::to_string(attempt) +
+                                  " attempts: " + failure.what());
+        }
+        continue;
       }
       out->metrics.busy_seconds = clock.ElapsedSeconds();
-      out->metrics.input_records = bucket->size();
-      out->metrics.input_bytes = input_bytes;
+      out->metrics.input_records = entries.size();
+      out->metrics.input_bytes = in->input_bytes;
       out->metrics.output_records = context.outputs_.size();
       out->metrics.output_bytes = context.output_bytes_;
       out->metrics.attempts = attempt;
@@ -513,6 +702,7 @@ class Job {
   ReducerFactory reducer_factory_;
   CombinerFactory combiner_factory_;
   Partitioner partitioner_;
+  PartitionerKind partitioner_kind_ = PartitionerKind::kHash;
 };
 
 }  // namespace skymr::mr

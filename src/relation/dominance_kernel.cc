@@ -1,0 +1,292 @@
+#include "src/relation/dominance_kernel.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SKYMR_KERNEL_X86 1
+#include <immintrin.h>
+#else
+#define SKYMR_KERNEL_X86 0
+#endif
+
+namespace skymr {
+
+double CoordinateSum(const double* row, size_t dim) {
+  double sum = 0.0;
+  for (size_t k = 0; k < dim; ++k) {
+    sum += row[k];
+  }
+  return sum;
+}
+
+void CoordinateSums(const double* rows, size_t count, size_t dim,
+                    double* sums) {
+  for (size_t i = 0; i < count; ++i) {
+    sums[i] = CoordinateSum(rows + i * dim, dim);
+  }
+}
+
+namespace kernel_portable {
+namespace {
+
+// Bit 0: some row coordinate strictly below the candidate's.
+// Bit 1: some row coordinate strictly above the candidate's.
+// Flat |= loop, no early exit per coordinate: autovectorizable.
+inline uint32_t RowFlags(const double* candidate, const double* row,
+                         size_t dim) {
+  bool lt = false;
+  bool gt = false;
+  for (size_t k = 0; k < dim; ++k) {
+    lt |= row[k] < candidate[k];
+    gt |= row[k] > candidate[k];
+  }
+  return static_cast<uint32_t>(lt) | (static_cast<uint32_t>(gt) << 1);
+}
+
+}  // namespace
+
+size_t FirstDominatorIndex(const double* candidate, double candidate_sum,
+                           const double* rows, const double* sums,
+                           size_t count, size_t dim) {
+  if (sums != nullptr) {
+    for (size_t i = 0; i < count; ++i) {
+      if (sums[i] > candidate_sum) {
+        continue;  // A dominator's sum can never exceed the candidate's.
+      }
+      if (RowFlags(candidate, rows + i * dim, dim) == 1u) {
+        return i;
+      }
+    }
+    return count;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (RowFlags(candidate, rows + i * dim, dim) == 1u) {
+      return i;
+    }
+  }
+  return count;
+}
+
+size_t InsertScan(const double* candidate, const double* rows, size_t count,
+                  size_t dim, std::vector<uint32_t>* evicted) {
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t flags = RowFlags(candidate, rows + i * dim, dim);
+    if (flags == 1u) {
+      return i;
+    }
+    if (flags == 2u) {
+      evicted->push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return count;
+}
+
+size_t DominanceBitmap(const double* candidate, double candidate_sum,
+                       const double* rows, const double* sums, size_t count,
+                       size_t dim, uint64_t* words) {
+  size_t set = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (sums != nullptr && sums[i] < candidate_sum) {
+      continue;  // A dominated row's sum can never fall below the candidate's.
+    }
+    if (RowFlags(candidate, rows + i * dim, dim) == 2u) {
+      words[i >> 6] |= uint64_t{1} << (i & 63u);
+      ++set;
+    }
+  }
+  return set;
+}
+
+}  // namespace kernel_portable
+
+#if SKYMR_KERNEL_X86
+
+namespace {
+
+// AVX2 variants. The candidate's registers are hoisted out of the row loop,
+// and dim == 6 (the paper's largest configuration) gets a fully unrolled
+// 256+128-bit body: two loads, four compares, two movemasks per row.
+// Comparisons use ordered non-signaling predicates, matching the scalar
+// `<` / `>` exactly (NaN compares false).
+
+__attribute__((target("avx2"))) inline int Lt6(const double* row,
+                                               __m256d c4, __m128d c2) {
+  return _mm256_movemask_pd(_mm256_cmp_pd(_mm256_loadu_pd(row), c4,
+                                          _CMP_LT_OQ)) |
+         (_mm_movemask_pd(_mm_cmplt_pd(_mm_loadu_pd(row + 4), c2)) << 4);
+}
+
+__attribute__((target("avx2"))) inline int Gt6(const double* row,
+                                               __m256d c4, __m128d c2) {
+  return _mm256_movemask_pd(_mm256_cmp_pd(_mm256_loadu_pd(row), c4,
+                                          _CMP_GT_OQ)) |
+         (_mm_movemask_pd(_mm_cmpgt_pd(_mm_loadu_pd(row + 4), c2)) << 4);
+}
+
+__attribute__((target("avx2"))) inline uint32_t RowFlagsWide(
+    const double* candidate, const double* row, size_t dim) {
+  __m256d ltv = _mm256_setzero_pd();
+  __m256d gtv = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= dim; k += 4) {
+    const __m256d cv = _mm256_loadu_pd(candidate + k);
+    const __m256d rv = _mm256_loadu_pd(row + k);
+    ltv = _mm256_or_pd(ltv, _mm256_cmp_pd(rv, cv, _CMP_LT_OQ));
+    gtv = _mm256_or_pd(gtv, _mm256_cmp_pd(rv, cv, _CMP_GT_OQ));
+  }
+  uint32_t lt = _mm256_movemask_pd(ltv) != 0;
+  uint32_t gt = _mm256_movemask_pd(gtv) != 0;
+  for (; k < dim; ++k) {
+    lt |= row[k] < candidate[k];
+    gt |= row[k] > candidate[k];
+  }
+  return lt | (gt << 1);
+}
+
+__attribute__((target("avx2"))) size_t FirstDominatorIndexAvx2(
+    const double* candidate, double candidate_sum, const double* rows,
+    const double* sums, size_t count, size_t dim) {
+  if (dim == 6) {
+    const __m256d c4 = _mm256_loadu_pd(candidate);
+    const __m128d c2 = _mm_loadu_pd(candidate + 4);
+    for (size_t i = 0; i < count; ++i) {
+      if (sums != nullptr && sums[i] > candidate_sum) {
+        continue;
+      }
+      const double* row = rows + i * 6;
+      if (Gt6(row, c4, c2) == 0 && Lt6(row, c4, c2) != 0) {
+        return i;
+      }
+    }
+    return count;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (sums != nullptr && sums[i] > candidate_sum) {
+      continue;
+    }
+    if (RowFlagsWide(candidate, rows + i * dim, dim) == 1u) {
+      return i;
+    }
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) size_t InsertScanAvx2(
+    const double* candidate, const double* rows, size_t count, size_t dim,
+    std::vector<uint32_t>* evicted) {
+  if (dim == 6) {
+    const __m256d c4 = _mm256_loadu_pd(candidate);
+    const __m128d c2 = _mm_loadu_pd(candidate + 4);
+    for (size_t i = 0; i < count; ++i) {
+      const double* row = rows + i * 6;
+      const int lt = Lt6(row, c4, c2);
+      const int gt = Gt6(row, c4, c2);
+      if (gt == 0) {
+        if (lt != 0) {
+          return i;
+        }
+      } else if (lt == 0) {
+        evicted->push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return count;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t flags = RowFlagsWide(candidate, rows + i * dim, dim);
+    if (flags == 1u) {
+      return i;
+    }
+    if (flags == 2u) {
+      evicted->push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) size_t DominanceBitmapAvx2(
+    const double* candidate, double candidate_sum, const double* rows,
+    const double* sums, size_t count, size_t dim, uint64_t* words) {
+  size_t set = 0;
+  if (dim == 6) {
+    const __m256d c4 = _mm256_loadu_pd(candidate);
+    const __m128d c2 = _mm_loadu_pd(candidate + 4);
+    for (size_t i = 0; i < count; ++i) {
+      if (sums != nullptr && sums[i] < candidate_sum) {
+        continue;
+      }
+      const double* row = rows + i * 6;
+      if (Lt6(row, c4, c2) == 0 && Gt6(row, c4, c2) != 0) {
+        words[i >> 6] |= uint64_t{1} << (i & 63u);
+        ++set;
+      }
+    }
+    return set;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (sums != nullptr && sums[i] < candidate_sum) {
+      continue;
+    }
+    if (RowFlagsWide(candidate, rows + i * dim, dim) == 2u) {
+      words[i >> 6] |= uint64_t{1} << (i & 63u);
+      ++set;
+    }
+  }
+  return set;
+}
+
+}  // namespace
+
+#endif  // SKYMR_KERNEL_X86
+
+namespace {
+
+bool DetectAvx2() {
+#if SKYMR_KERNEL_X86
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const bool kUseAvx2 = DetectAvx2();
+
+}  // namespace
+
+size_t FirstDominatorIndex(const double* candidate, double candidate_sum,
+                           const double* rows, const double* sums,
+                           size_t count, size_t dim) {
+#if SKYMR_KERNEL_X86
+  if (kUseAvx2) {
+    return FirstDominatorIndexAvx2(candidate, candidate_sum, rows, sums,
+                                   count, dim);
+  }
+#endif
+  return kernel_portable::FirstDominatorIndex(candidate, candidate_sum, rows,
+                                              sums, count, dim);
+}
+
+size_t InsertScan(const double* candidate, const double* rows, size_t count,
+                  size_t dim, std::vector<uint32_t>* evicted) {
+#if SKYMR_KERNEL_X86
+  if (kUseAvx2) {
+    return InsertScanAvx2(candidate, rows, count, dim, evicted);
+  }
+#endif
+  return kernel_portable::InsertScan(candidate, rows, count, dim, evicted);
+}
+
+size_t DominanceBitmap(const double* candidate, double candidate_sum,
+                       const double* rows, const double* sums, size_t count,
+                       size_t dim, uint64_t* words) {
+#if SKYMR_KERNEL_X86
+  if (kUseAvx2) {
+    return DominanceBitmapAvx2(candidate, candidate_sum, rows, sums, count,
+                               dim, words);
+  }
+#endif
+  return kernel_portable::DominanceBitmap(candidate, candidate_sum, rows,
+                                          sums, count, dim, words);
+}
+
+const char* DominanceKernelBackend() { return kUseAvx2 ? "avx2" : "portable"; }
+
+}  // namespace skymr

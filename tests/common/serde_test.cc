@@ -99,5 +99,61 @@ TEST(SerdeTest, SkylineWindowByteSizeIsExact) {
   EXPECT_EQ(window.ByteSize(), SerializeToBytes(window).size());
 }
 
+TEST(SerdeTest, RawReadPastEndThrowsInEveryBuildMode) {
+  const std::vector<uint8_t> bytes{1, 2, 3};
+  ByteSource source(bytes);
+  EXPECT_EQ(source.ReadRaw<uint8_t>(), 1u);
+  EXPECT_THROW(source.ReadRaw<uint64_t>(), SerdeUnderflow);
+  // A failed read consumes nothing: the source stays usable.
+  EXPECT_EQ(source.remaining(), 2u);
+  EXPECT_EQ(source.ReadRaw<uint8_t>(), 2u);
+}
+
+TEST(SerdeTest, TruncatedStringThrowsInsteadOfAllocating) {
+  // A corrupt length prefix must neither read out of bounds nor trigger
+  // a giant allocation before the bounds check.
+  ByteSink sink;
+  Serde<std::string>::Write("hello world", &sink);
+  for (const size_t keep : {0u, 4u, 8u, 12u}) {
+    ByteSource truncated(sink.data(), std::min(keep, sink.size()));
+    EXPECT_THROW(Serde<std::string>::Read(&truncated), SerdeUnderflow)
+        << "keep=" << keep;
+  }
+}
+
+TEST(SerdeTest, TruncatedVectorThrows) {
+  ByteSink sink;
+  Serde<std::vector<double>>::Write({1.0, 2.0, 3.0}, &sink);
+  for (size_t keep = 0; keep < sink.size(); keep += 5) {
+    ByteSource truncated(sink.data(), keep);
+    EXPECT_THROW(Serde<std::vector<double>>::Read(&truncated),
+                 SerdeUnderflow)
+        << "keep=" << keep;
+  }
+  // Nested (non-trivial element) vectors underflow on the element reads.
+  ByteSink nested;
+  Serde<std::vector<std::string>>::Write({"aa", "bb"}, &nested);
+  ByteSource truncated(nested.data(), nested.size() - 1);
+  EXPECT_THROW(Serde<std::vector<std::string>>::Read(&truncated),
+               SerdeUnderflow);
+}
+
+TEST(SerdeTest, TruncatedBitsetAndWindowThrow) {
+  DynamicBitset bits(200);
+  bits.Set(199);
+  ByteSink sink;
+  Serde<DynamicBitset>::Write(bits, &sink);
+  ByteSource truncated(sink.data(), sink.size() - sizeof(uint64_t));
+  EXPECT_THROW(Serde<DynamicBitset>::Read(&truncated), SerdeUnderflow);
+
+  SkylineWindow window(2);
+  const double a[] = {0.5, 0.4};
+  window.Insert(a, 1, nullptr);
+  ByteSink wsink;
+  Serde<SkylineWindow>::Write(window, &wsink);
+  ByteSource wtruncated(wsink.data(), wsink.size() - 1);
+  EXPECT_THROW(Serde<SkylineWindow>::Read(&wtruncated), SerdeUnderflow);
+}
+
 }  // namespace
 }  // namespace skymr

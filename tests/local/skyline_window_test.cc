@@ -1,8 +1,14 @@
 #include "src/local/skyline_window.h"
 
 #include <algorithm>
+#include <numeric>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/serde.h"
+#include "src/relation/dominance_kernel.h"
 
 namespace skymr {
 namespace {
@@ -153,6 +159,117 @@ TEST(SkylineWindowTest, WindowInvariantAfterRandomInserts) {
         EXPECT_FALSE(Dominates(window.RowAt(i), window.RowAt(j), 3));
       }
     }
+  }
+}
+
+TEST(SkylineWindowTest, InsertedSetIsOrderInsensitive) {
+  // The surviving id set depends only on the data, not on insertion
+  // order: a tuple survives iff nothing in the dataset dominates it.
+  // This pins the kernelized Insert (scan + swap-remove eviction) to the
+  // declarative skyline semantics across input families.
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t dim = 2 + rng.NextBounded(5);
+    const size_t n = 50 + rng.NextBounded(150);
+    std::vector<double> data(n * dim);
+    for (double& v : data) {
+      // Duplicate-heavy alphabet: exercises ties and equal rows too.
+      v = static_cast<double>(rng.NextBounded(6)) / 6.0;
+    }
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<TupleId> first_ids;
+    for (int pass = 0; pass < 3; ++pass) {
+      SkylineWindow window(dim);
+      for (const size_t i : order) {
+        window.Insert(data.data() + i * dim, static_cast<TupleId>(i),
+                      nullptr);
+      }
+      std::vector<TupleId> ids = window.ids();
+      std::sort(ids.begin(), ids.end());
+      if (pass == 0) {
+        first_ids = ids;
+      } else {
+        EXPECT_EQ(ids, first_ids) << "trial " << trial << " pass " << pass;
+      }
+      // Shuffle for the next pass.
+      for (size_t i = n; i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextBounded(i)]);
+      }
+    }
+  }
+}
+
+TEST(SkylineWindowTest, RemoveDominatedByMatchesNaiveReference) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t dim = 2 + rng.NextBounded(4);
+    SkylineWindow target(dim);
+    SkylineWindow other(dim);
+    std::vector<double> row(dim);
+    for (size_t i = 0; i < 120; ++i) {
+      for (double& v : row) {
+        v = rng.NextDouble();
+      }
+      (i % 2 == 0 ? target : other)
+          .Insert(row.data(), static_cast<TupleId>(i), nullptr);
+    }
+
+    // Naive reference: survivors and the per-row check count the engine
+    // must reproduce exactly (first dominator index + 1, else all).
+    std::vector<TupleId> expected_ids;
+    uint64_t expected_checks = 0;
+    for (size_t i = 0; i < target.size(); ++i) {
+      size_t first = other.size();
+      for (size_t j = 0; j < other.size(); ++j) {
+        if (Dominates(other.RowAt(j), target.RowAt(i), dim)) {
+          first = j;
+          break;
+        }
+      }
+      expected_checks += first != other.size() ? first + 1 : other.size();
+      if (first == other.size()) {
+        expected_ids.push_back(target.IdAt(i));
+      }
+    }
+
+    DominanceCounter counter;
+    target.RemoveDominatedBy(other, &counter);
+    std::vector<TupleId> ids = target.ids();
+    std::sort(ids.begin(), ids.end());
+    std::sort(expected_ids.begin(), expected_ids.end());
+    EXPECT_EQ(ids, expected_ids) << "trial " << trial;
+    EXPECT_EQ(counter.count(), expected_checks) << "trial " << trial;
+  }
+}
+
+TEST(SkylineWindowTest, SumsTrackRowsThroughMutationsAndSerde) {
+  Rng rng(555);
+  SkylineWindow window(4);
+  double row[4];
+  for (TupleId id = 0; id < 400; ++id) {
+    for (double& v : row) {
+      v = rng.NextDouble();
+    }
+    window.Insert(row, id, nullptr);
+  }
+  ASSERT_EQ(window.sums().size(), window.size());
+  for (size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(window.sums()[i], CoordinateSum(window.RowAt(i), 4));
+  }
+
+  // The screening key is not serialized; the deserialized window must
+  // rebuild it (and the wire bytes must match ByteSize exactly).
+  ByteSink sink;
+  Serde<SkylineWindow>::Write(window, &sink);
+  EXPECT_EQ(sink.size(), window.ByteSize());
+  ByteSource source(sink.buffer().data(), sink.size());
+  const SkylineWindow copy = Serde<SkylineWindow>::Read(&source);
+  EXPECT_EQ(copy, window);
+  ASSERT_EQ(copy.sums().size(), copy.size());
+  for (size_t i = 0; i < copy.size(); ++i) {
+    EXPECT_EQ(copy.sums()[i], CoordinateSum(copy.RowAt(i), 4));
   }
 }
 

@@ -26,11 +26,11 @@ class WordCountMapper : public Mapper<std::string, std::string, int> {
 class SumCombiner
     : public Reducer<std::string, int, std::pair<std::string, int>> {
  public:
-  void Reduce(const std::string& word, const std::vector<int>& counts,
+  void Reduce(const std::string& word, ValueIterator<int>& counts,
               ReduceContext<std::pair<std::string, int>>& ctx) override {
     int total = 0;
-    for (const int c : counts) {
-      total += c;
+    while (counts.HasNext()) {
+      total += counts.Next();
     }
     ctx.Emit({word, total});
   }
@@ -39,11 +39,11 @@ class SumCombiner
 class WordCountReducer
     : public Reducer<std::string, int, std::pair<std::string, int>> {
  public:
-  void Reduce(const std::string& word, const std::vector<int>& counts,
+  void Reduce(const std::string& word, ValueIterator<int>& counts,
               ReduceContext<std::pair<std::string, int>>& ctx) override {
     int total = 0;
-    for (const int c : counts) {
-      total += c;
+    while (counts.HasNext()) {
+      total += counts.Next();
     }
     ctx.Emit({word, total});
   }
@@ -140,14 +140,14 @@ TEST(CombinerTest, FailingCombinerRetriesTask) {
       : public Reducer<std::string, int, std::pair<std::string, int>> {
    public:
     explicit FlakyCombiner(std::atomic<int>* calls) : calls_(calls) {}
-    void Reduce(const std::string& word, const std::vector<int>& counts,
+    void Reduce(const std::string& word, ValueIterator<int>& counts,
                 ReduceContext<std::pair<std::string, int>>& ctx) override {
       if (calls_->fetch_add(1) == 0) {
         throw TaskFailure("combiner hiccup");
       }
       int total = 0;
-      for (const int c : counts) {
-        total += c;
+      while (counts.HasNext()) {
+        total += counts.Next();
       }
       ctx.Emit({word, total});
     }

@@ -64,11 +64,11 @@ namespace {
 
 class StatReducer : public Reducer<int, int, GroupStat> {
  public:
-  void Reduce(const int& key, const std::vector<int>& values,
+  void Reduce(const int& key, ValueIterator<int>& values,
               ReduceContext<GroupStat>& ctx) override {
-    GroupStat stat{key, 0, values.size()};
-    for (const int v : values) {
-      stat.sum += v;
+    GroupStat stat{key, 0, values.remaining()};
+    while (values.HasNext()) {
+      stat.sum += values.Next();
     }
     ctx.Emit(stat);
   }

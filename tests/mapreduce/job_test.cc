@@ -32,11 +32,11 @@ class WordCountMapper : public Mapper<std::string, std::string, int> {
 class WordCountReducer
     : public Reducer<std::string, int, std::pair<std::string, int>> {
  public:
-  void Reduce(const std::string& word, const std::vector<int>& counts,
+  void Reduce(const std::string& word, ValueIterator<int>& counts,
               ReduceContext<std::pair<std::string, int>>& ctx) override {
     int total = 0;
-    for (const int c : counts) {
-      total += c;
+    while (counts.HasNext()) {
+      total += counts.Next();
     }
     ctx.Emit({word, total});
   }
@@ -173,10 +173,10 @@ class LifecycleMapper : public Mapper<int, int, int> {
 
 class CollectReducer : public Reducer<int, int, std::vector<int>> {
  public:
-  void Reduce(const int& key, const std::vector<int>& values,
+  void Reduce(const int& key, ValueIterator<int>& values,
               ReduceContext<std::vector<int>>& ctx) override {
     (void)key;
-    ctx.Emit(values);
+    ctx.Emit(values.Drain());
   }
 };
 
@@ -220,9 +220,9 @@ TEST(JobTest, KeysArriveSortedWithinReducer) {
   };
   class KeyOrderReducer : public Reducer<int, int, int> {
    public:
-    void Reduce(const int& key, const std::vector<int>& values,
+    void Reduce(const int& key, ValueIterator<int>& values,
                 ReduceContext<int>& ctx) override {
-      (void)values;
+      (void)values;  // Never pulled: the values stay serialized.
       ctx.Emit(key);
     }
   };
@@ -258,12 +258,12 @@ TEST(JobTest, TasksReadDistributedCache) {
   };
   class SumReducer : public Reducer<int, int, int> {
    public:
-    void Reduce(const int& key, const std::vector<int>& values,
+    void Reduce(const int& key, ValueIterator<int>& values,
                 ReduceContext<int>& ctx) override {
       (void)key;
       int total = 0;
-      for (const int v : values) {
-        total += v;
+      while (values.HasNext()) {
+        total += values.Next();
       }
       ctx.Emit(total);
     }
@@ -304,12 +304,12 @@ class FlakyMapper : public Mapper<int, int, int> {
 
 class SumAllReducer : public Reducer<int, int, int> {
  public:
-  void Reduce(const int& key, const std::vector<int>& values,
+  void Reduce(const int& key, ValueIterator<int>& values,
               ReduceContext<int>& ctx) override {
     (void)key;
     int total = 0;
-    for (const int v : values) {
-      total += v;
+    while (values.HasNext()) {
+      total += values.Next();
     }
     ctx.Emit(total);
   }
@@ -351,12 +351,12 @@ TEST(JobTest, ReducerRetriesDoNotDuplicateOutput) {
    public:
     explicit FlakyReducer(std::atomic<int>* attempts)
         : attempts_(attempts) {}
-    void Reduce(const int& key, const std::vector<int>& values,
+    void Reduce(const int& key, ValueIterator<int>& values,
                 ReduceContext<int>& ctx) override {
       (void)key;
       int total = 0;
-      for (const int v : values) {
-        total += v;
+      while (values.HasNext()) {
+        total += values.Next();
       }
       ctx.Emit(total);
       if (attempts_->fetch_add(1) < 1) {
@@ -399,7 +399,7 @@ TEST(JobTest, CustomPartitionerRoutesKeys) {
   };
   class TagReducer : public Reducer<int, int, std::pair<int, int>> {
    public:
-    void Reduce(const int& key, const std::vector<int>& values,
+    void Reduce(const int& key, ValueIterator<int>& values,
                 ReduceContext<std::pair<int, int>>& ctx) override {
       (void)values;
       ctx.Emit({ctx.task_id(), key});
@@ -488,11 +488,11 @@ TEST(JobTest, ValuesPhysicallySerializedThroughShuffle) {
   class CheckReducer
       : public Reducer<int, std::vector<double>, double> {
    public:
-    void Reduce(const int& key,
-                const std::vector<std::vector<double>>& values,
+    void Reduce(const int& key, ValueIterator<std::vector<double>>& values,
                 ReduceContext<double>& ctx) override {
       (void)key;
-      for (const auto& v : values) {
+      while (values.HasNext()) {
+        const std::vector<double> v = values.Next();
         EXPECT_EQ(v[0], v[1]);  // Mutation after Emit not visible.
         ctx.Emit(v[0]);
       }

@@ -238,12 +238,15 @@ int RunCompare(const Args& args) {
   }
   std::printf("%-10s %10s %12s %12s %10s\n", "algorithm", "skyline",
               "modeled[s]", "shuffle[KB]", "wall[s]");
+  // One pool for all six pipelines: threads spawn once, not per algorithm.
+  skymr::ThreadPool pool(skymr::ThreadPool::DefaultThreads());
   for (const skymr::Algorithm algorithm :
        {skymr::Algorithm::kMrGpsrs, skymr::Algorithm::kMrGpmrs,
         skymr::Algorithm::kMrBnl, skymr::Algorithm::kMrAngle,
         skymr::Algorithm::kHybrid, skymr::Algorithm::kSkyMr}) {
     skymr::RunnerConfig config;
     config.algorithm = algorithm;
+    config.pool = &pool;
     config.engine.num_map_tasks =
         static_cast<int>(args.GetInt("mappers", 13));
     config.engine.num_reducers =
