@@ -31,6 +31,7 @@
 #include "src/data/generator.h"
 #include "src/local/skyline_window.h"
 #include "src/mapreduce/job.h"
+#include "src/obs/trace.h"
 #include "src/relation/dominance.h"
 #include "src/relation/dominance_kernel.h"
 
@@ -365,10 +366,13 @@ int Run(int argc, char** argv) {
                "{\n"
                "  \"schema\": \"skymr-hotpath-v1\",\n"
                "  \"backend\": \"%s\",\n"
+               "  \"tracing_compiled\": %s,\n"
                "  \"scale\": %g,\n"
                "  \"reps\": %d,\n"
                "  \"benchmarks\": {\n",
-               DominanceKernelBackend(), scale, reps);
+               DominanceKernelBackend(),
+               skymr::obs::TracingCompiledIn() ? "true" : "false", scale,
+               reps);
   std::fprintf(f,
                "    \"dominance_kernel\": {\n"
                "      \"rows\": %zu,\n"

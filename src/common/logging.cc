@@ -49,9 +49,15 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
+  // Assemble the full line — newline included — before touching the sink,
+  // then emit it with one insert: a single write that other threads (and,
+  // since stderr is unbuffered, other processes sharing the fd) cannot
+  // split mid-line. See the flush policy note in logging.h.
+  stream_ << '\n';
+  const std::string line = stream_.str();
   {
     std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::cerr << stream_.str() << std::endl;
+    std::cerr << line;
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -3,6 +3,13 @@
 // Usage:
 //   SKYMR_LOG(INFO) << "job finished in " << secs << "s";
 // Levels below the global threshold are compiled into a no-op branch.
+//
+// Emission and flush policy: each statement assembles its complete line
+// (prefix, message, trailing '\n') in a private buffer and emits it with a
+// single std::cerr insert under a process-wide mutex, so concurrent
+// ThreadPool tasks can never interleave fragments of two lines. std::cerr
+// is unit-buffered, so the single insert also flushes the line; there is
+// no separate flush step and no buffering across lines.
 
 #ifndef SKYMR_COMMON_LOGGING_H_
 #define SKYMR_COMMON_LOGGING_H_

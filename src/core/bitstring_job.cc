@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace skymr::core {
 namespace {
@@ -93,8 +94,12 @@ class BitstringReducer
     for (const auto& [ppd, bits] : merged_) {
       result.occupancies.emplace_back(ppd, bits.Count());
     }
-    result.ppd = SelectPpd(config_->ppd, config_->cardinality,
-                           config_->bounds.lo.size(), result.occupancies);
+    {
+      SKYMR_TRACE_SPAN("ppd.select", "candidates",
+                       static_cast<int64_t>(result.occupancies.size()));
+      result.ppd = SelectPpd(config_->ppd, config_->cardinality,
+                             config_->bounds.lo.size(), result.occupancies);
+    }
     auto it = merged_.find(result.ppd);
     if (it == merged_.end()) {
       throw mr::TaskFailure("bitstring reducer: selected PPD not merged");
@@ -107,8 +112,13 @@ class BitstringReducer
       throw mr::TaskFailure("bitstring reducer: " +
                             grid_or.status().ToString());
     }
-    result.pruned =
-        PruneDominated(grid_or.value(), &result.bits, config_->prune_mode);
+    {
+      SKYMR_TRACE_SPAN("bitstring.prune", "ppd",
+                       static_cast<int64_t>(result.ppd), "nonempty",
+                       static_cast<int64_t>(result.nonempty));
+      result.pruned =
+          PruneDominated(grid_or.value(), &result.bits, config_->prune_mode);
+    }
     // Equations 1-2: the broadcast bitstring BS_R has exactly n^d bits,
     // and pruning only ever clears bits, never flips them on.
     SKYMR_CHECK(result.bits.size() == grid_or.value().num_cells());

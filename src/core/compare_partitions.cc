@@ -2,10 +2,14 @@
 
 #include <vector>
 
+#include "src/obs/trace.h"
+
 namespace skymr::core {
 
 uint64_t CompareAllPartitions(const Grid& grid, CellWindowMap* windows,
                               DominanceCounter* tuple_counter) {
+  SKYMR_TRACE_SPAN("core.compare_partitions", "partitions",
+                   static_cast<int64_t>(windows->size()));
   const size_t d = grid.dim();
   // Decode every partition's coordinates once.
   std::vector<CellId> cells;

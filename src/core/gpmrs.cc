@@ -3,6 +3,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "src/obs/trace.h"
+
 namespace skymr::core {
 namespace {
 
@@ -21,12 +23,15 @@ class GpmrsMapper : public mr::Mapper<TupleId, uint32_t, GroupPayload> {
 
   void Cleanup(mr::MapContext<uint32_t, GroupPayload>& ctx) override {
     const SkylineJobContext& context = phase_.context();
-    CellWindowMap windows = phase_.Finish(&ctx.counters());
+    CellWindowMap windows =
+        phase_.Finish(&ctx.counters(), &ctx.histograms());
 
     // Line 11: generate the independent groups from the bitstring only, so
     // every mapper derives exactly the same grouping (the consistency
     // requirement Section 5.3 states). Merging and duplicate-output
     // responsibility (Section 5.4) are equally bitstring-deterministic.
+    SKYMR_TRACE_SPAN("gpmrs.group_assign", "reducers",
+                     context.num_reducers);
     const std::vector<IndependentGroup> groups =
         GenerateIndependentGroups(context.grid, context.bits);
     const std::vector<ReducerGroup> reducer_groups = AssignGroupsToReducers(
@@ -70,6 +75,8 @@ class GpmrsReducer
     if (!values.HasNext()) {
       return;
     }
+    SKYMR_TRACE_SPAN("gpmrs.merge", "group", static_cast<int64_t>(key),
+                     "values", static_cast<int64_t>(values.remaining()));
     const size_t dim = context_->grid.dim();
     DominanceCounter dominance_counter;
     // Lines 2-8: merge per-partition skylines across mappers, one payload
@@ -158,6 +165,17 @@ StatusOr<SkylineJobRun> RunGpmrsJob(
 
   SkylineJobRun run;
   run.metrics = std::move(result.metrics);
+  // Per-reducer group load (Section 5.4.1's balancing target). The
+  // assignment is bitstring-deterministic, so recomputing it here matches
+  // exactly what every mapper shipped.
+  const std::vector<ReducerGroup> reducer_groups = AssignGroupsToReducers(
+      grid, GenerateIndependentGroups(grid, bits), engine.num_reducers,
+      merge);
+  for (const ReducerGroup& group : reducer_groups) {
+    run.metrics.histograms.Add("skymr.reducer_group_cells",
+                               group.cells.size());
+    run.metrics.histograms.Add("skymr.reducer_group_cost", group.cost);
+  }
   run.skyline = SkylineWindow(data->dim());
   for (const SkylineWindow& window : result.outputs) {
     for (size_t i = 0; i < window.size(); ++i) {

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "src/obs/trace.h"
+
 namespace skymr::core {
 namespace {
 
@@ -19,7 +21,8 @@ class GpsrsMapper : public mr::Mapper<TupleId, uint32_t, LocalSkylineSet> {
   }
 
   void Cleanup(mr::MapContext<uint32_t, LocalSkylineSet>& ctx) override {
-    CellWindowMap windows = phase_.Finish(&ctx.counters());
+    CellWindowMap windows =
+        phase_.Finish(&ctx.counters(), &ctx.histograms());
     LocalSkylineSet set;
     set.parts.reserve(windows.size());
     for (auto& [cell, window] : windows) {
@@ -48,6 +51,8 @@ class GpsrsReducer
               mr::ValueIterator<LocalSkylineSet>& values,
               mr::ReduceContext<SkylineWindow>& ctx) override {
     (void)key;
+    SKYMR_TRACE_SPAN("gpsrs.merge", "values",
+                     static_cast<int64_t>(values.remaining()));
     const size_t dim = context_->grid.dim();
     DominanceCounter dominance_counter;
     // Lines 1-6: merge the mappers' per-partition skylines with InsertTuple.

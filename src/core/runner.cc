@@ -10,6 +10,7 @@
 #include "src/common/stopwatch.h"
 #include "src/core/gpmrs.h"
 #include "src/core/gpsrs.h"
+#include "src/obs/trace.h"
 
 namespace skymr {
 
@@ -84,6 +85,9 @@ void FillModeledTimes(const mr::ClusterModel& cluster,
 StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
                                        const RunnerConfig& config) {
   Stopwatch total_clock;
+  SKYMR_TRACE_SPAN("skyline.pipeline", "tuples",
+                   static_cast<int64_t>(data.size()), "dim",
+                   static_cast<int64_t>(data.dim()));
   SkylineResult result;
   if (config.constraint.has_value()) {
     SKYMR_RETURN_IF_ERROR(config.constraint->Validate(data.dim()));

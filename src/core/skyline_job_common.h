@@ -20,6 +20,7 @@
 #include "src/local/sfs.h"
 #include "src/local/skyline_window.h"
 #include "src/mapreduce/job.h"
+#include "src/obs/histogram.h"
 #include "src/relation/box.h"
 #include "src/relation/skyline_verify.h"
 
@@ -134,8 +135,11 @@ class LocalSkylinePhase {
   }
 
   /// Algorithm 3 / 8, lines 9-10: remove cross-partition false positives.
-  /// Returns the windows and records counters.
-  CellWindowMap Finish(mr::Counters* counters) {
+  /// Returns the windows and records counters; `histograms` receives the
+  /// per-partition window lengths (the scan lengths InsertTuple/SFS walk),
+  /// as the skymr.window_size distribution.
+  CellWindowMap Finish(mr::Counters* counters,
+                       obs::HistogramSet* histograms) {
     if (context_->local_algorithm == LocalAlgorithm::kSfs) {
       for (auto& [cell, ids] : buffered_) {
         windows_.emplace(cell,
@@ -151,6 +155,11 @@ class LocalSkylinePhase {
                   static_cast<int64_t>(dominance_counter_.count()));
     counters->Add(mr::kCounterTuplesPruned,
                   static_cast<int64_t>(tuples_pruned_));
+    if (histograms != nullptr) {
+      for (const auto& [cell, window] : windows_) {
+        histograms->Add("skymr.window_size", window.size());
+      }
+    }
     return std::move(windows_);
   }
 

@@ -3,26 +3,74 @@
 #include <sstream>
 
 namespace skymr::mr {
+namespace {
 
-void Counters::Add(const std::string& name, int64_t delta) {
-  values_[name] += delta;
+constexpr std::string_view kSlotNames[] = {
+    kCounterTupleComparisons,
+    kCounterPartitionComparisons,
+    kCounterTuplesPruned,
+    kCounterPartitionsPruned,
+};
+
+}  // namespace
+
+size_t Counters::SlotOf(std::string_view name) {
+  // All well-known names share the "skymr." prefix; reject others with one
+  // comparison before the (short) exact-match scan.
+  if (name.size() < 7 || name.substr(0, 6) != "skymr.") {
+    return kNumSlots;
+  }
+  for (size_t i = 0; i < kNumSlots; ++i) {
+    if (name == kSlotNames[i]) {
+      return i;
+    }
+  }
+  return kNumSlots;
 }
 
-int64_t Counters::Get(const std::string& name) const {
-  const auto it = values_.find(name);
+void Counters::Add(std::string_view name, int64_t delta) {
+  const size_t slot = SlotOf(name);
+  if (slot < kNumSlots) {
+    slots_[slot] += delta;
+    touched_slots_ = static_cast<uint8_t>(touched_slots_ | (1u << slot));
+    return;
+  }
+  values_[std::string(name)] += delta;
+}
+
+int64_t Counters::Get(std::string_view name) const {
+  const size_t slot = SlotOf(name);
+  if (slot < kNumSlots) {
+    return slots_[slot];
+  }
+  const auto it = values_.find(std::string(name));
   return it == values_.end() ? 0 : it->second;
 }
 
 void Counters::Merge(const Counters& other) {
+  for (size_t i = 0; i < kNumSlots; ++i) {
+    slots_[i] += other.slots_[i];
+  }
+  touched_slots_ = static_cast<uint8_t>(touched_slots_ | other.touched_slots_);
   for (const auto& [name, value] : other.values_) {
     values_[name] += value;
   }
 }
 
+std::map<std::string, int64_t> Counters::values() const {
+  std::map<std::string, int64_t> merged = values_;
+  for (size_t i = 0; i < kNumSlots; ++i) {
+    if ((touched_slots_ & (1u << i)) != 0) {
+      merged[std::string(kSlotNames[i])] += slots_[i];
+    }
+  }
+  return merged;
+}
+
 std::string Counters::ToString() const {
   std::ostringstream os;
   bool first = true;
-  for (const auto& [name, value] : values_) {
+  for (const auto& [name, value] : values()) {
     if (!first) {
       os << ", ";
     }

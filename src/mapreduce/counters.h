@@ -2,13 +2,22 @@
 // statistics (records processed, dominance tests, partition comparisons).
 // Each task owns a private Counters instance; the engine merges them into
 // job-level totals, so no synchronization is needed on the hot path.
+//
+// The four well-known skymr.* counters are stored in pre-interned slots:
+// Add/Get on them is an array access after a short name check, with no
+// std::map lookup and no std::string construction when called with a
+// string literal. Ad-hoc names still go through the string map. The
+// external behavior — Get, Merge, empty, values(), ToString ordering —
+// is identical for both kinds.
 
 #ifndef SKYMR_MAPREDUCE_COUNTERS_H_
 #define SKYMR_MAPREDUCE_COUNTERS_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace skymr::mr {
 
@@ -25,22 +34,34 @@ inline constexpr const char* kCounterPartitionsPruned =
 class Counters {
  public:
   /// Adds `delta` to counter `name` (creating it at zero).
-  void Add(const std::string& name, int64_t delta);
+  void Add(std::string_view name, int64_t delta);
 
   /// Returns the value of `name`, or 0 when absent.
-  int64_t Get(const std::string& name) const;
+  int64_t Get(std::string_view name) const;
 
   /// Adds every counter of `other` into this.
   void Merge(const Counters& other);
 
-  bool empty() const { return values_.empty(); }
+  bool empty() const { return touched_slots_ == 0 && values_.empty(); }
 
-  const std::map<std::string, int64_t>& values() const { return values_; }
+  /// Every counter by name, interned slots included. Materialized per
+  /// call; iterate once, not per lookup.
+  std::map<std::string, int64_t> values() const;
 
   /// Renders "name=value" pairs separated by ", ".
   std::string ToString() const;
 
  private:
+  static constexpr size_t kNumSlots = 4;
+
+  /// Slot of a well-known name, or kNumSlots when ad-hoc.
+  static size_t SlotOf(std::string_view name);
+
+  std::array<int64_t, kNumSlots> slots_{};
+  /// Bit i set when slot i was ever Added to (so a counter added with a
+  /// zero delta still appears in values()/ToString, exactly as the map
+  /// behaves for ad-hoc names).
+  uint8_t touched_slots_ = 0;
   std::map<std::string, int64_t> values_;
 };
 

@@ -20,8 +20,10 @@ std::shared_ptr<const void> DistributedCache::GetErased(
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end() || it->second.type != type) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second.value;
 }
 

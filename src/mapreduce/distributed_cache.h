@@ -10,6 +10,8 @@
 #ifndef SKYMR_MAPREDUCE_DISTRIBUTED_CACHE_H_
 #define SKYMR_MAPREDUCE_DISTRIBUTED_CACHE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -53,6 +55,13 @@ class DistributedCache {
   bool Contains(const std::string& key) const SKYMR_EXCLUDES(mutex_);
   size_t size() const SKYMR_EXCLUDES(mutex_);
 
+  /// Lifetime Get statistics: a hit is a Get that found the key with the
+  /// requested type, a miss is any other Get. Monotonic across jobs; the
+  /// engine snapshots them around each job and reports the deltas as the
+  /// mr.cache_hits / mr.cache_misses job counters.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
  private:
   struct Entry {
     std::type_index type;
@@ -68,6 +77,10 @@ class DistributedCache {
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_ SKYMR_GUARDED_BY(mutex_);
+  // Atomics, not guarded: bumped inside GetErased's critical section but
+  // read lock-free by hits()/misses().
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace skymr::mr

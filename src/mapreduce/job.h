@@ -53,6 +53,7 @@
 #include "src/mapreduce/counters.h"
 #include "src/mapreduce/distributed_cache.h"
 #include "src/mapreduce/task_metrics.h"
+#include "src/obs/trace.h"
 
 namespace skymr::mr {
 
@@ -166,6 +167,7 @@ class MapContext {
   int num_reducers() const { return num_reducers_; }
   const DistributedCache& cache() const { return *cache_; }
   Counters& counters() { return counters_; }
+  obs::HistogramSet& histograms() { return histograms_; }
 
  private:
   template <typename In, typename KK, typename VV, typename Out>
@@ -218,6 +220,7 @@ class MapContext {
     }
     output_records_ = 0;
     counters_ = Counters();
+    histograms_ = obs::HistogramSet();
   }
 
   int task_id_;
@@ -228,6 +231,7 @@ class MapContext {
   std::vector<Bucket> buckets_;
   uint64_t output_records_ = 0;
   Counters counters_;
+  obs::HistogramSet histograms_;
 };
 
 /// The interface reduce tasks use to emit output records.
@@ -246,6 +250,7 @@ class ReduceContext {
   int task_id() const { return task_id_; }
   const DistributedCache& cache() const { return *cache_; }
   Counters& counters() { return counters_; }
+  obs::HistogramSet& histograms() { return histograms_; }
 
  private:
   template <typename In, typename KK, typename VV, typename OO>
@@ -255,6 +260,7 @@ class ReduceContext {
     outputs_.clear();
     output_bytes_ = 0;
     counters_ = Counters();
+    histograms_ = obs::HistogramSet();
   }
 
   int task_id_;
@@ -262,6 +268,7 @@ class ReduceContext {
   std::vector<Out> outputs_;
   uint64_t output_bytes_ = 0;
   Counters counters_;
+  obs::HistogramSet histograms_;
 };
 
 /// User map task: one instance per task attempt.
@@ -359,6 +366,13 @@ class Job {
           "job '" + name_ + "': task counts must be >= 1");
       return result;
     }
+    result.metrics.name = name_;
+    SKYMR_TRACE_SPAN(std::string("job.") + name_, "mappers",
+                     options.num_map_tasks, "reducers", options.num_reducers);
+    // Cache traffic is reported per job as the delta of the cache's
+    // lifetime hit/miss totals across this run.
+    const uint64_t cache_hits_before = cache.hits();
+    const uint64_t cache_misses_before = cache.misses();
     Stopwatch job_clock;
     std::unique_ptr<ThreadPool> owned_pool;
     if (pool == nullptr) {
@@ -379,11 +393,14 @@ class Job {
     // caller's thread after the ParallelFor completion barrier.
     std::vector<MapTaskOutput> map_outputs(static_cast<size_t>(m));
     std::vector<Status> map_status(static_cast<size_t>(m));
-    ParallelFor(pool, m, [&](int task) {
-      map_status[static_cast<size_t>(task)] =
-          RunMapTask(task, SplitOf(input, task, m), r, options, cache,
-                     &map_outputs[static_cast<size_t>(task)]);
-    });
+    {
+      SKYMR_TRACE_SPAN("map.wave", "tasks", m);
+      ParallelFor(pool, m, [&](int task) {
+        map_status[static_cast<size_t>(task)] =
+            RunMapTask(task, SplitOf(input, task, m), r, options, cache,
+                       &map_outputs[static_cast<size_t>(task)]);
+      });
+    }
     for (const Status& s : map_status) {
       if (!s.ok()) {
         result.status = s;
@@ -406,14 +423,20 @@ class Job {
     std::vector<ReducerInput> reducer_inputs(static_cast<size_t>(r));
     std::vector<ReduceTaskOutput> reduce_outputs(static_cast<size_t>(r));
     std::vector<Status> reduce_status(static_cast<size_t>(r));
-    ParallelFor(pool, r, [&](int task) {
-      BuildReducerInput(map_outputs, task,
-                        &reducer_inputs[static_cast<size_t>(task)]);
-      reduce_status[static_cast<size_t>(task)] =
-          RunReduceTask(task, &reducer_inputs[static_cast<size_t>(task)],
-                        options, cache,
-                        &reduce_outputs[static_cast<size_t>(task)]);
-    });
+    {
+      SKYMR_TRACE_SPAN("reduce.wave", "tasks", r);
+      ParallelFor(pool, r, [&](int task) {
+        {
+          SKYMR_TRACE_SPAN("shuffle.bucket", "reducer", task);
+          BuildReducerInput(map_outputs, task,
+                            &reducer_inputs[static_cast<size_t>(task)]);
+        }
+        reduce_status[static_cast<size_t>(task)] =
+            RunReduceTask(task, &reducer_inputs[static_cast<size_t>(task)],
+                          options, cache,
+                          &reduce_outputs[static_cast<size_t>(task)]);
+      });
+    }
 
     result.metrics.map_tasks.reserve(static_cast<size_t>(m));
     for (int task = 0; task < m; ++task) {
@@ -442,12 +465,33 @@ class Job {
       }
     }
 
+    int64_t retries = 0;
     for (const TaskMetrics& t : result.metrics.map_tasks) {
       result.metrics.counters.Merge(t.counters);
+      result.metrics.histograms.Merge(t.histograms);
+      result.metrics.histograms.Add(
+          "mr.map_task_busy_us",
+          static_cast<uint64_t>(t.busy_seconds * 1e6));
+      retries += t.attempts - 1;
     }
     for (const TaskMetrics& t : result.metrics.reduce_tasks) {
       result.metrics.counters.Merge(t.counters);
+      result.metrics.histograms.Merge(t.histograms);
+      result.metrics.histograms.Add(
+          "mr.reduce_task_busy_us",
+          static_cast<uint64_t>(t.busy_seconds * 1e6));
+      retries += t.attempts - 1;
     }
+    for (const ReducerInput& in : reducer_inputs) {
+      result.metrics.histograms.Add("mr.shuffle_bucket_bytes", in.input_bytes);
+    }
+    result.metrics.counters.Add("mr.task_retries", retries);
+    result.metrics.counters.Add(
+        "mr.cache_hits",
+        static_cast<int64_t>(cache.hits() - cache_hits_before));
+    result.metrics.counters.Add(
+        "mr.cache_misses",
+        static_cast<int64_t>(cache.misses() - cache_misses_before));
     result.metrics.wall_seconds = job_clock.ElapsedSeconds();
     result.status = Status::OK();
     return result;
@@ -511,6 +555,7 @@ class Job {
     for (int attempt = 1; attempt <= options.max_task_attempts; ++attempt) {
       auto context = std::make_unique<MapContext<K2, V2>>(
           task_id, num_reducers, &cache, kind, &partitioner_);
+      SKYMR_TRACE_SPAN("map.task", "task", task_id, "attempt", attempt);
       Stopwatch clock;
       try {
         std::unique_ptr<Mapper<In, K2, V2>> mapper = mapper_factory_();
@@ -529,6 +574,7 @@ class Job {
                                   std::to_string(attempt) +
                                   " attempts: " + failure.what());
         }
+        SKYMR_TRACE_INSTANT("task.retry", "task", task_id, "attempt", attempt);
         continue;
       } catch (const SerdeUnderflow& failure) {
         if (attempt == options.max_task_attempts) {
@@ -537,6 +583,7 @@ class Job {
                                   std::to_string(attempt) +
                                   " attempts: " + failure.what());
         }
+        SKYMR_TRACE_INSTANT("task.retry", "task", task_id, "attempt", attempt);
         continue;
       }
       out->metrics.busy_seconds = clock.ElapsedSeconds();
@@ -551,6 +598,7 @@ class Job {
       out->metrics.output_bytes = bytes;
       out->metrics.attempts = attempt;
       out->metrics.counters = context->counters_;
+      out->metrics.histograms = std::move(context->histograms_);
       out->context = std::move(context);
       return Status::OK();
     }
@@ -633,11 +681,15 @@ class Job {
                                            record.value_bytes});
       }
     }
-    std::stable_sort(
-        in->entries.begin(), in->entries.end(),
-        [](const ShuffleEntry& a, const ShuffleEntry& b) {
-          return a.key < b.key;
-        });
+    {
+      SKYMR_TRACE_SPAN("shuffle.sort", "reducer", reducer, "records",
+                       static_cast<int64_t>(in->entries.size()));
+      std::stable_sort(
+          in->entries.begin(), in->entries.end(),
+          [](const ShuffleEntry& a, const ShuffleEntry& b) {
+            return a.key < b.key;
+          });
+    }
     in->slices.reserve(in->entries.size());
     for (const ShuffleEntry& entry : in->entries) {
       in->slices.push_back(Slice{entry.value_data, entry.value_size});
@@ -650,6 +702,7 @@ class Job {
     const std::vector<ShuffleEntry>& entries = in->entries;
     for (int attempt = 1; attempt <= options.max_task_attempts; ++attempt) {
       ReduceContext<Out> context(task_id, &cache);
+      SKYMR_TRACE_SPAN("reduce.task", "task", task_id, "attempt", attempt);
       Stopwatch clock;
       try {
         std::unique_ptr<Reducer<K2, V2, Out>> reducer = reducer_factory_();
@@ -674,6 +727,7 @@ class Job {
                                   std::to_string(attempt) +
                                   " attempts: " + failure.what());
         }
+        SKYMR_TRACE_INSTANT("task.retry", "task", task_id, "attempt", attempt);
         continue;
       } catch (const SerdeUnderflow& failure) {
         if (attempt == options.max_task_attempts) {
@@ -682,6 +736,7 @@ class Job {
                                   std::to_string(attempt) +
                                   " attempts: " + failure.what());
         }
+        SKYMR_TRACE_INSTANT("task.retry", "task", task_id, "attempt", attempt);
         continue;
       }
       out->metrics.busy_seconds = clock.ElapsedSeconds();
@@ -691,6 +746,7 @@ class Job {
       out->metrics.output_bytes = context.output_bytes_;
       out->metrics.attempts = attempt;
       out->metrics.counters = context.counters_;
+      out->metrics.histograms = std::move(context.histograms_);
       out->outputs = std::move(context.outputs_);
       return Status::OK();
     }

@@ -1,13 +1,16 @@
 // Per-task and per-job execution metrics captured by the engine. The
-// ClusterModel consumes these to compute a modeled cluster makespan.
+// ClusterModel consumes these to compute a modeled cluster makespan; the
+// obs::JobReport exporter renders them as JSON.
 
 #ifndef SKYMR_MAPREDUCE_TASK_METRICS_H_
 #define SKYMR_MAPREDUCE_TASK_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/mapreduce/counters.h"
+#include "src/obs/histogram.h"
 
 namespace skymr::mr {
 
@@ -27,18 +30,27 @@ struct TaskMetrics {
   /// Number of attempts it took to finish (1 = no retry).
   int attempts = 1;
   Counters counters;
+  /// Distribution metrics recorded by the task (window scan lengths, ...).
+  obs::HistogramSet histograms;
 };
 
 /// Metrics for one MapReduce job.
 struct JobMetrics {
+  /// The job's name, as passed to mr::Job (e.g. "mr-gpmrs").
+  std::string name;
   std::vector<TaskMetrics> map_tasks;
   std::vector<TaskMetrics> reduce_tasks;
   /// Total serialized key+value bytes moved through the shuffle.
   uint64_t shuffle_bytes = 0;
   /// Real wall time of the simulated job on this machine.
   double wall_seconds = 0.0;
-  /// Counters merged across all tasks.
+  /// Counters merged across all tasks, plus the engine's own counters
+  /// (mr.task_retries, mr.cache_hits, mr.cache_misses).
   Counters counters;
+  /// Histograms merged across all tasks, plus the engine's own
+  /// distributions (mr.map_task_busy_us, mr.reduce_task_busy_us,
+  /// mr.shuffle_bucket_bytes).
+  obs::HistogramSet histograms;
 
   /// Largest value of `counter` across map tasks (Figure 11a's
   /// "mapper with the highest number of comparisons").

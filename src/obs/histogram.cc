@@ -1,0 +1,111 @@
+#include "src/obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace skymr::obs {
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  return index == 0 ? 0 : uint64_t{1} << (index - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) {
+    return 0;
+  }
+  if (index >= kNumBuckets - 1) {
+    return UINT64_MAX;
+  }
+  return (uint64_t{1} << index) - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested percentile among the sorted samples (1-based,
+  // nearest-rank with interpolation inside the containing bucket).
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (in_bucket == 0.0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= target) {
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = static_cast<double>(BucketUpperBound(i));
+      const double fraction =
+          in_bucket == 0.0 ? 0.0 : (target - cumulative) / in_bucket;
+      const double value = lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+      return std::clamp(value, static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu sum=%llu min=%llu p50=%.4g p95=%.4g max=%llu",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(sum_),
+                static_cast<unsigned long long>(min()), Percentile(50.0),
+                Percentile(95.0), static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+void HistogramSet::Add(const std::string& name, uint64_t value) {
+  histograms_[name].Add(value);
+}
+
+Histogram& HistogramSet::Get(const std::string& name) {
+  return histograms_[name];
+}
+
+const Histogram* HistogramSet::Find(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void HistogramSet::Merge(const HistogramSet& other) {
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].Merge(histogram);
+  }
+}
+
+}  // namespace skymr::obs

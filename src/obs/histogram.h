@@ -1,0 +1,103 @@
+// Fixed log-bucket histograms for engine metrics (per-task busy time,
+// shuffle bucket sizes, window scan lengths, reducer group load).
+//
+// Like Counters, a Histogram is owned privately by one task and merged by
+// the engine into job-level totals, so recording needs no synchronization.
+// Buckets are powers of two: bucket 0 holds the value 0 and bucket i
+// (i >= 1) holds values in [2^(i-1), 2^i - 1], so Merge is exact and a
+// percentile estimate is off by at most the width of one bucket (the
+// estimate is clamped into [min, max], which makes single-value and
+// extreme percentiles exact).
+
+#ifndef SKYMR_OBS_HISTOGRAM_H_
+#define SKYMR_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace skymr::obs {
+
+/// A mergeable histogram of uint64 values with power-of-two buckets.
+class Histogram {
+ public:
+  /// Bucket 0 holds zero; buckets 1..64 hold [2^(i-1), 2^i - 1].
+  static constexpr size_t kNumBuckets = 65;
+
+  /// Records one value.
+  void Add(uint64_t value);
+
+  /// Adds every recorded value of `other` into this.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  /// Smallest / largest recorded value; 0 when empty.
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  bool empty() const { return count_ == 0; }
+  double Mean() const;
+
+  /// Value at percentile `p` in [0, 100], linearly interpolated within the
+  /// containing bucket and clamped to [min(), max()]. 0 when empty.
+  double Percentile(double p) const;
+
+  const std::array<uint64_t, kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Index of the bucket holding `value`.
+  static size_t BucketIndex(uint64_t value);
+  /// Smallest value bucket `index` holds.
+  static uint64_t BucketLowerBound(size_t index);
+  /// Largest value bucket `index` holds.
+  static uint64_t BucketUpperBound(size_t index);
+
+  /// Renders "count=N sum=S min=m p50=... p95=... max=M".
+  std::string ToString() const;
+
+  bool operator==(const Histogram& other) const {
+    return buckets_ == other.buckets_ && count_ == other.count_ &&
+           sum_ == other.sum_ && min() == other.min() && max_ == other.max_;
+  }
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+/// A mergeable bag of named histograms with deterministic iteration order,
+/// the histogram analogue of Counters.
+class HistogramSet {
+ public:
+  /// Records `value` into the histogram named `name` (creating it).
+  void Add(const std::string& name, uint64_t value);
+
+  /// Returns the histogram under `name`, creating it empty.
+  Histogram& Get(const std::string& name);
+
+  /// Returns the histogram under `name`, or nullptr when absent.
+  const Histogram* Find(const std::string& name) const;
+
+  /// Merges every histogram of `other` into this.
+  void Merge(const HistogramSet& other);
+
+  bool empty() const { return histograms_.empty(); }
+  size_t size() const { return histograms_.size(); }
+
+  const std::map<std::string, Histogram>& entries() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace skymr::obs
+
+#endif  // SKYMR_OBS_HISTOGRAM_H_

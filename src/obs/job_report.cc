@@ -1,0 +1,290 @@
+#include "src/obs/job_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/obs/histogram.h"
+#include "src/obs/json.h"
+
+namespace skymr::obs {
+namespace {
+
+double MaxBusySeconds(const std::vector<mr::TaskMetrics>& tasks) {
+  double best = 0.0;
+  for (const mr::TaskMetrics& t : tasks) {
+    best = std::max(best, t.busy_seconds);
+  }
+  return best;
+}
+
+double MedianBusySeconds(const std::vector<mr::TaskMetrics>& tasks) {
+  if (tasks.empty()) {
+    return 0.0;
+  }
+  std::vector<double> busy;
+  busy.reserve(tasks.size());
+  for (const mr::TaskMetrics& t : tasks) {
+    busy.push_back(t.busy_seconds);
+  }
+  std::sort(busy.begin(), busy.end());
+  const size_t n = busy.size();
+  return n % 2 == 1 ? busy[n / 2] : 0.5 * (busy[n / 2 - 1] + busy[n / 2]);
+}
+
+void WriteHistogramJson(const Histogram& histogram, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("count");
+  w->Uint(histogram.count());
+  w->Key("sum");
+  w->Uint(histogram.sum());
+  w->Key("min");
+  w->Uint(histogram.min());
+  w->Key("max");
+  w->Uint(histogram.max());
+  w->Key("mean");
+  w->Double(histogram.Mean());
+  w->Key("p50");
+  w->Double(histogram.Percentile(50.0));
+  w->Key("p95");
+  w->Double(histogram.Percentile(95.0));
+  w->Key("p99");
+  w->Double(histogram.Percentile(99.0));
+  w->EndObject();
+}
+
+void WriteTaskJson(const mr::TaskMetrics& task, bool is_reduce,
+                   JsonWriter* w) {
+  w->BeginObject();
+  w->Key("busy_seconds");
+  w->Double(task.busy_seconds);
+  w->Key("attempts");
+  w->Int(task.attempts);
+  w->Key("input_records");
+  w->Uint(task.input_records);
+  w->Key("output_records");
+  w->Uint(task.output_records);
+  w->Key("output_bytes");
+  w->Uint(task.output_bytes);
+  if (is_reduce) {
+    w->Key("input_bytes");
+    w->Uint(task.input_bytes);
+  }
+  w->EndObject();
+}
+
+void WriteJobMetricsJson(const mr::JobMetrics& job, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(job.name);
+  w->Key("wall_seconds");
+  w->Double(job.wall_seconds);
+  w->Key("shuffle_bytes");
+  w->Uint(job.shuffle_bytes);
+  w->Key("task_retries");
+  w->Int(job.counters.Get("mr.task_retries"));
+  w->Key("cache_hits");
+  w->Int(job.counters.Get("mr.cache_hits"));
+  w->Key("cache_misses");
+  w->Int(job.counters.Get("mr.cache_misses"));
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, value] : job.counters.values()) {
+    w->Key(name);
+    w->Int(value);
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, histogram] : job.histograms.entries()) {
+    w->Key(name);
+    WriteHistogramJson(histogram, w);
+  }
+  w->EndObject();
+  w->Key("skew");
+  w->BeginObject();
+  w->Key("max_map_busy_seconds");
+  w->Double(MaxBusySeconds(job.map_tasks));
+  w->Key("median_map_busy_seconds");
+  w->Double(MedianBusySeconds(job.map_tasks));
+  w->Key("max_reduce_busy_seconds");
+  w->Double(MaxBusySeconds(job.reduce_tasks));
+  w->Key("median_reduce_busy_seconds");
+  w->Double(MedianBusySeconds(job.reduce_tasks));
+  w->EndObject();
+  w->Key("map_tasks");
+  w->BeginArray();
+  for (const mr::TaskMetrics& task : job.map_tasks) {
+    WriteTaskJson(task, /*is_reduce=*/false, w);
+  }
+  w->EndArray();
+  w->Key("reduce_tasks");
+  w->BeginArray();
+  for (const mr::TaskMetrics& task : job.reduce_tasks) {
+    WriteTaskJson(task, /*is_reduce=*/true, w);
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+/// The grid pipeline's skyline job is the last one (the bitstring job runs
+/// first); baselines run a single job. Null when there are no jobs.
+const mr::JobMetrics* SkylineJobOf(const SkylineResult& result) {
+  return result.jobs.empty() ? nullptr : &result.jobs.back();
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024ull) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024ull) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace
+
+void WriteJobReport(const SkylineResult& result, std::ostream& os) {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kReportSchemaVersion);
+  w.Key("algorithm");
+  w.String(AlgorithmName(result.algorithm_used));
+  w.Key("wall_seconds");
+  w.Double(result.wall_seconds);
+  w.Key("modeled_seconds");
+  w.Double(result.modeled_seconds);
+  w.Key("modeled_compute_seconds");
+  w.Double(result.modeled_compute_seconds);
+  w.Key("skyline_size");
+  w.Uint(result.skyline.size());
+  w.Key("ppd");
+  w.Uint(result.ppd);
+  w.Key("nonempty_partitions");
+  w.Uint(result.nonempty_partitions);
+  w.Key("pruned_partitions");
+  w.Uint(result.pruned_partitions);
+  w.Key("jobs");
+  w.BeginArray();
+  for (const mr::JobMetrics& job : result.jobs) {
+    WriteJobMetricsJson(job, &w);
+  }
+  w.EndArray();
+  const mr::JobMetrics* skyline_job = SkylineJobOf(result);
+  if (result.ppd > 0 && skyline_job != nullptr) {
+    const size_t dim = result.skyline.dim();
+    w.Key("cost_model");
+    w.BeginObject();
+    w.Key("ppd");
+    w.Uint(result.ppd);
+    w.Key("dim");
+    w.Uint(dim);
+    w.Key("predicted_mapper_comparisons");
+    w.Double(cost::MapperCost(result.ppd, dim));
+    w.Key("observed_max_mapper_comparisons");
+    w.Int(skyline_job->MaxMapCounter(mr::kCounterPartitionComparisons));
+    w.Key("predicted_reducer_comparisons");
+    w.Double(cost::ReducerCost(result.ppd, dim));
+    w.Key("observed_max_reducer_comparisons");
+    w.Int(skyline_job->MaxReduceCounter(mr::kCounterPartitionComparisons));
+    w.EndObject();
+  }
+  w.EndObject();
+  os << '\n';
+}
+
+Status WriteJobReportFile(const SkylineResult& result,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open report output: " + path);
+  }
+  WriteJobReport(result, out);
+  out.flush();
+  if (!out) {
+    return Status::IoError("failed writing report: " + path);
+  }
+  return Status::OK();
+}
+
+std::string RenderJobMetricsJson(const mr::JobMetrics& metrics) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  WriteJobMetricsJson(metrics, &w);
+  return os.str();
+}
+
+std::string RenderStatsText(const SkylineResult& result) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "algorithm %s: skyline %zu tuples, %.3fs wall, %.3fs "
+                "modeled\n",
+                AlgorithmName(result.algorithm_used), result.skyline.size(),
+                result.wall_seconds, result.modeled_seconds);
+  os << buf;
+  if (result.ppd > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "grid: ppd=%u, %llu non-empty partitions, %llu pruned\n",
+                  result.ppd,
+                  static_cast<unsigned long long>(result.nonempty_partitions),
+                  static_cast<unsigned long long>(result.pruned_partitions));
+    os << buf;
+  }
+  for (const mr::JobMetrics& job : result.jobs) {
+    std::snprintf(buf, sizeof(buf),
+                  "job %s: %zu map / %zu reduce tasks, %.3fs wall, shuffle "
+                  "%s\n",
+                  job.name.c_str(), job.map_tasks.size(),
+                  job.reduce_tasks.size(), job.wall_seconds,
+                  HumanBytes(job.shuffle_bytes).c_str());
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  map busy max/median: %.4fs / %.4fs    reduce busy "
+                  "max/median: %.4fs / %.4fs\n",
+                  MaxBusySeconds(job.map_tasks),
+                  MedianBusySeconds(job.map_tasks),
+                  MaxBusySeconds(job.reduce_tasks),
+                  MedianBusySeconds(job.reduce_tasks));
+    os << buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  retries: %lld    cache hits/misses: %lld/%lld\n",
+        static_cast<long long>(job.counters.Get("mr.task_retries")),
+        static_cast<long long>(job.counters.Get("mr.cache_hits")),
+        static_cast<long long>(job.counters.Get("mr.cache_misses")));
+    os << buf;
+    for (const auto& [name, histogram] : job.histograms.entries()) {
+      os << "  " << name << ": " << histogram.ToString() << "\n";
+    }
+  }
+  const mr::JobMetrics* skyline_job = SkylineJobOf(result);
+  if (result.ppd > 0 && skyline_job != nullptr) {
+    const size_t dim = result.skyline.dim();
+    std::snprintf(
+        buf, sizeof(buf),
+        "cost model (partition comparisons, observed vs predicted):\n"
+        "  mapper:  observed max %lld, predicted %.6g\n"
+        "  reducer: observed max %lld, predicted %.6g\n",
+        static_cast<long long>(
+            skyline_job->MaxMapCounter(mr::kCounterPartitionComparisons)),
+        cost::MapperCost(result.ppd, dim),
+        static_cast<long long>(
+            skyline_job->MaxReduceCounter(mr::kCounterPartitionComparisons)),
+        cost::ReducerCost(result.ppd, dim));
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace skymr::obs

@@ -1,0 +1,69 @@
+// Unified run report: counters, histograms, and task timelines of every
+// job in a finished pipeline, plus the Section 6 cost-model predictions
+// next to the observed comparison counts (the Figure 11 comparison).
+//
+// Two renderings share one data walk: a machine-readable JSON document
+// (schema skymr-report-v1) and the human-readable text `skymr_cli stats`
+// prints. The JSON layout:
+//
+//   { "schema": "skymr-report-v1",
+//     "algorithm": "mr-gpmrs", "wall_seconds": ..., "modeled_seconds": ...,
+//     "modeled_compute_seconds": ..., "skyline_size": ...,
+//     "ppd": ..., "nonempty_partitions": ..., "pruned_partitions": ...,
+//     "jobs": [ { "name": ..., "wall_seconds": ..., "shuffle_bytes": ...,
+//                 "task_retries": ..., "cache_hits": ..., "cache_misses": ...,
+//                 "counters": {...},
+//                 "histograms": { name: {count,sum,min,max,mean,p50,p95,p99} },
+//                 "skew": { "max_map_busy_seconds": ...,
+//                           "median_map_busy_seconds": ...,
+//                           "max_reduce_busy_seconds": ...,
+//                           "median_reduce_busy_seconds": ... },
+//                 "map_tasks": [ {busy_seconds, attempts, input_records,
+//                                 output_records, output_bytes} ],
+//                 "reduce_tasks": [ ... + input_bytes ] } ],
+//     "cost_model": { "ppd": ..., "dim": ...,
+//                     "predicted_mapper_comparisons": ...,
+//                     "observed_max_mapper_comparisons": ...,
+//                     "predicted_reducer_comparisons": ...,
+//                     "observed_max_reducer_comparisons": ... } }
+//
+// "cost_model" is present only for the grid algorithms (ppd > 0). The
+// predictions are the paper's estimates under its uniformity assumptions,
+// not hard bounds: on skewed data, or when ppd selection is capped, the
+// observed counts can exceed them. The point of the block is exactly that
+// comparison (paper Figure 11).
+
+#ifndef SKYMR_OBS_JOB_REPORT_H_
+#define SKYMR_OBS_JOB_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/runner.h"
+#include "src/mapreduce/task_metrics.h"
+
+namespace skymr::obs {
+
+/// Schema identifier stamped into every report document.
+inline constexpr const char* kReportSchemaVersion = "skymr-report-v1";
+
+/// Writes the full pipeline report for `result` as JSON.
+void WriteJobReport(const SkylineResult& result, std::ostream& os);
+
+/// WriteJobReport to a file.
+Status WriteJobReportFile(const SkylineResult& result,
+                          const std::string& path);
+
+/// Renders one job's metrics block as a standalone JSON object — the same
+/// object that appears in the report's "jobs" array.
+std::string RenderJobMetricsJson(const mr::JobMetrics& metrics);
+
+/// Renders the human-readable summary `skymr_cli stats` prints: per-job
+/// task skew (max/median busy seconds), retries, cache traffic, histogram
+/// summaries, and the cost-model comparison.
+std::string RenderStatsText(const SkylineResult& result);
+
+}  // namespace skymr::obs
+
+#endif  // SKYMR_OBS_JOB_REPORT_H_

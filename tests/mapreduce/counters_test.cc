@@ -1,5 +1,7 @@
 #include "src/mapreduce/counters.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace skymr::mr {
@@ -50,6 +52,85 @@ TEST(CountersTest, ToStringDeterministicOrder) {
 TEST(CountersTest, WellKnownNamesAreDistinct) {
   EXPECT_STRNE(kCounterTupleComparisons, kCounterPartitionComparisons);
   EXPECT_STRNE(kCounterTuplesPruned, kCounterPartitionsPruned);
+}
+
+// ---------------------------------------------------------------------
+// Interned slots: the four well-known skymr.* names bypass the map but
+// must behave exactly like ad-hoc names.
+// ---------------------------------------------------------------------
+
+TEST(CountersTest, InternedNamesAccumulateLikeAdHocOnes) {
+  Counters counters;
+  counters.Add(kCounterTupleComparisons, 5);
+  counters.Add(kCounterTupleComparisons, 7);
+  counters.Add(kCounterPartitionComparisons, 1);
+  EXPECT_EQ(counters.Get(kCounterTupleComparisons), 12);
+  EXPECT_EQ(counters.Get(kCounterPartitionComparisons), 1);
+  EXPECT_EQ(counters.Get(kCounterTuplesPruned), 0);
+  EXPECT_FALSE(counters.empty());
+}
+
+TEST(CountersTest, InternedNamesWorkThroughRuntimeStrings) {
+  // The same names arriving as non-literal strings must hit the same
+  // slots as the constants.
+  Counters counters;
+  const std::string name = std::string("skymr.") + "tuples_pruned";
+  counters.Add(name, 3);
+  EXPECT_EQ(counters.Get(kCounterTuplesPruned), 3);
+  counters.Add(kCounterTuplesPruned, 2);
+  EXPECT_EQ(counters.Get(name), 5);
+}
+
+TEST(CountersTest, SimilarNamesDoNotCollideWithSlots) {
+  Counters counters;
+  counters.Add("skymr.tuple_comparisons2", 9);
+  counters.Add("skymr.tuple_comparison", 4);
+  EXPECT_EQ(counters.Get(kCounterTupleComparisons), 0);
+  EXPECT_EQ(counters.Get("skymr.tuple_comparisons2"), 9);
+}
+
+TEST(CountersTest, MergeCrossesSlotAndMapKinds) {
+  Counters a;
+  a.Add(kCounterTupleComparisons, 10);
+  a.Add("adhoc", 1);
+  Counters b;
+  b.Add(kCounterTupleComparisons, 5);
+  b.Add(kCounterPartitionsPruned, 2);
+  b.Add("adhoc", 3);
+  a.Merge(b);
+  EXPECT_EQ(a.Get(kCounterTupleComparisons), 15);
+  EXPECT_EQ(a.Get(kCounterPartitionsPruned), 2);
+  EXPECT_EQ(a.Get("adhoc"), 4);
+}
+
+TEST(CountersTest, ValuesIncludesInternedSlotsInSortedOrder) {
+  Counters counters;
+  counters.Add(kCounterTupleComparisons, 1);  // skymr.tuple_comparisons
+  counters.Add("aaa", 2);
+  counters.Add("zzz", 3);
+  const auto values = counters.values();
+  ASSERT_EQ(values.size(), 3u);
+  auto it = values.begin();
+  EXPECT_EQ(it->first, "aaa");
+  ++it;
+  EXPECT_EQ(it->first, kCounterTupleComparisons);
+  ++it;
+  EXPECT_EQ(it->first, "zzz");
+  EXPECT_EQ(counters.ToString(),
+            "aaa=2, skymr.tuple_comparisons=1, zzz=3");
+}
+
+TEST(CountersTest, ZeroDeltaCreatesTheEntryForBothKinds) {
+  Counters counters;
+  counters.Add(kCounterTuplesPruned, 0);
+  counters.Add("adhoc", 0);
+  EXPECT_FALSE(counters.empty());
+  const auto values = counters.values();
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_EQ(values.count(kCounterTuplesPruned), 1u);
+  EXPECT_EQ(values.count("adhoc"), 1u);
+  // Untouched well-known names stay absent.
+  EXPECT_EQ(values.count(kCounterTupleComparisons), 0u);
 }
 
 }  // namespace

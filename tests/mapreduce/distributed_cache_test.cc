@@ -54,6 +54,27 @@ TEST(DistributedCacheTest, SharedOwnership) {
   EXPECT_EQ(fetched->size(), 1000u);
 }
 
+TEST(DistributedCacheTest, CountsHitsAndMisses) {
+  DistributedCache cache;
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  ASSERT_TRUE(cache.PutValue<int>("answer", 42).ok());
+  // Found entries count as hits.
+  EXPECT_NE(cache.Get<int>("answer"), nullptr);
+  EXPECT_NE(cache.Get<int>("answer"), nullptr);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // Absent keys and type mismatches count as misses.
+  EXPECT_EQ(cache.Get<int>("nope"), nullptr);
+  EXPECT_EQ(cache.Get<double>("answer"), nullptr);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  // Contains() is a pure query, not a fetch: counters stay put.
+  EXPECT_TRUE(cache.Contains("answer"));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
 TEST(DistributedCacheTest, ContainsAndSize) {
   DistributedCache cache;
   EXPECT_EQ(cache.size(), 0u);

@@ -1,0 +1,174 @@
+#include "src/obs/histogram.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skymr::obs {
+namespace {
+
+TEST(HistogramTest, StartsEmpty) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, BucketIndexPowersOfTwo) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t lo = Histogram::BucketLowerBound(i);
+    const uint64_t hi = Histogram::BucketUpperBound(i);
+    EXPECT_LE(lo, hi) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(hi), i) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, SingleValueStatsAreExact) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 42u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_EQ(h.Mean(), 42.0);
+  // The percentile is clamped into [min, max], so one value is exact at
+  // every percentile.
+  EXPECT_EQ(h.Percentile(0.0), 42.0);
+  EXPECT_EQ(h.Percentile(50.0), 42.0);
+  EXPECT_EQ(h.Percentile(100.0), 42.0);
+}
+
+TEST(HistogramTest, ZeroesLandInBucketZero) {
+  Histogram h;
+  h.Add(0);
+  h.Add(0);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(99.0), 0.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndClamped) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Add(v);
+  }
+  double prev = h.Percentile(0.0);
+  EXPECT_GE(prev, static_cast<double>(h.min()));
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = h.Percentile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+  EXPECT_LE(prev, static_cast<double>(h.max()));
+  // The p50 of 1..1000 must land within one bucket width of 500: the
+  // containing bucket is [512, 1023] and interpolation starts at the
+  // previous bucket's end, so accept the bucket below too.
+  const double p50 = h.Percentile(50.0);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1023.0);
+}
+
+TEST(HistogramTest, MergeEqualsAddingEverything) {
+  std::vector<uint64_t> values_a = {0, 1, 5, 17, 1000, 123456};
+  std::vector<uint64_t> values_b = {3, 3, 3, 8, 1 << 20};
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  for (const uint64_t v : values_a) {
+    a.Add(v);
+    all.Add(v);
+  }
+  for (const uint64_t v : values_b) {
+    b.Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a, all);
+  EXPECT_EQ(a.count(), values_a.size() + values_b.size());
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), static_cast<uint64_t>(1 << 20));
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.Add(9);
+  Histogram before = a;
+  a.Merge(Histogram());
+  EXPECT_EQ(a, before);
+  Histogram empty;
+  empty.Merge(a);
+  EXPECT_EQ(empty, a);
+}
+
+TEST(HistogramTest, ToStringMentionsTheStats) {
+  Histogram h;
+  h.Add(10);
+  h.Add(20);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("count=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("sum=30"), std::string::npos) << s;
+  EXPECT_NE(s.find("min=10"), std::string::npos) << s;
+  EXPECT_NE(s.find("max=20"), std::string::npos) << s;
+}
+
+TEST(HistogramSetTest, AddCreatesAndAccumulates) {
+  HistogramSet set;
+  EXPECT_TRUE(set.empty());
+  set.Add("a", 1);
+  set.Add("a", 2);
+  set.Add("b", 7);
+  EXPECT_EQ(set.size(), 2u);
+  ASSERT_NE(set.Find("a"), nullptr);
+  EXPECT_EQ(set.Find("a")->count(), 2u);
+  EXPECT_EQ(set.Find("a")->sum(), 3u);
+  EXPECT_EQ(set.Find("missing"), nullptr);
+}
+
+TEST(HistogramSetTest, MergeIsPerName) {
+  HistogramSet a;
+  a.Add("x", 1);
+  a.Add("y", 2);
+  HistogramSet b;
+  b.Add("y", 5);
+  b.Add("z", 7);
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.Find("y")->count(), 2u);
+  EXPECT_EQ(a.Find("y")->sum(), 7u);
+  EXPECT_EQ(a.Find("z")->sum(), 7u);
+}
+
+TEST(HistogramSetTest, DeterministicIterationOrder) {
+  HistogramSet set;
+  set.Add("zeta", 1);
+  set.Add("alpha", 1);
+  set.Add("mid", 1);
+  std::vector<std::string> names;
+  for (const auto& [name, histogram] : set.entries()) {
+    (void)histogram;
+    names.push_back(name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+}  // namespace
+}  // namespace skymr::obs

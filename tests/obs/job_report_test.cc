@@ -1,0 +1,170 @@
+#include "src/obs/job_report.h"
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/runner.h"
+#include "src/cost/cost_model.h"
+#include "src/data/generator.h"
+#include "src/mapreduce/job.h"
+#include "tests/obs/json_test_util.h"
+
+namespace skymr::obs {
+namespace {
+
+SkylineResult SmallGridRun() {
+  data::GeneratorConfig gen;
+  gen.distribution = data::Distribution::kAntiCorrelated;
+  gen.cardinality = 600;
+  gen.dim = 3;
+  gen.seed = 17;
+  const Dataset data = std::move(data::Generate(gen)).value();
+  RunnerConfig config;
+  config.algorithm = Algorithm::kMrGpmrs;
+  config.engine.num_map_tasks = 3;
+  config.engine.num_reducers = 2;
+  config.ppd.max_candidate = 8;
+  auto result = ComputeSkyline(data, config);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(JobReportTest, ReportIsValidJsonWithSchemaAndCostModel) {
+  const SkylineResult result = SmallGridRun();
+  std::ostringstream os;
+  WriteJobReport(result, os);
+  const std::string json = os.str();
+
+  EXPECT_EQ(testing::JsonParseError(json), "") << json;
+  EXPECT_NE(json.find("\"schema\": \"skymr-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\": \"mr-gpmrs\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": ["), std::string::npos);
+  // Both chained jobs are reported.
+  EXPECT_NE(json.find("\"name\": \"bitstring-generation\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"mr-gpmrs\""), std::string::npos);
+  // Engine histograms made it into the report.
+  EXPECT_NE(json.find("\"mr.map_task_busy_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"mr.shuffle_bucket_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"skymr.reducer_group_cells\""), std::string::npos);
+  // A grid run carries the Section 6 cost-model comparison.
+  EXPECT_NE(json.find("\"cost_model\""), std::string::npos);
+  EXPECT_NE(json.find("\"predicted_mapper_comparisons\""), std::string::npos);
+  EXPECT_NE(json.find("\"observed_max_reducer_comparisons\""),
+            std::string::npos);
+}
+
+TEST(JobReportTest, CostModelComparesObservedAgainstPredictions) {
+  const SkylineResult result = SmallGridRun();
+  ASSERT_FALSE(result.jobs.empty());
+  const mr::JobMetrics& skyline_job = result.jobs.back();
+  ASSERT_GT(result.ppd, 0u);
+  const size_t dim = result.skyline.dim();
+  // The predictions are estimates, not bounds (they assume uniform data),
+  // so assert the comparison is meaningful rather than an inequality: both
+  // sides present, finite, and positive for a run that did real work.
+  EXPECT_GT(cost::MapperCost(result.ppd, dim), 0.0);
+  EXPECT_GT(cost::ReducerCost(result.ppd, dim), 0.0);
+  EXPECT_GT(skyline_job.MaxMapCounter(mr::kCounterPartitionComparisons), 0);
+  EXPECT_GT(skyline_job.MaxReduceCounter(mr::kCounterPartitionComparisons),
+            0);
+}
+
+TEST(JobReportTest, StatsTextSummarizesJobsAndCostModel) {
+  const SkylineResult result = SmallGridRun();
+  const std::string text = RenderStatsText(result);
+  EXPECT_NE(text.find("algorithm mr-gpmrs"), std::string::npos) << text;
+  EXPECT_NE(text.find("job bitstring-generation"), std::string::npos);
+  EXPECT_NE(text.find("job mr-gpmrs"), std::string::npos);
+  EXPECT_NE(text.find("map busy max/median"), std::string::npos);
+  EXPECT_NE(text.find("retries:"), std::string::npos);
+  EXPECT_NE(text.find("cache hits/misses:"), std::string::npos);
+  EXPECT_NE(text.find("cost model"), std::string::npos);
+}
+
+TEST(JobReportTest, WriteJobReportFileRejectsBadPath) {
+  const SkylineResult result = SmallGridRun();
+  const Status status =
+      WriteJobReportFile(result, "/nonexistent-dir/report.json");
+  EXPECT_FALSE(status.ok());
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: a retried task and its cache traffic must be visible
+// in the rendered job metrics.
+// ---------------------------------------------------------------------
+
+/// Reads one present and one absent cache key per attempt, and fails its
+/// first attempt, so the job metrics show exactly one retry and two
+/// hit/miss pairs (one per attempt).
+class FlakyCachingMapper : public mr::Mapper<int, int, int> {
+ public:
+  explicit FlakyCachingMapper(std::atomic<int>* attempts)
+      : attempts_(attempts) {}
+  void Setup(mr::MapContext<int, int>& ctx) override {
+    ASSERT_NE(ctx.cache().Get<int>("present"), nullptr);
+    EXPECT_EQ(ctx.cache().Get<int>("absent"), nullptr);
+  }
+  void Map(const int& record, mr::MapContext<int, int>& ctx) override {
+    ctx.Emit(0, record);
+  }
+  void Cleanup(mr::MapContext<int, int>& ctx) override {
+    (void)ctx;
+    if (attempts_->fetch_add(1) < 1) {
+      throw mr::TaskFailure("injected failure");
+    }
+  }
+
+ private:
+  std::atomic<int>* attempts_;
+};
+
+class SumReducer : public mr::Reducer<int, int, int> {
+ public:
+  void Reduce(const int& key, mr::ValueIterator<int>& values,
+              mr::ReduceContext<int>& ctx) override {
+    (void)key;
+    int total = 0;
+    while (values.HasNext()) {
+      total += values.Next();
+    }
+    ctx.Emit(total);
+  }
+};
+
+TEST(JobReportTest, RetriesAndCacheTrafficSurfaceInJobMetricsJson) {
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  mr::Job<int, int, int, int> job(
+      "flaky",
+      [attempts] {
+        return std::make_unique<FlakyCachingMapper>(attempts.get());
+      },
+      [] { return std::make_unique<SumReducer>(); });
+  mr::EngineOptions options;
+  options.num_map_tasks = 1;
+  options.num_reducers = 1;
+  options.max_task_attempts = 3;
+  mr::DistributedCache cache;
+  ASSERT_TRUE(cache.PutValue<int>("present", 1).ok());
+  auto result = job.Run(std::vector<int>{4, 5}, options, cache);
+  ASSERT_TRUE(result.ok()) << result.status;
+  ASSERT_EQ(result.metrics.map_tasks.size(), 1u);
+  EXPECT_EQ(result.metrics.map_tasks[0].attempts, 2);
+
+  const std::string json = RenderJobMetricsJson(result.metrics);
+  EXPECT_EQ(testing::JsonParseError(json), "") << json;
+  EXPECT_NE(json.find("\"name\": \"flaky\""), std::string::npos) << json;
+  // One retry, and one cache hit + one miss per attempt.
+  EXPECT_NE(json.find("\"task_retries\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_hits\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_misses\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"attempts\": 2"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace skymr::obs

@@ -1,0 +1,202 @@
+// Minimal recursive-descent JSON validator for the observability tests:
+// enough to assert that exported trace and report documents are
+// well-formed JSON, without pulling a parser dependency into the build.
+
+#ifndef SKYMR_TESTS_OBS_JSON_TEST_UTIL_H_
+#define SKYMR_TESTS_OBS_JSON_TEST_UTIL_H_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace skymr::obs::testing {
+namespace json_internal {
+
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  /// Empty string when `text_` is one valid JSON value; else a diagnostic.
+  std::string Run() {
+    SkipWs();
+    Value();
+    SkipWs();
+    if (error_.empty() && pos_ != text_.size()) {
+      Fail("trailing data");
+    }
+    return error_;
+  }
+
+ private:
+  void Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                        text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (Peek() != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  void Expect(char c) {
+    if (!Consume(c)) {
+      Fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void Value() {
+    if (!error_.empty()) {
+      return;
+    }
+    switch (Peek()) {
+      case '{':
+        Object();
+        return;
+      case '[':
+        Array();
+        return;
+      case '"':
+        String();
+        return;
+      case 't':
+        Literal("true");
+        return;
+      case 'f':
+        Literal("false");
+        return;
+      case 'n':
+        Literal("null");
+        return;
+      default:
+        Number();
+    }
+  }
+
+  void Object() {
+    Expect('{');
+    SkipWs();
+    if (Consume('}')) {
+      return;
+    }
+    while (error_.empty()) {
+      SkipWs();
+      String();
+      SkipWs();
+      Expect(':');
+      SkipWs();
+      Value();
+      SkipWs();
+      if (Consume('}')) {
+        return;
+      }
+      Expect(',');
+    }
+  }
+
+  void Array() {
+    Expect('[');
+    SkipWs();
+    if (Consume(']')) {
+      return;
+    }
+    while (error_.empty()) {
+      SkipWs();
+      Value();
+      SkipWs();
+      if (Consume(']')) {
+        return;
+      }
+      Expect(',');
+    }
+  }
+
+  void String() {
+    Expect('"');
+    while (error_.empty()) {
+      if (AtEnd()) {
+        Fail("unterminated string");
+        return;
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+        return;
+      }
+      if (c == '\\') {
+        if (AtEnd()) {
+          Fail("dangling escape");
+          return;
+        }
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd() || std::isxdigit(static_cast<unsigned char>(
+                               text_[pos_])) == 0) {
+              Fail("bad \\u escape");
+              return;
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          Fail("bad escape");
+          return;
+        }
+      }
+    }
+  }
+
+  void Number() {
+    const size_t begin = pos_;
+    Consume('-');
+    while (!AtEnd() &&
+           (std::isdigit(static_cast<unsigned char>(Peek())) != 0 ||
+            Peek() == '.' || Peek() == 'e' || Peek() == 'E' ||
+            Peek() == '+' || Peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == begin) {
+      Fail("expected a value");
+    }
+  }
+
+  void Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      Fail("bad literal");
+      return;
+    }
+    pos_ += word.size();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace json_internal
+
+/// Empty string when `text` is one valid JSON document; else a diagnostic.
+inline std::string JsonParseError(std::string_view text) {
+  return json_internal::Validator(text).Run();
+}
+
+}  // namespace skymr::obs::testing
+
+#endif  // SKYMR_TESTS_OBS_JSON_TEST_UTIL_H_

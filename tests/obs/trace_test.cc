@@ -1,0 +1,178 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/obs/json_test_util.h"
+
+namespace skymr::obs {
+namespace {
+
+/// Stops collection and drops all events, whatever a test left behind.
+/// The tracer is process-global, so every test starts from this.
+void ResetTracer() {
+  StopTracing();
+  ClearTrace();
+}
+
+const TraceEventView* FindEvent(const std::vector<TraceEventView>& events,
+                                const std::string& name) {
+  const auto it =
+      std::find_if(events.begin(), events.end(),
+                   [&](const TraceEventView& e) { return e.name == name; });
+  return it == events.end() ? nullptr : &*it;
+}
+
+TEST(TraceTest, InactiveByDefaultAndSpansAreFree) {
+  ResetTracer();
+  EXPECT_FALSE(TracingActive());
+  {
+    SKYMR_TRACE_SPAN("should.not.record");
+  }
+  SKYMR_TRACE_INSTANT("also.not.recorded");
+  EXPECT_EQ(CollectedEventCount(), 0u);
+}
+
+TEST(TraceTest, RecordsSpanWithArgsAndDuration) {
+  if (!TracingCompiledIn()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  ResetTracer();
+  StartTracing();
+  {
+    SKYMR_TRACE_SPAN("outer.span", "alpha", 7, "beta", -3);
+  }
+  StopTracing();
+  const std::vector<TraceEventView> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEventView& e = events[0];
+  EXPECT_EQ(e.name, "outer.span");
+  EXPECT_EQ(e.phase, 'X');
+  EXPECT_GE(e.ts_us, 0.0);
+  EXPECT_GE(e.dur_us, 0.0);
+  EXPECT_EQ(e.depth, 0u);
+  ASSERT_EQ(e.args.size(), 2u);
+  EXPECT_EQ(e.args[0].first, "alpha");
+  EXPECT_EQ(e.args[0].second, 7);
+  EXPECT_EQ(e.args[1].first, "beta");
+  EXPECT_EQ(e.args[1].second, -3);
+}
+
+TEST(TraceTest, NestedSpansGetIncreasingDepth) {
+  if (!TracingCompiledIn()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  ResetTracer();
+  StartTracing();
+  {
+    SKYMR_TRACE_SPAN("outer");
+    {
+      SKYMR_TRACE_SPAN("inner");
+      SKYMR_TRACE_INSTANT("tick");
+    }
+  }
+  StopTracing();
+  const std::vector<TraceEventView> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 3u);
+  const TraceEventView* outer = FindEvent(events, "outer");
+  const TraceEventView* inner = FindEvent(events, "inner");
+  const TraceEventView* tick = FindEvent(events, "tick");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(tick, nullptr);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(tick->phase, 'i');
+  // The child starts no earlier and ends no later than its parent.
+  EXPECT_GE(inner->ts_us, outer->ts_us);
+  EXPECT_LE(inner->ts_us + inner->dur_us, outer->ts_us + outer->dur_us);
+}
+
+TEST(TraceTest, StopTracingFreezesTheBuffer) {
+  if (!TracingCompiledIn()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  ResetTracer();
+  StartTracing();
+  { SKYMR_TRACE_SPAN("kept"); }
+  StopTracing();
+  { SKYMR_TRACE_SPAN("dropped"); }
+  EXPECT_EQ(CollectedEventCount(), 1u);
+  // StartTracing discards the previous session's events.
+  StartTracing();
+  EXPECT_EQ(CollectedEventCount(), 0u);
+  StopTracing();
+}
+
+TEST(TraceTest, LongNamesAreTruncatedNotCorrupted) {
+  if (!TracingCompiledIn()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  ResetTracer();
+  StartTracing();
+  const std::string long_name(200, 'x');
+  { SKYMR_TRACE_SPAN(long_name); }
+  StopTracing();
+  const std::vector<TraceEventView> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, std::string(internal::kMaxNameLength, 'x'));
+}
+
+TEST(TraceTest, ChromeTraceExportGolden) {
+  if (!TracingCompiledIn()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  ResetTracer();
+  StartTracing();
+  {
+    SKYMR_TRACE_SPAN("golden.span", "task", 3);
+    SKYMR_TRACE_INSTANT("golden.instant");
+  }
+  StopTracing();
+  std::ostringstream os;
+  WriteChromeTrace(os);
+  const std::string json = os.str();
+
+  // The document must be valid JSON end to end.
+  EXPECT_EQ(testing::JsonParseError(json), "") << json;
+
+  // Stable envelope: schema version and Chrome's display hint.
+  EXPECT_NE(json.find("\"schema\":\"skymr-trace-v1\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+
+  // The complete event keeps its name, category, phase, and args.
+  EXPECT_NE(json.find("\"name\":\"golden.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"skymr\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"task\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+
+  // The instant event carries Chrome's required scope key.
+  EXPECT_NE(json.find("\"name\":\"golden.instant\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  ResetTracer();
+}
+
+TEST(TraceTest, DisabledBuildReportsCompiledOut) {
+  // This test asserts the compile-time constant is consistent with the
+  // runtime behavior, whichever way the build was configured.
+  if (TracingCompiledIn()) {
+    ResetTracer();
+    StartTracing();
+    EXPECT_TRUE(TracingActive());
+    ResetTracer();
+  } else {
+    StartTracing();
+    EXPECT_FALSE(TracingActive());
+  }
+}
+
+}  // namespace
+}  // namespace skymr::obs

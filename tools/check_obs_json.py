@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validates skymr observability artifacts: a Chrome trace (skymr-trace-v1)
+and/or a job report (skymr-report-v1).
+
+Usage:
+    check_obs_json.py [--trace trace.json] [--report report.json]
+
+Exits non-zero with a diagnostic on the first violation. Used by the CI
+obs-smoke job; handy locally after `skymr_cli stats --trace-out ...
+--report-out ...`.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_obs_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "skymr-trace-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"{path}: displayTimeUnit is {doc.get('displayTimeUnit')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    names = set()
+    for i, e in enumerate(events):
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: event {i} lacks {key!r}: {e}")
+        if e["ph"] not in ("X", "i"):
+            fail(f"{path}: event {i} has phase {e['ph']!r}")
+        if e["ph"] == "X" and "dur" not in e:
+            fail(f"{path}: complete event {i} lacks dur")
+        if e["ph"] == "i" and e.get("s") != "t":
+            fail(f"{path}: instant event {i} lacks scope 's':'t'")
+        if e["ts"] < 0 or e.get("dur", 0) < 0:
+            fail(f"{path}: event {i} has a negative timestamp/duration")
+        names.add(e["name"])
+    # An engine run must at least show the pipeline and one job with both
+    # waves; anything less means the hooks regressed.
+    for required in ("skyline.pipeline", "map.wave", "reduce.wave"):
+        if required not in names:
+            fail(f"{path}: no {required!r} span (got {sorted(names)})")
+    print(f"check_obs_json: {path}: {len(events)} events OK")
+
+
+def check_histogram(where, h):
+    for key in ("count", "sum", "min", "max", "mean", "p50", "p95", "p99"):
+        if key not in h:
+            fail(f"{where}: histogram lacks {key!r}")
+    if h["count"] > 0:
+        if not h["min"] <= h["p50"] <= h["p95"] <= h["p99"] or \
+           not h["p99"] <= h["max"]:
+            fail(f"{where}: percentiles out of order: {h}")
+        if not h["min"] <= h["mean"] <= h["max"]:
+            fail(f"{where}: mean outside [min, max]: {h}")
+
+
+def check_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "skymr-report-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    for key in ("algorithm", "wall_seconds", "skyline_size", "jobs"):
+        if key not in doc:
+            fail(f"{path}: missing {key!r}")
+    if not doc["jobs"]:
+        fail(f"{path}: jobs is empty")
+    for job in doc["jobs"]:
+        where = f"{path}: job {job.get('name')!r}"
+        for key in ("name", "wall_seconds", "shuffle_bytes", "task_retries",
+                    "cache_hits", "cache_misses", "counters", "histograms",
+                    "skew", "map_tasks", "reduce_tasks"):
+            if key not in job:
+                fail(f"{where}: missing {key!r}")
+        for name, h in job["histograms"].items():
+            check_histogram(f"{where}: {name}", h)
+        for task in job["map_tasks"] + job["reduce_tasks"]:
+            if task["attempts"] < 1:
+                fail(f"{where}: task with attempts < 1: {task}")
+    if doc.get("ppd", 0) > 0:
+        cm = doc.get("cost_model")
+        if cm is None:
+            fail(f"{path}: grid run (ppd > 0) without cost_model")
+        for key in ("predicted_mapper_comparisons",
+                    "observed_max_mapper_comparisons",
+                    "predicted_reducer_comparisons",
+                    "observed_max_reducer_comparisons"):
+            if key not in cm:
+                fail(f"{path}: cost_model lacks {key!r}")
+    print(f"check_obs_json: {path}: {len(doc['jobs'])} jobs OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace")
+    parser.add_argument("--report")
+    args = parser.parse_args()
+    if not args.trace and not args.report:
+        parser.error("pass --trace and/or --report")
+    if args.trace:
+        check_trace(args.trace)
+    if args.report:
+        check_report(args.report)
+
+
+if __name__ == "__main__":
+    main()

@@ -5,11 +5,17 @@
 //   skymr_cli skyline  --in=data.csv [--header] [--algorithm=mr-gpmrs]
 //             [--mappers=13] [--reducers=13] [--ppd=0] [--data-bounds]
 //             [--constraint=lo:hi,lo:hi,...] [--out=skyline.csv] [--verify]
+//             [--trace-out=trace.json] [--report-out=report.json]
+//   skymr_cli stats    --in=data.csv [same flags as skyline]
 //   skymr_cli compare  --in=data.csv [--header] [--mappers] [--reducers]
 //
 // `generate` writes a synthetic dataset as CSV; `skyline` computes a
 // (possibly constrained) skyline of a CSV dataset and prints metrics;
-// `compare` runs all algorithms on the same input and prints a table.
+// `stats` runs the same pipeline with tracing on and prints per-task skew,
+// retries, histograms, and the cost-model comparison; `compare` runs all
+// algorithms on the same input and prints a table. `--trace-out` writes
+// Chrome trace-event JSON (open in Perfetto / chrome://tracing);
+// `--report-out` writes the skymr-report-v1 JSON document.
 
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +80,8 @@ int Usage() {
       "  skymr_cli skyline --in=FILE [--header] [--algorithm=NAME]\n"
       "            [--mappers=M] [--reducers=R] [--ppd=N] [--data-bounds]\n"
       "            [--constraint=lo:hi,lo:hi,...] [--out=FILE] [--verify]\n"
+      "            [--trace-out=FILE] [--report-out=FILE]\n"
+      "  skymr_cli stats   --in=FILE [same flags as skyline]\n"
       "  skymr_cli compare --in=FILE [--header] [--mappers=M] "
       "[--reducers=R]\n"
       "algorithms: mr-gpsrs mr-gpmrs mr-bnl mr-angle hybrid sky-mr\n");
@@ -166,43 +174,92 @@ void PrintResultSummary(const skymr::Dataset& data,
               result.wall_seconds, result.modeled_seconds);
 }
 
-int RunSkyline(const Args& args) {
-  auto data = LoadInput(args);
-  if (!data.ok()) {
-    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
-    return 1;
-  }
+/// Builds the RunnerConfig shared by `skyline` and `stats` from flags.
+/// Returns 0, or the exit code on a flag error.
+int BuildRunnerConfig(const Args& args, const skymr::Dataset& data,
+                      skymr::RunnerConfig* config) {
   auto algorithm =
       skymr::ParseAlgorithm(args.GetString("algorithm", "mr-gpmrs"));
   if (!algorithm.ok()) {
     std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());
     return 1;
   }
-  skymr::RunnerConfig config;
-  config.algorithm = algorithm.value();
-  config.engine.num_map_tasks = static_cast<int>(args.GetInt("mappers", 13));
-  config.engine.num_reducers = static_cast<int>(args.GetInt("reducers", 13));
-  config.ppd.explicit_ppd = static_cast<uint32_t>(args.GetInt("ppd", 0));
-  config.unit_bounds = !args.Has("data-bounds");
+  config->algorithm = algorithm.value();
+  config->engine.num_map_tasks =
+      static_cast<int>(args.GetInt("mappers", 13));
+  config->engine.num_reducers =
+      static_cast<int>(args.GetInt("reducers", 13));
+  config->ppd.explicit_ppd = static_cast<uint32_t>(args.GetInt("ppd", 0));
+  config->unit_bounds = !args.Has("data-bounds");
   if (args.Has("constraint")) {
     skymr::Box box;
-    if (!ParseConstraint(args.GetString("constraint", ""), data->dim(),
+    if (!ParseConstraint(args.GetString("constraint", ""), data.dim(),
                          &box)) {
       std::fprintf(stderr,
                    "bad --constraint (need %zu lo:hi pairs, e.g. "
                    "0:0.5,0.2:1)\n",
-                   data->dim());
+                   data.dim());
       return 2;
     }
-    config.constraint = box;
+    config->constraint = box;
+  }
+  return 0;
+}
+
+/// Honors --trace-out and --report-out after a pipeline run. The caller
+/// must have had tracing active during the run for --trace-out to contain
+/// events. Returns 0, or the exit code on an I/O error.
+int WriteObsOutputs(const Args& args, const skymr::SkylineResult& result) {
+  const std::string trace_out = args.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    if (auto s = skymr::obs::WriteChromeTraceFile(trace_out); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n",
+                skymr::obs::CollectedEventCount(), trace_out.c_str());
+  }
+  const std::string report_out = args.GetString("report-out", "");
+  if (!report_out.empty()) {
+    if (auto s = skymr::obs::WriteJobReportFile(result, report_out);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote job report to %s\n", report_out.c_str());
+  }
+  return 0;
+}
+
+/// True when this invocation wants trace events collected.
+bool WantsTracing(const Args& args) {
+  return args.Has("trace-out");
+}
+
+int RunSkyline(const Args& args) {
+  auto data = LoadInput(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  skymr::RunnerConfig config;
+  if (const int code = BuildRunnerConfig(args, *data, &config); code != 0) {
+    return code;
   }
 
+  if (WantsTracing(args)) {
+    skymr::obs::StartTracing();
+  }
   auto result = skymr::ComputeSkyline(*data, config);
+  skymr::obs::StopTracing();
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
   PrintResultSummary(*data, *result);
+  if (const int code = WriteObsOutputs(args, *result); code != 0) {
+    return code;
+  }
 
   if (args.Has("verify") && !config.constraint.has_value()) {
     const std::string mismatch =
@@ -230,11 +287,38 @@ int RunSkyline(const Args& args) {
   return 0;
 }
 
+int RunStats(const Args& args) {
+  auto data = LoadInput(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  skymr::RunnerConfig config;
+  if (const int code = BuildRunnerConfig(args, *data, &config); code != 0) {
+    return code;
+  }
+
+  // stats always collects spans: the trace doubles as the data source for
+  // --trace-out and costs little at CLI scales.
+  skymr::obs::StartTracing();
+  auto result = skymr::ComputeSkyline(*data, config);
+  skymr::obs::StopTracing();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(skymr::obs::RenderStatsText(*result).c_str(), stdout);
+  return WriteObsOutputs(args, *result);
+}
+
 int RunCompare(const Args& args) {
   auto data = LoadInput(args);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
+  }
+  if (WantsTracing(args)) {
+    skymr::obs::StartTracing();
   }
   std::printf("%-10s %10s %12s %12s %10s\n", "algorithm", "skyline",
               "modeled[s]", "shuffle[KB]", "wall[s]");
@@ -267,6 +351,16 @@ int RunCompare(const Args& args) {
                 static_cast<double>(shuffle) / 1024.0,
                 result->wall_seconds);
   }
+  skymr::obs::StopTracing();
+  const std::string trace_out = args.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    if (auto s = skymr::obs::WriteChromeTraceFile(trace_out); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n",
+                skymr::obs::CollectedEventCount(), trace_out.c_str());
+  }
   return 0;
 }
 
@@ -279,6 +373,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "skyline") {
     return RunSkyline(args);
+  }
+  if (args.command == "stats") {
+    return RunStats(args);
   }
   if (args.command == "compare") {
     return RunCompare(args);
