@@ -23,22 +23,18 @@ void Hybrid(benchmark::State& state) {
   const skymr::Dataset& data =
       skymr::bench::CachedDataset(dist, card, dim);
   skymr::RunnerConfig config = skymr::bench::PaperConfig(algorithm);
-  for (auto _ : state) {
-    auto result = skymr::ComputeSkyline(data, config);
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
-      return;
-    }
-    state.counters["compute_s"] = result->modeled_compute_seconds;
-    state.counters["modeled_s"] = result->modeled_seconds;
-    state.counters["skyline"] = static_cast<double>(result->skyline.size());
-    if (algorithm == skymr::Algorithm::kHybrid) {
-      state.counters["resolved_gpmrs"] =
-          result->algorithm_used == skymr::Algorithm::kMrGpmrs ? 1.0 : 0.0;
-      state.counters["sampled_fraction"] =
-          result->hybrid_decision.sampled_skyline_fraction;
-    }
-  }
+  skymr::bench::RunAndReport(
+      state, data, config,
+      [algorithm](const skymr::SkylineResult& result,
+                  std::map<std::string, double>* metrics) {
+        if (algorithm == skymr::Algorithm::kHybrid) {
+          (*metrics)["resolved_gpmrs"] =
+              result.algorithm_used == skymr::Algorithm::kMrGpmrs ? 1.0
+                                                                  : 0.0;
+          (*metrics)["sampled_fraction"] =
+              result.hybrid_decision.sampled_skyline_fraction;
+        }
+      });
 }
 
 void RegisterAll() {
@@ -54,7 +50,7 @@ void RegisterAll() {
             skymr::data::DistributionName(dist) +
             "/d:" + std::to_string(dim) + "/" +
             skymr::AlgorithmName(algorithm);
-        benchmark::RegisterBenchmark(name.c_str(), Hybrid)
+        skymr::bench::RegisterRow(name, Hybrid)
             ->Args({static_cast<long>(dist), static_cast<long>(dim),
                     static_cast<long>(algorithm)})
             ->Iterations(1)
@@ -68,8 +64,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return skymr::bench::BenchMain(argc, argv, "bench_ablation_hybrid");
 }

@@ -27,34 +27,24 @@ void Merging(benchmark::State& state) {
   skymr::RunnerConfig config =
       skymr::bench::PaperConfig(skymr::Algorithm::kMrGpmrs, reducers);
   config.merge = strategy;
-  for (auto _ : state) {
-    auto result = skymr::ComputeSkyline(data, config);
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
-      return;
-    }
-    const auto& reduce_tasks = result->jobs[1].reduce_tasks;
-    double max_busy = 0.0;
-    double total_busy = 0.0;
-    for (const auto& task : reduce_tasks) {
-      max_busy = std::max(max_busy, task.busy_seconds);
-      total_busy += task.busy_seconds;
-    }
-    const double mean_busy =
-        reduce_tasks.empty() ? 0.0
-                             : total_busy /
-                                   static_cast<double>(reduce_tasks.size());
-    state.counters["modeled_s"] = result->modeled_seconds;
-    state.counters["reduce_imbalance"] =
-        mean_busy > 0.0 ? max_busy / mean_busy : 0.0;
-    uint64_t shuffle = 0;
-    for (const auto& job : result->jobs) {
-      shuffle += job.shuffle_bytes;
-    }
-    state.counters["shuffleKB"] = static_cast<double>(shuffle) / 1024.0;
-    state.counters["skyline"] =
-        static_cast<double>(result->skyline.size());
-  }
+  skymr::bench::RunAndReport(
+      state, data, config,
+      [](const skymr::SkylineResult& result,
+         std::map<std::string, double>* metrics) {
+        const auto& reduce_tasks = result.jobs[1].reduce_tasks;
+        double max_busy = 0.0;
+        double total_busy = 0.0;
+        for (const auto& task : reduce_tasks) {
+          max_busy = std::max(max_busy, task.busy_seconds);
+          total_busy += task.busy_seconds;
+        }
+        const double mean_busy =
+            reduce_tasks.empty()
+                ? 0.0
+                : total_busy / static_cast<double>(reduce_tasks.size());
+        (*metrics)["reduce_imbalance"] =
+            mean_busy > 0.0 ? max_busy / mean_busy : 0.0;
+      });
 }
 
 void RegisterAll() {
@@ -70,7 +60,7 @@ void RegisterAll() {
             skymr::core::GroupMergeStrategyName(strategy) +
             "/d:" + std::to_string(dim) +
             "/reducers:" + std::to_string(reducers);
-        benchmark::RegisterBenchmark(name.c_str(), Merging)
+        skymr::bench::RegisterRow(name, Merging)
             ->Args({static_cast<long>(strategy), static_cast<long>(dim),
                     reducers})
             ->Iterations(1)
@@ -84,8 +74,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return skymr::bench::BenchMain(argc, argv, "bench_ablation_merging");
 }

@@ -24,29 +24,24 @@ void ExplicitPpd(benchmark::State& state) {
   skymr::RunnerConfig config =
       skymr::bench::PaperConfig(skymr::Algorithm::kMrGpmrs);
   config.ppd.explicit_ppd = ppd;
-  for (auto _ : state) {
-    auto result = skymr::ComputeSkyline(data, config);
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
-      return;
-    }
-    int64_t partition_cmps = 0;
-    int64_t tuple_cmps = 0;
-    uint64_t shuffle = 0;
-    for (const auto& job : result->jobs) {
-      partition_cmps +=
-          job.counters.Get(skymr::mr::kCounterPartitionComparisons);
-      tuple_cmps +=
-          job.counters.Get(skymr::mr::kCounterTupleComparisons);
-      shuffle += job.shuffle_bytes;
-    }
-    state.counters["modeled_s"] = result->modeled_seconds;
-    state.counters["partition_cmps"] = static_cast<double>(partition_cmps);
-    state.counters["tuple_cmps"] = static_cast<double>(tuple_cmps);
-    state.counters["shuffleKB"] = static_cast<double>(shuffle) / 1024.0;
-    state.counters["nonempty"] =
-        static_cast<double>(result->nonempty_partitions);
-  }
+  skymr::bench::RunAndReport(
+      state, data, config,
+      [](const skymr::SkylineResult& result,
+         std::map<std::string, double>* metrics) {
+        int64_t partition_cmps = 0;
+        int64_t tuple_cmps = 0;
+        for (const auto& job : result.jobs) {
+          partition_cmps +=
+              job.counters.Get(skymr::mr::kCounterPartitionComparisons);
+          tuple_cmps +=
+              job.counters.Get(skymr::mr::kCounterTupleComparisons);
+        }
+        (*metrics)["partition_cmps"] =
+            static_cast<double>(partition_cmps);
+        (*metrics)["tuple_cmps"] = static_cast<double>(tuple_cmps);
+        (*metrics)["nonempty"] =
+            static_cast<double>(result.nonempty_partitions);
+      });
 }
 
 void HeuristicPpd(benchmark::State& state) {
@@ -71,7 +66,7 @@ void RegisterAll() {
           std::string("AblationPpd/") +
           skymr::data::DistributionName(dist) +
           "/ppd:" + std::to_string(ppd);
-      benchmark::RegisterBenchmark(name.c_str(), ExplicitPpd)
+      skymr::bench::RegisterRow(name, ExplicitPpd)
           ->Args({static_cast<long>(dist), static_cast<long>(ppd)})
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);
@@ -82,7 +77,7 @@ void RegisterAll() {
           std::string("AblationPpd/") +
           skymr::data::DistributionName(dist) + "/heuristic:" +
           skymr::core::PpdStrategyName(strategy);
-      benchmark::RegisterBenchmark(name.c_str(), HeuristicPpd)
+      skymr::bench::RegisterRow(name, HeuristicPpd)
           ->Args({static_cast<long>(dist), static_cast<long>(strategy)})
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);
@@ -94,8 +89,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return skymr::bench::BenchMain(argc, argv, "bench_ablation_ppd");
 }

@@ -32,6 +32,7 @@ void PruningOnOff(benchmark::State& state) {
 
   for (auto _ : state) {
     // Build the grid + bitstring once per run, as the runner would.
+    skymr::Stopwatch watch;
     const skymr::Bounds bounds = skymr::Bounds::UnitCube(dim);
     skymr::core::PpdOptions ppd_options;
     const auto candidates =
@@ -68,6 +69,26 @@ void PruningOnOff(benchmark::State& state) {
     state.counters["tuple_cmps"] = static_cast<double>(
         run->metrics.counters.Get(skymr::mr::kCounterTupleComparisons));
     state.counters["skyline"] = static_cast<double>(run->skyline.size());
+
+    // This bench drives the jobs directly (no SkylineResult), so collect
+    // its artifact row by hand.
+    skymr::obs::BenchRow row;
+    row.name = skymr::bench::CurrentRowName();
+    row.wall = skymr::obs::WallStats::FromSamples({watch.ElapsedSeconds()});
+    row.metrics["shuffle_kb"] =
+        static_cast<double>(run->metrics.shuffle_bytes) / 1024.0;
+    row.deterministic["input_tuples"] = static_cast<int64_t>(card);
+    row.deterministic["ppd"] =
+        static_cast<int64_t>(bitstring->result.ppd);
+    row.deterministic["tuples_pruned"] =
+        run->metrics.counters.Get(skymr::mr::kCounterTuplesPruned);
+    row.deterministic["tuple_comparisons"] =
+        run->metrics.counters.Get(skymr::mr::kCounterTupleComparisons);
+    row.deterministic["shuffle_bytes"] =
+        static_cast<int64_t>(run->metrics.shuffle_bytes);
+    row.deterministic["skyline_size"] =
+        static_cast<int64_t>(run->skyline.size());
+    skymr::bench::CollectedRows().push_back(std::move(row));
   }
 }
 
@@ -86,13 +107,24 @@ void PruneModeRuntime(benchmark::State& state) {
   const skymr::DynamicBitset base = skymr::core::BuildLocalBitstring(
       grid.value(), dataset, 0, static_cast<skymr::TupleId>(dataset.size()));
   uint64_t pruned = 0;
+  std::vector<double> samples;
   for (auto _ : state) {
+    skymr::Stopwatch watch;
     skymr::DynamicBitset bits = base;
     pruned = skymr::core::PruneDominated(grid.value(), &bits, mode);
     benchmark::DoNotOptimize(bits.Count());
+    samples.push_back(watch.ElapsedSeconds());
   }
   state.counters["ppd"] = ppd;
   state.counters["pruned"] = static_cast<double>(pruned);
+
+  skymr::obs::BenchRow row;
+  row.name = skymr::bench::CurrentRowName();
+  row.wall = skymr::obs::WallStats::FromSamples(std::move(samples));
+  row.deterministic["input_tuples"] = static_cast<int64_t>(card);
+  row.deterministic["ppd"] = static_cast<int64_t>(ppd);
+  row.deterministic["pruned"] = static_cast<int64_t>(pruned);
+  skymr::bench::CollectedRows().push_back(std::move(row));
 }
 
 /// Pruning-device comparison: the paper's bitstring (Section 3) versus
@@ -109,24 +141,17 @@ void VsSampling(benchmark::State& state) {
   const skymr::Dataset& data = skymr::bench::CachedDataset(dist, card, dim);
   skymr::RunnerConfig config = skymr::bench::PaperConfig(
       use_skymr ? skymr::Algorithm::kSkyMr : skymr::Algorithm::kMrGpsrs);
-  for (auto _ : state) {
-    auto result = skymr::ComputeSkyline(data, config);
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
-      return;
-    }
-    int64_t tuples_pruned = 0;
-    uint64_t shuffle = 0;
-    for (const auto& job : result->jobs) {
-      tuples_pruned +=
-          job.counters.Get(skymr::mr::kCounterTuplesPruned);
-      shuffle += job.shuffle_bytes;
-    }
-    state.counters["tuples_pruned"] = static_cast<double>(tuples_pruned);
-    state.counters["shuffleKB"] = static_cast<double>(shuffle) / 1024.0;
-    state.counters["compute_s"] = result->modeled_compute_seconds;
-    state.counters["skyline"] = static_cast<double>(result->skyline.size());
-  }
+  skymr::bench::RunAndReport(
+      state, data, config,
+      [](const skymr::SkylineResult& result,
+         std::map<std::string, double>* metrics) {
+        int64_t tuples_pruned = 0;
+        for (const auto& job : result.jobs) {
+          tuples_pruned +=
+              job.counters.Get(skymr::mr::kCounterTuplesPruned);
+        }
+        (*metrics)["tuples_pruned"] = static_cast<double>(tuples_pruned);
+      });
 }
 
 /// Mapper-side local skyline algorithm (BNL vs SFS), the Section 8
@@ -141,20 +166,17 @@ void LocalAlgo(benchmark::State& state) {
   skymr::RunnerConfig config =
       skymr::bench::PaperConfig(skymr::Algorithm::kMrGpmrs);
   config.local_algorithm = local;
-  for (auto _ : state) {
-    auto result = skymr::ComputeSkyline(data, config);
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
-      return;
-    }
-    int64_t tuple_cmps = 0;
-    for (const auto& job : result->jobs) {
-      tuple_cmps += job.counters.Get(skymr::mr::kCounterTupleComparisons);
-    }
-    state.counters["tuple_cmps"] = static_cast<double>(tuple_cmps);
-    state.counters["compute_s"] = result->modeled_compute_seconds;
-    state.counters["skyline"] = static_cast<double>(result->skyline.size());
-  }
+  skymr::bench::RunAndReport(
+      state, data, config,
+      [](const skymr::SkylineResult& result,
+         std::map<std::string, double>* metrics) {
+        int64_t tuple_cmps = 0;
+        for (const auto& job : result.jobs) {
+          tuple_cmps +=
+              job.counters.Get(skymr::mr::kCounterTupleComparisons);
+        }
+        (*metrics)["tuple_cmps"] = static_cast<double>(tuple_cmps);
+      });
 }
 
 void RegisterAll() {
@@ -167,7 +189,7 @@ void RegisterAll() {
             skymr::data::DistributionName(dist) + "/d:" +
             std::to_string(dim) +
             (use_skymr ? "/sky-mr" : "/bitstring");
-        benchmark::RegisterBenchmark(name.c_str(), VsSampling)
+        skymr::bench::RegisterRow(name, VsSampling)
             ->Args({static_cast<long>(dist), static_cast<long>(dim),
                     use_skymr ? 1 : 0})
             ->Iterations(1)
@@ -183,7 +205,7 @@ void RegisterAll() {
           std::string("AblationLocalAlgo/") +
           skymr::data::DistributionName(dist) + "/" +
           skymr::core::LocalAlgorithmName(local);
-      benchmark::RegisterBenchmark(name.c_str(), LocalAlgo)
+      skymr::bench::RegisterRow(name, LocalAlgo)
           ->Args({static_cast<long>(dist), static_cast<long>(local)})
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);
@@ -197,7 +219,7 @@ void RegisterAll() {
             std::string("AblationPruning/") +
             skymr::data::DistributionName(dist) + "/d:" +
             std::to_string(dim) + (prune ? "/pruning:on" : "/pruning:off");
-        benchmark::RegisterBenchmark(name.c_str(), PruningOnOff)
+        skymr::bench::RegisterRow(name, PruningOnOff)
             ->Args({static_cast<long>(dist), static_cast<long>(dim),
                     prune ? 1 : 0})
             ->Iterations(1)
@@ -213,7 +235,7 @@ void RegisterAll() {
           (mode == skymr::core::PruneMode::kLiteral ? "literal"
                                                     : "prefix") +
           "/d:" + std::to_string(dim);
-      benchmark::RegisterBenchmark(name.c_str(), PruneModeRuntime)
+      skymr::bench::RegisterRow(name, PruneModeRuntime)
           ->Args({static_cast<long>(mode), static_cast<long>(dim)})
           ->Unit(benchmark::kMicrosecond);
     }
@@ -224,8 +246,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return skymr::bench::BenchMain(argc, argv, "bench_ablation_pruning");
 }

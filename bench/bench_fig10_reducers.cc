@@ -48,7 +48,7 @@ void RegisterAll() {
       const std::string name =
           std::string("Fig10/") + skymr::data::DistributionName(dist) +
           "/reducers:" + std::to_string(reducers);
-      benchmark::RegisterBenchmark(name.c_str(), Fig10)
+      skymr::bench::RegisterRow(name, Fig10)
           ->Args({static_cast<long>(dist), reducers})
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);
@@ -60,8 +60,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return skymr::bench::BenchMain(argc, argv, "bench_fig10_reducers");
 }

@@ -31,34 +31,31 @@ void Fig11(benchmark::State& state) {
       skymr::bench::CachedDataset(dist, card, dim);
   state.counters["card"] = static_cast<double>(card);
 
-  for (auto _ : state) {
-    auto result = skymr::ComputeSkyline(
-        data, skymr::bench::PaperConfig(skymr::Algorithm::kMrGpmrs));
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
-      return;
-    }
-    const auto& skyline_job = result->jobs[1];
-    const double measured_mapper =
-        static_cast<double>(skyline_job.MaxMapCounter(
-            skymr::mr::kCounterPartitionComparisons));
-    const double measured_reducer =
-        static_cast<double>(skyline_job.MaxReduceCounter(
-            skymr::mr::kCounterPartitionComparisons));
-    const double estimate_mapper =
-        skymr::cost::MapperCost(result->ppd, dim);
-    const double estimate_reducer =
-        skymr::cost::ReducerCost(result->ppd, dim);
-    state.counters["ppd"] = static_cast<double>(result->ppd);
-    state.counters["measured_mapper"] = measured_mapper;
-    state.counters["estimate_mapper"] = estimate_mapper;
-    state.counters["measured_reducer"] = measured_reducer;
-    state.counters["estimate_reducer"] = estimate_reducer;
-    state.counters["bound_ok"] = measured_mapper <= estimate_mapper &&
-                                         measured_reducer <= estimate_reducer
-                                     ? 1.0
-                                     : 0.0;
-  }
+  skymr::bench::RunAndReport(
+      state, data, skymr::bench::PaperConfig(skymr::Algorithm::kMrGpmrs),
+      [dim](const skymr::SkylineResult& result,
+            std::map<std::string, double>* metrics) {
+        const auto& skyline_job = result.jobs[1];
+        const double measured_mapper =
+            static_cast<double>(skyline_job.MaxMapCounter(
+                skymr::mr::kCounterPartitionComparisons));
+        const double measured_reducer =
+            static_cast<double>(skyline_job.MaxReduceCounter(
+                skymr::mr::kCounterPartitionComparisons));
+        const double estimate_mapper =
+            skymr::cost::MapperCost(result.ppd, dim);
+        const double estimate_reducer =
+            skymr::cost::ReducerCost(result.ppd, dim);
+        (*metrics)["measured_mapper"] = measured_mapper;
+        (*metrics)["estimate_mapper"] = estimate_mapper;
+        (*metrics)["measured_reducer"] = measured_reducer;
+        (*metrics)["estimate_reducer"] = estimate_reducer;
+        (*metrics)["bound_ok"] =
+            measured_mapper <= estimate_mapper &&
+                    measured_reducer <= estimate_reducer
+                ? 1.0
+                : 0.0;
+      });
 }
 
 void RegisterAll() {
@@ -68,7 +65,7 @@ void RegisterAll() {
       const std::string name =
           std::string("Fig11/") + skymr::data::DistributionName(dist) +
           "/d:" + std::to_string(dim);
-      benchmark::RegisterBenchmark(name.c_str(), Fig11)
+      skymr::bench::RegisterRow(name, Fig11)
           ->Args({static_cast<long>(dist), static_cast<long>(dim)})
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);
@@ -80,8 +77,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return skymr::bench::BenchMain(argc, argv, "bench_fig11_cost_model");
 }

@@ -39,7 +39,7 @@ void RegisterAll() {
             std::string("Fig7/") + skymr::AlgorithmName(algorithm) +
             "/card:" + std::to_string(paper_card) +
             "/d:" + std::to_string(dim);
-        benchmark::RegisterBenchmark(name.c_str(), Fig7)
+        skymr::bench::RegisterRow(name, Fig7)
             ->Args({static_cast<long>(algorithm), static_cast<long>(dim),
                     static_cast<long>(paper_card)})
             ->Iterations(1)
@@ -53,8 +53,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return skymr::bench::BenchMain(argc, argv, "bench_fig7_dim_independent");
 }

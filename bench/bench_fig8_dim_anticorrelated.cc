@@ -63,7 +63,7 @@ void RegisterAll() {
             std::string("Fig8/") + skymr::AlgorithmName(algorithm) +
             "/card:" + std::to_string(paper_card) +
             "/d:" + std::to_string(dim);
-        benchmark::RegisterBenchmark(name.c_str(), Fig8)
+        skymr::bench::RegisterRow(name, Fig8)
             ->Args({static_cast<long>(algorithm), static_cast<long>(dim),
                     static_cast<long>(paper_card)})
             ->Iterations(1)
@@ -77,8 +77,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return skymr::bench::BenchMain(argc, argv, "bench_fig8_dim_anticorrelated");
 }

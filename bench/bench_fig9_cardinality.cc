@@ -66,7 +66,7 @@ void RegisterAll() {
               "/d:" + std::to_string(dim) + "/" +
               skymr::AlgorithmName(algorithm) +
               "/card:" + std::to_string(paper_card);
-          benchmark::RegisterBenchmark(name.c_str(), Fig9)
+          skymr::bench::RegisterRow(name, Fig9)
               ->Args({static_cast<long>(algorithm),
                       static_cast<long>(dim),
                       static_cast<long>(paper_card),
@@ -83,8 +83,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return skymr::bench::BenchMain(argc, argv, "bench_fig9_cardinality");
 }

@@ -15,9 +15,13 @@
 //   shuffle_roundtrip one MapReduce job shuffling 5*10^5 * scale records
 //                     map -> sort -> reduce, end to end
 //
-// Timing is best-of-`reps` wall time; every benchmark validates its
-// result against the reference before reporting. The JSON schema is
-// documented in DESIGN.md ("skymr-hotpath-v1").
+// Speedups are computed from best-of-`reps` wall time; every benchmark
+// validates its result against the reference before reporting. The
+// output is a skymr-bench-v1 artifact (src/obs/bench_artifact.h): one
+// row per benchmark with wall-time statistics over the repetitions,
+// derived metrics (speedups, throughputs), and the deterministic
+// counters (row counts, skyline size, shuffle bytes) that
+// tools/bench_diff.py hard-gates against a committed baseline.
 
 #include <chrono>
 #include <cstdio>
@@ -31,7 +35,7 @@
 #include "src/data/generator.h"
 #include "src/local/skyline_window.h"
 #include "src/mapreduce/job.h"
-#include "src/obs/trace.h"
+#include "src/obs/bench_artifact.h"
 #include "src/relation/dominance.h"
 #include "src/relation/dominance_kernel.h"
 
@@ -47,15 +51,23 @@ double Now() {
       .count();
 }
 
-/// Best-of-reps wall time of `fn`.
+/// Wall time of each of `reps` executions of `fn`, in run order.
 template <typename Fn>
-double BestSeconds(int reps, Fn&& fn) {
-  double best = 1e300;
+std::vector<double> RepSeconds(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     const double start = Now();
     fn();
-    const double elapsed = Now() - start;
-    best = elapsed < best ? elapsed : best;
+    samples.push_back(Now() - start);
+  }
+  return samples;
+}
+
+double BestOf(const std::vector<double>& samples) {
+  double best = 1e300;
+  for (const double s : samples) {
+    best = s < best ? s : best;
   }
   return best;
 }
@@ -119,6 +131,8 @@ class ScalarReferenceWindow {
 struct KernelResult {
   size_t rows = 0;
   size_t candidates = 0;
+  uint64_t dominator_index_sum = 0;
+  std::vector<double> kernel_samples;
   double kernel_seconds = 0.0;
   double scalar_seconds = 0.0;
   double speedup = 0.0;
@@ -142,7 +156,7 @@ KernelResult BenchDominanceKernel(double scale, int reps) {
   const double* candidates = data.RowPtr(out.rows);
 
   uint64_t kernel_hits = 0;
-  out.kernel_seconds = BestSeconds(reps, [&] {
+  out.kernel_samples = RepSeconds(reps, [&] {
     uint64_t hits = 0;
     for (size_t c = 0; c < out.candidates; ++c) {
       hits += FirstDominatorIndex(candidates + c * dim, 0.0, rows,
@@ -150,9 +164,10 @@ KernelResult BenchDominanceKernel(double scale, int reps) {
     }
     g_sink = kernel_hits = hits;
   });
+  out.kernel_seconds = BestOf(out.kernel_samples);
 
   uint64_t scalar_hits = 0;
-  out.scalar_seconds = BestSeconds(reps, [&] {
+  out.scalar_seconds = BestOf(RepSeconds(reps, [&] {
     uint64_t hits = 0;
     for (size_t c = 0; c < out.candidates; ++c) {
       size_t first = out.rows;
@@ -166,12 +181,13 @@ KernelResult BenchDominanceKernel(double scale, int reps) {
       hits += first;
     }
     g_sink = scalar_hits = hits;
-  });
+  }));
 
   if (kernel_hits != scalar_hits) {
     std::fprintf(stderr, "dominance_kernel: kernel/scalar disagree\n");
     std::exit(1);
   }
+  out.dominator_index_sum = kernel_hits;
   out.speedup = out.scalar_seconds / out.kernel_seconds;
   out.kernel_mcomparisons_per_s =
       static_cast<double>(out.rows) * static_cast<double>(out.candidates) /
@@ -186,6 +202,7 @@ struct InsertResult {
   size_t tuples = 0;
   size_t dim = 6;
   size_t skyline_size = 0;
+  std::vector<double> kernel_samples;
   double kernel_seconds = 0.0;
   double scalar_seconds = 0.0;
   double speedup = 0.0;
@@ -206,22 +223,23 @@ InsertResult BenchWindowInsert(double scale, int reps) {
   const Dataset data = std::move(data::Generate(config)).value();
 
   size_t kernel_size = 0;
-  out.kernel_seconds = BestSeconds(reps, [&] {
+  out.kernel_samples = RepSeconds(reps, [&] {
     SkylineWindow window(out.dim);
     for (size_t i = 0; i < out.tuples; ++i) {
       window.Insert(data.RowPtr(i), static_cast<TupleId>(i), nullptr);
     }
     g_sink = kernel_size = window.size();
   });
+  out.kernel_seconds = BestOf(out.kernel_samples);
 
   size_t scalar_size = 0;
-  out.scalar_seconds = BestSeconds(reps, [&] {
+  out.scalar_seconds = BestOf(RepSeconds(reps, [&] {
     ScalarReferenceWindow window(out.dim);
     for (size_t i = 0; i < out.tuples; ++i) {
       window.Insert(data.RowPtr(i), static_cast<TupleId>(i));
     }
     g_sink = scalar_size = window.size();
-  });
+  }));
 
   if (kernel_size != scalar_size) {
     std::fprintf(stderr, "window_insert: kernel/scalar skyline differ\n");
@@ -240,6 +258,7 @@ InsertResult BenchWindowInsert(double scale, int reps) {
 struct ShuffleResult {
   size_t records = 0;
   uint64_t shuffle_bytes = 0;
+  std::vector<double> samples;
   double seconds = 0.0;
   double records_per_s = 0.0;
   double mb_per_s = 0.0;
@@ -289,7 +308,7 @@ ShuffleResult BenchShuffleRoundTrip(double scale, int reps) {
   mr::DistributedCache cache;
 
   double expected = -1.0;
-  out.seconds = BestSeconds(reps, [&] {
+  out.samples = RepSeconds(reps, [&] {
     mr::Job<int, int, std::vector<double>, double> job(
         "hotpath-shuffle", [] { return std::make_unique<PayloadMapper>(); },
         [] { return std::make_unique<PayloadReducer>(); });
@@ -312,6 +331,7 @@ ShuffleResult BenchShuffleRoundTrip(double scale, int reps) {
     out.shuffle_bytes = result.metrics.shuffle_bytes;
     g_sink = static_cast<uint64_t>(total);
   });
+  out.seconds = BestOf(out.samples);
 
   out.records_per_s = static_cast<double>(out.records) / out.seconds;
   out.mb_per_s =
@@ -357,62 +377,59 @@ int Run(int argc, char** argv) {
   std::fprintf(stderr, "  %.0f records/s, %.1f MB/s\n",
                shuffle.records_per_s, shuffle.mb_per_s);
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+  obs::BenchArtifact artifact("bench_hotpath");
+  artifact.environment().reps = reps;
+
+  {
+    obs::BenchRow row;
+    row.name = "dominance_kernel";
+    row.wall = obs::WallStats::FromSamples(kernel.kernel_samples);
+    row.metrics["scale"] = scale;
+    row.metrics["kernel_seconds"] = kernel.kernel_seconds;
+    row.metrics["scalar_seconds"] = kernel.scalar_seconds;
+    row.metrics["kernel_mcomparisons_per_s"] =
+        kernel.kernel_mcomparisons_per_s;
+    row.metrics["speedup_vs_scalar"] = kernel.speedup;
+    row.deterministic["rows"] = static_cast<int64_t>(kernel.rows);
+    row.deterministic["candidates"] =
+        static_cast<int64_t>(kernel.candidates);
+    row.deterministic["dominator_index_sum"] =
+        static_cast<int64_t>(kernel.dominator_index_sum);
+    artifact.AddRow(std::move(row));
+  }
+  {
+    obs::BenchRow row;
+    row.name = "window_insert";
+    row.wall = obs::WallStats::FromSamples(insert.kernel_samples);
+    row.metrics["scale"] = scale;
+    row.metrics["kernel_seconds"] = insert.kernel_seconds;
+    row.metrics["scalar_seconds"] = insert.scalar_seconds;
+    row.metrics["kernel_tuples_per_s"] = insert.kernel_tuples_per_s;
+    row.metrics["speedup_vs_scalar"] = insert.speedup;
+    row.deterministic["tuples"] = static_cast<int64_t>(insert.tuples);
+    row.deterministic["dim"] = static_cast<int64_t>(insert.dim);
+    row.deterministic["skyline_size"] =
+        static_cast<int64_t>(insert.skyline_size);
+    artifact.AddRow(std::move(row));
+  }
+  {
+    obs::BenchRow row;
+    row.name = "shuffle_roundtrip";
+    row.wall = obs::WallStats::FromSamples(shuffle.samples);
+    row.metrics["scale"] = scale;
+    row.metrics["seconds"] = shuffle.seconds;
+    row.metrics["records_per_s"] = shuffle.records_per_s;
+    row.metrics["mb_per_s"] = shuffle.mb_per_s;
+    row.deterministic["records"] = static_cast<int64_t>(shuffle.records);
+    row.deterministic["shuffle_bytes"] =
+        static_cast<int64_t>(shuffle.shuffle_bytes);
+    artifact.AddRow(std::move(row));
+  }
+
+  if (const Status s = artifact.WriteFile(out_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"schema\": \"skymr-hotpath-v1\",\n"
-               "  \"backend\": \"%s\",\n"
-               "  \"tracing_compiled\": %s,\n"
-               "  \"scale\": %g,\n"
-               "  \"reps\": %d,\n"
-               "  \"benchmarks\": {\n",
-               DominanceKernelBackend(),
-               skymr::obs::TracingCompiledIn() ? "true" : "false", scale,
-               reps);
-  std::fprintf(f,
-               "    \"dominance_kernel\": {\n"
-               "      \"rows\": %zu,\n"
-               "      \"candidates\": %zu,\n"
-               "      \"kernel_seconds\": %.6g,\n"
-               "      \"scalar_seconds\": %.6g,\n"
-               "      \"kernel_mcomparisons_per_s\": %.6g,\n"
-               "      \"speedup_vs_scalar\": %.4g\n"
-               "    },\n",
-               kernel.rows, kernel.candidates, kernel.kernel_seconds,
-               kernel.scalar_seconds, kernel.kernel_mcomparisons_per_s,
-               kernel.speedup);
-  std::fprintf(f,
-               "    \"window_insert\": {\n"
-               "      \"tuples\": %zu,\n"
-               "      \"dim\": %zu,\n"
-               "      \"distribution\": \"anti-correlated\",\n"
-               "      \"skyline_size\": %zu,\n"
-               "      \"kernel_seconds\": %.6g,\n"
-               "      \"scalar_seconds\": %.6g,\n"
-               "      \"kernel_tuples_per_s\": %.6g,\n"
-               "      \"speedup_vs_scalar\": %.4g\n"
-               "    },\n",
-               insert.tuples, insert.dim, insert.skyline_size,
-               insert.kernel_seconds, insert.scalar_seconds,
-               insert.kernel_tuples_per_s, insert.speedup);
-  std::fprintf(f,
-               "    \"shuffle_roundtrip\": {\n"
-               "      \"records\": %zu,\n"
-               "      \"shuffle_bytes\": %llu,\n"
-               "      \"seconds\": %.6g,\n"
-               "      \"records_per_s\": %.6g,\n"
-               "      \"mb_per_s\": %.6g\n"
-               "    }\n"
-               "  }\n"
-               "}\n",
-               shuffle.records,
-               static_cast<unsigned long long>(shuffle.shuffle_bytes),
-               shuffle.seconds, shuffle.records_per_s, shuffle.mb_per_s);
-  std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -466,6 +466,9 @@ class Job {
     }
 
     int64_t retries = 0;
+    int64_t map_input_records = 0;
+    int64_t map_output_records = 0;
+    int64_t reduce_output_records = 0;
     for (const TaskMetrics& t : result.metrics.map_tasks) {
       result.metrics.counters.Merge(t.counters);
       result.metrics.histograms.Merge(t.histograms);
@@ -473,6 +476,8 @@ class Job {
           "mr.map_task_busy_us",
           static_cast<uint64_t>(t.busy_seconds * 1e6));
       retries += t.attempts - 1;
+      map_input_records += static_cast<int64_t>(t.input_records);
+      map_output_records += static_cast<int64_t>(t.output_records);
     }
     for (const TaskMetrics& t : result.metrics.reduce_tasks) {
       result.metrics.counters.Merge(t.counters);
@@ -481,7 +486,21 @@ class Job {
           "mr.reduce_task_busy_us",
           static_cast<uint64_t>(t.busy_seconds * 1e6));
       retries += t.attempts - 1;
+      reduce_output_records += static_cast<int64_t>(t.output_records);
     }
+    // Structural export for the bench artifacts (skymr-bench-v1): task
+    // and wave counts plus record totals are reproducible bit-for-bit
+    // for a fixed workload, unlike the timing-derived metrics, so they
+    // feed the deterministic regression gate.
+    result.metrics.counters.Add("mr.map_tasks", m);
+    result.metrics.counters.Add("mr.reduce_tasks", r);
+    result.metrics.counters.Add("mr.map_waves", 1);
+    result.metrics.counters.Add("mr.reduce_waves", 1);
+    result.metrics.counters.Add("mr.map_input_records", map_input_records);
+    result.metrics.counters.Add("mr.map_output_records",
+                                map_output_records);
+    result.metrics.counters.Add("mr.reduce_output_records",
+                                reduce_output_records);
     for (const ReducerInput& in : reducer_inputs) {
       result.metrics.histograms.Add("mr.shuffle_bucket_bytes", in.input_bytes);
     }

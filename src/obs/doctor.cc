@@ -1,0 +1,287 @@
+#include "src/obs/doctor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "src/obs/job_report.h"
+
+namespace skymr::obs {
+namespace {
+
+std::string Format(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// Expected number of non-empty partitions when `tuples` uniform tuples
+/// fall into `cells` equi-sized grid cells (the Section 3.3 occupancy
+/// model): cells * (1 - (1 - 1/cells)^tuples).
+double UniformExpectedNonempty(double cells, double tuples) {
+  if (cells <= 1.0) {
+    return 1.0;
+  }
+  // log1p keeps the power stable for the huge cell counts a fine
+  // high-dimensional grid produces.
+  const double log_empty = tuples * std::log1p(-1.0 / cells);
+  const double expected = cells * (1.0 - std::exp(log_empty));
+  return expected < 1.0 ? 1.0 : expected;
+}
+
+void CheckTaskSkew(const JsonValue& job, const std::string& job_name,
+                   const DoctorOptions& options,
+                   std::vector<Finding>* findings) {
+  const JsonValue* skew = job.Find("skew");
+  if (skew == nullptr || !skew->is_object()) {
+    return;
+  }
+  struct Wave {
+    const char* label;
+    const char* max_key;
+    const char* median_key;
+  };
+  const Wave waves[] = {
+      {"map", "max_map_busy_seconds", "median_map_busy_seconds"},
+      {"reduce", "max_reduce_busy_seconds", "median_reduce_busy_seconds"},
+  };
+  for (const Wave& wave : waves) {
+    const double max = skew->GetDouble(wave.max_key, 0.0);
+    const double median = skew->GetDouble(wave.median_key, 0.0);
+    if (max < options.min_busy_seconds || median <= 0.0) {
+      continue;
+    }
+    const double ratio = max / median;
+    if (ratio <= options.skew_ratio) {
+      continue;
+    }
+    findings->push_back(Finding{
+        ratio > options.skew_critical_ratio ? Severity::kCritical
+                                            : Severity::kWarning,
+        "task-skew",
+        Format("job %s: slowest %s task busy %.3fs vs %.3fs median "
+               "(%.1fx) — straggler; check split sizes and partition "
+               "balance",
+               job_name.c_str(), wave.label, max, median, ratio)});
+  }
+}
+
+void CheckReduceImbalance(const JsonValue& job, const std::string& job_name,
+                          const DoctorOptions& options,
+                          std::vector<Finding>* findings) {
+  const JsonValue* tasks = job.Find("reduce_tasks");
+  if (tasks == nullptr || !tasks->is_array() || tasks->AsArray().size() < 2) {
+    return;
+  }
+  std::vector<double> records;
+  records.reserve(tasks->AsArray().size());
+  for (const JsonValue& task : tasks->AsArray()) {
+    records.push_back(task.GetDouble("input_records", 0.0));
+  }
+  std::sort(records.begin(), records.end());
+  const size_t n = records.size();
+  const double median = n % 2 == 1
+                            ? records[n / 2]
+                            : 0.5 * (records[n / 2 - 1] + records[n / 2]);
+  const double max = records.back();
+  if (max < static_cast<double>(options.min_reducer_records) ||
+      median <= 0.0) {
+    return;
+  }
+  const double ratio = max / median;
+  if (ratio <= options.reduce_imbalance_ratio) {
+    return;
+  }
+  findings->push_back(Finding{
+      Severity::kWarning, "reduce-imbalance",
+      Format("job %s: largest reducer consumed %.0f records vs %.0f "
+             "median (%.1fx) — lopsided reducer load%s",
+             job_name.c_str(), max, median, ratio,
+             job_name == "mr-gpmrs"
+                 ? "; Definition-5 group assignment produced unbalanced "
+                   "reducer groups"
+                 : "")});
+}
+
+void CheckPpd(const JsonValue& report, const DoctorOptions& options,
+              std::vector<Finding>* findings) {
+  const int64_t ppd = report.GetInt("ppd", 0);
+  const int64_t nonempty = report.GetInt("nonempty_partitions", 0);
+  const int64_t tuples = report.GetInt("input_tuples", 0);
+  const int64_t dim = report.GetInt("dim", 0);
+  if (ppd <= 0 || nonempty <= 0 || dim <= 0 ||
+      tuples < options.min_tuples_for_ppd) {
+    return;
+  }
+  const double n = static_cast<double>(tuples);
+  const double observed_tpp = n / static_cast<double>(nonempty);
+  const double cells = std::pow(static_cast<double>(ppd),
+                                static_cast<double>(dim));
+  const double predicted_tpp = n / UniformExpectedNonempty(cells, n);
+  if (observed_tpp > options.ppd_skew_ratio * predicted_tpp) {
+    findings->push_back(Finding{
+        Severity::kWarning, "ppd-skew",
+        Format("grid ppd=%lld holds %.1f tuples per non-empty partition "
+               "vs %.1f predicted for uniform data (%.1fx) — skewed or "
+               "clustered input breaks the Section 3.3 uniformity "
+               "assumption",
+               static_cast<long long>(ppd), observed_tpp, predicted_tpp,
+               observed_tpp / predicted_tpp)});
+  }
+  // The Section 3.3 candidate series runs up to n_m = floor(n^(1/d)): a
+  // selected PPD far below that with overfull partitions means the grid
+  // was forced or capped too coarse.
+  const double candidate_max = std::floor(std::pow(n, 1.0 / static_cast<double>(dim)));
+  if (static_cast<double>(ppd) < candidate_max &&
+      observed_tpp > options.coarse_tpp) {
+    findings->push_back(Finding{
+        Severity::kWarning, "ppd-coarse",
+        Format("grid ppd=%lld is far below the Section 3.3 candidate "
+               "maximum %.0f and partitions hold %.1f tuples on average "
+               "— PPD forced or capped too low; mappers do excess local "
+               "work and pruning is coarse",
+               static_cast<long long>(ppd), candidate_max, observed_tpp)});
+  }
+}
+
+void CheckCostModel(const JsonValue& report, const DoctorOptions& options,
+                    std::vector<Finding>* findings) {
+  const JsonValue* cm = report.Find("cost_model");
+  if (cm == nullptr || !cm->is_object()) {
+    return;
+  }
+  struct Side {
+    const char* label;
+    const char* predicted_key;
+    const char* observed_key;
+  };
+  const Side sides[] = {
+      {"mapper", "predicted_mapper_comparisons",
+       "observed_max_mapper_comparisons"},
+      {"reducer", "predicted_reducer_comparisons",
+       "observed_max_reducer_comparisons"},
+  };
+  for (const Side& side : sides) {
+    const double predicted = cm->GetDouble(side.predicted_key, 0.0);
+    const int64_t observed = cm->GetInt(side.observed_key, 0);
+    if (predicted <= 0.0 || observed < options.min_observed_comparisons) {
+      continue;
+    }
+    const double ratio = static_cast<double>(observed) / predicted;
+    if (ratio <= options.cost_model_ratio) {
+      continue;
+    }
+    findings->push_back(Finding{
+        Severity::kWarning, "cost-model",
+        Format("%s comparisons: observed max %lld vs %.0f predicted by "
+               "the Section 6 model (%.1fx) — the Eq. 5-9 uniformity "
+               "assumptions do not hold for this run",
+               side.label, static_cast<long long>(observed), predicted,
+               ratio)});
+  }
+}
+
+void CheckPruning(const JsonValue& report, const DoctorOptions& options,
+                  std::vector<Finding>* findings) {
+  const int64_t ppd = report.GetInt("ppd", 0);
+  const int64_t nonempty = report.GetInt("nonempty_partitions", 0);
+  const int64_t pruned = report.GetInt("pruned_partitions", 0);
+  if (ppd <= 0 || nonempty < options.min_partitions_for_prune) {
+    return;
+  }
+  const double fraction =
+      static_cast<double>(pruned) / static_cast<double>(nonempty);
+  if (fraction >= options.prune_min_fraction) {
+    return;
+  }
+  findings->push_back(Finding{
+      Severity::kInfo, "pruning",
+      Format("Equation 2 pruned only %lld of %lld non-empty partitions "
+             "(%.1f%%) — bitstring pruning is ineffective on this "
+             "data/grid combination",
+             static_cast<long long>(pruned),
+             static_cast<long long>(nonempty), 100.0 * fraction)});
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kWarning:
+      return "WARNING";
+    case Severity::kCritical:
+      return "CRITICAL";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<std::vector<Finding>> AnalyzeReport(const JsonValue& report,
+                                             const DoctorOptions& options) {
+  if (!report.is_object()) {
+    return Status::InvalidArgument("doctor: report is not a JSON object");
+  }
+  const std::string schema = report.GetString("schema", "");
+  if (schema != kReportSchemaVersion) {
+    return Status::InvalidArgument("doctor: expected schema '" +
+                                   std::string(kReportSchemaVersion) +
+                                   "', got '" + schema + "'");
+  }
+  std::vector<Finding> findings;
+  const JsonValue* jobs = report.Find("jobs");
+  if (jobs != nullptr && jobs->is_array()) {
+    for (const JsonValue& job : jobs->AsArray()) {
+      const std::string job_name = job.GetString("name", "?");
+      CheckTaskSkew(job, job_name, options, &findings);
+      CheckReduceImbalance(job, job_name, options, &findings);
+    }
+  }
+  CheckPpd(report, options, &findings);
+  CheckCostModel(report, options, &findings);
+  CheckPruning(report, options, &findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+  return findings;
+}
+
+StatusOr<std::vector<Finding>> AnalyzeReportJson(
+    std::string_view json, const DoctorOptions& options) {
+  auto doc = ParseJson(json);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  return AnalyzeReport(doc.value(), options);
+}
+
+StatusOr<std::vector<Finding>> AnalyzeReportFile(
+    const std::string& path, const DoctorOptions& options) {
+  auto doc = ParseJsonFile(path);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  return AnalyzeReport(doc.value(), options);
+}
+
+std::string RenderFindings(const std::vector<Finding>& findings) {
+  if (findings.empty()) {
+    return "doctor: no findings\n";
+  }
+  std::ostringstream os;
+  for (const Finding& finding : findings) {
+    os << SeverityName(finding.severity) << " [" << finding.code << "] "
+       << finding.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace skymr::obs

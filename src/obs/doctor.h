@@ -1,0 +1,109 @@
+// `skymr doctor`: a diagnostics pass over a finished run's
+// skymr-report-v1 document. It interprets the telemetry PR 3 started
+// collecting and answers "why was this run slow?" with severity-ranked
+// findings instead of raw numbers:
+//
+//   task-skew          one map/reduce task busy far longer than the
+//                      median of its wave (straggler; bad split or
+//                      skewed partition);
+//   ppd-skew           observed tuples-per-partition far above the
+//                      Section 3.3 uniform-occupancy prediction for the
+//                      selected grid (clustered/skewed data breaks the
+//                      paper's uniformity assumption);
+//   ppd-coarse         the grid is much coarser than the Section 3.3
+//                      candidate series allows and partitions are
+//                      overfull (PPD forced or capped too low);
+//   cost-model         observed comparison maxima exceed the Section 6
+//                      predictions (Eq. 5-9) by a large factor;
+//   pruning            Equation 2 bitstring pruning removed almost no
+//                      partitions despite a large grid;
+//   reduce-imbalance   reducer input lopsided across tasks (for
+//                      MR-GPMRS: Definition-5 group assignment produced
+//                      unbalanced reducer groups).
+//
+// Every heuristic has a floor below which it stays silent, so a healthy
+// run — including a tiny smoke-scale one — produces zero findings.
+
+#ifndef SKYMR_OBS_DOCTOR_H_
+#define SKYMR_OBS_DOCTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/json_parse.h"
+
+namespace skymr::obs {
+
+enum class Severity {
+  kInfo,
+  kWarning,
+  kCritical,
+};
+
+const char* SeverityName(Severity severity);
+
+/// One diagnostic the doctor emits.
+struct Finding {
+  Severity severity = Severity::kInfo;
+  /// Stable machine-readable identifier (e.g. "ppd-coarse").
+  std::string code;
+  /// Human sentence with the measured numbers baked in.
+  std::string message;
+};
+
+/// Thresholds for the heuristics. The defaults are deliberately loose:
+/// the doctor should only speak when something is clearly wrong.
+struct DoctorOptions {
+  /// task-skew: flag when max busy > ratio * median busy ...
+  double skew_ratio = 4.0;
+  /// ... escalating to critical beyond this ratio ...
+  double skew_critical_ratio = 16.0;
+  /// ... and only when the slowest task is slow enough to matter.
+  double min_busy_seconds = 0.05;
+
+  /// ppd-skew: observed tuples-per-partition vs the uniform prediction.
+  double ppd_skew_ratio = 4.0;
+  /// ppd-coarse: absolute tuples-per-partition beyond which a grid that
+  /// could have been finer is flagged.
+  double coarse_tpp = 32.0;
+  /// Minimum input size for either grid heuristic to speak.
+  int64_t min_tuples_for_ppd = 1000;
+
+  /// cost-model: observed max comparisons > ratio * predicted ...
+  double cost_model_ratio = 4.0;
+  /// ... and only when the observed count is non-trivial.
+  int64_t min_observed_comparisons = 10000;
+
+  /// pruning: flag when pruned/nonempty falls below this fraction ...
+  double prune_min_fraction = 0.02;
+  /// ... on a grid with at least this many non-empty partitions.
+  int64_t min_partitions_for_prune = 256;
+
+  /// reduce-imbalance: max reducer input records > ratio * median ...
+  double reduce_imbalance_ratio = 4.0;
+  /// ... and the largest reducer saw at least this many records.
+  int64_t min_reducer_records = 1000;
+};
+
+/// Analyzes a parsed skymr-report-v1 document. Returns findings sorted
+/// most severe first; an empty vector means a clean bill of health.
+/// Returns InvalidArgument when `report` is not a skymr-report-v1
+/// object.
+StatusOr<std::vector<Finding>> AnalyzeReport(
+    const JsonValue& report, const DoctorOptions& options = {});
+
+/// AnalyzeReport over a JSON document text / file.
+StatusOr<std::vector<Finding>> AnalyzeReportJson(
+    std::string_view json, const DoctorOptions& options = {});
+StatusOr<std::vector<Finding>> AnalyzeReportFile(
+    const std::string& path, const DoctorOptions& options = {});
+
+/// Renders findings as the text `skymr_cli doctor` prints (one line per
+/// finding, severity-tagged; "doctor: no findings" when empty).
+std::string RenderFindings(const std::vector<Finding>& findings);
+
+}  // namespace skymr::obs
+
+#endif  // SKYMR_OBS_DOCTOR_H_

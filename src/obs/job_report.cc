@@ -136,6 +136,21 @@ const mr::JobMetrics* SkylineJobOf(const SkylineResult& result) {
   return result.jobs.empty() ? nullptr : &result.jobs.back();
 }
 
+/// Input cardinality of the pipeline: the largest per-job map input
+/// (jobs after the first may read a reduced dataset, the first job reads
+/// the full input).
+uint64_t InputTuplesOf(const SkylineResult& result) {
+  uint64_t best = 0;
+  for (const mr::JobMetrics& job : result.jobs) {
+    uint64_t records = 0;
+    for (const mr::TaskMetrics& t : job.map_tasks) {
+      records += t.input_records;
+    }
+    best = std::max(best, records);
+  }
+  return best;
+}
+
 std::string HumanBytes(uint64_t bytes) {
   char buf[32];
   if (bytes >= 1024ull * 1024ull) {
@@ -168,6 +183,10 @@ void WriteJobReport(const SkylineResult& result, std::ostream& os) {
   w.Double(result.modeled_compute_seconds);
   w.Key("skyline_size");
   w.Uint(result.skyline.size());
+  w.Key("dim");
+  w.Uint(result.skyline.dim());
+  w.Key("input_tuples");
+  w.Uint(InputTuplesOf(result));
   w.Key("ppd");
   w.Uint(result.ppd);
   w.Key("nonempty_partitions");

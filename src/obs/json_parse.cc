@@ -1,0 +1,348 @@
+#include "src/obs/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace skymr::obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double JsonValue::GetDouble(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : fallback;
+}
+
+int64_t JsonValue::GetInt(std::string_view key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsInt() : fallback;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : fallback;
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> v) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> v) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.object_ = std::move(v);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Run() {
+    SkipWs();
+    auto value = Value();
+    if (!value.ok()) {
+      return value;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing data");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                        text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (Peek() != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  StatusOr<JsonValue> Value() {
+    if (depth_ > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"': {
+        auto s = String();
+        if (!s.ok()) {
+          return s.status();
+        }
+        return JsonValue::MakeString(std::move(s).value());
+      }
+      case 't':
+        return Literal("true", JsonValue::MakeBool(true));
+      case 'f':
+        return Literal("false", JsonValue::MakeBool(false));
+      case 'n':
+        return Literal("null", JsonValue());
+      default:
+        return Number();
+    }
+  }
+
+  StatusOr<JsonValue> Object() {
+    ++depth_;
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> members;
+    SkipWs();
+    if (Consume('}')) {
+      --depth_;
+      return JsonValue::MakeObject(std::move(members));
+    }
+    while (true) {
+      SkipWs();
+      auto key = String();
+      if (!key.ok()) {
+        return key.status();
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      SkipWs();
+      auto value = Value();
+      if (!value.ok()) {
+        return value;
+      }
+      members.insert_or_assign(std::move(key).value(),
+                               std::move(value).value());
+      SkipWs();
+      if (Consume('}')) {
+        --depth_;
+        return JsonValue::MakeObject(std::move(members));
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  StatusOr<JsonValue> Array() {
+    ++depth_;
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Consume(']')) {
+      --depth_;
+      return JsonValue::MakeArray(std::move(items));
+    }
+    while (true) {
+      SkipWs();
+      auto value = Value();
+      if (!value.ok()) {
+        return value;
+      }
+      items.push_back(std::move(value).value());
+      SkipWs();
+      if (Consume(']')) {
+        --depth_;
+        return JsonValue::MakeArray(std::move(items));
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  StatusOr<std::string> String() {
+    if (!Consume('"')) {
+      return Fail("expected '\"'");
+    }
+    std::string out;
+    while (true) {
+      if (AtEnd()) {
+        return Fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) {
+        return Fail("dangling escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd() || std::isxdigit(static_cast<unsigned char>(
+                               text_[pos_])) == 0) {
+              return Fail("bad \\u escape");
+            }
+            const char h = text_[pos_++];
+            code = code * 16 +
+                   static_cast<uint32_t>(
+                       h <= '9' ? h - '0'
+                                : (h | 0x20) - 'a' + 10);
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by the writers in src/obs).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+  }
+
+  StatusOr<JsonValue> Number() {
+    const size_t begin = pos_;
+    Consume('-');
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(begin, pos_ - begin));
+    if (token.empty() || token == "-") {
+      return Fail("expected a value");
+    }
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Fail("malformed number '" + token + "'");
+    }
+    return JsonValue::MakeNumber(value);
+  }
+
+  StatusOr<JsonValue> Literal(std::string_view word, JsonValue value) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("bad literal");
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Run();
+}
+
+StatusOr<JsonValue> ParseJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("failed reading " + path);
+  }
+  return ParseJson(buffer.str());
+}
+
+}  // namespace skymr::obs

@@ -46,8 +46,11 @@
 #include "src/local/sfs.h"
 #include "src/mapreduce/cluster_model.h"
 #include "src/mapreduce/job.h"
+#include "src/obs/bench_artifact.h"
+#include "src/obs/doctor.h"
 #include "src/obs/histogram.h"
 #include "src/obs/job_report.h"
+#include "src/obs/json_parse.h"
 #include "src/obs/trace.h"
 #include "src/relation/dataset.h"
 #include "src/relation/dominance.h"

@@ -1,0 +1,230 @@
+#include "src/obs/doctor.h"
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/runner.h"
+#include "src/data/generator.h"
+#include "src/obs/job_report.h"
+
+namespace skymr::obs {
+namespace {
+
+/// Minimal syntactically valid skymr-report-v1 skeleton; tests splice
+/// extra members into the top level via `extra`.
+std::string Report(const std::string& extra) {
+  std::string doc = R"({"schema": "skymr-report-v1", "algorithm": "mr-gpsrs")";
+  if (!extra.empty()) {
+    doc += ", " + extra;
+  }
+  doc += "}";
+  return doc;
+}
+
+std::vector<Finding> Analyze(const std::string& json) {
+  auto findings = AnalyzeReportJson(json);
+  EXPECT_TRUE(findings.ok()) << findings.status();
+  return findings.ok() ? std::move(findings).value()
+                       : std::vector<Finding>{};
+}
+
+bool HasCode(const std::vector<Finding>& findings, const std::string& code) {
+  for (const Finding& finding : findings) {
+    if (finding.code == code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(DoctorTest, RejectsWrongSchema) {
+  EXPECT_FALSE(AnalyzeReportJson(R"({"schema": "other-v9"})").ok());
+  EXPECT_FALSE(AnalyzeReportJson("[1, 2]").ok());
+  EXPECT_FALSE(AnalyzeReportJson("not json").ok());
+}
+
+TEST(DoctorTest, MinimalReportIsClean) {
+  EXPECT_TRUE(Analyze(Report("")).empty());
+}
+
+TEST(DoctorTest, FlagsMapTaskSkew) {
+  const std::string json = Report(
+      R"("jobs": [{"name": "mr-gpsrs", "skew": {
+           "max_map_busy_seconds": 1.0, "median_map_busy_seconds": 0.1,
+           "max_reduce_busy_seconds": 0.0,
+           "median_reduce_busy_seconds": 0.0}}])");
+  const auto findings = Analyze(json);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "task-skew");
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_NE(findings[0].message.find("map"), std::string::npos);
+}
+
+TEST(DoctorTest, ExtremeSkewEscalatesToCritical) {
+  const std::string json = Report(
+      R"("jobs": [{"name": "mr-gpsrs", "skew": {
+           "max_map_busy_seconds": 2.0, "median_map_busy_seconds": 0.1,
+           "max_reduce_busy_seconds": 0.0,
+           "median_reduce_busy_seconds": 0.0}}])");
+  const auto findings = Analyze(json);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kCritical);
+}
+
+TEST(DoctorTest, FastSkewedTasksStaySilent) {
+  // 10x ratio but everything under the busy-seconds floor: healthy smoke
+  // runs must never trip the doctor.
+  const std::string json = Report(
+      R"("jobs": [{"name": "mr-gpsrs", "skew": {
+           "max_map_busy_seconds": 0.01, "median_map_busy_seconds": 0.001,
+           "max_reduce_busy_seconds": 0.0,
+           "median_reduce_busy_seconds": 0.0}}])");
+  EXPECT_TRUE(Analyze(json).empty());
+}
+
+TEST(DoctorTest, FlagsReduceImbalanceWithGpmrsHint) {
+  const std::string json = Report(
+      R"("jobs": [{"name": "mr-gpmrs", "reduce_tasks": [
+           {"input_records": 100}, {"input_records": 120},
+           {"input_records": 5000}]}])");
+  const auto findings = Analyze(json);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "reduce-imbalance");
+  EXPECT_NE(findings[0].message.find("Definition-5"), std::string::npos);
+}
+
+TEST(DoctorTest, SmallReducersStaySilent) {
+  const std::string json = Report(
+      R"("jobs": [{"name": "mr-gpmrs", "reduce_tasks": [
+           {"input_records": 10}, {"input_records": 900}]}])");
+  EXPECT_TRUE(Analyze(json).empty());
+}
+
+TEST(DoctorTest, FlagsCoarsePpd) {
+  // 100k tuples in 3 dims: candidate max is floor(100000^(1/3)) = 46;
+  // ppd=2 leaves 8 cells and ~12.5k tuples per partition.
+  const std::string json = Report(
+      R"("dim": 3, "input_tuples": 100000, "ppd": 2,
+         "nonempty_partitions": 8, "pruned_partitions": 0)");
+  const auto findings = Analyze(json);
+  EXPECT_TRUE(HasCode(findings, "ppd-coarse"));
+}
+
+TEST(DoctorTest, FlagsPpdSkew) {
+  // A fine grid (ppd=40, d=3 -> 64000 cells) over 100k tuples should
+  // leave ~1.3 tuples per non-empty partition under uniformity; 50
+  // non-empty partitions means heavy clustering.
+  const std::string json = Report(
+      R"("dim": 3, "input_tuples": 100000, "ppd": 40,
+         "nonempty_partitions": 50, "pruned_partitions": 0)");
+  const auto findings = Analyze(json);
+  EXPECT_TRUE(HasCode(findings, "ppd-skew"));
+}
+
+TEST(DoctorTest, UniformGridStaysSilent) {
+  // 100k tuples, ppd=40 (64000 cells): uniform occupancy predicts about
+  // 49.8k non-empty partitions; reporting that is healthy.
+  const std::string json = Report(
+      R"("dim": 3, "input_tuples": 100000, "ppd": 40,
+         "nonempty_partitions": 49800, "pruned_partitions": 20000)");
+  EXPECT_TRUE(Analyze(json).empty());
+}
+
+TEST(DoctorTest, TinyInputNeverTripsGridChecks) {
+  const std::string json = Report(
+      R"("dim": 3, "input_tuples": 500, "ppd": 2,
+         "nonempty_partitions": 2, "pruned_partitions": 0)");
+  EXPECT_TRUE(Analyze(json).empty());
+}
+
+TEST(DoctorTest, FlagsCostModelDeviation) {
+  const std::string json = Report(
+      R"("cost_model": {
+           "predicted_mapper_comparisons": 1000.0,
+           "observed_max_mapper_comparisons": 50000,
+           "predicted_reducer_comparisons": 1000.0,
+           "observed_max_reducer_comparisons": 900})");
+  const auto findings = Analyze(json);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "cost-model");
+  EXPECT_NE(findings[0].message.find("mapper"), std::string::npos);
+}
+
+TEST(DoctorTest, FlagsIneffectivePruningAsInfo) {
+  const std::string json = Report(
+      R"("dim": 4, "input_tuples": 100000, "ppd": 10,
+         "nonempty_partitions": 10000, "pruned_partitions": 3)");
+  const auto findings = Analyze(json);
+  ASSERT_TRUE(HasCode(findings, "pruning"));
+  for (const Finding& finding : findings) {
+    if (finding.code == "pruning") {
+      EXPECT_EQ(finding.severity, Severity::kInfo);
+    }
+  }
+}
+
+TEST(DoctorTest, FindingsSortMostSevereFirst) {
+  const std::string json = Report(
+      R"("dim": 4, "input_tuples": 100000, "ppd": 10,
+         "nonempty_partitions": 10000, "pruned_partitions": 3,
+         "jobs": [{"name": "mr-gpsrs", "skew": {
+           "max_map_busy_seconds": 2.0, "median_map_busy_seconds": 0.1,
+           "max_reduce_busy_seconds": 0.0,
+           "median_reduce_busy_seconds": 0.0}}])");
+  const auto findings = Analyze(json);
+  ASSERT_GE(findings.size(), 2u);
+  EXPECT_EQ(findings.front().severity, Severity::kCritical);
+  EXPECT_EQ(findings.back().severity, Severity::kInfo);
+}
+
+TEST(DoctorTest, RenderFindingsFormats) {
+  EXPECT_EQ(RenderFindings({}), "doctor: no findings\n");
+  const std::string text = RenderFindings(
+      {Finding{Severity::kWarning, "task-skew", "slow task"}});
+  EXPECT_EQ(text, "WARNING [task-skew] slow task\n");
+}
+
+// ---------------------------------------------------------------------
+// End to end: the doctor over reports this repo itself writes.
+// ---------------------------------------------------------------------
+
+std::string ReportForRun(const RunnerConfig& config, size_t cardinality,
+                         size_t dim) {
+  data::GeneratorConfig gen;
+  gen.distribution = data::Distribution::kIndependent;
+  gen.cardinality = cardinality;
+  gen.dim = dim;
+  gen.seed = 99;
+  const Dataset data = std::move(data::Generate(gen)).value();
+  auto result = ComputeSkyline(data, config);
+  EXPECT_TRUE(result.ok()) << result.status();
+  std::ostringstream os;
+  WriteJobReport(*result, os);
+  return os.str();
+}
+
+TEST(DoctorTest, HealthyRunProducesNoFindings) {
+  RunnerConfig config;
+  config.algorithm = Algorithm::kMrGpsrs;
+  config.engine.num_map_tasks = 4;
+  config.engine.num_reducers = 2;
+  const auto findings = Analyze(ReportForRun(config, 4000, 3));
+  EXPECT_TRUE(findings.empty()) << RenderFindings(findings);
+}
+
+TEST(DoctorTest, ForcedCoarsePpdIsDiagnosed) {
+  RunnerConfig config;
+  config.algorithm = Algorithm::kMrGpsrs;
+  config.engine.num_map_tasks = 4;
+  config.engine.num_reducers = 2;
+  config.ppd.explicit_ppd = 2;  // Far below the Section 3.3 candidate max.
+  const auto findings = Analyze(ReportForRun(config, 20000, 4));
+  EXPECT_TRUE(HasCode(findings, "ppd-coarse")) << RenderFindings(findings);
+}
+
+}  // namespace
+}  // namespace skymr::obs

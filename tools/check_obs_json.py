@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Validates skymr observability artifacts: a Chrome trace (skymr-trace-v1)
-and/or a job report (skymr-report-v1).
+"""Validates skymr observability artifacts: a Chrome trace (skymr-trace-v1),
+a job report (skymr-report-v1), and/or a bench artifact (skymr-bench-v1).
 
 Usage:
     check_obs_json.py [--trace trace.json] [--report report.json]
+                      [--bench bench.json]
 
 Exits non-zero with a diagnostic on the first violation. Used by the CI
-obs-smoke job; handy locally after `skymr_cli stats --trace-out ...
---report-out ...`.
+obs-smoke and bench-regression jobs; handy locally after `skymr_cli stats
+--trace-out ... --report-out ...` or any bench binary run.
 """
 
 import argparse
@@ -69,7 +70,8 @@ def check_report(path):
         doc = json.load(f)
     if doc.get("schema") != "skymr-report-v1":
         fail(f"{path}: schema is {doc.get('schema')!r}")
-    for key in ("algorithm", "wall_seconds", "skyline_size", "jobs"):
+    for key in ("algorithm", "wall_seconds", "skyline_size", "dim",
+                "input_tuples", "jobs"):
         if key not in doc:
             fail(f"{path}: missing {key!r}")
     if not doc["jobs"]:
@@ -99,17 +101,70 @@ def check_report(path):
     print(f"check_obs_json: {path}: {len(doc['jobs'])} jobs OK")
 
 
+def check_bench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "skymr-bench-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    if not doc.get("bench"):
+        fail(f"{path}: missing 'bench'")
+    env = doc.get("environment")
+    if not isinstance(env, dict):
+        fail(f"{path}: missing 'environment'")
+    for key in ("git_sha", "compiler", "build_type", "cxx_flags", "cpu",
+                "kernel_backend", "tracing_compiled", "threads",
+                "scale_env", "full_env", "reps"):
+        if key not in env:
+            fail(f"{path}: environment lacks {key!r}")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: rows missing or empty")
+    names = set()
+    for i, row in enumerate(rows):
+        where = f"{path}: row {i} ({row.get('name')!r})"
+        if not row.get("name"):
+            fail(f"{where}: missing 'name'")
+        if row["name"] in names:
+            fail(f"{where}: duplicate row name")
+        names.add(row["name"])
+        wall = row.get("wall")
+        if not isinstance(wall, dict):
+            fail(f"{where}: missing 'wall'")
+        for key in ("reps", "median_seconds", "mad_seconds", "cv",
+                    "min_seconds", "max_seconds", "mean_seconds"):
+            if key not in wall:
+                fail(f"{where}: wall lacks {key!r}")
+        if wall["reps"] < 1:
+            fail(f"{where}: wall.reps < 1")
+        if not wall["min_seconds"] <= wall["median_seconds"] \
+                <= wall["max_seconds"]:
+            fail(f"{where}: wall median outside [min, max]: {wall}")
+        det = row.get("deterministic")
+        if not isinstance(det, dict) or not det:
+            fail(f"{where}: deterministic section missing or empty")
+        for name, value in det.items():
+            if not isinstance(value, int):
+                fail(f"{where}: deterministic[{name!r}] is not an int: "
+                     f"{value!r}")
+        if not isinstance(row.get("metrics"), dict):
+            fail(f"{where}: missing 'metrics'")
+    print(f"check_obs_json: {path}: {len(rows)} bench rows OK")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace")
     parser.add_argument("--report")
+    parser.add_argument("--bench")
     args = parser.parse_args()
-    if not args.trace and not args.report:
-        parser.error("pass --trace and/or --report")
+    if not args.trace and not args.report and not args.bench:
+        parser.error("pass --trace, --report, and/or --bench")
     if args.trace:
         check_trace(args.trace)
     if args.report:
         check_report(args.report)
+    if args.bench:
+        check_bench(args.bench)
 
 
 if __name__ == "__main__":

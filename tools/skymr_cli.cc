@@ -8,12 +8,16 @@
 //             [--trace-out=trace.json] [--report-out=report.json]
 //   skymr_cli stats    --in=data.csv [same flags as skyline]
 //   skymr_cli compare  --in=data.csv [--header] [--mappers] [--reducers]
+//   skymr_cli doctor   --report=report.json [--fail-on=warning|critical]
 //
 // `generate` writes a synthetic dataset as CSV; `skyline` computes a
 // (possibly constrained) skyline of a CSV dataset and prints metrics;
 // `stats` runs the same pipeline with tracing on and prints per-task skew,
 // retries, histograms, and the cost-model comparison; `compare` runs all
-// algorithms on the same input and prints a table. `--trace-out` writes
+// algorithms on the same input and prints a table; `doctor` analyzes a
+// previously written skymr-report-v1 document and prints severity-ranked
+// findings (task skew, PPD-selection quality, cost-model deviation,
+// pruning effectiveness, reducer imbalance). `--trace-out` writes
 // Chrome trace-event JSON (open in Perfetto / chrome://tracing);
 // `--report-out` writes the skymr-report-v1 JSON document.
 
@@ -84,6 +88,7 @@ int Usage() {
       "  skymr_cli stats   --in=FILE [same flags as skyline]\n"
       "  skymr_cli compare --in=FILE [--header] [--mappers=M] "
       "[--reducers=R]\n"
+      "  skymr_cli doctor  --report=FILE [--fail-on=warning|critical]\n"
       "algorithms: mr-gpsrs mr-gpmrs mr-bnl mr-angle hybrid sky-mr\n");
   return 2;
 }
@@ -364,6 +369,37 @@ int RunCompare(const Args& args) {
   return 0;
 }
 
+int RunDoctor(const Args& args) {
+  const std::string report = args.GetString("report", "");
+  if (report.empty()) {
+    std::fprintf(stderr, "doctor requires --report=FILE\n");
+    return 2;
+  }
+  const std::string fail_on = args.GetString("fail-on", "");
+  if (!fail_on.empty() && fail_on != "warning" && fail_on != "critical") {
+    std::fprintf(stderr, "--fail-on must be 'warning' or 'critical'\n");
+    return 2;
+  }
+  auto findings = skymr::obs::AnalyzeReportFile(report);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "%s\n", findings.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(skymr::obs::RenderFindings(*findings).c_str(), stdout);
+  if (fail_on.empty()) {
+    return 0;
+  }
+  const skymr::obs::Severity gate = fail_on == "critical"
+                                        ? skymr::obs::Severity::kCritical
+                                        : skymr::obs::Severity::kWarning;
+  for (const skymr::obs::Finding& finding : *findings) {
+    if (finding.severity >= gate) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -379,6 +415,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "compare") {
     return RunCompare(args);
+  }
+  if (args.command == "doctor") {
+    return RunDoctor(args);
   }
   return Usage();
 }
