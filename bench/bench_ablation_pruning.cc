@@ -15,6 +15,9 @@
 #include <numeric>
 
 #include "bench/bench_common.h"
+#include "src/core/bitstring_job.h"
+#include "src/core/gpsrs.h"
+#include "src/core/partition_bitstring.h"
 
 namespace {
 

@@ -47,6 +47,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/stopwatch.h"
+#include "src/obs/bench_artifact.h"
 #include "src/skymr.h"
 
 namespace skymr::bench {

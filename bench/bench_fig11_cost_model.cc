@@ -16,6 +16,7 @@
 // Default scale: 2% of the paper's cardinality.
 
 #include "bench/bench_common.h"
+#include "src/cost/cost_model.h"
 
 namespace {
 

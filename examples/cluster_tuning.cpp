@@ -3,6 +3,7 @@
 // strategy (Section 5.4.1) — and prints the modeled cluster runtimes so
 // an operator can pick a configuration for their workload.
 
+#include <cmath>
 #include <cstdio>
 
 #include "src/skymr.h"

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
+#include "src/relation/preferences.h"
 #include "src/skymr.h"
 
 namespace {

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "src/common/rng.h"
 #include "src/skymr.h"
 
 namespace {

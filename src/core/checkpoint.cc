@@ -1,0 +1,98 @@
+#include "src/core/checkpoint.h"
+
+#include <fstream>
+#include <vector>
+
+#include "src/common/serde.h"
+
+namespace skymr::core {
+namespace {
+
+/// File magic: "SKYCKP" + schema version. Bump the digit on any layout
+/// change so stale files fail loudly instead of deserializing garbage.
+constexpr char kMagic[8] = {'S', 'K', 'Y', 'C', 'K', 'P', 'v', '1'};
+
+}  // namespace
+
+bool PipelineCheckpoint::LoadBitstring(uint64_t fingerprint,
+                                       BitstringBuildResult* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+void PipelineCheckpoint::StoreBitstring(uint64_t fingerprint,
+                                        const BitstringBuildResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[fingerprint] = result;
+}
+
+Status PipelineCheckpoint::SaveFile(const std::string& path) const {
+  ByteSink sink;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink.Append(kMagic, sizeof(kMagic));
+    sink.AppendRaw<uint64_t>(entries_.size());
+    for (const auto& [fingerprint, result] : entries_) {
+      sink.AppendRaw<uint64_t>(fingerprint);
+      Serde<BitstringBuildResult>::Write(result, &sink);
+    }
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::IoError("checkpoint: cannot open for write: " + path);
+  }
+  file.write(reinterpret_cast<const char*>(sink.data()),
+             static_cast<std::streamsize>(sink.size()));
+  if (!file) {
+    return Status::IoError("checkpoint: write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status PipelineCheckpoint::LoadFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::OK();  // No checkpoint yet: a first run starts cold.
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                             std::istreambuf_iterator<char>());
+  ByteSource source(bytes.data(), bytes.size());
+  try {
+    char magic[sizeof(kMagic)];
+    source.Read(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      return Status::IoError("checkpoint: bad magic in " + path);
+    }
+    const auto count = source.ReadRaw<uint64_t>();
+    std::map<uint64_t, BitstringBuildResult> loaded;
+    for (uint64_t i = 0; i < count; ++i) {
+      const auto fingerprint = source.ReadRaw<uint64_t>();
+      loaded[fingerprint] = Serde<BitstringBuildResult>::Read(&source);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [fingerprint, result] : loaded) {
+      entries_[fingerprint] = std::move(result);
+    }
+  } catch (const SerdeUnderflow& underflow) {
+    return Status::IoError("checkpoint: truncated file " + path + ": " +
+                           underflow.what());
+  }
+  return Status::OK();
+}
+
+void PipelineCheckpoint::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+size_t PipelineCheckpoint::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace skymr::core

@@ -1,6 +1,7 @@
 #include "src/core/runner.h"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
 
 #include "src/baselines/mr_angle.h"
@@ -8,8 +9,10 @@
 #include "src/baselines/mr_skymr.h"
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
+#include "src/core/checkpoint.h"
 #include "src/core/gpmrs.h"
 #include "src/core/gpsrs.h"
+#include "src/mapreduce/chaos.h"
 #include "src/obs/trace.h"
 
 namespace skymr {
@@ -60,6 +63,29 @@ std::vector<TupleId> SkylineResult::SkylineIds() const {
   return ids;
 }
 
+Status RunnerConfig::Validate() const {
+  SKYMR_RETURN_IF_ERROR(mr::ValidateEngineOptions(engine));
+  if (ppd.explicit_ppd == 1) {
+    return Status::InvalidArgument(
+        "ppd: explicit_ppd must be 0 (auto-select) or >= 2");
+  }
+  if (ppd.max_candidate < 2) {
+    return Status::InvalidArgument(
+        "ppd: max_candidate must be >= 2 (the smallest grid)");
+  }
+  if (!(ppd.target_tpp > 0.0)) {
+    return Status::InvalidArgument("ppd: target_tpp must be > 0");
+  }
+  if (ppd.max_cells < 4) {
+    return Status::InvalidArgument(
+        "ppd: max_cells must admit at least the 2^d grid of a 2-d space");
+  }
+  if (algorithm == Algorithm::kMrAngle && angle_partitions < 1) {
+    return Status::InvalidArgument("mr-angle: angle_partitions must be >= 1");
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// Wraps a caller-owned dataset in a non-owning shared_ptr for the
@@ -80,10 +106,46 @@ void FillModeledTimes(const mr::ClusterModel& cluster,
       no_overhead.PipelineMakespan(result->jobs);
 }
 
-}  // namespace
+/// Fingerprint of everything that determines the bitstring phase's
+/// output: dataset shape plus a content probe (first/middle/last tuples),
+/// PPD policy, prune mode, bounds choice, and the constraint box. Keyed
+/// lookups in the checkpoint store miss on any change, so resume can
+/// never serve a result computed for different inputs.
+uint64_t BitstringFingerprint(const Dataset& data,
+                              const RunnerConfig& config) {
+  uint64_t h = mr::ChaosMix64(0x736b796d72636b70ULL);
+  const auto mix = [&h](uint64_t v) { h = mr::ChaosMix64(h ^ v); };
+  const auto mix_double = [&mix](double v) {
+    mix(std::bit_cast<uint64_t>(v));
+  };
+  mix(data.size());
+  mix(data.dim());
+  if (data.size() > 0) {
+    for (const size_t probe :
+         {size_t{0}, data.size() / 2, data.size() - 1}) {
+      for (size_t d = 0; d < data.dim(); ++d) {
+        mix_double(data.RowPtr(static_cast<TupleId>(probe))[d]);
+      }
+    }
+  }
+  mix(config.ppd.explicit_ppd);
+  mix(static_cast<uint64_t>(config.ppd.strategy));
+  mix_double(config.ppd.target_tpp);
+  mix(config.ppd.max_candidate);
+  mix(config.ppd.max_cells);
+  mix(static_cast<uint64_t>(config.prune_mode));
+  mix(config.unit_bounds ? 1 : 0);
+  if (config.constraint.has_value()) {
+    for (size_t d = 0; d < config.constraint->lo.size(); ++d) {
+      mix_double(config.constraint->lo[d]);
+      mix_double(config.constraint->hi[d]);
+    }
+  }
+  return h;
+}
 
-StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
-                                       const RunnerConfig& config) {
+StatusOr<SkylineResult> ComputeSkylineImpl(const Dataset& data,
+                                           const RunnerConfig& config) {
   Stopwatch total_clock;
   SKYMR_TRACE_SPAN("skyline.pipeline", "tuples",
                    static_cast<int64_t>(data.size()), "dim",
@@ -149,21 +211,39 @@ StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
   bitstring_config.prune_mode = config.prune_mode;
   bitstring_config.constraint = config.constraint;
 
-  auto bitstring_or =
-      core::RunBitstringJob(shared, bitstring_config, config.engine, &pool);
-  if (!bitstring_or.ok()) {
-    return bitstring_or.status();
+  core::BitstringBuildResult phase;
+  const uint64_t fingerprint = config.checkpoint != nullptr
+                                   ? BitstringFingerprint(data, config)
+                                   : 0;
+  if (config.checkpoint != nullptr &&
+      config.checkpoint->LoadBitstring(fingerprint, &phase)) {
+    // Resume: the whole first job is skipped; result.jobs holds only the
+    // skyline job.
+    result.resumed_from_checkpoint = true;
+    SKYMR_TRACE_INSTANT("checkpoint.resume", "ppd",
+                        static_cast<int64_t>(phase.ppd));
+    SKYMR_LOG(DEBUG) << "bitstring phase resumed from checkpoint (ppd "
+                     << phase.ppd << ")";
+  } else {
+    auto bitstring_or = core::RunBitstringJob(shared, bitstring_config,
+                                              config.engine, &pool);
+    if (!bitstring_or.ok()) {
+      return bitstring_or.status();
+    }
+    result.jobs.push_back(std::move(bitstring_or->metrics));
+    phase = std::move(bitstring_or->result);
+    if (config.checkpoint != nullptr) {
+      config.checkpoint->StoreBitstring(fingerprint, phase);
+    }
   }
-  core::BitstringJobRun& bitstring = bitstring_or.value();
-  result.jobs.push_back(std::move(bitstring.metrics));
-  result.ppd = bitstring.result.ppd;
-  result.nonempty_partitions = bitstring.result.nonempty;
-  result.pruned_partitions = bitstring.result.pruned;
+  result.ppd = phase.ppd;
+  result.nonempty_partitions = phase.nonempty;
+  result.pruned_partitions = phase.pruned;
   SKYMR_LOG(DEBUG) << "bitstring job: selected PPD " << result.ppd << ", "
                    << result.nonempty_partitions << " non-empty cells, "
                    << result.pruned_partitions << " pruned";
 
-  auto grid_or = core::Grid::Create(data.dim(), bitstring.result.ppd,
+  auto grid_or = core::Grid::Create(data.dim(), phase.ppd,
                                     bounds, config.ppd.max_cells);
   if (!grid_or.ok()) {
     return grid_or.status();
@@ -175,7 +255,7 @@ StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
   mr::EngineOptions engine = config.engine;
   if (algorithm == Algorithm::kHybrid) {
     result.hybrid_decision = core::DecideHybrid(
-        config.hybrid, data, grid, bitstring.result, config.constraint);
+        config.hybrid, data, grid, phase, config.constraint);
     algorithm = result.hybrid_decision.use_multiple_reducers
                     ? Algorithm::kMrGpmrs
                     : Algorithm::kMrGpsrs;
@@ -185,17 +265,36 @@ StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
 
   auto run_or =
       algorithm == Algorithm::kMrGpmrs
-          ? core::RunGpmrsJob(shared, grid, bitstring.result.bits,
+          ? core::RunGpmrsJob(shared, grid, phase.bits,
                               config.merge, engine, &pool,
                               config.constraint, config.local_algorithm)
-          : core::RunGpsrsJob(shared, grid, bitstring.result.bits, engine,
+          : core::RunGpsrsJob(shared, grid, phase.bits, engine,
                               &pool, config.constraint,
                               config.local_algorithm);
+  if (!run_or.ok() && algorithm == Algorithm::kMrGpmrs &&
+      config.degrade_to_single_reducer &&
+      run_or.status().code() == StatusCode::kInternal) {
+    // Degradation ladder: GPMRS's reducer-group merge keeps failing
+    // (every retry exhausted), so fall back to the GPSRS single-reducer
+    // merge over the same grid and bitstring — slower, but the skyline is
+    // identical by Section 4/5 equivalence.
+    SKYMR_LOG(DEBUG) << "mr-gpmrs failed permanently ("
+                     << run_or.status().message()
+                     << "); degrading to mr-gpsrs";
+    SKYMR_TRACE_INSTANT("degrade.gpsrs");
+    result.degraded = true;
+    result.algorithm_used = Algorithm::kMrGpsrs;
+    run_or = core::RunGpsrsJob(shared, grid, phase.bits, engine, &pool,
+                               config.constraint, config.local_algorithm);
+  }
   if (!run_or.ok()) {
     return run_or.status();
   }
   result.skyline = std::move(run_or->skyline);
   result.jobs.push_back(std::move(run_or->metrics));
+  if (result.degraded) {
+    result.jobs.back().counters.Add("mr.degraded_to_gpsrs", 1);
+  }
   result.wall_seconds = total_clock.ElapsedSeconds();
   FillModeledTimes(config.cluster, &result);
   SKYMR_LOG(DEBUG) << AlgorithmName(result.algorithm_used) << ": skyline "
@@ -203,6 +302,24 @@ StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
                    << " tuples in " << result.wall_seconds << "s wall, "
                    << result.modeled_seconds << "s modeled";
   return result;
+}
+
+}  // namespace
+
+StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
+                                       const RunnerConfig& config) {
+  if (const Status valid = config.Validate(); !valid.ok()) {
+    return valid;
+  }
+  // API hardening: nothing escapes this boundary as an exception. Task
+  // failures inside the engine already surface as Status; this catch is
+  // the backstop for anything unexpected (user functors, OOM, bugs).
+  try {
+    return ComputeSkylineImpl(data, config);
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        std::string("skyline pipeline: unexpected exception: ") + e.what());
+  }
 }
 
 }  // namespace skymr

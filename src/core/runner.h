@@ -21,6 +21,10 @@
 
 namespace skymr {
 
+namespace core {
+class PipelineCheckpoint;  // checkpoint.h
+}  // namespace core
+
 /// The skyline computation strategies the library ships.
 enum class Algorithm {
   kMrGpsrs,   // Paper Section 4.
@@ -70,6 +74,24 @@ struct RunnerConfig {
   /// command) pass one pool here so threads are spawned once. The pool
   /// must outlive the call, and engine.num_threads is ignored when set.
   ThreadPool* pool = nullptr;
+  /// Graceful degradation: when a GPMRS (or hybrid-resolved GPMRS) run
+  /// fails permanently — e.g. its reducer-group merge keeps crashing
+  /// under chaos — retry the skyline phase as a GPSRS single-reducer
+  /// merge instead of surfacing the error. The result is flagged
+  /// `degraded` and counted under mr.degraded_to_gpsrs.
+  bool degrade_to_single_reducer = true;
+  /// Phase-level checkpoint store (checkpoint.h). When set, the
+  /// bitstring/PPD phase first consults the store (fingerprint-keyed, so
+  /// a config or dataset change misses) and stores its result after
+  /// running; a resumed run skips the whole first job. Must outlive the
+  /// call. Null disables checkpointing.
+  core::PipelineCheckpoint* checkpoint = nullptr;
+
+  /// Rejects contradictory configurations before any work runs: task
+  /// counts < 1, zero attempt budgets, PPD policy out of range,
+  /// backoff/speculation tunables outside their domains, and chaos
+  /// schedules that can never finish. Called by ComputeSkyline.
+  Status Validate() const;
 };
 
 /// The outcome of a skyline computation.
@@ -99,9 +121,20 @@ struct SkylineResult {
   Algorithm algorithm_used = Algorithm::kMrGpsrs;
   /// Hybrid diagnostics (kHybrid only).
   core::HybridDecision hybrid_decision;
+  /// True when a failing GPMRS merge was degraded to the GPSRS
+  /// single-reducer merge (RunnerConfig::degrade_to_single_reducer).
+  bool degraded = false;
+  /// True when the bitstring phase was served from the checkpoint store
+  /// instead of running (RunnerConfig::checkpoint).
+  bool resumed_from_checkpoint = false;
 };
 
 /// Computes the skyline of `data`. The dataset must outlive the call.
+///
+/// API contract: never throws. Invalid configurations come back as
+/// InvalidArgument (RunnerConfig::Validate), permanent task failures as
+/// Internal; internal exceptions (TaskFailure and friends) are absorbed
+/// at this boundary.
 StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
                                        const RunnerConfig& config);
 

@@ -1,5 +1,7 @@
 #include "src/mapreduce/distributed_cache.h"
 
+#include "src/mapreduce/chaos.h"
+
 namespace skymr::mr {
 
 Status DistributedCache::PutErased(const std::string& key,
@@ -17,6 +19,14 @@ Status DistributedCache::PutErased(const std::string& key,
 
 std::shared_ptr<const void> DistributedCache::GetErased(
     const std::string& key, std::type_index type) const {
+  // Chaos hook: inside a task attempt whose schedule injects cache
+  // faults, pretend the entry is missing. User code sees an ordinary
+  // miss (nullptr) and fails through its existing missing-side-data
+  // path; the retried attempt rolls a fresh deterministic coin.
+  if (ChaosInjectCacheFault()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end() || it->second.type != type) {

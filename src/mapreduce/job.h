@@ -15,8 +15,10 @@
 //    order, with values ordered by (mapper id, emit order);
 //  * a DistributedCache broadcasts immutable side data to all tasks;
 //  * tasks may fail (throw TaskFailure) and are retried up to
-//    `max_task_attempts` times, mirroring Hadoop's speculative re-execution
-//    of failed tasks;
+//    `max_task_attempts` times with exponential backoff, worker
+//    blacklisting, and optional speculative execution — see
+//    task_scheduler.h for the scheduling policy and chaos.h for
+//    deterministic fault injection;
 //  * per-task busy times, record counts, byte counts, and Counters are
 //    captured so a ClusterModel can compute a modeled cluster makespan.
 //
@@ -50,32 +52,14 @@
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
+#include "src/mapreduce/chaos.h"
 #include "src/mapreduce/counters.h"
 #include "src/mapreduce/distributed_cache.h"
 #include "src/mapreduce/task_metrics.h"
+#include "src/mapreduce/task_scheduler.h"
 #include "src/obs/trace.h"
 
 namespace skymr::mr {
-
-/// Thrown by user code to signal a recoverable task failure; the engine
-/// retries the task up to EngineOptions::max_task_attempts times.
-class TaskFailure : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// Engine configuration for one job.
-struct EngineOptions {
-  /// Number of map tasks (m in the paper). The input is split into this
-  /// many contiguous splits.
-  int num_map_tasks = 4;
-  /// Number of reduce tasks (r in the paper).
-  int num_reducers = 1;
-  /// Worker threads simulating cluster slots; 0 = hardware concurrency.
-  int num_threads = 0;
-  /// Maximum attempts per task before the job fails (Hadoop default: 4).
-  int max_task_attempts = 1;
-};
 
 /// How emitted keys are routed to reducers. The common routings are plain
 /// enum cases so MapContext::Emit dispatches with an inlineable switch
@@ -213,16 +197,6 @@ class MapContext {
     return 0;
   }
 
-  void ResetForRetry() {
-    for (auto& bucket : buckets_) {
-      bucket.arena.Clear();
-      bucket.records.clear();
-    }
-    output_records_ = 0;
-    counters_ = Counters();
-    histograms_ = obs::HistogramSet();
-  }
-
   int task_id_;
   int num_reducers_;
   const DistributedCache* cache_;
@@ -255,13 +229,6 @@ class ReduceContext {
  private:
   template <typename In, typename KK, typename VV, typename OO>
   friend class Job;
-
-  void ResetForRetry() {
-    outputs_.clear();
-    output_bytes_ = 0;
-    counters_ = Counters();
-    histograms_ = obs::HistogramSet();
-  }
 
   int task_id_;
   const DistributedCache* cache_;
@@ -360,10 +327,9 @@ class Job {
                      const DistributedCache& cache,
                      ThreadPool* pool = nullptr) {
     JobResult<Out> result;
-    if (options.num_map_tasks < 1 || options.num_reducers < 1 ||
-        options.max_task_attempts < 1) {
-      result.status = Status::InvalidArgument(
-          "job '" + name_ + "': task counts must be >= 1");
+    if (const Status valid = ValidateEngineOptions(options); !valid.ok()) {
+      result.status = Status::InvalidArgument("job '" + name_ +
+                                              "': " + valid.message());
       return result;
     }
     result.metrics.name = name_;
@@ -386,26 +352,33 @@ class Job {
     const int m = options.num_map_tasks;
     const int r = options.num_reducers;
 
+    // One scheduler per run: worker failure counts and the blacklist
+    // persist from the map wave into the reduce wave.
+    TaskScheduler scheduler(options, name_);
+    WaveStats wave_stats;
+
     // ---- Map wave ----
-    // Task isolation contract: concurrent tasks touch only their own
-    // slot of these per-task vectors (task i writes index i and nothing
-    // else), so no locking is needed. The merge passes below run on the
-    // caller's thread after the ParallelFor completion barrier.
+    // Task isolation contract: concurrent attempts touch only their own
+    // task's slot of these per-task vectors, and only after winning the
+    // idempotent output commit (TaskAttempt::TryCommit), so duplicate
+    // attempts never race on a slot. The merge passes below run on the
+    // caller's thread after the wave completes.
     std::vector<MapTaskOutput> map_outputs(static_cast<size_t>(m));
-    std::vector<Status> map_status(static_cast<size_t>(m));
+    Status wave_status;
     {
       SKYMR_TRACE_SPAN("map.wave", "tasks", m);
-      ParallelFor(pool, m, [&](int task) {
-        map_status[static_cast<size_t>(task)] =
-            RunMapTask(task, SplitOf(input, task, m), r, options, cache,
-                       &map_outputs[static_cast<size_t>(task)]);
-      });
+      wave_status = scheduler.RunWave(
+          pool, TaskKind::kMap, m,
+          [&](const TaskAttempt& attempt) {
+            return RunMapAttempt(
+                attempt, SplitOf(input, attempt.task_id, m), r, cache,
+                &map_outputs[static_cast<size_t>(attempt.task_id)]);
+          },
+          &wave_stats);
     }
-    for (const Status& s : map_status) {
-      if (!s.ok()) {
-        result.status = s;
-        return result;
-      }
+    if (!wave_status.ok()) {
+      result.status = wave_status;
+      return result;
     }
     for (int task = 0; task < m; ++task) {
       // Every successful map task hands exactly one context (with one
@@ -416,26 +389,31 @@ class Job {
     }
 
     // ---- Shuffle + reduce wave ----
-    // One pool task per reducer does the whole pipeline for its bucket:
-    // move the arenas over (no record copies), merge the record indexes,
-    // stable-sort by key, and run the reduce task. Reducer task i touches
-    // only bucket i of every map context, so the wave needs no locking.
+    // The shuffle moves arenas out of the map contexts, so it runs exactly
+    // once per reducer, outside the retry/speculation scheduler; every
+    // reduce attempt of a task then reads the same immutable ReducerInput.
+    // That is what makes a retry after a mid-iteration failure safe: the
+    // re-run streams the identical sorted slice index, never re-sorted or
+    // partially consumed state.
     std::vector<ReducerInput> reducer_inputs(static_cast<size_t>(r));
     std::vector<ReduceTaskOutput> reduce_outputs(static_cast<size_t>(r));
-    std::vector<Status> reduce_status(static_cast<size_t>(r));
     {
       SKYMR_TRACE_SPAN("reduce.wave", "tasks", r);
       ParallelFor(pool, r, [&](int task) {
-        {
-          SKYMR_TRACE_SPAN("shuffle.bucket", "reducer", task);
-          BuildReducerInput(map_outputs, task,
-                            &reducer_inputs[static_cast<size_t>(task)]);
-        }
-        reduce_status[static_cast<size_t>(task)] =
-            RunReduceTask(task, &reducer_inputs[static_cast<size_t>(task)],
-                          options, cache,
-                          &reduce_outputs[static_cast<size_t>(task)]);
+        SKYMR_TRACE_SPAN("shuffle.bucket", "reducer", task);
+        BuildReducerInput(map_outputs, task,
+                          &reducer_inputs[static_cast<size_t>(task)]);
       });
+      wave_status = scheduler.RunWave(
+          pool, TaskKind::kReduce, r,
+          [&](const TaskAttempt& attempt) {
+            return RunReduceAttempt(
+                attempt,
+                reducer_inputs[static_cast<size_t>(attempt.task_id)],
+                scheduler.chaos(), cache,
+                &reduce_outputs[static_cast<size_t>(attempt.task_id)]);
+          },
+          &wave_stats);
     }
 
     result.metrics.map_tasks.reserve(static_cast<size_t>(m));
@@ -450,11 +428,9 @@ class Job {
     }
     result.metrics.shuffle_bytes = shuffle_bytes;
 
-    for (const Status& s : reduce_status) {
-      if (!s.ok()) {
-        result.status = s;
-        return result;
-      }
+    if (!wave_status.ok()) {
+      result.status = wave_status;
+      return result;
     }
 
     for (int task = 0; task < r; ++task) {
@@ -465,7 +441,6 @@ class Job {
       }
     }
 
-    int64_t retries = 0;
     int64_t map_input_records = 0;
     int64_t map_output_records = 0;
     int64_t reduce_output_records = 0;
@@ -475,7 +450,6 @@ class Job {
       result.metrics.histograms.Add(
           "mr.map_task_busy_us",
           static_cast<uint64_t>(t.busy_seconds * 1e6));
-      retries += t.attempts - 1;
       map_input_records += static_cast<int64_t>(t.input_records);
       map_output_records += static_cast<int64_t>(t.output_records);
     }
@@ -485,7 +459,6 @@ class Job {
       result.metrics.histograms.Add(
           "mr.reduce_task_busy_us",
           static_cast<uint64_t>(t.busy_seconds * 1e6));
-      retries += t.attempts - 1;
       reduce_output_records += static_cast<int64_t>(t.output_records);
     }
     // Structural export for the bench artifacts (skymr-bench-v1): task
@@ -504,7 +477,36 @@ class Job {
     for (const ReducerInput& in : reducer_inputs) {
       result.metrics.histograms.Add("mr.shuffle_bucket_bytes", in.input_bytes);
     }
-    result.metrics.counters.Add("mr.task_retries", retries);
+    result.metrics.counters.Add("mr.task_retries", wave_stats.retries);
+    // Fault-tolerance counters are added only when their machinery fired
+    // (or was enabled), so chaos-free runs keep the exact counter set the
+    // committed bench baselines were recorded with.
+    if (wave_stats.backoff_waits > 0) {
+      result.metrics.counters.Add("mr.backoff_waits",
+                                  wave_stats.backoff_waits);
+      result.metrics.counters.Add("mr.backoff_total_ms",
+                                  wave_stats.backoff_total_ms);
+    }
+    if (options.speculative_execution) {
+      result.metrics.counters.Add("mr.speculative_launched",
+                                  wave_stats.speculative_launched);
+      result.metrics.counters.Add("mr.speculative_wins",
+                                  wave_stats.speculative_wins);
+    }
+    if (const int64_t blacklisted = scheduler.blacklisted_workers();
+        blacklisted > 0) {
+      result.metrics.counters.Add("mr.blacklisted_workers", blacklisted);
+    }
+    if (const ChaosEngine* chaos = scheduler.chaos(); chaos != nullptr) {
+      result.metrics.counters.Add("mr.chaos_crashes_injected",
+                                  chaos->crashes_injected());
+      result.metrics.counters.Add("mr.chaos_slow_injected",
+                                  chaos->slow_injected());
+      result.metrics.counters.Add("mr.chaos_corruptions_injected",
+                                  chaos->corruptions_injected());
+      result.metrics.counters.Add("mr.chaos_cache_faults_injected",
+                                  chaos->cache_faults_injected());
+    }
     result.metrics.counters.Add(
         "mr.cache_hits",
         static_cast<int64_t>(cache.hits() - cache_hits_before));
@@ -560,68 +562,53 @@ class Job {
     return input.subspan(begin, size);
   }
 
-  Status RunMapTask(int task_id, std::span<const In> split, int num_reducers,
-                    const EngineOptions& options,
-                    const DistributedCache& cache, MapTaskOutput* out) {
+  /// One map task attempt, run under the TaskScheduler. Retry isolation:
+  /// every attempt gets a fresh context and a fresh mapper instance, and
+  /// `out` (the task's metrics/output slot shared with the job) is written
+  /// only after winning the idempotent commit — a failed or losing attempt
+  /// can never leak partial state into the shuffle or metrics.
+  Status RunMapAttempt(const TaskAttempt& attempt, std::span<const In> split,
+                       int num_reducers, const DistributedCache& cache,
+                       MapTaskOutput* out) {
     PartitionerKind kind = partitioner_kind_;
     if (kind != PartitionerKind::kCustom && num_reducers == 1) {
       kind = PartitionerKind::kSingleReducer;
     }
-    // Retry isolation: every attempt gets a fresh context and a fresh
-    // mapper instance, and `out` (the task's metrics/output slot shared
-    // with the job) is written only after an attempt succeeds — a failed
-    // attempt can never leak partial state into the shuffle or metrics.
-    for (int attempt = 1; attempt <= options.max_task_attempts; ++attempt) {
-      auto context = std::make_unique<MapContext<K2, V2>>(
-          task_id, num_reducers, &cache, kind, &partitioner_);
-      SKYMR_TRACE_SPAN("map.task", "task", task_id, "attempt", attempt);
-      Stopwatch clock;
-      try {
-        std::unique_ptr<Mapper<In, K2, V2>> mapper = mapper_factory_();
-        mapper->Setup(*context);
-        for (const In& record : split) {
-          mapper->Map(record, *context);
-        }
-        mapper->Cleanup(*context);
-        if (combiner_factory_) {
-          ApplyCombiner(task_id, cache, context.get());
-        }
-      } catch (const TaskFailure& failure) {
-        if (attempt == options.max_task_attempts) {
-          return Status::Internal("job '" + name_ + "' map task " +
-                                  std::to_string(task_id) + " failed after " +
-                                  std::to_string(attempt) +
-                                  " attempts: " + failure.what());
-        }
-        SKYMR_TRACE_INSTANT("task.retry", "task", task_id, "attempt", attempt);
-        continue;
-      } catch (const SerdeUnderflow& failure) {
-        if (attempt == options.max_task_attempts) {
-          return Status::Internal("job '" + name_ + "' map task " +
-                                  std::to_string(task_id) + " failed after " +
-                                  std::to_string(attempt) +
-                                  " attempts: " + failure.what());
-        }
-        SKYMR_TRACE_INSTANT("task.retry", "task", task_id, "attempt", attempt);
-        continue;
+    auto context = std::make_unique<MapContext<K2, V2>>(
+        attempt.task_id, num_reducers, &cache, kind, &partitioner_);
+    SKYMR_TRACE_SPAN("map.task", "task", attempt.task_id, "attempt",
+                     attempt.attempt);
+    Stopwatch clock;
+    std::unique_ptr<Mapper<In, K2, V2>> mapper = mapper_factory_();
+    mapper->Setup(*context);
+    for (size_t i = 0; i < split.size(); ++i) {
+      if ((i & 1023u) == 0u && attempt.Cancelled()) {
+        throw TaskCancelled();
       }
-      out->metrics.busy_seconds = clock.ElapsedSeconds();
-      out->metrics.input_records = split.size();
-      out->metrics.output_records = context->output_records_;
-      uint64_t bytes = 0;
-      for (const auto& bucket : context->buckets_) {
-        for (const auto& record : bucket.records) {
-          bytes += record.key_bytes + record.value_bytes;
-        }
-      }
-      out->metrics.output_bytes = bytes;
-      out->metrics.attempts = attempt;
-      out->metrics.counters = context->counters_;
-      out->metrics.histograms = std::move(context->histograms_);
-      out->context = std::move(context);
-      return Status::OK();
+      mapper->Map(split[i], *context);
     }
-    return Status::Internal("unreachable");
+    mapper->Cleanup(*context);
+    if (combiner_factory_) {
+      ApplyCombiner(attempt.task_id, cache, context.get());
+    }
+    if (!attempt.TryCommit()) {
+      return Status::OK();  // A duplicate committed first; discard.
+    }
+    out->metrics.busy_seconds = clock.ElapsedSeconds();
+    out->metrics.input_records = split.size();
+    out->metrics.output_records = context->output_records_;
+    uint64_t bytes = 0;
+    for (const auto& bucket : context->buckets_) {
+      for (const auto& record : bucket.records) {
+        bytes += record.key_bytes + record.value_bytes;
+      }
+    }
+    out->metrics.output_bytes = bytes;
+    out->metrics.attempts = attempt.attempt;
+    out->metrics.counters = context->counters_;
+    out->metrics.histograms = std::move(context->histograms_);
+    out->context = std::move(context);
+    return Status::OK();
   }
 
   /// Runs the combiner over one map task's emitted records (grouped by
@@ -715,61 +702,62 @@ class Job {
     }
   }
 
-  Status RunReduceTask(int task_id, ReducerInput* in,
-                       const EngineOptions& options,
-                       const DistributedCache& cache, ReduceTaskOutput* out) {
-    const std::vector<ShuffleEntry>& entries = in->entries;
-    for (int attempt = 1; attempt <= options.max_task_attempts; ++attempt) {
-      ReduceContext<Out> context(task_id, &cache);
-      SKYMR_TRACE_SPAN("reduce.task", "task", task_id, "attempt", attempt);
-      Stopwatch clock;
-      try {
-        std::unique_ptr<Reducer<K2, V2, Out>> reducer = reducer_factory_();
-        reducer->Setup(context);
-        size_t i = 0;
-        while (i < entries.size()) {
-          size_t j = i;
-          while (j < entries.size() && !(entries[i].key < entries[j].key)) {
-            ++j;
-          }
-          // Values stream out of the arena; nothing is deserialized until
-          // the reducer pulls it.
-          ValueIterator<V2> values(in->slices.data() + i, j - i);
-          reducer->Reduce(entries[i].key, values, context);
-          i = j;
-        }
-        reducer->Cleanup(context);
-      } catch (const TaskFailure& failure) {
-        if (attempt == options.max_task_attempts) {
-          return Status::Internal("job '" + name_ + "' reduce task " +
-                                  std::to_string(task_id) + " failed after " +
-                                  std::to_string(attempt) +
-                                  " attempts: " + failure.what());
-        }
-        SKYMR_TRACE_INSTANT("task.retry", "task", task_id, "attempt", attempt);
-        continue;
-      } catch (const SerdeUnderflow& failure) {
-        if (attempt == options.max_task_attempts) {
-          return Status::Internal("job '" + name_ + "' reduce task " +
-                                  std::to_string(task_id) + " failed after " +
-                                  std::to_string(attempt) +
-                                  " attempts: " + failure.what());
-        }
-        SKYMR_TRACE_INSTANT("task.retry", "task", task_id, "attempt", attempt);
-        continue;
+  /// One reduce task attempt, run under the TaskScheduler. The shared
+  /// ReducerInput is read-only here: retries re-stream the same sorted
+  /// slice index, and chaos corruption truncates a value only in an
+  /// attempt-local copy of the slices, so a retried attempt reads clean
+  /// bytes.
+  Status RunReduceAttempt(const TaskAttempt& attempt, const ReducerInput& in,
+                          ChaosEngine* chaos, const DistributedCache& cache,
+                          ReduceTaskOutput* out) {
+    const std::vector<ShuffleEntry>& entries = in.entries;
+    ReduceContext<Out> context(attempt.task_id, &cache);
+    SKYMR_TRACE_SPAN("reduce.task", "task", attempt.task_id, "attempt",
+                     attempt.attempt);
+    Stopwatch clock;
+    const Slice* slices = in.slices.data();
+    std::vector<Slice> corrupted;
+    if (chaos != nullptr && !in.slices.empty() &&
+        chaos->ShouldCorruptShuffle(attempt.task_id, attempt.attempt)) {
+      corrupted = in.slices;
+      Slice& victim = corrupted[chaos->CorruptIndex(
+          attempt.task_id, attempt.attempt, corrupted.size())];
+      if (victim.size > 0) {
+        --victim.size;  // Truncated value => SerdeUnderflow on read.
       }
-      out->metrics.busy_seconds = clock.ElapsedSeconds();
-      out->metrics.input_records = entries.size();
-      out->metrics.input_bytes = in->input_bytes;
-      out->metrics.output_records = context.outputs_.size();
-      out->metrics.output_bytes = context.output_bytes_;
-      out->metrics.attempts = attempt;
-      out->metrics.counters = context.counters_;
-      out->metrics.histograms = std::move(context.histograms_);
-      out->outputs = std::move(context.outputs_);
-      return Status::OK();
+      slices = corrupted.data();
     }
-    return Status::Internal("unreachable");
+    std::unique_ptr<Reducer<K2, V2, Out>> reducer = reducer_factory_();
+    reducer->Setup(context);
+    size_t i = 0;
+    while (i < entries.size()) {
+      if (attempt.Cancelled()) {
+        throw TaskCancelled();
+      }
+      size_t j = i;
+      while (j < entries.size() && !(entries[i].key < entries[j].key)) {
+        ++j;
+      }
+      // Values stream out of the arena; nothing is deserialized until
+      // the reducer pulls it.
+      ValueIterator<V2> values(slices + i, j - i);
+      reducer->Reduce(entries[i].key, values, context);
+      i = j;
+    }
+    reducer->Cleanup(context);
+    if (!attempt.TryCommit()) {
+      return Status::OK();  // A duplicate committed first; discard.
+    }
+    out->metrics.busy_seconds = clock.ElapsedSeconds();
+    out->metrics.input_records = entries.size();
+    out->metrics.input_bytes = in.input_bytes;
+    out->metrics.output_records = context.outputs_.size();
+    out->metrics.output_bytes = context.output_bytes_;
+    out->metrics.attempts = attempt.attempt;
+    out->metrics.counters = context.counters_;
+    out->metrics.histograms = std::move(context.histograms_);
+    out->outputs = std::move(context.outputs_);
+    return Status::OK();
   }
 
   std::string name_;

@@ -135,8 +135,34 @@ int BenchRepsFromEnv() {
   return static_cast<int>(std::clamp(reps, 1L, 100L));
 }
 
+namespace {
+
+// Counters that are never bit-identical across runs: cache hit/miss split,
+// speculation, and blacklisting depend on thread scheduling, and backoff
+// milliseconds on wall time. Excluded from the gate unconditionally.
+bool SchedulingDependentCounter(const std::string& name) {
+  return name == "mr.cache_hits" || name == "mr.cache_misses" ||
+         name == "mr.speculative_launched" ||
+         name == "mr.speculative_wins" ||
+         name == "mr.blacklisted_workers" ||
+         name == "mr.backoff_total_ms";
+}
+
+// Counters that are deterministic ONLY for a fixed ChaosSchedule seed:
+// retry counts, injected-fault totals, and backoff waits. Included when the
+// caller opts in (the chaos-smoke gate diffs two same-seed runs), excluded
+// otherwise so a chaos-free baseline never grows fault-injection keys.
+bool FaultInjectionCounter(const std::string& name) {
+  return name == "mr.task_retries" || name == "mr.backoff_waits" ||
+         name == "mr.degraded_to_gpsrs" ||
+         name.rfind("mr.chaos_", 0) == 0;
+}
+
+}  // namespace
+
 std::map<std::string, int64_t> DeterministicCounters(
-    const SkylineResult& result, uint64_t input_tuples) {
+    const SkylineResult& result, uint64_t input_tuples,
+    bool include_fault_injection) {
   std::map<std::string, int64_t> det;
   det["input_tuples"] = static_cast<int64_t>(input_tuples);
   det["skyline_size"] = static_cast<int64_t>(result.skyline.size());
@@ -149,11 +175,10 @@ std::map<std::string, int64_t> DeterministicCounters(
   for (const mr::JobMetrics& job : result.jobs) {
     shuffle += job.shuffle_bytes;
     for (const auto& [name, value] : job.counters.values()) {
-      // Cache hit/miss totals and retry counts depend on scheduling and
-      // fault injection, not on the computation: keep them out of the
-      // bit-identical gate.
-      if (name == "mr.task_retries" || name == "mr.cache_hits" ||
-          name == "mr.cache_misses") {
+      if (SchedulingDependentCounter(name)) {
+        continue;
+      }
+      if (!include_fault_injection && FaultInjectionCounter(name)) {
         continue;
       }
       det[name] += value;

@@ -109,8 +109,16 @@ int BenchRepsFromEnv();
 /// the skymr.* and mr.* integer counters summed across jobs, and the
 /// total shuffle bytes. Everything returned is reproducible bit-for-bit
 /// for a fixed dataset and RunnerConfig.
+///
+/// `include_fault_injection` adds the seeded-chaos signal — mr.task_retries,
+/// the mr.chaos_*_injected totals, and mr.backoff_waits — which is
+/// bit-identical for a fixed ChaosSchedule seed; the CI chaos-smoke gate
+/// diffs two same-seed runs with this on. Timing-dependent counters
+/// (speculation, blacklists, cache hits/misses, backoff milliseconds)
+/// are always excluded.
 std::map<std::string, int64_t> DeterministicCounters(
-    const SkylineResult& result, uint64_t input_tuples);
+    const SkylineResult& result, uint64_t input_tuples,
+    bool include_fault_injection = false);
 
 /// One artifact document under construction.
 class BenchArtifact {

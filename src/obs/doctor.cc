@@ -109,6 +109,75 @@ void CheckReduceImbalance(const JsonValue& job, const std::string& job_name,
                  : "")});
 }
 
+void CheckFaultTolerance(const JsonValue& job, const std::string& job_name,
+                         const DoctorOptions& options,
+                         std::vector<Finding>* findings) {
+  const JsonValue* counters = job.Find("counters");
+  const auto counter = [counters](std::string_view name) -> int64_t {
+    return counters != nullptr && counters->is_object()
+               ? counters->GetInt(name, 0)
+               : 0;
+  };
+  // retry-storm: retries measured against the job's task count. A couple
+  // of retries on a big job is routine fault tolerance; retries rivaling
+  // the task count means the schedule is fighting systematic failure.
+  const int64_t retries = counter("mr.task_retries");
+  const int64_t tasks =
+      (job.Find("map_tasks") != nullptr && job.Find("map_tasks")->is_array()
+           ? static_cast<int64_t>(job.Find("map_tasks")->AsArray().size())
+           : 0) +
+      (job.Find("reduce_tasks") != nullptr &&
+               job.Find("reduce_tasks")->is_array()
+           ? static_cast<int64_t>(job.Find("reduce_tasks")->AsArray().size())
+           : 0);
+  if (retries >= options.min_retries && tasks > 0) {
+    const double ratio =
+        static_cast<double>(retries) / static_cast<double>(tasks);
+    if (ratio > options.retry_storm_ratio) {
+      findings->push_back(Finding{
+          ratio > options.retry_storm_critical_ratio ? Severity::kCritical
+                                                     : Severity::kWarning,
+          "retry-storm",
+          Format("job %s: %lld task retries across %lld tasks (%.1f "
+                 "retries/task) — flaky workers, an aggressive chaos "
+                 "schedule, or a systematic failure burning the retry "
+                 "budget",
+                 job_name.c_str(), static_cast<long long>(retries),
+                 static_cast<long long>(tasks), ratio)});
+    }
+  }
+  const int64_t blacklisted = counter("mr.blacklisted_workers");
+  if (blacklisted > 0) {
+    findings->push_back(Finding{
+        Severity::kWarning, "worker-blacklist",
+        Format("job %s: %lld simulated worker(s) blacklisted after "
+               "repeated task failures — attempts route around them",
+               job_name.c_str(), static_cast<long long>(blacklisted))});
+  }
+  const int64_t spec_launched = counter("mr.speculative_launched");
+  const int64_t spec_wins = counter("mr.speculative_wins");
+  if (spec_launched > 0 || spec_wins > 0) {
+    findings->push_back(Finding{
+        Severity::kInfo, "speculation",
+        Format("job %s: speculative execution launched %lld duplicate "
+               "attempt(s), %lld beat the primary",
+               job_name.c_str(), static_cast<long long>(spec_launched),
+               static_cast<long long>(spec_wins))});
+  }
+}
+
+void CheckDegraded(const JsonValue& report, std::vector<Finding>* findings) {
+  const JsonValue* degraded = report.Find("degraded");
+  if (degraded == nullptr || !degraded->is_bool() || !degraded->AsBool()) {
+    return;
+  }
+  findings->push_back(Finding{
+      Severity::kWarning, "degraded",
+      "MR-GPMRS failed and the pipeline fell back to the single-reducer "
+      "MR-GPSRS merge — the result is correct but the final job ran "
+      "without reducer parallelism"});
+}
+
 void CheckPpd(const JsonValue& report, const DoctorOptions& options,
               std::vector<Finding>* findings) {
   const int64_t ppd = report.GetInt("ppd", 0);
@@ -241,8 +310,10 @@ StatusOr<std::vector<Finding>> AnalyzeReport(const JsonValue& report,
       const std::string job_name = job.GetString("name", "?");
       CheckTaskSkew(job, job_name, options, &findings);
       CheckReduceImbalance(job, job_name, options, &findings);
+      CheckFaultTolerance(job, job_name, options, &findings);
     }
   }
+  CheckDegraded(report, &findings);
   CheckPpd(report, options, &findings);
   CheckCostModel(report, options, &findings);
   CheckPruning(report, options, &findings);

@@ -19,7 +19,17 @@
 //                      partitions despite a large grid;
 //   reduce-imbalance   reducer input lopsided across tasks (for
 //                      MR-GPMRS: Definition-5 group assignment produced
-//                      unbalanced reducer groups).
+//                      unbalanced reducer groups);
+//   retry-storm        task retries per task far above normal (flaky
+//                      workers, aggressive chaos schedule, or a
+//                      systematic task failure burning the retry
+//                      budget);
+//   worker-blacklist   the scheduler blacklisted one or more simulated
+//                      workers during the run;
+//   speculation        speculative execution launched duplicates and/or
+//                      a duplicate beat its primary (informational);
+//   degraded           MR-GPMRS failed and the pipeline fell back to
+//                      the single-reducer MR-GPSRS merge.
 //
 // Every heuristic has a floor below which it stays silent, so a healthy
 // run — including a tiny smoke-scale one — produces zero findings.
@@ -85,6 +95,13 @@ struct DoctorOptions {
   double reduce_imbalance_ratio = 4.0;
   /// ... and the largest reducer saw at least this many records.
   int64_t min_reducer_records = 1000;
+
+  /// retry-storm: flag when a job's retries exceed ratio * task count ...
+  double retry_storm_ratio = 0.5;
+  /// ... escalating to critical beyond this ratio ...
+  double retry_storm_critical_ratio = 2.0;
+  /// ... and only when the job retried at least this many times.
+  int64_t min_retries = 3;
 };
 
 /// Analyzes a parsed skymr-report-v1 document. Returns findings sorted

@@ -193,6 +193,10 @@ void WriteJobReport(const SkylineResult& result, std::ostream& os) {
   w.Uint(result.nonempty_partitions);
   w.Key("pruned_partitions");
   w.Uint(result.pruned_partitions);
+  w.Key("degraded");
+  w.Bool(result.degraded);
+  w.Key("resumed_from_checkpoint");
+  w.Bool(result.resumed_from_checkpoint);
   w.Key("jobs");
   w.BeginArray();
   for (const mr::JobMetrics& job : result.jobs) {
@@ -260,6 +264,13 @@ std::string RenderStatsText(const SkylineResult& result) {
                   static_cast<unsigned long long>(result.pruned_partitions));
     os << buf;
   }
+  if (result.resumed_from_checkpoint) {
+    os << "fault tolerance: bitstring phase resumed from checkpoint\n";
+  }
+  if (result.degraded) {
+    os << "fault tolerance: GPMRS failed, degraded to single-reducer GPSRS "
+          "merge\n";
+  }
   for (const mr::JobMetrics& job : result.jobs) {
     std::snprintf(buf, sizeof(buf),
                   "job %s: %zu map / %zu reduce tasks, %.3fs wall, shuffle "
@@ -283,6 +294,39 @@ std::string RenderStatsText(const SkylineResult& result) {
         static_cast<long long>(job.counters.Get("mr.cache_hits")),
         static_cast<long long>(job.counters.Get("mr.cache_misses")));
     os << buf;
+    const int64_t backoff_waits = job.counters.Get("mr.backoff_waits");
+    const int64_t spec_launched = job.counters.Get("mr.speculative_launched");
+    const int64_t spec_wins = job.counters.Get("mr.speculative_wins");
+    const int64_t blacklisted = job.counters.Get("mr.blacklisted_workers");
+    if (backoff_waits > 0 || spec_launched > 0 || blacklisted > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  backoff waits: %lld    speculative launched/wins: "
+                    "%lld/%lld    blacklisted workers: %lld\n",
+                    static_cast<long long>(backoff_waits),
+                    static_cast<long long>(spec_launched),
+                    static_cast<long long>(spec_wins),
+                    static_cast<long long>(blacklisted));
+      os << buf;
+    }
+    const int64_t chaos_injected =
+        job.counters.Get("mr.chaos_crashes_injected") +
+        job.counters.Get("mr.chaos_slow_injected") +
+        job.counters.Get("mr.chaos_corruptions_injected") +
+        job.counters.Get("mr.chaos_cache_faults_injected");
+    if (chaos_injected > 0) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "  chaos injected: %lld crashes, %lld slowdowns, %lld "
+          "corruptions, %lld cache faults\n",
+          static_cast<long long>(
+              job.counters.Get("mr.chaos_crashes_injected")),
+          static_cast<long long>(job.counters.Get("mr.chaos_slow_injected")),
+          static_cast<long long>(
+              job.counters.Get("mr.chaos_corruptions_injected")),
+          static_cast<long long>(
+              job.counters.Get("mr.chaos_cache_faults_injected")));
+      os << buf;
+    }
     for (const auto& [name, histogram] : job.histograms.entries()) {
       os << "  " << name << ": " << histogram.ToString() << "\n";
     }

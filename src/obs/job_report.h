@@ -10,6 +10,7 @@
 //     "algorithm": "mr-gpmrs", "wall_seconds": ..., "modeled_seconds": ...,
 //     "modeled_compute_seconds": ..., "skyline_size": ...,
 //     "ppd": ..., "nonempty_partitions": ..., "pruned_partitions": ...,
+//     "degraded": ..., "resumed_from_checkpoint": ...,
 //     "jobs": [ { "name": ..., "wall_seconds": ..., "shuffle_bytes": ...,
 //                 "task_retries": ..., "cache_hits": ..., "cache_misses": ...,
 //                 "counters": {...},

@@ -1,4 +1,4 @@
-// Umbrella header for the skymr library: efficient skyline computation in
+// Public facade for the skymr library: efficient skyline computation in
 // (simulated) MapReduce, reproducing Mullesgaard, Pedersen, Lu & Zhou,
 // "Efficient Skyline Computation in MapReduce", EDBT 2014.
 //
@@ -16,45 +16,42 @@
 //     // result->skyline holds the tuples; result->modeled_seconds the
 //     // modeled 13-node cluster runtime.
 //   }
+//
+// This header exposes the supported public surface only:
+//
+//   * Dataset / generators / CSV IO       (relation/, data/)
+//   * RunnerConfig, Algorithm, ComputeSkyline, PipelineCheckpoint
+//   * ChaosSchedule / ChaosProfile        (deterministic fault injection)
+//   * skyline verification                (relation/skyline_verify.h)
+//   * report / trace / doctor writers     (obs/)
+//
+// Everything else — individual job runners (core/gpsrs.h, core/gpmrs.h,
+// baselines/*), the raw engine (mapreduce/job.h), grid and bitstring
+// internals, the cost model — is an implementation detail. Those headers
+// are stable enough to include directly when you need them (the tests and
+// benches do), but they are not re-exported here and may change shape
+// between revisions without notice.
 
 #ifndef SKYMR_SKYMR_H_
 #define SKYMR_SKYMR_H_
 
-#include "src/baselines/centralized.h"
-#include "src/baselines/mr_angle.h"
-#include "src/baselines/mr_bnl.h"
-#include "src/baselines/mr_skymr.h"
-#include "src/common/csv.h"
-#include "src/common/dynamic_bitset.h"
-#include "src/common/rng.h"
+// Data model: datasets, generators, CSV round-trip, dominance.
 #include "src/common/status.h"
-#include "src/common/stopwatch.h"
-#include "src/core/bitstring_job.h"
-#include "src/core/gpmrs.h"
-#include "src/core/gpsrs.h"
-#include "src/core/grid.h"
-#include "src/core/hybrid.h"
-#include "src/core/independent_groups.h"
-#include "src/core/partition_bitstring.h"
-#include "src/core/ppd.h"
-#include "src/core/runner.h"
-#include "src/cost/cost_model.h"
 #include "src/data/dataset_io.h"
 #include "src/data/generator.h"
-#include "src/local/bnl.h"
-#include "src/local/naive.h"
-#include "src/local/sfs.h"
-#include "src/mapreduce/cluster_model.h"
-#include "src/mapreduce/job.h"
-#include "src/obs/bench_artifact.h"
-#include "src/obs/doctor.h"
-#include "src/obs/histogram.h"
-#include "src/obs/job_report.h"
-#include "src/obs/json_parse.h"
-#include "src/obs/trace.h"
 #include "src/relation/dataset.h"
 #include "src/relation/dominance.h"
-#include "src/relation/preferences.h"
 #include "src/relation/skyline_verify.h"
+
+// The pipeline: configuration, the one entry point, phase checkpointing,
+// and deterministic fault injection (RunnerConfig::engine.chaos).
+#include "src/core/checkpoint.h"
+#include "src/core/runner.h"
+#include "src/mapreduce/chaos.h"
+
+// Observability: job reports, trace export, report analysis.
+#include "src/obs/doctor.h"
+#include "src/obs/job_report.h"
+#include "src/obs/trace.h"
 
 #endif  // SKYMR_SKYMR_H_

@@ -1,0 +1,258 @@
+// Pipeline-level fault tolerance: exact skylines under seeded chaos,
+// GPMRS -> GPSRS degradation, bitstring-phase checkpoint/resume, and the
+// hardened ComputeSkyline entry point (Status errors, never exceptions).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/checkpoint.h"
+#include "src/core/runner.h"
+#include "src/data/generator.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr {
+namespace {
+
+Dataset TestData() {
+  data::GeneratorConfig gen;
+  gen.distribution = data::Distribution::kAntiCorrelated;
+  gen.cardinality = 2000;
+  gen.dim = 3;
+  gen.seed = 77;
+  return std::move(data::Generate(gen)).value();
+}
+
+RunnerConfig BaseConfig(Algorithm algorithm) {
+  RunnerConfig config;
+  config.algorithm = algorithm;
+  config.engine.num_map_tasks = 4;
+  config.engine.num_reducers = 4;
+  config.engine.retry_backoff_base_ms = 0.0;  // Keep tests fast.
+  config.ppd.max_candidate = 8;
+  return config;
+}
+
+RunnerConfig ChaosConfig(Algorithm algorithm, uint64_t seed) {
+  RunnerConfig config = BaseConfig(algorithm);
+  config.engine.max_task_attempts = 8;
+  config.engine.chaos.seed = seed;
+  config.engine.chaos.crash_rate = 0.2;
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// Exactness and determinism under injected crashes.
+// ---------------------------------------------------------------------
+
+class ChaosAlgorithmProperty : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ChaosAlgorithmProperty, ExactAndBitIdenticalUnderCrashChaos) {
+  const Algorithm algorithm = GetParam();
+  const Dataset data = TestData();
+  const RunnerConfig config = ChaosConfig(algorithm, 1234);
+
+  auto first = ComputeSkyline(data, config);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(ExplainSkylineMismatch(data, first->SkylineIds()), "")
+      << AlgorithmName(algorithm);
+
+  auto second = ComputeSkyline(data, config);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->SkylineIds(), second->SkylineIds());
+
+  // The injected-fault totals are part of the deterministic contract.
+  int64_t crashes_first = 0;
+  int64_t crashes_second = 0;
+  for (const auto& job : first->jobs) {
+    crashes_first += job.counters.Get("mr.chaos_crashes_injected");
+  }
+  for (const auto& job : second->jobs) {
+    crashes_second += job.counters.Get("mr.chaos_crashes_injected");
+  }
+  EXPECT_EQ(crashes_first, crashes_second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChaosAlgorithmProperty,
+                         ::testing::Values(Algorithm::kMrGpsrs,
+                                           Algorithm::kMrGpmrs,
+                                           Algorithm::kMrBnl,
+                                           Algorithm::kMrAngle),
+                         [](const auto& info) {
+                           std::string name = AlgorithmName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------
+// Graceful degradation: a poisoned GPMRS job falls back to GPSRS.
+// ---------------------------------------------------------------------
+
+TEST(FaultToleranceTest, PoisonedGpmrsDegradesToEquivalentGpsrs) {
+  const Dataset data = TestData();
+  RunnerConfig config = BaseConfig(Algorithm::kMrGpmrs);
+  config.engine.max_task_attempts = 2;
+  config.engine.chaos.fail_job = "mr-gpmrs";  // Every GPMRS attempt dies.
+
+  auto degraded = ComputeSkyline(data, config);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->algorithm_used, Algorithm::kMrGpsrs);
+  EXPECT_EQ(ExplainSkylineMismatch(data, degraded->SkylineIds()), "");
+
+  // The degradation is recorded on the skyline job's counters so reports
+  // and the doctor can see it.
+  ASSERT_FALSE(degraded->jobs.empty());
+  EXPECT_EQ(degraded->jobs.back().counters.Get("mr.degraded_to_gpsrs"), 1);
+
+  // Same answer as an undisturbed GPSRS run.
+  auto reference = ComputeSkyline(data, BaseConfig(Algorithm::kMrGpsrs));
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(degraded->SkylineIds(), reference->SkylineIds());
+}
+
+TEST(FaultToleranceTest, DegradationCanBeDisabled) {
+  const Dataset data = TestData();
+  RunnerConfig config = BaseConfig(Algorithm::kMrGpmrs);
+  config.engine.max_task_attempts = 2;
+  config.engine.chaos.fail_job = "mr-gpmrs";
+  config.degrade_to_single_reducer = false;
+
+  auto result = ComputeSkyline(data, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------
+// Phase checkpoint / resume.
+// ---------------------------------------------------------------------
+
+TEST(FaultToleranceTest, CheckpointSkipsBitstringPhaseOnResume) {
+  const Dataset data = TestData();
+  core::PipelineCheckpoint checkpoint;
+  RunnerConfig config = BaseConfig(Algorithm::kMrGpmrs);
+  config.checkpoint = &checkpoint;
+
+  auto first = ComputeSkyline(data, config);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->resumed_from_checkpoint);
+  EXPECT_EQ(checkpoint.size(), 1u);
+  EXPECT_EQ(first->jobs.size(), 2u);  // Bitstring job + skyline job.
+
+  auto second = ComputeSkyline(data, config);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->resumed_from_checkpoint);
+  EXPECT_EQ(second->jobs.size(), 1u);  // Bitstring job skipped.
+  EXPECT_EQ(first->SkylineIds(), second->SkylineIds());
+  EXPECT_EQ(ExplainSkylineMismatch(data, second->SkylineIds()), "");
+}
+
+TEST(FaultToleranceTest, CheckpointMissesOnDifferentConfiguration) {
+  const Dataset data = TestData();
+  core::PipelineCheckpoint checkpoint;
+  RunnerConfig config = BaseConfig(Algorithm::kMrGpmrs);
+  config.checkpoint = &checkpoint;
+  ASSERT_TRUE(ComputeSkyline(data, config).ok());
+
+  // A different grid policy must not resume from the stored phase.
+  config.ppd.explicit_ppd = 3;
+  auto other = ComputeSkyline(data, config);
+  ASSERT_TRUE(other.ok()) << other.status();
+  EXPECT_FALSE(other->resumed_from_checkpoint);
+  EXPECT_EQ(checkpoint.size(), 2u);
+  EXPECT_EQ(ExplainSkylineMismatch(data, other->SkylineIds()), "");
+}
+
+TEST(FaultToleranceTest, CheckpointFileRoundTrip) {
+  const Dataset data = TestData();
+  const std::string path =
+      ::testing::TempDir() + "/skymr_checkpoint_roundtrip.bin";
+  std::remove(path.c_str());
+
+  core::PipelineCheckpoint writer;
+  RunnerConfig config = BaseConfig(Algorithm::kMrGpmrs);
+  config.checkpoint = &writer;
+  auto first = ComputeSkyline(data, config);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(writer.SaveFile(path).ok());
+
+  core::PipelineCheckpoint reader;
+  ASSERT_TRUE(reader.LoadFile(path).ok());
+  EXPECT_EQ(reader.size(), writer.size());
+  config.checkpoint = &reader;
+  auto resumed = ComputeSkyline(data, config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(resumed->resumed_from_checkpoint);
+  EXPECT_EQ(first->SkylineIds(), resumed->SkylineIds());
+  std::remove(path.c_str());
+}
+
+TEST(FaultToleranceTest, CheckpointLoadToleratesMissingRejectsMalformed) {
+  core::PipelineCheckpoint checkpoint;
+  EXPECT_TRUE(
+      checkpoint.LoadFile("/nonexistent/skymr_no_such_checkpoint").ok());
+
+  const std::string path = ::testing::TempDir() + "/skymr_checkpoint_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint file";
+  }
+  auto status = checkpoint.LoadFile(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Hardened entry point: invalid configurations come back as Status.
+// ---------------------------------------------------------------------
+
+TEST(FaultToleranceTest, InvalidConfigurationsReturnStatusNotThrow) {
+  const Dataset data = TestData();
+
+  RunnerConfig config = BaseConfig(Algorithm::kMrGpmrs);
+  config.engine.num_reducers = 0;
+  auto result = ComputeSkyline(data, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  config = BaseConfig(Algorithm::kMrGpmrs);
+  config.ppd.explicit_ppd = 1;  // A 1-cell-per-dimension grid cannot prune.
+  result = ComputeSkyline(data, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  config = BaseConfig(Algorithm::kMrGpmrs);
+  config.engine.chaos.crash_rate = 1.0;  // Can never terminate.
+  result = ComputeSkyline(data, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  config = BaseConfig(Algorithm::kMrGpmrs);
+  config.engine.max_task_attempts = 2;
+  config.engine.chaos.crash_until_attempt = 2;  // Exhausts the budget.
+  result = ComputeSkyline(data, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  config = BaseConfig(Algorithm::kMrGpmrs);
+  config.engine.speculation_wave_fraction = 2.0;
+  result = ComputeSkyline(data, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultToleranceTest, ValidateAcceptsTheDefaultConfig) {
+  EXPECT_TRUE(RunnerConfig{}.Validate().ok());
+  EXPECT_TRUE(BaseConfig(Algorithm::kMrGpmrs).Validate().ok());
+}
+
+}  // namespace
+}  // namespace skymr

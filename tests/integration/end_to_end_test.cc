@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/cost/cost_model.h"
 #include "src/skymr.h"
 

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
+#include "src/common/serde.h"
+#include "src/local/skyline_window.h"
 #include "src/skymr.h"
 
 namespace skymr {

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/skymr.h"
 
 namespace skymr {

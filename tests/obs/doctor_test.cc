@@ -181,6 +181,63 @@ TEST(DoctorTest, FindingsSortMostSevereFirst) {
   EXPECT_EQ(findings.back().severity, Severity::kInfo);
 }
 
+TEST(DoctorTest, FlagsRetryStorm) {
+  // 6 retries over 4 tasks = 1.5 retries/task: warning territory.
+  const std::string json = Report(
+      R"("jobs": [{"name": "mr-gpsrs",
+           "counters": {"mr.task_retries": 6},
+           "map_tasks": [{}, {}, {}], "reduce_tasks": [{}]}])");
+  const auto findings = Analyze(json);
+  ASSERT_TRUE(HasCode(findings, "retry-storm")) << RenderFindings(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+}
+
+TEST(DoctorTest, ExtremeRetryStormEscalatesToCritical) {
+  const std::string json = Report(
+      R"("jobs": [{"name": "mr-gpsrs",
+           "counters": {"mr.task_retries": 20},
+           "map_tasks": [{}, {}, {}], "reduce_tasks": [{}]}])");
+  const auto findings = Analyze(json);
+  ASSERT_TRUE(HasCode(findings, "retry-storm"));
+  EXPECT_EQ(findings[0].severity, Severity::kCritical);
+}
+
+TEST(DoctorTest, RoutineRetriesStaySilent) {
+  // One retry on a 13-task job is normal fault tolerance, not a storm.
+  const std::string json = Report(
+      R"("jobs": [{"name": "mr-gpsrs",
+           "counters": {"mr.task_retries": 1},
+           "map_tasks": [{}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}],
+           "reduce_tasks": [{}]}])");
+  EXPECT_TRUE(Analyze(json).empty());
+}
+
+TEST(DoctorTest, FlagsBlacklistedWorkers) {
+  const std::string json = Report(
+      R"("jobs": [{"name": "mr-gpsrs",
+           "counters": {"mr.blacklisted_workers": 2}}])");
+  const auto findings = Analyze(json);
+  ASSERT_TRUE(HasCode(findings, "worker-blacklist"));
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+}
+
+TEST(DoctorTest, ReportsSpeculationAsInfo) {
+  const std::string json = Report(
+      R"("jobs": [{"name": "mr-gpsrs",
+           "counters": {"mr.speculative_launched": 3,
+                        "mr.speculative_wins": 1}}])");
+  const auto findings = Analyze(json);
+  ASSERT_TRUE(HasCode(findings, "speculation"));
+  EXPECT_EQ(findings[0].severity, Severity::kInfo);
+}
+
+TEST(DoctorTest, FlagsDegradedPipeline) {
+  const auto findings = Analyze(Report(R"("degraded": true)"));
+  ASSERT_TRUE(HasCode(findings, "degraded"));
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_TRUE(Analyze(Report(R"("degraded": false)")).empty());
+}
+
 TEST(DoctorTest, RenderFindingsFormats) {
   EXPECT_EQ(RenderFindings({}), "doctor: no findings\n");
   const std::string text = RenderFindings(

@@ -6,8 +6,11 @@
 //             [--mappers=13] [--reducers=13] [--ppd=0] [--data-bounds]
 //             [--constraint=lo:hi,lo:hi,...] [--out=skyline.csv] [--verify]
 //             [--trace-out=trace.json] [--report-out=report.json]
+//             [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]
+//             [--speculate] [--checkpoint=FILE] [--bench-out=FILE]
 //   skymr_cli stats    --in=data.csv [same flags as skyline]
 //   skymr_cli compare  --in=data.csv [--header] [--mappers] [--reducers]
+//             [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]
 //   skymr_cli doctor   --report=report.json [--fail-on=warning|critical]
 //
 // `generate` writes a synthetic dataset as CSV; `skyline` computes a
@@ -17,9 +20,20 @@
 // algorithms on the same input and prints a table; `doctor` analyzes a
 // previously written skymr-report-v1 document and prints severity-ranked
 // findings (task skew, PPD-selection quality, cost-model deviation,
-// pruning effectiveness, reducer imbalance). `--trace-out` writes
-// Chrome trace-event JSON (open in Perfetto / chrome://tracing);
-// `--report-out` writes the skymr-report-v1 JSON document.
+// pruning effectiveness, reducer imbalance, retry storms, worker
+// blacklists, degradation). `--trace-out` writes Chrome trace-event JSON
+// (open in Perfetto / chrome://tracing); `--report-out` writes the
+// skymr-report-v1 JSON document.
+//
+// Fault-tolerance flags: `--chaos-profile` picks a named deterministic
+// fault-injection schedule (`--chaos-seed` reseeds it; same seed = same
+// faults = bit-identical skyline), `--attempts` bounds per-task attempts,
+// `--speculate` enables speculative execution, `--checkpoint=FILE` loads
+// a bitstring-phase checkpoint before the run and saves it after, and
+// `--bench-out=FILE` writes a skymr-bench-v1 artifact whose deterministic
+// counters include the fault-injection signal when chaos is enabled (two
+// same-seed runs must produce identical artifacts; tools/bench_diff.py
+// gates on this in CI).
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/bench_artifact.h"
 #include "src/skymr.h"
 
 namespace {
@@ -85,11 +100,26 @@ int Usage() {
       "            [--mappers=M] [--reducers=R] [--ppd=N] [--data-bounds]\n"
       "            [--constraint=lo:hi,lo:hi,...] [--out=FILE] [--verify]\n"
       "            [--trace-out=FILE] [--report-out=FILE]\n"
+      "            [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]\n"
+      "            [--speculate] [--checkpoint=FILE] [--bench-out=FILE]\n"
       "  skymr_cli stats   --in=FILE [same flags as skyline]\n"
       "  skymr_cli compare --in=FILE [--header] [--mappers=M] "
       "[--reducers=R]\n"
+      "            [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]\n"
       "  skymr_cli doctor  --report=FILE [--fail-on=warning|critical]\n"
-      "algorithms: mr-gpsrs mr-gpmrs mr-bnl mr-angle hybrid sky-mr\n");
+      "algorithms: mr-gpsrs mr-gpmrs mr-bnl mr-angle hybrid sky-mr\n"
+      "chaos profiles: %s\n",
+      [] {
+        std::string names;
+        for (const std::string& name : skymr::mr::ChaosProfileNames()) {
+          if (!names.empty()) {
+            names += ' ';
+          }
+          names += name;
+        }
+        return names;
+      }()
+          .c_str());
   return 2;
 }
 
@@ -179,6 +209,35 @@ void PrintResultSummary(const skymr::Dataset& data,
               result.wall_seconds, result.modeled_seconds);
 }
 
+/// Applies the engine fault-tolerance flags (--chaos-profile, --chaos-seed,
+/// --attempts, --speculate) shared by `skyline`, `stats`, and `compare`.
+/// Returns 0, or the exit code on a flag error.
+int ApplyEngineFlags(const Args& args, skymr::mr::EngineOptions* engine) {
+  if (args.Has("chaos-profile")) {
+    auto schedule =
+        skymr::mr::ChaosProfile(args.GetString("chaos-profile", "none"));
+    if (!schedule.ok()) {
+      std::fprintf(stderr, "%s\n", schedule.status().ToString().c_str());
+      return 2;
+    }
+    engine->chaos = schedule.value();
+  }
+  if (args.Has("chaos-seed")) {
+    engine->chaos.seed = static_cast<uint64_t>(args.GetInt("chaos-seed", 0));
+  }
+  if (args.Has("attempts")) {
+    engine->max_task_attempts = static_cast<int>(args.GetInt("attempts", 4));
+  } else if (engine->chaos.enabled() && engine->max_task_attempts <= 1) {
+    // A chaos schedule with a single-attempt budget fails the job on the
+    // first injected crash; default to the Hadoop attempt budget.
+    engine->max_task_attempts = 4;
+  }
+  if (args.Has("speculate")) {
+    engine->speculative_execution = true;
+  }
+  return 0;
+}
+
 /// Builds the RunnerConfig shared by `skyline` and `stats` from flags.
 /// Returns 0, or the exit code on a flag error.
 int BuildRunnerConfig(const Args& args, const skymr::Dataset& data,
@@ -196,6 +255,9 @@ int BuildRunnerConfig(const Args& args, const skymr::Dataset& data,
       static_cast<int>(args.GetInt("reducers", 13));
   config->ppd.explicit_ppd = static_cast<uint32_t>(args.GetInt("ppd", 0));
   config->unit_bounds = !args.Has("data-bounds");
+  if (const int code = ApplyEngineFlags(args, &config->engine); code != 0) {
+    return code;
+  }
   if (args.Has("constraint")) {
     skymr::Box box;
     if (!ParseConstraint(args.GetString("constraint", ""), data.dim(),
@@ -252,6 +314,19 @@ int RunSkyline(const Args& args) {
     return code;
   }
 
+  // Phase checkpointing: load previously saved bitstring-phase results
+  // before the run (a fingerprint match skips the bitstring job), persist
+  // them after so the next invocation can resume.
+  skymr::core::PipelineCheckpoint checkpoint;
+  const std::string checkpoint_path = args.GetString("checkpoint", "");
+  if (!checkpoint_path.empty()) {
+    if (auto s = checkpoint.LoadFile(checkpoint_path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    config.checkpoint = &checkpoint;
+  }
+
   if (WantsTracing(args)) {
     skymr::obs::StartTracing();
   }
@@ -262,8 +337,38 @@ int RunSkyline(const Args& args) {
     return 1;
   }
   PrintResultSummary(*data, *result);
+  if (result->resumed_from_checkpoint) {
+    std::printf("resumed:   bitstring phase loaded from %s\n",
+                checkpoint_path.c_str());
+  }
+  if (result->degraded) {
+    std::printf("degraded:  MR-GPMRS failed; fell back to single-reducer "
+                "MR-GPSRS merge\n");
+  }
+  if (!checkpoint_path.empty()) {
+    if (auto s = checkpoint.SaveFile(checkpoint_path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
   if (const int code = WriteObsOutputs(args, *result); code != 0) {
     return code;
+  }
+  const std::string bench_out = args.GetString("bench-out", "");
+  if (!bench_out.empty()) {
+    skymr::obs::BenchArtifact artifact("skymr_cli_skyline");
+    skymr::obs::BenchRow row;
+    row.name = skymr::AlgorithmName(result->algorithm_used);
+    row.wall = skymr::obs::WallStats::FromSamples({result->wall_seconds});
+    row.deterministic = skymr::obs::DeterministicCounters(
+        *result, data->size(),
+        /*include_fault_injection=*/config.engine.chaos.enabled());
+    artifact.AddRow(std::move(row));
+    if (auto s = artifact.WriteFile(bench_out); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote bench artifact to %s\n", bench_out.c_str());
   }
 
   if (args.Has("verify") && !config.constraint.has_value()) {
@@ -340,6 +445,9 @@ int RunCompare(const Args& args) {
         static_cast<int>(args.GetInt("mappers", 13));
     config.engine.num_reducers =
         static_cast<int>(args.GetInt("reducers", 13));
+    if (const int code = ApplyEngineFlags(args, &config.engine); code != 0) {
+      return code;
+    }
     auto result = skymr::ComputeSkyline(*data, config);
     if (!result.ok()) {
       std::fprintf(stderr, "%s: %s\n", skymr::AlgorithmName(algorithm),
