@@ -1,0 +1,38 @@
+# libFuzzer wiring.
+#
+#   CC=clang CXX=clang++ cmake -B build-fuzz -S . -DSKYMR_FUZZERS=ON
+#   cmake --build build-fuzz --target fuzz_json_parse
+#   build-fuzz/fuzz/fuzz_json_parse -max_total_time=60 fuzz/corpus/json_parse
+#
+# SKYMR_FUZZERS=ON builds the coverage-guided fuzz_<name> binaries under
+# fuzz/. libFuzzer is a Clang feature, so the toggle hard-requires Clang;
+# the fuzz_<name>_replay drivers (which run the committed corpora as
+# plain ctest regressions) build unconditionally with any compiler and do
+# NOT need this option.
+#
+# Must be included before Sanitizers.cmake: a fuzzing build defaults
+# SKYMR_SANITIZE to "address;undefined" (fuzzing without sanitizers finds
+# almost nothing), and the whole tree gets -fsanitize=fuzzer-no-link so
+# library code feeds coverage to the fuzzer.
+#
+# Exports: SKYMR_FUZZERS (the option, read by fuzz/CMakeLists.txt).
+
+option(SKYMR_FUZZERS
+       "Build the libFuzzer harnesses under fuzz/ (requires Clang)" OFF)
+
+if(SKYMR_FUZZERS)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+        "SKYMR_FUZZERS=ON requires Clang (libFuzzer ships with it); "
+        "configure with CC=clang CXX=clang++, or drop the option — the "
+        "fuzz_<name>_replay corpus regressions build with any compiler")
+  endif()
+  if(NOT SKYMR_SANITIZE)
+    set(SKYMR_SANITIZE "address;undefined" CACHE STRING
+        "Sanitizers for all targets (defaulted by SKYMR_FUZZERS)" FORCE)
+    message(STATUS
+        "skymr: SKYMR_FUZZERS defaulted SKYMR_SANITIZE=address;undefined")
+  endif()
+  add_compile_options(-fsanitize=fuzzer-no-link)
+  add_link_options(-fsanitize=fuzzer-no-link)
+endif()

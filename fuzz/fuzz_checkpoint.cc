@@ -1,0 +1,43 @@
+// Harness: PipelineCheckpoint::LoadBytes — the checkpoint file format is
+// read back in a later process, so the bytes are untrusted (partial
+// writes, disk corruption, a different build's file).
+//
+// Properties enforced:
+//   1. LoadBytes never crashes or throws: any byte sequence yields OK or
+//      an IoError Status;
+//   2. a failed load leaves the store unchanged (a corrupt checkpoint
+//      must fall back to a fresh run, not poison the store);
+//   3. an accepted load save -> load -> save round-trips: SaveBytes of
+//      the loaded store reloads cleanly into an equal-sized store and
+//      re-saves to identical bytes (the format is canonical).
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/fuzz_common.h"
+#include "src/core/checkpoint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) {
+    return 0;
+  }
+  skymr::core::PipelineCheckpoint store;
+  skymr::Status status;
+  try {
+    status = store.LoadBytes(data, size, "fuzz input");
+  } catch (...) {
+    SKYMR_FUZZ_ASSERT(!"LoadBytes threw instead of returning Status");
+  }
+  if (!status.ok()) {
+    SKYMR_FUZZ_ASSERT(store.size() == 0);
+    return 0;
+  }
+  const std::vector<uint8_t> saved = store.SaveBytes();
+  skymr::core::PipelineCheckpoint reloaded;
+  const skymr::Status again =
+      reloaded.LoadBytes(saved.data(), saved.size(), "re-saved bytes");
+  SKYMR_FUZZ_ASSERT(again.ok());
+  SKYMR_FUZZ_ASSERT(reloaded.size() == store.size());
+  SKYMR_FUZZ_ASSERT(reloaded.SaveBytes() == saved);
+  return 0;
+}

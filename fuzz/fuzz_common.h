@@ -1,0 +1,121 @@
+// Shared support for the libFuzzer harnesses under fuzz/.
+//
+// Every harness implements the libFuzzer entry point
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// and is built two ways (fuzz/CMakeLists.txt):
+//
+//   * fuzz_<name>          -fsanitize=fuzzer coverage-guided binary,
+//                          only under SKYMR_FUZZERS=ON (requires Clang);
+//   * fuzz_<name>_replay   always built: standalone_main.cc feeds the
+//                          committed corpus files through the same entry
+//                          point, so every corpus input runs as a plain
+//                          ctest regression in every compiler/sanitizer
+//                          preset.
+//
+// FuzzInput is a FuzzedDataProvider-style byte slicer: it deterministically
+// decodes structured values (ints, doubles, bounded ranges, strings) from
+// the raw fuzz bytes, with no RNG anywhere — the same input bytes always
+// produce the same decoded values, so crashes minimize and replay cleanly.
+// Exhausted input zero-fills instead of failing, which keeps every byte
+// string a valid program for the harness.
+//
+// Harness discipline: a harness must either return 0 (input handled:
+// rejected with a clean Status/SerdeUnderflow, or accepted and
+// round-tripped) or die loudly (sanitizer report, SKYMR_FUZZ_ASSERT).
+// Never exit nonzero for "boring" inputs — libFuzzer treats that as a
+// crash and floods the corpus with junk reproducers.
+
+#ifndef SKYMR_FUZZ_FUZZ_COMMON_H_
+#define SKYMR_FUZZ_FUZZ_COMMON_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace skymr::fuzz {
+
+/// Deterministic byte slicer over one fuzz input.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ == size_; }
+
+  /// Consumes min(n, remaining) raw bytes.
+  std::string ConsumeBytes(size_t n) {
+    const size_t take = std::min(n, remaining());
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), take);
+    pos_ += take;
+    return out;
+  }
+
+  /// Consumes everything left as a string (may be empty).
+  std::string ConsumeRemaining() { return ConsumeBytes(remaining()); }
+
+  /// View of everything left, without consuming it.
+  std::string_view RemainingView() const {
+    return {reinterpret_cast<const char*>(data_ + pos_), remaining()};
+  }
+
+  /// Consumes sizeof(T) bytes as a little-endian value; missing bytes
+  /// read as zero, so short inputs still decode.
+  template <typename T>
+  T ConsumeRaw() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    const size_t take = std::min(sizeof(T), remaining());
+    std::memcpy(&value, data_ + pos_, take);
+    pos_ += take;
+    return value;
+  }
+
+  bool ConsumeBool() { return (ConsumeRaw<uint8_t>() & 1) != 0; }
+
+  /// Uniform-ish value in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t ConsumeIntegralInRange(uint64_t lo, uint64_t hi) {
+    const uint64_t span = hi - lo + 1;  // hi = UINT64_MAX && lo = 0 -> 0.
+    const uint64_t raw = ConsumeRaw<uint64_t>();
+    return span == 0 ? raw : lo + raw % span;
+  }
+
+  /// Raw double bit pattern: NaN, infinities, and denormals are all
+  /// reachable — exactly the values config validation must reject.
+  double ConsumeDouble() {
+    const uint64_t bits = ConsumeRaw<uint64_t>();
+    double out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+  }
+
+  /// Double in [0, 1].
+  double ConsumeUnitDouble() {
+    return static_cast<double>(ConsumeRaw<uint32_t>()) / 4294967295.0;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace skymr::fuzz
+
+/// Harness-side invariant: prints the failing expression and aborts, so
+/// both libFuzzer and the replay driver report the input as a crash.
+#define SKYMR_FUZZ_ASSERT(cond)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "fuzz assertion failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#endif  // SKYMR_FUZZ_FUZZ_COMMON_H_

@@ -1,0 +1,157 @@
+// Harness: configuration validation (ValidateChaosSchedule and
+// RunnerConfig::Validate) plus a bounded end-to-end ComputeSkyline run.
+//
+// Properties enforced:
+//   1. validation is total: arbitrary field values — including NaN,
+//      infinities, negative zero, and out-of-range enums — come back as
+//      a Status, never a throw, crash, or hang. Raw double bit patterns
+//      are used deliberately: NaN passing a range check here once meant
+//      an unterminating retry loop downstream;
+//   2. ComputeSkyline honors its never-throws contract: with a bounded
+//      (small, terminating) configuration and a tiny dataset, any
+//      outcome is acceptable as long as it is a Status.
+//
+// Field consumption order is load-bearing: fuzz/gen_seed_corpus.cc
+// writes seed inputs by appending fields in exactly the order consumed
+// here. Keep the two in sync.
+
+#include <cstdint>
+
+#include "fuzz/fuzz_common.h"
+#include "src/core/checkpoint.h"
+#include "src/core/runner.h"
+#include "src/mapreduce/chaos.h"
+
+namespace {
+
+using skymr::fuzz::FuzzInput;
+
+skymr::mr::ChaosSchedule ConsumeChaosSchedule(FuzzInput* input) {
+  skymr::mr::ChaosSchedule chaos;
+  chaos.seed = input->ConsumeRaw<uint64_t>();
+  chaos.crash_rate = input->ConsumeDouble();
+  chaos.crash_until_attempt = input->ConsumeRaw<int32_t>();
+  chaos.slow_rate = input->ConsumeDouble();
+  chaos.slow_ms = input->ConsumeDouble();
+  chaos.slow_task = input->ConsumeRaw<int32_t>();
+  chaos.slow_until_attempt = input->ConsumeRaw<int32_t>();
+  chaos.corrupt_rate = input->ConsumeDouble();
+  chaos.cache_fail_rate = input->ConsumeDouble();
+  chaos.bad_worker = input->ConsumeRaw<int32_t>();
+  chaos.fail_job = input->ConsumeBytes(8);
+  return chaos;
+}
+
+/// Arbitrary-bits config: every numeric field straight from the fuzz
+/// input. Only Validate() may run on this — the property is that it
+/// rejects garbage with a Status instead of letting it near the engine.
+skymr::RunnerConfig ConsumeRawConfig(FuzzInput* input) {
+  skymr::RunnerConfig config;
+  config.algorithm =
+      static_cast<skymr::Algorithm>(input->ConsumeRaw<uint8_t>());
+  config.engine.num_map_tasks = input->ConsumeRaw<int32_t>();
+  config.engine.num_reducers = input->ConsumeRaw<int32_t>();
+  config.engine.num_threads = input->ConsumeRaw<int16_t>();
+  config.engine.max_task_attempts = input->ConsumeRaw<int32_t>();
+  config.engine.retry_backoff_base_ms = input->ConsumeDouble();
+  config.engine.retry_backoff_max_ms = input->ConsumeDouble();
+  config.engine.num_workers = input->ConsumeRaw<int16_t>();
+  config.engine.worker_blacklist_threshold = input->ConsumeRaw<int32_t>();
+  config.engine.speculative_execution = input->ConsumeBool();
+  config.engine.speculation_wave_fraction = input->ConsumeDouble();
+  config.engine.speculation_slowdown = input->ConsumeDouble();
+  config.engine.speculation_poll_ms = input->ConsumeDouble();
+  config.engine.chaos = ConsumeChaosSchedule(input);
+  config.ppd.explicit_ppd = input->ConsumeRaw<uint32_t>();
+  config.ppd.strategy =
+      static_cast<skymr::core::PpdStrategy>(input->ConsumeRaw<uint8_t>());
+  config.ppd.target_tpp = input->ConsumeDouble();
+  config.ppd.max_candidate = input->ConsumeRaw<uint32_t>();
+  config.ppd.max_cells = input->ConsumeRaw<uint64_t>();
+  config.prune_mode =
+      static_cast<skymr::core::PruneMode>(input->ConsumeRaw<uint8_t>());
+  config.merge = static_cast<skymr::core::GroupMergeStrategy>(
+      input->ConsumeRaw<uint8_t>());
+  config.local_algorithm =
+      static_cast<skymr::core::LocalAlgorithm>(input->ConsumeRaw<uint8_t>());
+  return config;
+}
+
+/// Bounded config: small task counts, one thread, few attempts, mild
+/// chaos — everything a run needs to terminate quickly, while still
+/// exploring the validation boundary and the failure/degradation paths.
+skymr::RunnerConfig ConsumeBoundedConfig(FuzzInput* input) {
+  skymr::RunnerConfig config;
+  config.algorithm = static_cast<skymr::Algorithm>(
+      input->ConsumeIntegralInRange(0, 5));
+  config.engine.num_map_tasks =
+      static_cast<int>(input->ConsumeIntegralInRange(1, 4));
+  config.engine.num_reducers =
+      static_cast<int>(input->ConsumeIntegralInRange(1, 4));
+  config.engine.num_threads = 1;
+  config.engine.max_task_attempts =
+      static_cast<int>(input->ConsumeIntegralInRange(1, 4));
+  config.engine.retry_backoff_base_ms = 0.0;  // No sleeping in fuzz runs.
+  config.engine.chaos.seed = input->ConsumeRaw<uint64_t>();
+  config.engine.chaos.crash_rate = 0.5 * input->ConsumeUnitDouble();
+  config.engine.chaos.corrupt_rate = 0.5 * input->ConsumeUnitDouble();
+  config.engine.chaos.cache_fail_rate = 0.5 * input->ConsumeUnitDouble();
+  config.ppd.max_candidate =
+      static_cast<uint32_t>(input->ConsumeIntegralInRange(2, 6));
+  if (input->ConsumeBool()) {
+    config.ppd.explicit_ppd =
+        static_cast<uint32_t>(input->ConsumeIntegralInRange(2, 4));
+  }
+  config.merge = static_cast<skymr::core::GroupMergeStrategy>(
+      input->ConsumeIntegralInRange(0, 3));
+  config.unit_bounds = input->ConsumeBool();
+  config.degrade_to_single_reducer = input->ConsumeBool();
+  return config;
+}
+
+/// Fixed tiny dataset: 8 tuples, 2-d, with ties and duplicates. The
+/// interesting state space is the configuration, not the data.
+skymr::Dataset TinyDataset() {
+  skymr::Dataset data(2);
+  data.Append({0.10, 0.90});
+  data.Append({0.50, 0.50});
+  data.Append({0.90, 0.10});
+  data.Append({0.50, 0.50});  // Exact duplicate.
+  data.Append({0.25, 0.25});
+  data.Append({0.75, 0.75});  // Dominated.
+  data.Append({0.25, 0.75});
+  data.Append({0.00, 1.00});  // Domain corner.
+  return data;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0 || size > 4096) {
+    return 0;  // Configs are small; long inputs add nothing.
+  }
+  FuzzInput input(data, size);
+  const bool run_pipeline = input.ConsumeBool();
+  try {
+    if (!run_pipeline) {
+      const skymr::mr::ChaosSchedule chaos = ConsumeChaosSchedule(&input);
+      const int max_attempts =
+          static_cast<int>(input.ConsumeRaw<int32_t>());
+      (void)skymr::mr::ValidateChaosSchedule(chaos, max_attempts);
+      const skymr::RunnerConfig config = ConsumeRawConfig(&input);
+      (void)config.Validate();
+      return 0;
+    }
+    const skymr::RunnerConfig config = ConsumeBoundedConfig(&input);
+    const skymr::Dataset data = TinyDataset();
+    skymr::core::PipelineCheckpoint checkpoint;
+    skymr::RunnerConfig with_checkpoint = config;
+    with_checkpoint.checkpoint = &checkpoint;
+    // Any Status is fine (chaos may exhaust the attempt budget); the
+    // contract is no throw, no crash, no hang.
+    (void)skymr::ComputeSkyline(data, with_checkpoint);
+  } catch (...) {
+    SKYMR_FUZZ_ASSERT(!"validation or ComputeSkyline threw");
+  }
+  return 0;
+}

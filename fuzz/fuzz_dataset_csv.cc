@@ -1,0 +1,70 @@
+// Harness: the CSV line parser/formatter (src/common/csv.h) and the
+// dataset import boundary (src/data/dataset_io.h) on raw bytes — the
+// path every external data file takes into the library.
+//
+// Properties enforced:
+//   1. ParseCsvText / LoadCsvFromString never crash: arbitrary bytes
+//      yield rows / a Dataset or an error Status;
+//   2. per row, format -> parse is the identity:
+//      ParseCsvLine(FormatCsvLine(fields)) == fields (RFC-4180 quoting
+//      of commas, quotes, and CR/LF survives the round trip);
+//   3. an accepted dataset round-trips: SaveCsvToString (%.17g fields)
+//      -> LoadCsvFromString reproduces dim, size, and every value
+//      (bitwise for finite doubles; NaN maps to NaN).
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_common.h"
+#include "src/common/csv.h"
+#include "src/data/dataset_io.h"
+
+namespace {
+
+bool SameValue(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::isnan(a) && std::isnan(b);
+  }
+  return a == b;  // %.17g round-trips finite doubles exactly.
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0 || size > (1u << 20)) {
+    return 0;
+  }
+  skymr::fuzz::FuzzInput input(data, size);
+  const bool has_header = input.ConsumeBool();
+  const std::string_view text = input.RemainingView();
+
+  auto rows_or = skymr::ParseCsvText(text);
+  if (rows_or.ok()) {
+    for (const auto& fields : rows_or.value()) {
+      // ParseCsvLine always yields at least one field, so the empty
+      // row (never produced by ParseCsvText) is out of scope.
+      SKYMR_FUZZ_ASSERT(!fields.empty());
+      const std::string line = skymr::FormatCsvLine(fields);
+      SKYMR_FUZZ_ASSERT(skymr::ParseCsvLine(line) == fields);
+    }
+  }
+
+  auto dataset_or = skymr::data::LoadCsvFromString(text, has_header);
+  if (!dataset_or.ok()) {
+    return 0;  // Clean rejection is a correct outcome.
+  }
+  const skymr::Dataset& dataset = dataset_or.value();
+  auto csv_or = skymr::data::SaveCsvToString(dataset);
+  SKYMR_FUZZ_ASSERT(csv_or.ok());
+  auto round_or = skymr::data::LoadCsvFromString(csv_or.value(), false);
+  SKYMR_FUZZ_ASSERT(round_or.ok());
+  const skymr::Dataset& round = round_or.value();
+  SKYMR_FUZZ_ASSERT(round.dim() == dataset.dim());
+  SKYMR_FUZZ_ASSERT(round.size() == dataset.size());
+  for (size_t i = 0; i < dataset.values().size(); ++i) {
+    SKYMR_FUZZ_ASSERT(SameValue(round.values()[i], dataset.values()[i]));
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Harness: src/obs/json_parse.h on raw bytes.
+//
+// Properties enforced:
+//   1. ParseJson never crashes, loops forever, or exhausts the stack —
+//      in particular deep "[[[[..." nesting must come back as a clean
+//      "nesting too deep" error (kMaxJsonNestingDepth);
+//   2. the parser accepts what the src/obs/json.h writer emits: for any
+//      parsed document, write -> parse -> write is a fixpoint (the first
+//      write canonicalizes number formatting and non-finite doubles, the
+//      second round trip must reproduce it byte for byte).
+
+#include <sstream>
+#include <string_view>
+
+#include "fuzz/fuzz_common.h"
+#include "src/obs/json.h"
+#include "src/obs/json_parse.h"
+
+namespace {
+
+using skymr::obs::JsonValue;
+using skymr::obs::JsonWriter;
+
+/// Re-emits a parsed value through the production writer. Recursion depth
+/// is bounded by the parser's own kMaxJsonNestingDepth.
+void WriteValue(JsonWriter& writer, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      writer.Null();
+      break;
+    case JsonValue::Kind::kBool:
+      writer.Bool(value.AsBool());
+      break;
+    case JsonValue::Kind::kNumber:
+      writer.Double(value.AsDouble());
+      break;
+    case JsonValue::Kind::kString:
+      writer.String(value.AsString());
+      break;
+    case JsonValue::Kind::kArray:
+      writer.BeginArray();
+      for (const JsonValue& item : value.AsArray()) {
+        WriteValue(writer, item);
+      }
+      writer.EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      writer.BeginObject();
+      for (const auto& [key, member] : value.AsObject()) {
+        writer.Key(key);
+        WriteValue(writer, member);
+      }
+      writer.EndObject();
+      break;
+  }
+}
+
+std::string Render(const JsonValue& value) {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  WriteValue(writer, value);
+  return out.str();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) {
+    return 0;  // Giant inputs only slow exploration down.
+  }
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = skymr::obs::ParseJson(text);
+  if (!parsed.ok()) {
+    return 0;  // Clean rejection is a correct outcome.
+  }
+  const std::string once = Render(parsed.value());
+  auto reparsed = skymr::obs::ParseJson(once);
+  SKYMR_FUZZ_ASSERT(reparsed.ok());
+  const std::string twice = Render(reparsed.value());
+  SKYMR_FUZZ_ASSERT(once == twice);
+  return 0;
+}

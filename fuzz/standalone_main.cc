@@ -1,0 +1,82 @@
+// Replay driver for the fuzz harnesses: feeds files (or whole corpus
+// directories) through LLVMFuzzerTestOneInput, one at a time, exactly as
+// libFuzzer would. This is what turns every committed corpus input into a
+// plain ctest regression: the replay binaries build with any compiler and
+// inherit whatever sanitizer preset the tree was configured with, so the
+// ASan/UBSan and TSan CI legs re-check every historical crash input on
+// every run. A harness failure aborts the process (sanitizer report or
+// SKYMR_FUZZ_ASSERT), which fails the test.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <corpus-file-or-directory>...\n"
+                 "Replays each input through the fuzz harness; any crash "
+                 "or fuzz assertion aborts.\n",
+                 argv[0]);
+    return 2;
+  }
+  size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      // Sorted for a stable replay order across filesystems.
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) {
+          files.push_back(entry.path());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (!ReplayFile(file)) {
+          return 1;
+        }
+        ++replayed;
+      }
+    } else if (std::filesystem::is_regular_file(arg, ec)) {
+      if (!ReplayFile(arg)) {
+        return 1;
+      }
+      ++replayed;
+    } else {
+      std::fprintf(stderr, "replay: no such file or directory: %s\n",
+                   argv[i]);
+      return 1;
+    }
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "replay: no corpus inputs found\n");
+    return 1;
+  }
+  std::printf("replay: %zu input(s) OK\n", replayed);
+  return 0;
+}

@@ -5,6 +5,7 @@
 #define SKYMR_COMMON_CSV_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
@@ -16,6 +17,12 @@ std::vector<std::string> ParseCsvLine(const std::string& line);
 
 /// Joins fields into one CSV line, quoting fields that need it.
 std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// Parses CSV text into rows of fields. Skips empty lines. Untrusted
+/// input is fine: any byte sequence yields rows or a Status, never a
+/// crash.
+StatusOr<std::vector<std::vector<std::string>>> ParseCsvText(
+    std::string_view text);
 
 /// Reads a whole CSV file into rows of fields. Skips empty lines.
 StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(

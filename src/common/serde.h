@@ -106,6 +106,37 @@ class ByteSource {
   size_t pos_ = 0;
 };
 
+namespace serde_internal {
+
+/// Validates a length prefix read from untrusted bytes: `count` elements
+/// of `elem_size` bytes each must fit in the source's remaining bytes.
+/// The division form makes the check immune to `count * elem_size`
+/// overflowing uint64 (a corrupt length near 2^64 must underflow, not
+/// wrap around to a small allocation). Returns the byte total.
+inline uint64_t CheckedLengthBytes(uint64_t count, uint64_t elem_size,
+                                   const ByteSource& source,
+                                   const char* what) {
+  if (count > source.remaining() / elem_size) {
+    throw SerdeUnderflow(std::string("serde underflow: ") + what +
+                         " length " + std::to_string(count) +
+                         " exceeds remaining " +
+                         std::to_string(source.remaining()));
+  }
+  return count * elem_size;  // <= remaining(), so this cannot overflow.
+}
+
+/// Caps a container reservation made from an untrusted length prefix.
+/// Elements still underflow individually while being read; this only
+/// bounds the up-front allocation so a corrupt length cannot demand
+/// `count * sizeof(T)` bytes before the first element read fails.
+inline size_t BoundedReserve(uint64_t count, const ByteSource& source) {
+  constexpr uint64_t kMaxUpFront = 1024;
+  return static_cast<size_t>(std::min(
+      count, std::min<uint64_t>(source.remaining(), kMaxUpFront)));
+}
+
+}  // namespace serde_internal
+
 template <typename T, typename Enable = void>
 struct Serde;
 
@@ -124,11 +155,7 @@ struct Serde<std::string> {
   }
   static std::string Read(ByteSource* source) {
     const auto size = source->ReadRaw<uint64_t>();
-    if (size > source->remaining()) {
-      throw SerdeUnderflow("serde underflow: string length " +
-                           std::to_string(size) + " exceeds remaining " +
-                           std::to_string(source->remaining()));
-    }
+    serde_internal::CheckedLengthBytes(size, 1, *source, "string");
     std::string out(size, '\0');
     source->Read(out.data(), size);
     return out;
@@ -164,17 +191,15 @@ struct Serde<std::vector<T>> {
     const auto size = source->ReadRaw<uint64_t>();
     std::vector<T> out;
     if constexpr (std::is_trivially_copyable_v<T>) {
-      if (size > source->remaining() / sizeof(T)) {
-        throw SerdeUnderflow("serde underflow: vector length " +
-                             std::to_string(size) + " exceeds remaining " +
-                             std::to_string(source->remaining()));
-      }
+      const uint64_t bytes =
+          serde_internal::CheckedLengthBytes(size, sizeof(T), *source,
+                                             "vector");
       out.resize(size);
-      source->Read(out.data(), size * sizeof(T));
+      source->Read(out.data(), bytes);
     } else {
       // Element reads underflow on their own; just bound the reservation
       // so a corrupt length cannot force a huge allocation up front.
-      out.reserve(std::min<uint64_t>(size, source->remaining()));
+      out.reserve(serde_internal::BoundedReserve(size, *source));
       for (uint64_t i = 0; i < size; ++i) {
         out.push_back(Serde<T>::Read(source));
       }
@@ -192,12 +217,11 @@ struct Serde<DynamicBitset> {
   }
   static DynamicBitset Read(ByteSource* source) {
     const auto size = source->ReadRaw<uint64_t>();
+    // size / 64 (not (size + 63) / 64) so a bit count near 2^64 cannot
+    // wrap the word count around to a small number.
     const uint64_t word_count = size / 64 + (size % 64 != 0 ? 1 : 0);
-    if (word_count > source->remaining() / sizeof(uint64_t)) {
-      throw SerdeUnderflow("serde underflow: bitset size " +
-                           std::to_string(size) + " exceeds remaining " +
-                           std::to_string(source->remaining()));
-    }
+    serde_internal::CheckedLengthBytes(word_count, sizeof(uint64_t), *source,
+                                       "bitset");
     std::vector<uint64_t> words(word_count);
     source->Read(words.data(), words.size() * sizeof(uint64_t));
     return DynamicBitset::FromWords(size, std::move(words));

@@ -121,8 +121,12 @@ class BitstringReducer
     }
     // Equations 1-2: the broadcast bitstring BS_R has exactly n^d bits,
     // and pruning only ever clears bits, never flips them on.
-    SKYMR_CHECK(result.bits.size() == grid_or.value().num_cells());
-    SKYMR_DCHECK(result.bits.Count() + result.pruned == result.nonempty);
+    SKYMR_CHECK(result.bits.size() == grid_or.value().num_cells())
+        << "bitstring has " << result.bits.size() << " bits for "
+        << grid_or.value().num_cells() << " cells";
+    SKYMR_DCHECK(result.bits.Count() + result.pruned == result.nonempty)
+        << "pruning accounting mismatch: " << result.bits.Count() << " set + "
+        << result.pruned << " pruned != " << result.nonempty << " nonempty";
     ctx.counters().Add(mr::kCounterPartitionsPruned,
                        static_cast<int64_t>(result.pruned));
     ctx.Emit(std::move(result));

@@ -31,23 +31,52 @@ void PipelineCheckpoint::StoreBitstring(uint64_t fingerprint,
   entries_[fingerprint] = result;
 }
 
-Status PipelineCheckpoint::SaveFile(const std::string& path) const {
+std::vector<uint8_t> PipelineCheckpoint::SaveBytes() const {
   ByteSink sink;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sink.Append(kMagic, sizeof(kMagic));
-    sink.AppendRaw<uint64_t>(entries_.size());
-    for (const auto& [fingerprint, result] : entries_) {
-      sink.AppendRaw<uint64_t>(fingerprint);
-      Serde<BitstringBuildResult>::Write(result, &sink);
-    }
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink.Append(kMagic, sizeof(kMagic));
+  sink.AppendRaw<uint64_t>(entries_.size());
+  for (const auto& [fingerprint, result] : entries_) {
+    sink.AppendRaw<uint64_t>(fingerprint);
+    Serde<BitstringBuildResult>::Write(result, &sink);
   }
+  return sink.TakeBuffer();
+}
+
+Status PipelineCheckpoint::LoadBytes(const uint8_t* data, size_t size,
+                                     const std::string& origin) {
+  ByteSource source(data, size);
+  try {
+    char magic[sizeof(kMagic)];
+    source.Read(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      return Status::IoError("checkpoint: bad magic in " + origin);
+    }
+    const auto count = source.ReadRaw<uint64_t>();
+    std::map<uint64_t, BitstringBuildResult> loaded;
+    for (uint64_t i = 0; i < count; ++i) {
+      const auto fingerprint = source.ReadRaw<uint64_t>();
+      loaded[fingerprint] = Serde<BitstringBuildResult>::Read(&source);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [fingerprint, result] : loaded) {
+      entries_[fingerprint] = std::move(result);
+    }
+  } catch (const SerdeUnderflow& underflow) {
+    return Status::IoError("checkpoint: truncated " + origin + ": " +
+                           underflow.what());
+  }
+  return Status::OK();
+}
+
+Status PipelineCheckpoint::SaveFile(const std::string& path) const {
+  const std::vector<uint8_t> bytes = SaveBytes();
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) {
     return Status::IoError("checkpoint: cannot open for write: " + path);
   }
-  file.write(reinterpret_cast<const char*>(sink.data()),
-             static_cast<std::streamsize>(sink.size()));
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
   if (!file) {
     return Status::IoError("checkpoint: write failed: " + path);
   }
@@ -61,28 +90,7 @@ Status PipelineCheckpoint::LoadFile(const std::string& path) {
   }
   std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
                              std::istreambuf_iterator<char>());
-  ByteSource source(bytes.data(), bytes.size());
-  try {
-    char magic[sizeof(kMagic)];
-    source.Read(magic, sizeof(magic));
-    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-      return Status::IoError("checkpoint: bad magic in " + path);
-    }
-    const auto count = source.ReadRaw<uint64_t>();
-    std::map<uint64_t, BitstringBuildResult> loaded;
-    for (uint64_t i = 0; i < count; ++i) {
-      const auto fingerprint = source.ReadRaw<uint64_t>();
-      loaded[fingerprint] = Serde<BitstringBuildResult>::Read(&source);
-    }
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& [fingerprint, result] : loaded) {
-      entries_[fingerprint] = std::move(result);
-    }
-  } catch (const SerdeUnderflow& underflow) {
-    return Status::IoError("checkpoint: truncated file " + path + ": " +
-                           underflow.what());
-  }
-  return Status::OK();
+  return LoadBytes(bytes.data(), bytes.size(), "file " + path);
 }
 
 void PipelineCheckpoint::Clear() {

@@ -43,6 +43,15 @@ class PipelineCheckpoint {
   /// (first run), a malformed one is an IoError.
   Status LoadFile(const std::string& path);
 
+  /// The serialized form SaveFile writes, as bytes (magic included).
+  std::vector<uint8_t> SaveBytes() const;
+  /// Merges entries from a serialized store. Untrusted-input boundary:
+  /// any malformed payload — bad magic, truncation, corrupt lengths —
+  /// comes back as an IoError naming `origin`, never an exception, and
+  /// leaves the store unchanged.
+  Status LoadBytes(const uint8_t* data, size_t size,
+                   const std::string& origin);
+
   void Clear();
   size_t size() const;
 

@@ -69,12 +69,14 @@ CellId Grid::CellOf(const double* row) const {
   }
   // Clamping bounds every coordinate into [0, ppd), so the linear index
   // is always a valid cell id.
-  SKYMR_DCHECK(index < num_cells_);
+  SKYMR_DCHECK(index < num_cells_)
+      << "cell index " << index << " out of range " << num_cells_;
   return index;
 }
 
 void Grid::CoordsOf(CellId cell, uint32_t* coords) const {
-  SKYMR_DCHECK(cell < num_cells_);
+  SKYMR_DCHECK(cell < num_cells_)
+      << "cell " << cell << " out of range " << num_cells_;
   for (size_t k = 0; k < dim_; ++k) {
     coords[k] = static_cast<uint32_t>(cell % ppd_);
     cell /= ppd_;
@@ -91,7 +93,8 @@ CellId Grid::IndexOf(const uint32_t* coords) const {
   CellId index = 0;
   CellId stride = 1;
   for (size_t k = 0; k < dim_; ++k) {
-    SKYMR_DCHECK(coords[k] < ppd_);
+    SKYMR_DCHECK(coords[k] < ppd_)
+        << "coordinate " << coords[k] << " >= ppd " << ppd_;
     index += static_cast<CellId>(coords[k]) * stride;
     stride *= ppd_;
   }
@@ -99,8 +102,8 @@ CellId Grid::IndexOf(const uint32_t* coords) const {
 }
 
 bool Grid::CellDominates(CellId a, CellId b) const {
-  SKYMR_DCHECK(a < num_cells_);
-  SKYMR_DCHECK(b < num_cells_);
+  SKYMR_DCHECK(a < num_cells_) << "cell " << a << " out of range " << num_cells_;
+  SKYMR_DCHECK(b < num_cells_) << "cell " << b << " out of range " << num_cells_;
   for (size_t k = 0; k < dim_; ++k) {
     const auto ca = static_cast<uint32_t>(a % ppd_);
     const auto cb = static_cast<uint32_t>(b % ppd_);
@@ -114,8 +117,8 @@ bool Grid::CellDominates(CellId a, CellId b) const {
 }
 
 bool Grid::InAdrOf(CellId p, CellId q) const {
-  SKYMR_DCHECK(p < num_cells_);
-  SKYMR_DCHECK(q < num_cells_);
+  SKYMR_DCHECK(p < num_cells_) << "cell " << p << " out of range " << num_cells_;
+  SKYMR_DCHECK(q < num_cells_) << "cell " << q << " out of range " << num_cells_;
   if (p == q) {
     return false;
   }
@@ -143,7 +146,8 @@ bool Grid::InAdrOfCoords(const uint32_t* p, const uint32_t* q) const {
 }
 
 uint64_t Grid::AdrSize(CellId cell) const {
-  SKYMR_DCHECK(cell < num_cells_);
+  SKYMR_DCHECK(cell < num_cells_)
+      << "cell " << cell << " out of range " << num_cells_;
   uint64_t product = 1;
   for (size_t k = 0; k < dim_; ++k) {
     product *= static_cast<uint64_t>(cell % ppd_) + 1;
@@ -153,7 +157,8 @@ uint64_t Grid::AdrSize(CellId cell) const {
 }
 
 std::vector<double> Grid::MinCorner(CellId cell) const {
-  SKYMR_DCHECK(cell < num_cells_);
+  SKYMR_DCHECK(cell < num_cells_)
+      << "cell " << cell << " out of range " << num_cells_;
   std::vector<double> corner(dim_);
   for (size_t k = 0; k < dim_; ++k) {
     const auto coord = static_cast<uint32_t>(cell % ppd_);
@@ -164,7 +169,8 @@ std::vector<double> Grid::MinCorner(CellId cell) const {
 }
 
 std::vector<double> Grid::MaxCorner(CellId cell) const {
-  SKYMR_DCHECK(cell < num_cells_);
+  SKYMR_DCHECK(cell < num_cells_)
+      << "cell " << cell << " out of range " << num_cells_;
   std::vector<double> corner(dim_);
   for (size_t k = 0; k < dim_; ++k) {
     const auto coord = static_cast<uint32_t>(cell % ppd_);

@@ -105,7 +105,8 @@ ReducerGroup BuildReducerGroup(
                                                 out.member_groups.end());
   for (const CellId cell : out.cells) {
     const auto it = owner_of_cell.find(cell);
-    SKYMR_DCHECK(it != owner_of_cell.end());
+    SKYMR_DCHECK(it != owner_of_cell.end())
+        << "cell " << cell << " has no owning reducer group";
     if (member_set.count(it->second) > 0) {
       out.responsible.push_back(cell);
     }
@@ -202,7 +203,8 @@ std::vector<std::vector<uint32_t>> PackByCommunicationCost(
         best_overlap = shared;
       }
     }
-    SKYMR_DCHECK(best < clusters.size());
+    SKYMR_DCHECK(best < clusters.size())
+        << "no merge target among " << clusters.size() << " clusters";
     Cluster& dst = clusters[best];
     Cluster& src = clusters[smallest];
     dst.members.insert(dst.members.end(), src.members.begin(),

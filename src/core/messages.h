@@ -41,6 +41,11 @@ struct GroupPayload {
   uint32_t reducer_group = 0;
   std::vector<CellId> responsible;
   std::vector<PartitionSkyline> parts;
+
+  bool operator==(const GroupPayload& other) const {
+    return reducer_group == other.reducer_group &&
+           responsible == other.responsible && parts == other.parts;
+  }
 };
 
 /// Ordered per-cell window map used on the reduce side.

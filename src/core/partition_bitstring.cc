@@ -8,8 +8,9 @@ namespace skymr::core {
 
 DynamicBitset BuildLocalBitstring(const Grid& grid, const Dataset& data,
                                   TupleId begin, TupleId end) {
-  SKYMR_DCHECK(begin <= end);
-  SKYMR_DCHECK(end <= data.size());
+  SKYMR_DCHECK(begin <= end) << "split [" << begin << ", " << end << ")";
+  SKYMR_DCHECK(end <= data.size())
+      << "split end " << end << " overruns dataset size " << data.size();
   DynamicBitset bits(grid.num_cells());
   for (TupleId id = begin; id < end; ++id) {
     bits.Set(grid.CellOf(data.RowPtr(id)));
@@ -35,7 +36,9 @@ uint64_t PruneDominated(const Grid& grid, DynamicBitset* bits,
 }
 
 uint64_t PruneDominatedLiteral(const Grid& grid, DynamicBitset* bits) {
-  SKYMR_DCHECK(bits->size() == grid.num_cells());
+  SKYMR_DCHECK(bits->size() == grid.num_cells())
+      << "bitstring has " << bits->size() << " bits for "
+      << grid.num_cells() << " cells";
   // Algorithm 2, lines 4-7: for ascending i with BS[i] = 1, clear p_i.DR.
   // Scanning the mutated bitstring is sound: if p_i was cleared by an
   // earlier p_k (p_k dominates p_i), then p_k also dominates everything in
@@ -54,7 +57,9 @@ uint64_t PruneDominatedLiteral(const Grid& grid, DynamicBitset* bits) {
 }
 
 uint64_t PruneDominatedPrefix(const Grid& grid, DynamicBitset* bits) {
-  SKYMR_DCHECK(bits->size() == grid.num_cells());
+  SKYMR_DCHECK(bits->size() == grid.num_cells())
+      << "bitstring has " << bits->size() << " bits for "
+      << grid.num_cells() << " cells";
   const uint64_t n = grid.ppd();
   const size_t d = grid.dim();
   const uint64_t cells = grid.num_cells();

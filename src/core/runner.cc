@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <memory>
 
 #include "src/baselines/mr_angle.h"
@@ -73,8 +74,8 @@ Status RunnerConfig::Validate() const {
     return Status::InvalidArgument(
         "ppd: max_candidate must be >= 2 (the smallest grid)");
   }
-  if (!(ppd.target_tpp > 0.0)) {
-    return Status::InvalidArgument("ppd: target_tpp must be > 0");
+  if (!(ppd.target_tpp > 0.0 && std::isfinite(ppd.target_tpp))) {
+    return Status::InvalidArgument("ppd: target_tpp must be finite and > 0");
   }
   if (ppd.max_cells < 4) {
     return Status::InvalidArgument(

@@ -7,8 +7,11 @@
 
 namespace skymr::data {
 
-Status SaveCsv(const Dataset& data, const std::string& path,
-               const std::vector<std::string>& header) {
+namespace {
+
+/// Renders `data` as CSV rows (%.17g fields), header first when present.
+StatusOr<std::vector<std::vector<std::string>>> CsvRows(
+    const Dataset& data, const std::vector<std::string>& header) {
   if (!header.empty() && header.size() != data.dim()) {
     return Status::InvalidArgument("header width does not match dimension");
   }
@@ -28,22 +31,21 @@ Status SaveCsv(const Dataset& data, const std::string& path,
     }
     rows.push_back(std::move(row));
   }
-  return WriteCsvFile(path, rows);
+  return rows;
 }
 
-StatusOr<Dataset> LoadCsv(const std::string& path, bool has_header) {
-  auto rows_or = ReadCsvFile(path);
-  if (!rows_or.ok()) {
-    return rows_or.status();
-  }
-  const auto& rows = rows_or.value();
-  size_t start = has_header ? 1 : 0;
+/// Shared back end of LoadCsv/LoadCsvFromString. `origin` names the
+/// input in diagnostics.
+StatusOr<Dataset> DatasetFromRows(
+    const std::vector<std::vector<std::string>>& rows, bool has_header,
+    const std::string& origin) {
+  const size_t start = has_header ? 1 : 0;
   if (rows.size() <= start) {
-    return Status::InvalidArgument("CSV has no data rows: " + path);
+    return Status::InvalidArgument("CSV has no data rows: " + origin);
   }
   const size_t dim = rows[start].size();
   if (dim == 0) {
-    return Status::InvalidArgument("CSV has empty rows: " + path);
+    return Status::InvalidArgument("CSV has empty rows: " + origin);
   }
   Dataset out(dim);
   out.Reserve(rows.size() - start);
@@ -66,6 +68,47 @@ StatusOr<Dataset> LoadCsv(const std::string& path, bool has_header) {
     out.Append(row);
   }
   return out;
+}
+
+}  // namespace
+
+Status SaveCsv(const Dataset& data, const std::string& path,
+               const std::vector<std::string>& header) {
+  auto rows = CsvRows(data, header);
+  if (!rows.ok()) {
+    return rows.status();
+  }
+  return WriteCsvFile(path, rows.value());
+}
+
+StatusOr<std::string> SaveCsvToString(
+    const Dataset& data, const std::vector<std::string>& header) {
+  auto rows = CsvRows(data, header);
+  if (!rows.ok()) {
+    return rows.status();
+  }
+  std::string out;
+  for (const auto& row : rows.value()) {
+    out += FormatCsvLine(row);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+StatusOr<Dataset> LoadCsv(const std::string& path, bool has_header) {
+  auto rows_or = ReadCsvFile(path);
+  if (!rows_or.ok()) {
+    return rows_or.status();
+  }
+  return DatasetFromRows(rows_or.value(), has_header, path);
+}
+
+StatusOr<Dataset> LoadCsvFromString(std::string_view text, bool has_header) {
+  auto rows_or = ParseCsvText(text);
+  if (!rows_or.ok()) {
+    return rows_or.status();
+  }
+  return DatasetFromRows(rows_or.value(), has_header, "inline text");
 }
 
 }  // namespace skymr::data

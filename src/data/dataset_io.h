@@ -5,6 +5,7 @@
 #define SKYMR_DATA_DATASET_IO_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
@@ -17,10 +18,19 @@ namespace skymr::data {
 Status SaveCsv(const Dataset& data, const std::string& path,
                const std::vector<std::string>& header = {});
 
+/// The CSV text SaveCsv would write (%.17g fields, so values round-trip
+/// exactly through LoadCsvFromString).
+StatusOr<std::string> SaveCsvToString(
+    const Dataset& data, const std::vector<std::string>& header = {});
+
 /// Reads a dataset from CSV. When `has_header` is true the first row is
 /// skipped. All fields must parse as doubles and all rows must have the
 /// same width.
 StatusOr<Dataset> LoadCsv(const std::string& path, bool has_header);
+
+/// LoadCsv over in-memory text. Untrusted-input boundary: any byte
+/// sequence yields a Dataset or an error Status, never a crash.
+StatusOr<Dataset> LoadCsvFromString(std::string_view text, bool has_header);
 
 }  // namespace skymr::data
 

@@ -104,6 +104,19 @@ struct Serde<SkylineWindow> {
     out.dim_ = static_cast<size_t>(source->ReadRaw<uint64_t>());
     out.ids_ = Serde<std::vector<TupleId>>::Read(source);
     out.values_ = Serde<std::vector<double>>::Read(source);
+    // Shape invariant: values_ is row-major ids_.size() x dim_. A payload
+    // that decodes but violates it (corrupt or adversarial bytes) would
+    // turn every later RowAt into an out-of-bounds read, so reject it
+    // here like any other truncation.
+    const uint64_t rows = out.ids_.size();
+    if ((out.dim_ == 0 && !out.values_.empty()) ||
+        (out.dim_ != 0 && (rows > out.values_.size() / out.dim_ ||
+                           out.values_.size() != rows * out.dim_))) {
+      throw SerdeUnderflow(
+          "serde underflow: window shape mismatch: " +
+          std::to_string(rows) + " ids x dim " + std::to_string(out.dim_) +
+          " vs " + std::to_string(out.values_.size()) + " values");
+    }
     out.RecomputeSums();
     return out;
   }

@@ -1,5 +1,7 @@
 #include "src/mapreduce/chaos.h"
 
+#include <cmath>
+
 namespace skymr::mr {
 namespace {
 
@@ -100,22 +102,24 @@ std::vector<std::string> ChaosProfileNames() {
 Status ValidateChaosSchedule(const ChaosSchedule& schedule,
                              int max_task_attempts) {
   // Failure-site rates must leave room for a clean retry; a rate of 1
-  // guarantees the job can never finish.
-  if (schedule.crash_rate < 0.0 || schedule.crash_rate >= 1.0) {
+  // guarantees the job can never finish. Accept-form comparisons so NaN
+  // (which fails every ordering) is rejected instead of slipping through
+  // a reject-form `x < 0.0 || x >= 1.0` check.
+  if (!(schedule.crash_rate >= 0.0 && schedule.crash_rate < 1.0)) {
     return BadRate("crash_rate (must be in [0, 1))", schedule.crash_rate);
   }
-  if (schedule.corrupt_rate < 0.0 || schedule.corrupt_rate >= 1.0) {
+  if (!(schedule.corrupt_rate >= 0.0 && schedule.corrupt_rate < 1.0)) {
     return BadRate("corrupt_rate (must be in [0, 1))", schedule.corrupt_rate);
   }
-  if (schedule.cache_fail_rate < 0.0 || schedule.cache_fail_rate >= 1.0) {
+  if (!(schedule.cache_fail_rate >= 0.0 && schedule.cache_fail_rate < 1.0)) {
     return BadRate("cache_fail_rate (must be in [0, 1))",
                    schedule.cache_fail_rate);
   }
-  if (schedule.slow_rate < 0.0 || schedule.slow_rate > 1.0) {
+  if (!(schedule.slow_rate >= 0.0 && schedule.slow_rate <= 1.0)) {
     return BadRate("slow_rate (must be in [0, 1])", schedule.slow_rate);
   }
-  if (schedule.slow_ms < 0.0) {
-    return BadRate("slow_ms (must be >= 0)", schedule.slow_ms);
+  if (!(schedule.slow_ms >= 0.0 && std::isfinite(schedule.slow_ms))) {
+    return BadRate("slow_ms (must be finite and >= 0)", schedule.slow_ms);
   }
   if (schedule.crash_until_attempt < 0) {
     return Status::InvalidArgument(

@@ -91,7 +91,7 @@ class ValueIterator {
 
   /// Deserializes and returns the next value. Requires HasNext().
   V2 Next() {
-    SKYMR_DCHECK(HasNext());
+    SKYMR_DCHECK(HasNext()) << "Next() past the last shuffle value";
     const Slice& slice = slices_[next_++];
     ByteSource source(slice.data, slice.size);
     return Serde<V2>::Read(&source);
@@ -383,9 +383,12 @@ class Job {
     for (int task = 0; task < m; ++task) {
       // Every successful map task hands exactly one context (with one
       // bucket per reducer) to the shuffle.
-      SKYMR_DCHECK(map_outputs[static_cast<size_t>(task)].context != nullptr);
+      SKYMR_DCHECK(map_outputs[static_cast<size_t>(task)].context !=
+                   nullptr)
+          << "map task " << task << " committed without a shuffle context";
       SKYMR_DCHECK(map_outputs[static_cast<size_t>(task)]
-                       .context->buckets_.size() == static_cast<size_t>(r));
+                       .context->buckets_.size() == static_cast<size_t>(r))
+          << "map task " << task << " bucket count != reducer count " << r;
     }
 
     // ---- Shuffle + reduce wave ----
@@ -558,7 +561,9 @@ class Job {
     const auto t = static_cast<size_t>(task);
     const size_t begin = t * base + std::min(t, extra);
     const size_t size = base + (t < extra ? 1 : 0);
-    SKYMR_DCHECK(begin + size <= n);
+    SKYMR_DCHECK(begin + size <= n)
+        << "split [" << begin << ", " << begin + size
+        << ") overruns input size " << n;
     return input.subspan(begin, size);
   }
 

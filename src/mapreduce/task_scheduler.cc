@@ -37,9 +37,15 @@ Status ValidateEngineOptions(const EngineOptions& options) {
     return Status::InvalidArgument(
         "engine: thread/worker counts must be >= 0 (0 = default)");
   }
-  if (options.retry_backoff_base_ms < 0.0 ||
-      options.retry_backoff_max_ms < 0.0) {
-    return Status::InvalidArgument("engine: backoff durations must be >= 0");
+  // Accept-form float comparisons throughout: NaN fails every ordering,
+  // so `!(x >= 0.0)`-style checks reject it, where the reject-form
+  // `x < 0.0` would let a NaN tunable reach the scheduler's arithmetic.
+  if (!(options.retry_backoff_base_ms >= 0.0 &&
+        options.retry_backoff_max_ms >= 0.0 &&
+        std::isfinite(options.retry_backoff_base_ms) &&
+        std::isfinite(options.retry_backoff_max_ms))) {
+    return Status::InvalidArgument(
+        "engine: backoff durations must be finite and >= 0");
   }
   if (options.retry_backoff_base_ms > options.retry_backoff_max_ms) {
     return Status::InvalidArgument(
@@ -49,17 +55,20 @@ Status ValidateEngineOptions(const EngineOptions& options) {
     return Status::InvalidArgument(
         "engine: worker_blacklist_threshold must be >= 1");
   }
-  if (options.speculation_wave_fraction <= 0.0 ||
-      options.speculation_wave_fraction > 1.0) {
+  if (!(options.speculation_wave_fraction > 0.0 &&
+        options.speculation_wave_fraction <= 1.0)) {
     return Status::InvalidArgument(
         "engine: speculation_wave_fraction must be in (0, 1]");
   }
-  if (options.speculation_slowdown < 1.0) {
+  if (!(options.speculation_slowdown >= 1.0 &&
+        std::isfinite(options.speculation_slowdown))) {
     return Status::InvalidArgument(
-        "engine: speculation_slowdown must be >= 1");
+        "engine: speculation_slowdown must be finite and >= 1");
   }
-  if (options.speculation_poll_ms <= 0.0) {
-    return Status::InvalidArgument("engine: speculation_poll_ms must be > 0");
+  if (!(options.speculation_poll_ms > 0.0 &&
+        std::isfinite(options.speculation_poll_ms))) {
+    return Status::InvalidArgument(
+        "engine: speculation_poll_ms must be finite and > 0");
   }
   return ValidateChaosSchedule(options.chaos, options.max_task_attempts);
 }

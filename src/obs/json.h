@@ -40,7 +40,7 @@ class JsonWriter {
   }
 
   void EndObject() {
-    SKYMR_DCHECK(!stack_.empty());
+    SKYMR_DCHECK(!stack_.empty()) << "EndObject with no open scope";
     const bool empty = stack_.back() == State::kFirstInObject;
     stack_.pop_back();
     if (!empty) {
@@ -56,7 +56,7 @@ class JsonWriter {
   }
 
   void EndArray() {
-    SKYMR_DCHECK(!stack_.empty());
+    SKYMR_DCHECK(!stack_.empty()) << "EndArray with no open scope";
     const bool empty = stack_.back() == State::kFirstInArray;
     stack_.pop_back();
     if (!empty) {
@@ -67,7 +67,7 @@ class JsonWriter {
 
   /// Emits the key of the next object member.
   void Key(std::string_view name) {
-    SKYMR_DCHECK(!stack_.empty());
+    SKYMR_DCHECK(!stack_.empty()) << "Key outside an object";
     Prefix();
     WriteEscaped(name);
     os_ << (compact_ ? ":" : ": ");

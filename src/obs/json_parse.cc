@@ -111,7 +111,7 @@ class Parser {
   }
 
   StatusOr<JsonValue> Value() {
-    if (depth_ > kMaxDepth) {
+    if (depth_ > kMaxJsonNestingDepth) {
       return Fail("nesting too deep");
     }
     switch (Peek()) {
@@ -318,8 +318,6 @@ class Parser {
     pos_ += word.size();
     return value;
   }
-
-  static constexpr int kMaxDepth = 256;
 
   std::string_view text_;
   size_t pos_ = 0;

@@ -20,6 +20,14 @@
 
 namespace skymr::obs {
 
+/// Maximum container nesting the parser accepts. Parsing is recursive
+/// descent, so without this bound a short adversarial input like
+/// "[[[[..." would exhaust the stack; at the limit the parser returns an
+/// InvalidArgument ("nesting too deep") instead. The writers in src/obs
+/// emit documents a couple of levels deep, so 256 is far above any
+/// legitimate input.
+inline constexpr int kMaxJsonNestingDepth = 256;
+
 /// One parsed JSON value. Objects preserve no duplicate keys (last one
 /// wins, as in every mainstream parser).
 class JsonValue {

@@ -138,6 +138,46 @@ TEST(SerdeTest, TruncatedVectorThrows) {
                SerdeUnderflow);
 }
 
+TEST(SerdeTest, LengthPrefixBombRejectedBeforeAllocating) {
+  // A claimed element count whose byte size overflows (or vastly exceeds
+  // the remaining input) must be rejected by the length check up front —
+  // not by attempting a multi-exabyte allocation. count * sizeof(double)
+  // for 2^61 elements wraps a 64-bit size, the classic overflow shape.
+  ByteSink sink;
+  sink.AppendRaw<uint64_t>(uint64_t{1} << 61);
+  sink.AppendRaw<double>(1.0);  // A sliver of "payload" after the bomb.
+  ByteSource source(sink.data(), sink.size());
+  EXPECT_THROW(Serde<std::vector<double>>::Read(&source), SerdeUnderflow);
+
+  // Same bomb against the string decoder (element size 1, no multiply
+  // overflow — the remaining-bytes bound alone must reject it).
+  ByteSink str_sink;
+  str_sink.AppendRaw<uint64_t>(uint64_t{1} << 61);
+  ByteSource str_source(str_sink.data(), str_sink.size());
+  EXPECT_THROW(Serde<std::string>::Read(&str_source), SerdeUnderflow);
+}
+
+TEST(SerdeTest, WindowShapeMismatchThrows) {
+  // A window payload that decodes field-by-field but whose row count and
+  // value count disagree would make every RowAt an out-of-bounds read;
+  // the decoder must reject it like a truncation. Claim 2 ids but ship
+  // values for a single 2-d row.
+  ByteSink sink;
+  sink.AppendRaw<uint64_t>(2);  // dim
+  Serde<std::vector<TupleId>>::Write({7, 8}, &sink);
+  Serde<std::vector<double>>::Write({0.25, 0.75}, &sink);
+  ByteSource source(sink.data(), sink.size());
+  EXPECT_THROW(Serde<SkylineWindow>::Read(&source), SerdeUnderflow);
+
+  // dim == 0 with non-empty values is the other inconsistent shape.
+  ByteSink zero_dim;
+  zero_dim.AppendRaw<uint64_t>(0);
+  Serde<std::vector<TupleId>>::Write({1}, &zero_dim);
+  Serde<std::vector<double>>::Write({0.5}, &zero_dim);
+  ByteSource zero_source(zero_dim.data(), zero_dim.size());
+  EXPECT_THROW(Serde<SkylineWindow>::Read(&zero_source), SerdeUnderflow);
+}
+
 TEST(SerdeTest, TruncatedBitsetAndWindowThrow) {
   DynamicBitset bits(200);
   bits.Set(199);

@@ -194,6 +194,87 @@ TEST(FaultToleranceTest, CheckpointFileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(FaultToleranceTest, CheckpointCorruptionRejectedAndStoreUnchanged) {
+  // Populate a checkpoint through a real pipeline run, then attack its
+  // serialized form: any bit flip or truncation must come back as a clean
+  // IoError and leave the loading store untouched.
+  const Dataset data = TestData();
+  core::PipelineCheckpoint writer;
+  RunnerConfig config = BaseConfig(Algorithm::kMrGpmrs);
+  config.checkpoint = &writer;
+  ASSERT_TRUE(ComputeSkyline(data, config).ok());
+  ASSERT_GT(writer.size(), 0u);
+  const std::vector<uint8_t> saved = writer.SaveBytes();
+
+  for (const size_t flip : {size_t{0}, saved.size() / 2, saved.size() - 1}) {
+    std::vector<uint8_t> corrupt = saved;
+    corrupt[flip] ^= 0x10;
+    core::PipelineCheckpoint store;
+    const Status status =
+        store.LoadBytes(corrupt.data(), corrupt.size(), "bit flip");
+    if (status.ok()) {
+      // A flip inside a stored double can survive decoding; the store
+      // must still be fully formed, not half-merged.
+      EXPECT_EQ(store.size(), writer.size()) << "flip=" << flip;
+    } else {
+      EXPECT_EQ(status.code(), StatusCode::kIoError) << "flip=" << flip;
+      EXPECT_EQ(store.size(), 0u) << "flip=" << flip;
+    }
+  }
+  for (const size_t keep : {size_t{0}, size_t{3}, saved.size() / 2,
+                            saved.size() - 1}) {
+    core::PipelineCheckpoint store;
+    const Status status = store.LoadBytes(saved.data(), keep, "truncation");
+    EXPECT_FALSE(status.ok()) << "keep=" << keep;
+    EXPECT_EQ(store.size(), 0u) << "keep=" << keep;
+  }
+
+  // The intact bytes round-trip: load, re-save, byte-identical.
+  core::PipelineCheckpoint reloaded;
+  ASSERT_TRUE(reloaded.LoadBytes(saved.data(), saved.size(), "intact").ok());
+  EXPECT_EQ(reloaded.size(), writer.size());
+  EXPECT_EQ(reloaded.SaveBytes(), saved);
+}
+
+TEST(FaultToleranceTest, CorruptCheckpointFileFallsBackToFreshRun) {
+  // Operator story: the checkpoint file on disk got mangled. The load
+  // reports the corruption; after clearing, the same pipeline still
+  // produces the exact skyline from scratch.
+  const Dataset data = TestData();
+  const std::string path =
+      ::testing::TempDir() + "/skymr_checkpoint_corrupt.bin";
+  std::remove(path.c_str());
+
+  core::PipelineCheckpoint writer;
+  RunnerConfig config = BaseConfig(Algorithm::kMrGpmrs);
+  config.checkpoint = &writer;
+  auto first = ComputeSkyline(data, config);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(writer.SaveFile(path).ok());
+
+  // Truncate the file to two thirds of its length.
+  std::vector<uint8_t> bytes = writer.SaveBytes();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size() * 2 / 3));
+  }
+  core::PipelineCheckpoint reader;
+  auto status = reader.LoadFile(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(reader.size(), 0u);
+
+  // Fresh-run fallback: the (empty) store is still a valid checkpoint
+  // sink, and the result matches the first run exactly.
+  config.checkpoint = &reader;
+  auto fresh = ComputeSkyline(data, config);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_FALSE(fresh->resumed_from_checkpoint);
+  EXPECT_EQ(fresh->SkylineIds(), first->SkylineIds());
+  std::remove(path.c_str());
+}
+
 TEST(FaultToleranceTest, CheckpointLoadToleratesMissingRejectsMalformed) {
   core::PipelineCheckpoint checkpoint;
   EXPECT_TRUE(

@@ -81,6 +81,23 @@ TEST(JsonParseTest, RejectsPathologicalNesting) {
   EXPECT_FALSE(ParseJson(deep).ok());
 }
 
+TEST(JsonParseTest, NestingDepthLimitIsExact) {
+  // A balanced document at exactly kMaxJsonNestingDepth parses; one level
+  // deeper is rejected with a clean Status (no stack overflow). The limit
+  // is public so harnesses and tests can probe the boundary directly.
+  const auto nested = [](int depth) {
+    std::string doc(static_cast<size_t>(depth), '[');
+    doc += "1";
+    doc += std::string(static_cast<size_t>(depth), ']');
+    return doc;
+  };
+  auto at_limit = ParseJson(nested(kMaxJsonNestingDepth));
+  EXPECT_TRUE(at_limit.ok()) << at_limit.status();
+  auto past_limit = ParseJson(nested(kMaxJsonNestingDepth + 1));
+  ASSERT_FALSE(past_limit.ok());
+  EXPECT_EQ(past_limit.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(JsonParseTest, LastDuplicateKeyWins) {
   auto v = ParseJson(R"({"k": 1, "k": 2})");
   ASSERT_TRUE(v.ok());
