@@ -45,6 +45,25 @@ namespace {
 /// Keeps a computed value alive without letting the optimizer see it.
 volatile uint64_t g_sink = 0;
 
+/// Applies the SKYMR_SCALE / SKYMR_FULL environment overrides on top of
+/// the --scale flag, the way the figure benches scale their
+/// cardinalities (bench/bench_common.h): SKYMR_FULL=1 restores the full
+/// workload, SKYMR_SCALE multiplies into the scale. Keeps the heaviest
+/// row (window_insert: ~10.7 s at full scale, ~75 s for its scalar
+/// reference) shrinkable without flag plumbing.
+size_t EnvScaledTuples(size_t full_tuples, double scale) {
+  if (const char* env = std::getenv("SKYMR_FULL");
+      env != nullptr && std::strcmp(env, "1") == 0) {
+    return full_tuples;
+  }
+  if (const char* env = std::getenv("SKYMR_SCALE"); env != nullptr) {
+    scale *= std::strtod(env, nullptr);
+  }
+  const auto scaled =
+      static_cast<size_t>(static_cast<double>(full_tuples) * scale);
+  return scaled < 1000 ? 1000 : scaled;
+}
+
 double Now() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -211,8 +230,7 @@ struct InsertResult {
 
 InsertResult BenchWindowInsert(double scale, int reps) {
   InsertResult out;
-  out.tuples = static_cast<size_t>(1e6 * scale);
-  out.tuples = out.tuples < 1000 ? 1000 : out.tuples;
+  out.tuples = EnvScaledTuples(1000000, scale);
   out.dim = 6;
 
   data::GeneratorConfig config;

@@ -1,0 +1,107 @@
+// Harness: differential testing of the BBS R-tree kernel against BNL.
+//
+// The fuzz input is byte-sliced into a small dataset (dimension, row
+// count, optional coarse value lattice forcing exact ties, explicit
+// duplicate rows), adversarial R-tree packing parameters, and an
+// optional constraint box. BBS — tree build, mindist heap, tree-descent
+// dominance oracle — must return exactly the id set the windowed BNL
+// scan returns on the same rows. Any divergence (missed skyline point,
+// dominated survivor, duplicate mishandling, constraint leak) aborts.
+//
+// Field consumption order is load-bearing: fuzz/gen_seed_corpus.cc
+// writes seed inputs by appending fields in exactly the order consumed
+// here. Keep the two in sync.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/fuzz_common.h"
+#include "src/local/bbs.h"
+#include "src/local/bnl.h"
+#include "src/relation/box.h"
+#include "src/relation/dataset.h"
+
+namespace {
+
+using skymr::fuzz::FuzzInput;
+
+std::vector<skymr::TupleId> SortedIds(const skymr::SkylineWindow& window) {
+  std::vector<skymr::TupleId> ids = window.ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 4096) {
+    return 0;  // Small datasets already cover the structural state space.
+  }
+  FuzzInput input(data, size);
+
+  const size_t dim = static_cast<size_t>(input.ConsumeIntegralInRange(1, 6));
+  const size_t n = static_cast<size_t>(input.ConsumeIntegralInRange(0, 64));
+  // lattice > 0 snaps coordinates to lattice levels: exact ties and
+  // duplicated MBR corners, the hard cases for tree pruning.
+  const uint64_t lattice = input.ConsumeIntegralInRange(0, 6);
+  // Degenerate packing parameters (1-row leaves, 2-way fanout) make the
+  // tree as deep and as oddly filled as it can get.
+  skymr::RtreeOptions options;
+  options.leaf_capacity =
+      static_cast<uint32_t>(input.ConsumeIntegralInRange(1, 16));
+  options.fanout = static_cast<uint32_t>(input.ConsumeIntegralInRange(2, 8));
+  const bool use_box = input.ConsumeBool();
+  skymr::Box box;
+  if (use_box) {
+    for (size_t k = 0; k < dim; ++k) {
+      const double a = input.ConsumeUnitDouble();
+      const double b = input.ConsumeUnitDouble();
+      box.lo.push_back(std::min(a, b));
+      box.hi.push_back(std::max(a, b));
+    }
+  }
+
+  skymr::Dataset dataset(dim);
+  std::vector<double> row(dim);
+  for (size_t i = 0; i < n; ++i) {
+    if (input.ConsumeBool() && i > 0) {
+      const auto src = static_cast<skymr::TupleId>(
+          input.ConsumeIntegralInRange(0, i - 1));
+      dataset.Append(dataset.Row(src));
+      continue;
+    }
+    for (double& v : row) {
+      if (lattice > 0) {
+        v = static_cast<double>(input.ConsumeRaw<uint8_t>() % lattice) /
+            static_cast<double>(lattice);
+      } else {
+        v = input.ConsumeUnitDouble();
+      }
+    }
+    dataset.Append(row);
+  }
+
+  const skymr::Box* constraint = use_box ? &box : nullptr;
+  skymr::BbsStats stats;
+  const skymr::SkylineWindow bbs =
+      skymr::BbsSkyline(dataset, nullptr, &stats, constraint, nullptr,
+                        options);
+
+  // Reference: filter by the box by hand, then run the windowed scan.
+  std::vector<skymr::TupleId> inside;
+  for (skymr::TupleId id = 0; id < dataset.size(); ++id) {
+    if (constraint == nullptr ||
+        constraint->Contains(dataset.Row(id).data(), dim)) {
+      inside.push_back(id);
+    }
+  }
+  const skymr::SkylineWindow bnl = skymr::BnlSkyline({dataset, inside});
+
+  SKYMR_FUZZ_ASSERT(bbs.size() == bnl.size());
+  SKYMR_FUZZ_ASSERT(SortedIds(bbs) == SortedIds(bnl));
+  // Instrumentation sanity: a non-empty result means the traversal
+  // popped at least the root.
+  SKYMR_FUZZ_ASSERT(bbs.empty() || stats.heap_peak > 0);
+  return 0;
+}

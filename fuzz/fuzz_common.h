@@ -71,8 +71,10 @@ class FuzzInput {
     static_assert(std::is_trivially_copyable_v<T>);
     T value{};
     const size_t take = std::min(sizeof(T), remaining());
-    std::memcpy(&value, data_ + pos_, take);
-    pos_ += take;
+    if (take != 0) {  // data_ may be null for an empty input.
+      std::memcpy(&value, data_ + pos_, take);
+      pos_ += take;
+    }
     return value;
   }
 

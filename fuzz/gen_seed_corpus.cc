@@ -407,6 +407,90 @@ void ConfigSeeds(const fs::path& root) {
   }
 }
 
+// ----------------------------------------------------------- bbs_parity
+
+/// Fields in fuzz_bbs_parity.cc's consumption order. Range draws read a
+/// uint64 and map it as lo + raw % span, so a raw of (value - lo) lands
+/// exactly on `value`.
+void BbsParitySeeds(const fs::path& root) {
+  {
+    // Coarse 3-level lattice in 3-d: exact ties, duplicated MBR corners,
+    // small leaves forcing a multi-level tree.
+    SeedBuilder b;
+    b.Raw<uint64_t>(2);   // dim = 3
+    b.Raw<uint64_t>(24);  // n = 24
+    b.Raw<uint64_t>(3);   // lattice = 3
+    b.Raw<uint64_t>(3);   // leaf_capacity = 4
+    b.Raw<uint64_t>(0);   // fanout = 2
+    b.Raw<uint8_t>(0);    // no constraint box
+    for (uint32_t i = 0; i < 24; ++i) {
+      b.Raw<uint8_t>(0);  // fresh row, not a duplicate
+      for (uint32_t k = 0; k < 3; ++k) {
+        b.Raw<uint8_t>(static_cast<uint8_t>(i * 7 + k * 3));
+      }
+    }
+    WriteSeed(root, "bbs_parity", "lattice_ties", b.bytes());
+  }
+  {
+    // Continuous 2-d rows with duplicates and a constraint box that
+    // excludes a dominating corner point.
+    SeedBuilder b;
+    b.Raw<uint64_t>(1);   // dim = 2
+    b.Raw<uint64_t>(16);  // n = 16
+    b.Raw<uint64_t>(0);   // continuous values
+    b.Raw<uint64_t>(15);  // leaf_capacity = 16
+    b.Raw<uint64_t>(6);   // fanout = 8
+    b.Raw<uint8_t>(1);    // constraint box present
+    for (uint32_t k = 0; k < 2; ++k) {
+      b.Raw<uint32_t>(0x33333333);  // ~0.2
+      b.Raw<uint32_t>(0xcccccccc);  // ~0.8
+    }
+    for (uint32_t i = 0; i < 16; ++i) {
+      if (i % 5 == 4) {
+        b.Raw<uint8_t>(1);             // duplicate ...
+        b.Raw<uint64_t>(i % 3);        // ... of an early row
+        continue;
+      }
+      b.Raw<uint8_t>(0);
+      b.Raw<uint32_t>(0x11111111u * (i + 1));
+      b.Raw<uint32_t>(0x11111111u * (15 - i));
+    }
+    WriteSeed(root, "bbs_parity", "constrained_dups", b.bytes());
+  }
+  {
+    // Empty dataset with degenerate packing parameters.
+    SeedBuilder b;
+    b.Raw<uint64_t>(3);  // dim = 4
+    b.Raw<uint64_t>(0);  // n = 0
+    b.Raw<uint64_t>(0);  // continuous
+    b.Raw<uint64_t>(0);  // leaf_capacity = 1
+    b.Raw<uint64_t>(0);  // fanout = 2
+    b.Raw<uint8_t>(0);
+    WriteSeed(root, "bbs_parity", "empty", b.bytes());
+  }
+  {
+    // Deepest possible tree: 64 rows, 1-row leaves, 2-way fanout, binary
+    // value lattice (half the rows tie exactly).
+    SeedBuilder b;
+    b.Raw<uint64_t>(1);   // dim = 2
+    b.Raw<uint64_t>(64);  // n = 64
+    b.Raw<uint64_t>(2);   // lattice = 2
+    b.Raw<uint64_t>(0);   // leaf_capacity = 1
+    b.Raw<uint64_t>(0);   // fanout = 2
+    b.Raw<uint8_t>(0);
+    for (uint32_t i = 0; i < 64; ++i) {
+      b.Raw<uint8_t>(static_cast<uint8_t>(i % 11 == 10 ? 1 : 0));
+      if (i % 11 == 10) {
+        b.Raw<uint64_t>(i / 2);  // duplicate index draw
+        continue;
+      }
+      b.Raw<uint8_t>(static_cast<uint8_t>(i));
+      b.Raw<uint8_t>(static_cast<uint8_t>(i * 5 + 1));
+    }
+    WriteSeed(root, "bbs_parity", "deep_tree", b.bytes());
+  }
+}
+
 }  // namespace
 }  // namespace skymr::fuzz
 
@@ -421,6 +505,7 @@ int main(int argc, char** argv) {
   skymr::fuzz::CheckpointSeeds(root);
   skymr::fuzz::DatasetCsvSeeds(root);
   skymr::fuzz::ConfigSeeds(root);
+  skymr::fuzz::BbsParitySeeds(root);
   std::printf("gen_seed_corpus: wrote %d seed(s) under %s\n",
               skymr::fuzz::g_written, root.c_str());
   return 0;

@@ -110,7 +110,7 @@ SkyQuadtree SkyQuadtree::Build(const Dataset& data, const Bounds& bounds,
   // Mark pruned leaves using the sample skyline: a leaf whose best corner
   // is dominated by a (real) sample tuple holds only dominated tuples.
   if (tree.sample_count_ > 0) {
-    const SkylineWindow sample_skyline = BnlSkyline(data, sample);
+    const SkylineWindow sample_skyline = BnlSkyline({data, sample});
     for (Leaf& leaf : tree.leaves_) {
       for (size_t s = 0; s < sample_skyline.size(); ++s) {
         if (Dominates(sample_skyline.RowAt(s), leaf.lo.data(), dim)) {

@@ -84,6 +84,17 @@ Status RunnerConfig::Validate() const {
   if (algorithm == Algorithm::kMrAngle && angle_partitions < 1) {
     return Status::InvalidArgument("mr-angle: angle_partitions must be >= 1");
   }
+  switch (local_algorithm) {
+    case core::LocalAlgorithm::kBnl:
+    case core::LocalAlgorithm::kSfs:
+    case core::LocalAlgorithm::kBbs:
+    case core::LocalAlgorithm::kAuto:
+      break;
+    default:
+      // Configs can arrive from untrusted bytes (fuzz_config); reject
+      // enum values outside the declared range before any job runs.
+      return Status::InvalidArgument("local_algorithm out of range");
+  }
   return Status::OK();
 }
 

@@ -51,7 +51,8 @@ struct RunnerConfig {
   core::GroupMergeStrategy merge =
       core::GroupMergeStrategy::kComputationCost;
   /// Mapper-side local skyline algorithm (kBnl is the paper's
-  /// InsertTuple; kSfs realizes the Section 8 future-work optimization).
+  /// InsertTuple; kSfs and the R-tree kBbs realize the Section 8
+  /// future-work optimization; kAuto picks kBbs vs kSfs per partition).
   core::LocalAlgorithm local_algorithm = core::LocalAlgorithm::kBnl;
   /// Hybrid switch tunables (Algorithm::kHybrid only).
   core::HybridPolicy hybrid;

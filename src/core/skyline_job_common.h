@@ -8,15 +8,18 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "src/common/dynamic_bitset.h"
+#include "src/common/status.h"
 #include "src/core/bitstring_job.h"
 #include "src/core/compare_partitions.h"
 #include "src/core/grid.h"
 #include "src/core/independent_groups.h"
 #include "src/core/messages.h"
 #include "src/common/logging.h"
+#include "src/local/bbs.h"
 #include "src/local/sfs.h"
 #include "src/local/skyline_window.h"
 #include "src/mapreduce/job.h"
@@ -33,10 +36,16 @@ inline constexpr const char* kCacheKeySkylineContext = "skymr.skyline_ctx";
 /// skylines. The paper uses InsertTuple (streaming BNL, Algorithm 4) and
 /// names optimizing this step as future work (Section 8); kSfs realizes
 /// that with presorting (Chomicki et al.): buffer a partition's tuples,
-/// sort by coordinate sum, then filter with one-directional checks.
+/// sort by coordinate sum, then filter with one-directional checks. kBbs
+/// is the output-sensitive branch-and-bound kernel over a bulk-loaded
+/// R-tree (src/local/bbs.h); kAuto picks kBbs or kSfs per partition from
+/// its size and dimensionality (ResolveAutoKernel below), recording the
+/// decisions in the JobReport via the skymr.bbs.auto_* counters.
 enum class LocalAlgorithm {
   kBnl,
   kSfs,
+  kBbs,
+  kAuto,
 };
 
 inline const char* LocalAlgorithmName(LocalAlgorithm algorithm) {
@@ -45,9 +54,53 @@ inline const char* LocalAlgorithmName(LocalAlgorithm algorithm) {
       return "bnl";
     case LocalAlgorithm::kSfs:
       return "sfs";
+    case LocalAlgorithm::kBbs:
+      return "bbs";
+    case LocalAlgorithm::kAuto:
+      return "auto";
   }
   return "unknown";
 }
+
+inline StatusOr<LocalAlgorithm> ParseLocalAlgorithm(const std::string& name) {
+  if (name == "bnl") {
+    return LocalAlgorithm::kBnl;
+  }
+  if (name == "sfs") {
+    return LocalAlgorithm::kSfs;
+  }
+  if (name == "bbs") {
+    return LocalAlgorithm::kBbs;
+  }
+  if (name == "auto") {
+    return LocalAlgorithm::kAuto;
+  }
+  return Status::InvalidArgument("unknown local algorithm: " + name);
+}
+
+/// kAuto's per-partition choice. The crossover is empirical
+/// (bench_kernel_crossover baseline): the tree kernel's per-candidate
+/// descents beat the window scan once the skyline is a large fraction of
+/// the partition — high dimensionality — and the partition is big enough
+/// to amortize the STR build; below that, SFS's sorted scan wins.
+inline LocalAlgorithm ResolveAutoKernel(size_t partition_tuples,
+                                        size_t dim) {
+  return (dim >= 5 && partition_tuples >= 512) ? LocalAlgorithm::kBbs
+                                               : LocalAlgorithm::kSfs;
+}
+
+/// Deterministic BBS counters (DESIGN.md §13.5). The first three total
+/// BbsStats across a task's partitions; the auto_* pair records kAuto's
+/// per-partition decisions in the JobReport.
+inline constexpr const char* kCounterBbsNodesVisited =
+    "skymr.bbs.nodes_visited";
+inline constexpr const char* kCounterBbsEntriesPruned =
+    "skymr.bbs.entries_pruned";
+inline constexpr const char* kCounterBbsHeapPeak = "skymr.bbs.heap_peak";
+inline constexpr const char* kCounterBbsAutoBbs =
+    "skymr.bbs.auto_bbs_partitions";
+inline constexpr const char* kCounterBbsAutoSfs =
+    "skymr.bbs.auto_sfs_partitions";
 
 /// Side data broadcast to every task of a skyline job: the grid, the
 /// Equation 2 bitstring BS_R, the optional constraint box, and (for
@@ -125,8 +178,9 @@ class LocalSkylinePhase {
       ++tuples_pruned_;
       return;  // Line 4: the partition cannot contain skyline tuples.
     }
-    if (context_->local_algorithm == LocalAlgorithm::kSfs) {
-      buffered_[cell].push_back(id);  // SFS sorts the whole partition.
+    if (context_->local_algorithm != LocalAlgorithm::kBnl) {
+      // SFS sorts and BBS tree-packs the whole partition at once.
+      buffered_[cell].push_back(id);
       return;
     }
     auto [it, inserted] =
@@ -140,10 +194,29 @@ class LocalSkylinePhase {
   /// as the skymr.window_size distribution.
   CellWindowMap Finish(mr::Counters* counters,
                        obs::HistogramSet* histograms) {
-    if (context_->local_algorithm == LocalAlgorithm::kSfs) {
+    const LocalAlgorithm algorithm = context_->local_algorithm;
+    if (algorithm != LocalAlgorithm::kBnl) {
       for (auto& [cell, ids] : buffered_) {
-        windows_.emplace(cell,
-                         SfsSkyline(*data_, ids, &dominance_counter_));
+        LocalAlgorithm resolved = algorithm;
+        if (algorithm == LocalAlgorithm::kAuto) {
+          resolved = ResolveAutoKernel(ids.size(), data_->dim());
+          if (resolved == LocalAlgorithm::kBbs) {
+            ++auto_bbs_partitions_;
+          } else {
+            ++auto_sfs_partitions_;
+          }
+        }
+        if (resolved == LocalAlgorithm::kBbs) {
+          // The constraint was applied per tuple in Add(); the kernel's
+          // own box hook is for callers outside the phase.
+          windows_.emplace(
+              cell, BbsSkyline({*data_, std::move(ids)},
+                               &dominance_counter_, &bbs_stats_,
+                               /*constraint=*/nullptr, &bbs_scratch_));
+        } else {
+          windows_.emplace(cell, SfsSkyline({*data_, std::move(ids)},
+                                            &dominance_counter_));
+        }
       }
       buffered_.clear();
     }
@@ -155,6 +228,21 @@ class LocalSkylinePhase {
                   static_cast<int64_t>(dominance_counter_.count()));
     counters->Add(mr::kCounterTuplesPruned,
                   static_cast<int64_t>(tuples_pruned_));
+    if (algorithm == LocalAlgorithm::kBbs ||
+        algorithm == LocalAlgorithm::kAuto) {
+      counters->Add(kCounterBbsNodesVisited,
+                    static_cast<int64_t>(bbs_stats_.nodes_visited));
+      counters->Add(kCounterBbsEntriesPruned,
+                    static_cast<int64_t>(bbs_stats_.entries_pruned));
+      counters->Add(kCounterBbsHeapPeak,
+                    static_cast<int64_t>(bbs_stats_.heap_peak));
+    }
+    if (algorithm == LocalAlgorithm::kAuto) {
+      counters->Add(kCounterBbsAutoBbs,
+                    static_cast<int64_t>(auto_bbs_partitions_));
+      counters->Add(kCounterBbsAutoSfs,
+                    static_cast<int64_t>(auto_sfs_partitions_));
+    }
     if (histograms != nullptr) {
       for (const auto& [cell, window] : windows_) {
         histograms->Add("skymr.window_size", window.size());
@@ -170,9 +258,13 @@ class LocalSkylinePhase {
   std::shared_ptr<const Dataset> data_;
   std::shared_ptr<const SkylineJobContext> context_;
   CellWindowMap windows_;
-  std::map<CellId, std::vector<TupleId>> buffered_;  // kSfs only.
+  std::map<CellId, std::vector<TupleId>> buffered_;  // non-kBnl kernels.
   DominanceCounter dominance_counter_;
+  BbsStats bbs_stats_;
+  BbsScratch bbs_scratch_;
   uint64_t tuples_pruned_ = 0;
+  uint64_t auto_bbs_partitions_ = 0;
+  uint64_t auto_sfs_partitions_ = 0;
 };
 
 }  // namespace skymr::core

@@ -1,0 +1,172 @@
+#include "src/local/bbs.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/trace.h"
+#include "src/relation/dominance_kernel.h"
+
+namespace skymr {
+namespace {
+
+// Heap "less": a orders AFTER b. Key ascending, nodes before points at
+// equal key, then index — a total order, so the pop sequence (and with
+// it every counter) is deterministic.
+bool PopsAfter(const BbsHeapEntry& a, const BbsHeapEntry& b) {
+  if (a.key != b.key) {
+    return a.key > b.key;
+  }
+  if (a.is_point != b.is_point) {
+    return a.is_point;
+  }
+  return a.idx > b.idx;
+}
+
+// Returns true iff some indexed row strictly dominates `candidate`.
+// Descends only subtrees whose lower corner is coordinate-wise <= the
+// candidate (no other subtree can hold a dominator), children in mindist
+// order so likely dominators surface early. Accounting mirrors SFS: one
+// unit per node corner test, plus `first + 1` (dominator found at
+// `first`) or `count` (none) units per leaf block scan.
+bool TreeDominated(const StrRtree& tree, const double* candidate,
+                   double candidate_sum, std::vector<uint32_t>* stack,
+                   uint64_t* units) {
+  const size_t dim = tree.dim();
+  stack->clear();
+  stack->push_back(tree.root());
+  while (!stack->empty()) {
+    const uint32_t id = stack->back();
+    stack->pop_back();
+    ++*units;
+    const double* lo = tree.NodeLo(id);
+    bool can_dominate = true;
+    for (size_t k = 0; k < dim; ++k) {
+      if (lo[k] > candidate[k]) {
+        can_dominate = false;
+        break;
+      }
+    }
+    if (!can_dominate) {
+      continue;
+    }
+    const RtreeNode& node = tree.node(id);
+    if (node.leaf) {
+      const size_t first =
+          FirstDominatorIndex(candidate, candidate_sum, tree.LeafRows(node),
+                              tree.LeafSums(node), node.count, dim);
+      *units += (first != node.count) ? first + 1 : node.count;
+      if (first != node.count) {
+        return true;
+      }
+    } else {
+      // Reverse push: the mindist-smallest child pops first.
+      for (uint32_t i = node.count; i-- > 0;) {
+        stack->push_back(tree.ChildAt(node, i));
+      }
+    }
+  }
+  return false;
+}
+
+void HeapPush(std::vector<BbsHeapEntry>* heap, const BbsHeapEntry& entry) {
+  heap->push_back(entry);
+  std::push_heap(heap->begin(), heap->end(), PopsAfter);
+}
+
+BbsHeapEntry HeapPop(std::vector<BbsHeapEntry>* heap) {
+  std::pop_heap(heap->begin(), heap->end(), PopsAfter);
+  const BbsHeapEntry entry = heap->back();
+  heap->pop_back();
+  return entry;
+}
+
+}  // namespace
+
+SkylineWindow BbsSkyline(LocalKernelInput input, DominanceCounter* counter,
+                         BbsStats* stats, const Box* constraint,
+                         BbsScratch* scratch, const RtreeOptions& options) {
+  const size_t dim = input.dim();
+  const Dataset& data = input.data();
+  SkylineWindow window(dim);
+  std::vector<TupleId> ids = std::move(input).TakeIds();
+  if (constraint != nullptr) {
+    ids.erase(std::remove_if(ids.begin(), ids.end(),
+                             [&](TupleId id) {
+                               return !constraint->Contains(data.RowPtr(id),
+                                                            dim);
+                             }),
+              ids.end());
+  }
+  if (ids.empty()) {
+    return window;
+  }
+
+  BbsScratch local;
+  BbsScratch& s = scratch != nullptr ? *scratch : local;
+  {
+    SKYMR_TRACE_SPAN("bbs.build", "tuples",
+                     static_cast<int64_t>(ids.size()), "dim",
+                     static_cast<int64_t>(dim));
+    s.tree.Build(data, std::move(ids), options);
+  }
+
+  SKYMR_TRACE_SPAN("bbs.query", "tuples",
+                   static_cast<int64_t>(s.tree.size()));
+  uint64_t units = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t entries_pruned = 0;
+  uint64_t heap_peak = 0;
+  s.heap.clear();
+  HeapPush(&s.heap,
+           BbsHeapEntry{s.tree.NodeMindist(s.tree.root()), s.tree.root(),
+                        false});
+  heap_peak = 1;
+  while (!s.heap.empty()) {
+    const BbsHeapEntry entry = HeapPop(&s.heap);
+    if (entry.is_point) {
+      const double* row = s.tree.SlotRow(entry.idx);
+      if (TreeDominated(s.tree, row, s.tree.SlotSum(entry.idx), &s.stack,
+                        &units)) {
+        ++entries_pruned;
+      } else {
+        window.AppendUnchecked(row, s.tree.SlotId(entry.idx));
+      }
+      continue;
+    }
+    // A strictly dominated lower corner kills the whole subtree: the
+    // witness row is <= the corner everywhere and < on some axis, and
+    // every subtree row is >= the corner everywhere.
+    if (TreeDominated(s.tree, s.tree.NodeLo(entry.idx),
+                      s.tree.NodeMindist(entry.idx), &s.stack, &units)) {
+      ++entries_pruned;
+      continue;
+    }
+    ++nodes_visited;
+    const RtreeNode& node = s.tree.node(entry.idx);
+    if (node.leaf) {
+      for (uint32_t slot = node.first; slot < node.first + node.count;
+           ++slot) {
+        HeapPush(&s.heap, BbsHeapEntry{s.tree.SlotSum(slot), slot, true});
+      }
+    } else {
+      for (uint32_t i = 0; i < node.count; ++i) {
+        const uint32_t child = s.tree.ChildAt(node, i);
+        HeapPush(&s.heap,
+                 BbsHeapEntry{s.tree.NodeMindist(child), child, false});
+      }
+    }
+    heap_peak = std::max<uint64_t>(heap_peak, s.heap.size());
+  }
+
+  if (counter != nullptr) {
+    counter->Add(units);
+  }
+  if (stats != nullptr) {
+    stats->nodes_visited += nodes_visited;
+    stats->entries_pruned += entries_pruned;
+    stats->heap_peak += heap_peak;
+  }
+  return window;
+}
+
+}  // namespace skymr

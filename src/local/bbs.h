@@ -1,0 +1,66 @@
+// Branch-and-bound skyline (BBS, Papadias et al., SIGMOD'03) over the
+// STR-packed R-tree: pop heap entries in ascending mindist (coordinate
+// sum of the lower MBR corner), prune entries whose corner is strictly
+// dominated, and report every surviving point. The dominance oracle is
+// the data tree itself: a candidate is discarded iff SOME indexed row
+// strictly dominates it — the dominator does not have to be a skyline
+// point (dominance is transitive), so the test can descend the static
+// tree and check leaf blocks with the AVX2 dominance kernel instead of
+// scanning the flat window. That makes the test output-sensitive in the
+// regime where window scans degrade: anti-correlated, high-dimensional
+// partitions with huge skylines (see DESIGN.md §14 for the correctness
+// argument and measured crossover).
+
+#ifndef SKYMR_LOCAL_BBS_H_
+#define SKYMR_LOCAL_BBS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/local/kernel_input.h"
+#include "src/local/rtree.h"
+#include "src/local/skyline_window.h"
+#include "src/relation/box.h"
+
+namespace skymr {
+
+/// Deterministic instrumentation, accumulated across calls (one stats
+/// object per map task; the totals feed the skymr.bbs.* counters).
+struct BbsStats {
+  uint64_t nodes_visited = 0;   ///< Tree nodes expanded from the heap.
+  uint64_t entries_pruned = 0;  ///< Heap entries discarded as dominated.
+  uint64_t heap_peak = 0;       ///< Sum over calls of the heap's peak size.
+};
+
+/// One heap entry: an R-tree node or a point slot, keyed by its mindist
+/// lower bound.
+struct BbsHeapEntry {
+  double key = 0;
+  uint32_t idx = 0;
+  bool is_point = false;
+};
+
+/// Reusable per-call scratch: the R-tree arenas, the traversal heap, and
+/// the descent stack keep their capacity across partitions. Treat as
+/// opaque; contents are unspecified between calls.
+struct BbsScratch {
+  StrRtree tree;
+  std::vector<BbsHeapEntry> heap;
+  std::vector<uint32_t> stack;
+};
+
+/// Computes the skyline of `input` via BBS. When `constraint` is given,
+/// rows outside the box are dropped before the tree is built (the
+/// constrained skyline is the skyline OF the in-box rows, so out-of-box
+/// rows can neither survive nor serve as dominators). `stats` and
+/// `scratch` may be null; pass a per-task scratch to reuse allocations.
+SkylineWindow BbsSkyline(LocalKernelInput input,
+                         DominanceCounter* counter = nullptr,
+                         BbsStats* stats = nullptr,
+                         const Box* constraint = nullptr,
+                         BbsScratch* scratch = nullptr,
+                         const RtreeOptions& options = RtreeOptions());
+
+}  // namespace skymr
+
+#endif  // SKYMR_LOCAL_BBS_H_

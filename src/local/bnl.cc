@@ -2,24 +2,12 @@
 
 namespace skymr {
 
-SkylineWindow BnlSkyline(const Dataset& data, TupleId begin, TupleId end,
+SkylineWindow BnlSkyline(const LocalKernelInput& input,
                          DominanceCounter* counter) {
-  SkylineWindow window(data.dim());
-  for (TupleId id = begin; id < end; ++id) {
-    window.Insert(data.RowPtr(id), id, counter);
-  }
-  return window;
-}
-
-SkylineWindow BnlSkyline(const Dataset& data, DominanceCounter* counter) {
-  return BnlSkyline(data, 0, static_cast<TupleId>(data.size()), counter);
-}
-
-SkylineWindow BnlSkyline(const Dataset& data, const std::vector<TupleId>& ids,
-                         DominanceCounter* counter) {
-  SkylineWindow window(data.dim());
-  for (const TupleId id : ids) {
-    window.Insert(data.RowPtr(id), id, counter);
+  SkylineWindow window(input.dim());
+  const size_t n = input.size();
+  for (size_t i = 0; i < n; ++i) {
+    window.Insert(input.RowAt(i), input.IdAt(i), counter);
   }
   return window;
 }

@@ -5,23 +5,16 @@
 #ifndef SKYMR_LOCAL_BNL_H_
 #define SKYMR_LOCAL_BNL_H_
 
-#include <vector>
-
+#include "src/local/kernel_input.h"
 #include "src/local/skyline_window.h"
-#include "src/relation/dataset.h"
 
 namespace skymr {
 
-/// Computes the skyline of tuples [begin, end) of `data` via BNL.
-SkylineWindow BnlSkyline(const Dataset& data, TupleId begin, TupleId end,
-                         DominanceCounter* counter = nullptr);
-
-/// Computes the skyline of the whole dataset via BNL.
-SkylineWindow BnlSkyline(const Dataset& data,
-                         DominanceCounter* counter = nullptr);
-
-/// Computes the skyline of an explicit id subset via BNL.
-SkylineWindow BnlSkyline(const Dataset& data, const std::vector<TupleId>& ids,
+/// Computes the skyline of `input` via BNL. Call sites pass a whole
+/// dataset, `{data, begin, end}`, or `{data, ids}` (LocalKernelInput
+/// converts from all three shapes); tuples stream through the window in
+/// input order without materializing an id list.
+SkylineWindow BnlSkyline(const LocalKernelInput& input,
                          DominanceCounter* counter = nullptr);
 
 }  // namespace skymr

@@ -1,0 +1,81 @@
+// LocalKernelInput: the one input shape every local skyline kernel
+// consumes. Callers hand a kernel either a whole dataset, a contiguous
+// [begin, end) id range, or an explicit id subset; the adapter carries the
+// shape so each algorithm (BNL / SFS / BBS) exposes a single entry point
+// instead of re-declaring the three overloads per header.
+//
+// The range and whole-dataset shapes stay lazy — no id vector is
+// materialized until a kernel asks for one via TakeIds() — so BNL's
+// streaming scan over a range is as allocation-free as it was with the
+// dedicated overload.
+
+#ifndef SKYMR_LOCAL_KERNEL_INPUT_H_
+#define SKYMR_LOCAL_KERNEL_INPUT_H_
+
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "src/relation/dataset.h"
+
+namespace skymr {
+
+/// A reference to the tuples one local-kernel call runs over. Converting
+/// constructors (intentionally implicit) let call sites write
+/// `SfsSkyline(data)`, `SfsSkyline({data, begin, end})`, or
+/// `SfsSkyline({data, ids})`. The referenced dataset (and id vector, for
+/// the subset shape) must outlive the kernel call.
+class LocalKernelInput {
+ public:
+  /// The whole dataset.
+  LocalKernelInput(const Dataset& data)
+      : data_(&data), begin_(0), end_(static_cast<TupleId>(data.size())) {}
+
+  /// The contiguous id range [begin, end). Precondition: begin <= end and
+  /// end <= data.size().
+  LocalKernelInput(const Dataset& data, TupleId begin, TupleId end)
+      : data_(&data), begin_(begin), end_(end) {}
+
+  /// An explicit id subset, visited in the given order.
+  LocalKernelInput(const Dataset& data, std::vector<TupleId> ids)
+      : data_(&data), ids_(std::move(ids)), has_ids_(true) {}
+
+  const Dataset& data() const { return *data_; }
+  size_t dim() const { return data_->dim(); }
+
+  size_t size() const {
+    return has_ids_ ? ids_.size() : static_cast<size_t>(end_ - begin_);
+  }
+  bool empty() const { return size() == 0; }
+
+  /// The i-th tuple id of this input. Precondition: i < size().
+  TupleId IdAt(size_t i) const {
+    return has_ids_ ? ids_[i] : begin_ + static_cast<TupleId>(i);
+  }
+
+  /// Row pointer of the i-th tuple. Precondition: i < size().
+  const double* RowAt(size_t i) const { return data_->RowPtr(IdAt(i)); }
+
+  /// Materializes the id list (moved out for the subset shape, an iota
+  /// fill for the others). Kernels that reorder ids (SFS sort, BBS STR
+  /// packing) take ownership this way instead of copying.
+  std::vector<TupleId> TakeIds() && {
+    if (has_ids_) {
+      return std::move(ids_);
+    }
+    std::vector<TupleId> ids(size());
+    std::iota(ids.begin(), ids.end(), begin_);
+    return ids;
+  }
+
+ private:
+  const Dataset* data_;
+  TupleId begin_ = 0;
+  TupleId end_ = 0;
+  std::vector<TupleId> ids_;
+  bool has_ids_ = false;
+};
+
+}  // namespace skymr
+
+#endif  // SKYMR_LOCAL_KERNEL_INPUT_H_

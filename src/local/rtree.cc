@@ -1,0 +1,152 @@
+#include "src/local/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/relation/dominance_kernel.h"
+
+namespace skymr {
+namespace {
+
+// Recursive STR tiling: sort [lo, hi) on axis `k` (ties by id, for a
+// deterministic layout), slice into slabs sized to a whole number of
+// leaves, recurse on the next axis. Leaves end up as consecutive runs of
+// `leaf_capacity` slots, all full except possibly the last.
+void StrSort(const Dataset& data, std::vector<TupleId>& ids, size_t lo,
+             size_t hi, size_t k, size_t leaf_capacity) {
+  const size_t n = hi - lo;
+  const size_t dim = data.dim();
+  std::sort(ids.begin() + static_cast<ptrdiff_t>(lo),
+            ids.begin() + static_cast<ptrdiff_t>(hi),
+            [&data, k](TupleId a, TupleId b) {
+              const double va = data.RowPtr(a)[k];
+              const double vb = data.RowPtr(b)[k];
+              return va != vb ? va < vb : a < b;
+            });
+  if (n <= leaf_capacity || k + 1 >= dim) {
+    return;
+  }
+  const size_t leaves = (n + leaf_capacity - 1) / leaf_capacity;
+  const size_t axes_left = dim - k;
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(std::pow(
+             static_cast<double>(leaves),
+             1.0 / static_cast<double>(axes_left)))));
+  const size_t slab =
+      ((n + slabs - 1) / slabs + leaf_capacity - 1) / leaf_capacity *
+      leaf_capacity;
+  for (size_t s = lo; s < hi; s += slab) {
+    StrSort(data, ids, s, std::min(hi, s + slab), k + 1, leaf_capacity);
+  }
+}
+
+}  // namespace
+
+void StrRtree::Build(const Dataset& data, std::vector<TupleId> ids,
+                     const RtreeOptions& options) {
+  dim_ = data.dim();
+  root_ = 0;
+  nodes_.clear();
+  lo_.clear();
+  hi_.clear();
+  mindist_.clear();
+  children_.clear();
+  slot_ids_ = std::move(ids);
+  rows_.clear();
+  sums_.clear();
+  if (slot_ids_.empty()) {
+    return;
+  }
+  const size_t leaf_capacity = std::max<uint32_t>(2, options.leaf_capacity);
+  const size_t fanout = std::max<uint32_t>(2, options.fanout);
+  const size_t n = slot_ids_.size();
+
+  StrSort(data, slot_ids_, 0, n, 0, leaf_capacity);
+  // Within each leaf run, order slots by (sum, id): the block scan then
+  // meets the likeliest dominators first, and equal-sum ties stay
+  // deterministic.
+  for (size_t i = 0; i < n; i += leaf_capacity) {
+    const auto run_begin = slot_ids_.begin() + static_cast<ptrdiff_t>(i);
+    const auto run_end =
+        slot_ids_.begin() +
+        static_cast<ptrdiff_t>(std::min(n, i + leaf_capacity));
+    std::sort(run_begin, run_end, [&data, this](TupleId a, TupleId b) {
+      const double sa = CoordinateSum(data.RowPtr(a), dim_);
+      const double sb = CoordinateSum(data.RowPtr(b), dim_);
+      return sa != sb ? sa < sb : a < b;
+    });
+  }
+  rows_.resize(n * dim_);
+  sums_.resize(n);
+  for (size_t s = 0; s < n; ++s) {
+    std::copy_n(data.RowPtr(slot_ids_[s]), dim_, &rows_[s * dim_]);
+  }
+  CoordinateSums(rows_.data(), n, dim_, sums_.data());
+
+  // Leaf level: one node per consecutive slot run.
+  level_.clear();
+  for (size_t i = 0; i < n; i += leaf_capacity) {
+    const uint32_t count =
+        static_cast<uint32_t>(std::min(n - i, leaf_capacity));
+    const uint32_t id = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(RtreeNode{static_cast<uint32_t>(i), count, true});
+    lo_.resize(lo_.size() + dim_);
+    hi_.resize(hi_.size() + dim_);
+    double* node_lo = &lo_[id * dim_];
+    double* node_hi = &hi_[id * dim_];
+    std::copy_n(&rows_[i * dim_], dim_, node_lo);
+    std::copy_n(&rows_[i * dim_], dim_, node_hi);
+    for (size_t j = 1; j < count; ++j) {
+      const double* row = &rows_[(i + j) * dim_];
+      for (size_t k = 0; k < dim_; ++k) {
+        node_lo[k] = std::min(node_lo[k], row[k]);
+        node_hi[k] = std::max(node_hi[k], row[k]);
+      }
+    }
+    mindist_.push_back(CoordinateSum(node_lo, dim_));
+    level_.push_back(id);
+  }
+
+  // Internal levels: pack `fanout` consecutive children per parent, with
+  // each sibling list ordered by (mindist, id) so descents try the
+  // likeliest-dominating subtree first.
+  while (level_.size() > 1) {
+    next_level_.clear();
+    for (size_t i = 0; i < level_.size(); i += fanout) {
+      const uint32_t count =
+          static_cast<uint32_t>(std::min(level_.size() - i, fanout));
+      const uint32_t child_first = static_cast<uint32_t>(children_.size());
+      children_.insert(children_.end(),
+                       level_.begin() + static_cast<ptrdiff_t>(i),
+                       level_.begin() + static_cast<ptrdiff_t>(i + count));
+      std::sort(children_.begin() + child_first, children_.end(),
+                [this](uint32_t a, uint32_t b) {
+                  return mindist_[a] != mindist_[b]
+                             ? mindist_[a] < mindist_[b]
+                             : a < b;
+                });
+      const uint32_t id = static_cast<uint32_t>(nodes_.size());
+      nodes_.push_back(RtreeNode{child_first, count, false});
+      lo_.resize(lo_.size() + dim_);
+      hi_.resize(hi_.size() + dim_);
+      double* node_lo = &lo_[id * dim_];
+      double* node_hi = &hi_[id * dim_];
+      const uint32_t c0 = children_[child_first];
+      std::copy_n(&lo_[c0 * dim_], dim_, node_lo);
+      std::copy_n(&hi_[c0 * dim_], dim_, node_hi);
+      for (uint32_t j = 1; j < count; ++j) {
+        const uint32_t c = children_[child_first + j];
+        for (size_t k = 0; k < dim_; ++k) {
+          node_lo[k] = std::min(node_lo[k], lo_[c * dim_ + k]);
+          node_hi[k] = std::max(node_hi[k], hi_[c * dim_ + k]);
+        }
+      }
+      mindist_.push_back(CoordinateSum(node_lo, dim_));
+      next_level_.push_back(id);
+    }
+    level_.swap(next_level_);
+  }
+  root_ = level_.front();
+}
+
+}  // namespace skymr

@@ -1,0 +1,105 @@
+// Packed static R-tree over a subset of dataset rows, bulk loaded with
+// Sort-Tile-Recursive packing (Leutenegger et al., ICDE'97). Built once
+// per partition and never updated, so the layout is pure arenas: flat
+// node records, node-major MBR corner arrays, and a slot-major copy of
+// the indexed rows so leaf blocks feed the AVX2 dominance kernel as one
+// contiguous `rows` pointer. All arenas keep their capacity across
+// Build() calls — one tree object per map task is the intended reuse
+// pattern (same allocation-lean discipline as the shuffle buffers).
+//
+// Determinism: the STR sort breaks coordinate ties by tuple id and
+// sibling lists are ordered by (mindist, node id), so the same id set
+// always yields the same tree — retried map attempts rebuild it
+// bit-identically.
+
+#ifndef SKYMR_LOCAL_RTREE_H_
+#define SKYMR_LOCAL_RTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/relation/dataset.h"
+
+namespace skymr {
+
+/// STR packing parameters. The defaults match the dominance kernel's
+/// sweet spot: 16-row leaf blocks amortize the block scan setup, and an
+/// 8-way fanout keeps the tree shallow for the per-candidate descents.
+struct RtreeOptions {
+  uint32_t leaf_capacity = 16;
+  uint32_t fanout = 8;
+};
+
+/// One packed node. For a leaf, [first, first + count) indexes the slot
+/// arena (contiguous rows); for an internal node it indexes the child-id
+/// arena (see StrRtree::ChildAt).
+struct RtreeNode {
+  uint32_t first = 0;
+  uint32_t count = 0;
+  bool leaf = false;
+};
+
+/// The bulk-loaded tree. Lookup-only after Build().
+class StrRtree {
+ public:
+  /// (Re)builds the tree over `ids`, copying their rows into the slot
+  /// arena in STR order. Accepts an empty id list (the tree becomes
+  /// empty; root() must not be called). Previous contents are discarded
+  /// but capacity is retained.
+  void Build(const Dataset& data, std::vector<TupleId> ids,
+             const RtreeOptions& options = RtreeOptions());
+
+  bool empty() const { return slot_ids_.empty(); }
+  /// Number of indexed rows.
+  size_t size() const { return slot_ids_.size(); }
+  size_t dim() const { return dim_; }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Root node id. Precondition: !empty().
+  uint32_t root() const { return root_; }
+
+  const RtreeNode& node(uint32_t id) const { return nodes_[id]; }
+  /// Lower / upper MBR corner of a node (dim() doubles each).
+  const double* NodeLo(uint32_t id) const { return &lo_[id * dim_]; }
+  const double* NodeHi(uint32_t id) const { return &hi_[id * dim_]; }
+  /// CoordinateSum of the lower MBR corner: a lower bound on the
+  /// coordinate sum of every row in the subtree (the BBS mindist key).
+  double NodeMindist(uint32_t id) const { return mindist_[id]; }
+  /// i-th child id of an internal node, mindist-ascending. Precondition:
+  /// !node.leaf and i < node.count.
+  uint32_t ChildAt(const RtreeNode& node, uint32_t i) const {
+    return children_[node.first + i];
+  }
+
+  /// Slot accessors (slots are STR positions, 0 .. size()-1).
+  TupleId SlotId(uint32_t slot) const { return slot_ids_[slot]; }
+  const double* SlotRow(uint32_t slot) const { return &rows_[slot * dim_]; }
+  double SlotSum(uint32_t slot) const { return sums_[slot]; }
+  /// Contiguous rows / precomputed sums of a leaf's slot run, in the
+  /// dominance kernel's block layout. Precondition: node.leaf.
+  const double* LeafRows(const RtreeNode& node) const {
+    return &rows_[node.first * dim_];
+  }
+  const double* LeafSums(const RtreeNode& node) const {
+    return &sums_[node.first];
+  }
+
+ private:
+  size_t dim_ = 0;
+  uint32_t root_ = 0;
+  std::vector<RtreeNode> nodes_;
+  std::vector<double> lo_;         // node-major lower corners
+  std::vector<double> hi_;         // node-major upper corners
+  std::vector<double> mindist_;    // per-node lower-corner sums
+  std::vector<uint32_t> children_; // child-id arena for internal nodes
+  std::vector<TupleId> slot_ids_;  // slot -> tuple id, STR order
+  std::vector<double> rows_;       // slot-major row copies
+  std::vector<double> sums_;       // per-slot coordinate sums
+  std::vector<uint32_t> level_;    // Build() scratch: current level's ids
+  std::vector<uint32_t> next_level_;
+};
+
+}  // namespace skymr
+
+#endif  // SKYMR_LOCAL_RTREE_H_

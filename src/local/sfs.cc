@@ -1,22 +1,17 @@
 #include "src/local/sfs.h"
 
 #include <algorithm>
-#include <numeric>
+#include <utility>
+#include <vector>
 
 #include "src/relation/dominance_kernel.h"
 
 namespace skymr {
 
-SkylineWindow SfsSkyline(const Dataset& data, TupleId begin, TupleId end,
-                         DominanceCounter* counter) {
-  std::vector<TupleId> ids(end - begin);
-  std::iota(ids.begin(), ids.end(), begin);
-  return SfsSkyline(data, std::move(ids), counter);
-}
-
-SkylineWindow SfsSkyline(const Dataset& data, std::vector<TupleId> ids,
-                         DominanceCounter* counter) {
-  const size_t dim = data.dim();
+SkylineWindow SfsSkyline(LocalKernelInput input, DominanceCounter* counter) {
+  const Dataset& data = input.data();
+  const size_t dim = input.dim();
+  std::vector<TupleId> ids = std::move(input).TakeIds();
   // Monotone score: if score(a) <= score(b) then b cannot dominate a
   // (dominance implies a strictly smaller coordinate sum, ties excepted;
   // equal tuples never dominate each other).
@@ -45,10 +40,6 @@ SkylineWindow SfsSkyline(const Dataset& data, std::vector<TupleId> ids,
     counter->Add(checks);
   }
   return window;
-}
-
-SkylineWindow SfsSkyline(const Dataset& data, DominanceCounter* counter) {
-  return SfsSkyline(data, 0, static_cast<TupleId>(data.size()), counter);
 }
 
 }  // namespace skymr

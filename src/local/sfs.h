@@ -6,23 +6,15 @@
 #ifndef SKYMR_LOCAL_SFS_H_
 #define SKYMR_LOCAL_SFS_H_
 
-#include <vector>
-
+#include "src/local/kernel_input.h"
 #include "src/local/skyline_window.h"
-#include "src/relation/dataset.h"
 
 namespace skymr {
 
-/// Computes the skyline of tuples [begin, end) of `data` via SFS.
-SkylineWindow SfsSkyline(const Dataset& data, TupleId begin, TupleId end,
-                         DominanceCounter* counter = nullptr);
-
-/// Computes the skyline of the whole dataset via SFS.
-SkylineWindow SfsSkyline(const Dataset& data,
-                         DominanceCounter* counter = nullptr);
-
-/// Computes the skyline of an explicit id subset via SFS.
-SkylineWindow SfsSkyline(const Dataset& data, std::vector<TupleId> ids,
+/// Computes the skyline of `input` via SFS. Call sites pass a whole
+/// dataset, `{data, begin, end}`, or `{data, ids}` (LocalKernelInput
+/// converts from all three shapes).
+SkylineWindow SfsSkyline(LocalKernelInput input,
                          DominanceCounter* counter = nullptr);
 
 }  // namespace skymr

@@ -278,6 +278,58 @@ void CheckPruning(const JsonValue& report, const DoctorOptions& options,
              static_cast<long long>(nonempty), 100.0 * fraction)});
 }
 
+void CheckLocalKernel(const JsonValue& report, const DoctorOptions& options,
+                      std::vector<Finding>* findings) {
+  const int64_t dim = report.GetInt("dim", 0);
+  const int64_t tuples = report.GetInt("input_tuples", 0);
+  if (dim <= 0 || tuples < options.min_tuples_for_kernel) {
+    return;
+  }
+  // Dominance work and the BBS fingerprint, summed across the pipeline's
+  // jobs. skymr.bbs.* counters exist exactly when the BBS kernel ran.
+  int64_t comparisons = 0;
+  int64_t bbs_nodes = 0;
+  const JsonValue* jobs = report.Find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) {
+    return;
+  }
+  for (const JsonValue& job : jobs->AsArray()) {
+    const JsonValue* counters = job.Find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+      continue;
+    }
+    comparisons += counters->GetInt("skymr.tuple_comparisons", 0);
+    bbs_nodes += counters->GetInt("skymr.bbs.nodes_visited", 0);
+  }
+  if (comparisons <= 0) {
+    return;
+  }
+  const double cmp_per_tuple =
+      static_cast<double>(comparisons) / static_cast<double>(tuples);
+  if (bbs_nodes == 0) {
+    // Window kernel ran. At high dimensionality the skyline is large and
+    // window scans go quadratic; past the measured crossover the
+    // output-sensitive BBS does strictly less dominance work.
+    if (dim >= options.min_dim_for_bbs &&
+        cmp_per_tuple > options.wrong_kernel_cmp_per_tuple) {
+      findings->push_back(Finding{
+          Severity::kWarning, "local-kernel",
+          Format("local window kernel spent %.1f dominance comparisons "
+                 "per input tuple at dim=%lld — past the BBS crossover; "
+                 "rerun with --local-algorithm=bbs (or auto)",
+                 cmp_per_tuple, static_cast<long long>(dim))});
+    }
+  } else if (cmp_per_tuple < options.bbs_overkill_cmp_per_tuple) {
+    findings->push_back(Finding{
+        Severity::kInfo, "local-kernel",
+        Format("BBS kernel ran but the workload needed only %.1f "
+               "dominance comparisons per input tuple — the R-tree "
+               "build is pure overhead here; --local-algorithm=sfs (or "
+               "auto) is cheaper",
+               cmp_per_tuple)});
+  }
+}
+
 }  // namespace
 
 const char* SeverityName(Severity severity) {
@@ -317,6 +369,7 @@ StatusOr<std::vector<Finding>> AnalyzeReport(const JsonValue& report,
   CheckPpd(report, options, &findings);
   CheckCostModel(report, options, &findings);
   CheckPruning(report, options, &findings);
+  CheckLocalKernel(report, options, &findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return static_cast<int>(a.severity) >

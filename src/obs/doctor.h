@@ -17,6 +17,14 @@
 //                      predictions (Eq. 5-9) by a large factor;
 //   pruning            Equation 2 bitstring pruning removed almost no
 //                      partitions despite a large grid;
+//   local-kernel       the observed dominance-comparison volume says the
+//                      wrong local kernel ran: a window kernel (BNL/SFS)
+//                      burning far more comparisons per input tuple than
+//                      the R-tree BBS crossover predicts at that
+//                      dimensionality (warning; rerun with
+//                      --local-algorithm=bbs or auto), or BBS paying its
+//                      tree-build overhead on a run whose comparison
+//                      volume SFS would handle cheaply (info);
 //   reduce-imbalance   reducer input lopsided across tasks (for
 //                      MR-GPMRS: Definition-5 group assignment produced
 //                      unbalanced reducer groups);
@@ -95,6 +103,19 @@ struct DoctorOptions {
   double reduce_imbalance_ratio = 4.0;
   /// ... and the largest reducer saw at least this many records.
   int64_t min_reducer_records = 1000;
+
+  /// local-kernel: a window kernel (no skymr.bbs.* counters) spending
+  /// more than this many comparisons per input tuple at BBS-friendly
+  /// dimensionality is flagged ...
+  double wrong_kernel_cmp_per_tuple = 128.0;
+  /// ... where "BBS-friendly" means at least this many dimensions
+  /// (matches the core::ResolveAutoKernel crossover) ...
+  int64_t min_dim_for_bbs = 5;
+  /// ... while a run that did pay the BBS tree build but measured fewer
+  /// comparisons per tuple than this gets an informational note ...
+  double bbs_overkill_cmp_per_tuple = 8.0;
+  /// ... and either direction stays silent below this input size.
+  int64_t min_tuples_for_kernel = 4096;
 
   /// retry-storm: flag when a job's retries exceed ratio * task count ...
   double retry_storm_ratio = 0.5;

@@ -91,6 +91,56 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ChaosAlgorithmProperty,
                            return name;
                          });
 
+// The BBS kernel in the mappers must be just as exact and bit-identical
+// under crash-retry chaos: a retried map attempt rebuilds the R-tree
+// from the same partition ids, and the STR packing is deterministic.
+class ChaosBbsProperty : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ChaosBbsProperty, ExactAndBitIdenticalUnderCrashChaos) {
+  const Algorithm algorithm = GetParam();
+  const Dataset data = TestData();
+  RunnerConfig config = ChaosConfig(algorithm, 4321);
+  config.local_algorithm = core::LocalAlgorithm::kBbs;
+
+  auto first = ComputeSkyline(data, config);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(ExplainSkylineMismatch(data, first->SkylineIds()), "")
+      << AlgorithmName(algorithm);
+
+  auto second = ComputeSkyline(data, config);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->SkylineIds(), second->SkylineIds());
+
+  int64_t crashes_first = 0;
+  int64_t crashes_second = 0;
+  int64_t bbs_nodes_first = 0;
+  int64_t bbs_nodes_second = 0;
+  for (const auto& job : first->jobs) {
+    crashes_first += job.counters.Get("mr.chaos_crashes_injected");
+    bbs_nodes_first += job.counters.Get(core::kCounterBbsNodesVisited);
+  }
+  for (const auto& job : second->jobs) {
+    crashes_second += job.counters.Get("mr.chaos_crashes_injected");
+    bbs_nodes_second += job.counters.Get(core::kCounterBbsNodesVisited);
+  }
+  EXPECT_EQ(crashes_first, crashes_second);
+  // The BBS instrumentation is deterministic too, retries included.
+  EXPECT_EQ(bbs_nodes_first, bbs_nodes_second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChaosBbsProperty,
+                         ::testing::Values(Algorithm::kMrGpsrs,
+                                           Algorithm::kMrGpmrs),
+                         [](const auto& info) {
+                           std::string name = AlgorithmName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
 // ---------------------------------------------------------------------
 // Graceful degradation: a poisoned GPMRS job falls back to GPSRS.
 // ---------------------------------------------------------------------

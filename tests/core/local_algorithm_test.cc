@@ -8,7 +8,7 @@
 namespace skymr {
 namespace {
 
-TEST(LocalAlgorithmTest, SfsAndBnlProduceIdenticalSkylines) {
+TEST(LocalAlgorithmTest, AllKernelsProduceIdenticalSkylines) {
   for (const auto dist : {data::Distribution::kIndependent,
                           data::Distribution::kAntiCorrelated,
                           data::Distribution::kCorrelated}) {
@@ -26,18 +26,23 @@ TEST(LocalAlgorithmTest, SfsAndBnlProduceIdenticalSkylines) {
       bnl.engine.num_reducers = 3;
       bnl.ppd.max_candidate = 5;
       bnl.local_algorithm = core::LocalAlgorithm::kBnl;
-      RunnerConfig sfs = bnl;
-      sfs.local_algorithm = core::LocalAlgorithm::kSfs;
       auto bnl_result = ComputeSkyline(data, bnl);
-      auto sfs_result = ComputeSkyline(data, sfs);
       ASSERT_TRUE(bnl_result.ok());
-      ASSERT_TRUE(sfs_result.ok());
-      EXPECT_TRUE(SameIdSet(bnl_result->SkylineIds(),
-                            sfs_result->SkylineIds()))
-          << AlgorithmName(algorithm) << " "
-          << data::DistributionName(dist);
-      EXPECT_EQ(ExplainSkylineMismatch(data, sfs_result->SkylineIds()), "")
+      EXPECT_EQ(ExplainSkylineMismatch(data, bnl_result->SkylineIds()), "")
           << AlgorithmName(algorithm);
+      for (const auto local : {core::LocalAlgorithm::kSfs,
+                               core::LocalAlgorithm::kBbs,
+                               core::LocalAlgorithm::kAuto}) {
+        RunnerConfig other = bnl;
+        other.local_algorithm = local;
+        auto other_result = ComputeSkyline(data, other);
+        ASSERT_TRUE(other_result.ok());
+        EXPECT_TRUE(SameIdSet(bnl_result->SkylineIds(),
+                              other_result->SkylineIds()))
+            << AlgorithmName(algorithm) << " "
+            << data::DistributionName(dist) << " "
+            << core::LocalAlgorithmName(local);
+      }
     }
   }
 }
@@ -84,9 +89,88 @@ TEST(LocalAlgorithmTest, SfsRespectsConstraints) {
       SameIdSet(bnl_result->SkylineIds(), sfs_result->SkylineIds()));
 }
 
+TEST(LocalAlgorithmTest, BbsRespectsConstraints) {
+  const Dataset data = data::GenerateAntiCorrelated(1500, 3, 41);
+  Box box;
+  box.lo.assign(3, 0.25);
+  box.hi.assign(3, 0.75);
+  RunnerConfig bnl;
+  bnl.algorithm = Algorithm::kMrGpmrs;
+  bnl.engine.num_reducers = 3;
+  bnl.ppd.max_candidate = 4;
+  bnl.constraint = box;
+  bnl.local_algorithm = core::LocalAlgorithm::kBnl;
+  RunnerConfig bbs = bnl;
+  bbs.local_algorithm = core::LocalAlgorithm::kBbs;
+  auto bnl_result = ComputeSkyline(data, bnl);
+  auto bbs_result = ComputeSkyline(data, bbs);
+  ASSERT_TRUE(bnl_result.ok());
+  ASSERT_TRUE(bbs_result.ok());
+  EXPECT_TRUE(
+      SameIdSet(bnl_result->SkylineIds(), bbs_result->SkylineIds()));
+}
+
+TEST(LocalAlgorithmTest, BbsEmitsInstrumentationCounters) {
+  const Dataset data = data::GenerateAntiCorrelated(4000, 6, 53);
+  RunnerConfig config;
+  config.algorithm = Algorithm::kMrGpsrs;
+  config.engine.num_map_tasks = 2;
+  config.ppd.explicit_ppd = 2;  // Coarse grid: big per-partition workloads.
+  config.local_algorithm = core::LocalAlgorithm::kBbs;
+  auto result = ComputeSkyline(data, config);
+  ASSERT_TRUE(result.ok());
+  const auto& counters = result->jobs[1].counters;
+  EXPECT_GT(counters.Get(core::kCounterBbsNodesVisited), 0);
+  EXPECT_GT(counters.Get(core::kCounterBbsHeapPeak), 0);
+  EXPECT_GT(counters.Get(mr::kCounterTupleComparisons), 0);
+}
+
+TEST(LocalAlgorithmTest, AutoRecordsItsPerPartitionChoices) {
+  // dim=6 with a coarse grid: large partitions route to BBS, small ones
+  // to SFS; both decision counters and the choice itself are visible.
+  const Dataset data = data::GenerateAntiCorrelated(4000, 6, 59);
+  RunnerConfig config;
+  config.algorithm = Algorithm::kMrGpsrs;
+  config.engine.num_map_tasks = 2;
+  config.ppd.explicit_ppd = 2;
+  config.local_algorithm = core::LocalAlgorithm::kAuto;
+  auto result = ComputeSkyline(data, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ExplainSkylineMismatch(data, result->SkylineIds()), "");
+  const auto& counters = result->jobs[1].counters;
+  EXPECT_GT(counters.Get(core::kCounterBbsAutoBbs) +
+                counters.Get(core::kCounterBbsAutoSfs),
+            0);
+}
+
+TEST(LocalAlgorithmTest, ResolveAutoKernelCrossover) {
+  using core::LocalAlgorithm;
+  // Below the crossover dimensionality SFS wins regardless of size.
+  EXPECT_EQ(core::ResolveAutoKernel(100000, 4), LocalAlgorithm::kSfs);
+  // Tiny partitions never pay for the tree build.
+  EXPECT_EQ(core::ResolveAutoKernel(100, 8), LocalAlgorithm::kSfs);
+  // Big, high-dimensional partitions are BBS territory.
+  EXPECT_EQ(core::ResolveAutoKernel(512, 5), LocalAlgorithm::kBbs);
+  EXPECT_EQ(core::ResolveAutoKernel(10000, 8), LocalAlgorithm::kBbs);
+}
+
 TEST(LocalAlgorithmTest, Names) {
   EXPECT_STREQ(core::LocalAlgorithmName(core::LocalAlgorithm::kBnl), "bnl");
   EXPECT_STREQ(core::LocalAlgorithmName(core::LocalAlgorithm::kSfs), "sfs");
+  EXPECT_STREQ(core::LocalAlgorithmName(core::LocalAlgorithm::kBbs), "bbs");
+  EXPECT_STREQ(core::LocalAlgorithmName(core::LocalAlgorithm::kAuto),
+               "auto");
+}
+
+TEST(LocalAlgorithmTest, ParseLocalAlgorithm) {
+  using core::LocalAlgorithm;
+  EXPECT_EQ(core::ParseLocalAlgorithm("bnl").value(), LocalAlgorithm::kBnl);
+  EXPECT_EQ(core::ParseLocalAlgorithm("sfs").value(), LocalAlgorithm::kSfs);
+  EXPECT_EQ(core::ParseLocalAlgorithm("bbs").value(), LocalAlgorithm::kBbs);
+  EXPECT_EQ(core::ParseLocalAlgorithm("auto").value(),
+            LocalAlgorithm::kAuto);
+  EXPECT_FALSE(core::ParseLocalAlgorithm("bogus").ok());
+  EXPECT_FALSE(core::ParseLocalAlgorithm("").ok());
 }
 
 }  // namespace

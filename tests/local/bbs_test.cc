@@ -1,0 +1,351 @@
+// BBS kernel suite: randomized parity against SFS/BNL/reference across
+// distributions and dimensionalities (the two window kernels and BBS
+// must agree as id sets on every input), edge cases (duplicates, ties,
+// single-tuple and empty partitions, constraint boxes), deterministic
+// instrumentation, and the structural invariants of the STR-packed
+// R-tree underneath (MBR containment, packing fill factors, sibling
+// mindist order).
+
+#include "src/local/bbs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/local/bnl.h"
+#include "src/local/rtree.h"
+#include "src/local/sfs.h"
+#include "src/relation/box.h"
+#include "src/relation/skyline_verify.h"
+
+namespace skymr {
+namespace {
+
+using data::Distribution;
+
+std::vector<TupleId> SortedIds(const SkylineWindow& window) {
+  std::vector<TupleId> ids = window.ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+using BbsParam = std::tuple<Distribution, size_t /*dim*/, size_t /*n*/>;
+
+class BbsParity : public ::testing::TestWithParam<BbsParam> {};
+
+TEST_P(BbsParity, MatchesWindowKernelsAndReference) {
+  const auto& [dist, dim, n] = GetParam();
+  data::GeneratorConfig config;
+  config.distribution = dist;
+  config.dim = dim;
+  config.cardinality = n;
+  config.seed = 4700 + dim * 37 + n;
+  const Dataset dataset = std::move(data::Generate(config)).value();
+
+  const std::vector<TupleId> expected = ReferenceSkyline(dataset);
+  BbsScratch scratch;
+  EXPECT_TRUE(SameIdSet(SortedIds(BbsSkyline(dataset)), expected));
+  // Scratch-reusing call on the same input must agree too.
+  EXPECT_TRUE(SameIdSet(
+      SortedIds(BbsSkyline(dataset, nullptr, nullptr, nullptr, &scratch)),
+      expected));
+  EXPECT_TRUE(SameIdSet(SortedIds(SfsSkyline(dataset)), expected));
+  EXPECT_TRUE(SameIdSet(SortedIds(BnlSkyline(dataset)), expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BbsParity,
+    ::testing::Combine(
+        ::testing::Values(Distribution::kIndependent,
+                          Distribution::kCorrelated,
+                          Distribution::kAntiCorrelated),
+        ::testing::Values(size_t{2}, size_t{4}, size_t{6}, size_t{8}),
+        ::testing::Values(size_t{1}, size_t{50}, size_t{600})),
+    ([](const ::testing::TestParamInfo<BbsParam>& info) {
+      const auto& [dist, dim, n] = info.param;
+      std::string name = data::DistributionName(dist);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_d" + std::to_string(dim) + "_n" + std::to_string(n);
+    }));
+
+TEST(BbsTest, EmptyRange) {
+  const Dataset data = data::GenerateIndependent(10, 2, 1);
+  EXPECT_TRUE(BbsSkyline({data, 3, 3}).empty());
+}
+
+TEST(BbsTest, SubrangeOnlySeesItsTuples) {
+  Dataset data(2);
+  data.Append({0.0, 0.0});  // Dominates everything, outside the range.
+  data.Append({0.5, 0.6});
+  data.Append({0.6, 0.5});
+  EXPECT_TRUE(SameIdSet(SortedIds(BbsSkyline({data, 1, 3})), {1, 2}));
+}
+
+TEST(BbsTest, DuplicatesAllSurvive) {
+  // Equal tuples never strictly dominate each other, so BBS must keep
+  // every copy, exactly like the window kernels.
+  Dataset data(3);
+  for (int i = 0; i < 5; ++i) {
+    data.Append({0.5, 0.5, 0.5});
+  }
+  EXPECT_EQ(BbsSkyline(data).size(), 5u);
+}
+
+TEST(BbsTest, CoarseGridDataWithManyTies) {
+  // Values restricted to {0, 0.25, 0.5, 0.75} stress tie handling and
+  // pack many identical leaf MBR corners.
+  Dataset data(3);
+  uint64_t state = 777;
+  for (int i = 0; i < 400; ++i) {
+    double row[3];
+    for (double& v : row) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      v = static_cast<double>((state >> 33) % 4) * 0.25;
+    }
+    data.Append({row[0], row[1], row[2]});
+  }
+  EXPECT_TRUE(
+      SameIdSet(SortedIds(BbsSkyline(data)), ReferenceSkyline(data)));
+}
+
+TEST(BbsTest, ConstraintBoxExcludesOutsideDominators) {
+  // (0.1, 0.1) dominates everything but sits outside the box, so it
+  // must neither appear nor disqualify the in-box rows.
+  Dataset data(2);
+  data.Append({0.1, 0.1});
+  data.Append({0.5, 0.6});
+  data.Append({0.6, 0.5});
+  data.Append({0.55, 0.65});  // Dominated by (0.5, 0.6) inside the box.
+  Box box;
+  box.lo = {0.4, 0.4};
+  box.hi = {1.0, 1.0};
+  const SkylineWindow window =
+      BbsSkyline(data, nullptr, nullptr, &box, nullptr);
+  EXPECT_TRUE(SameIdSet(SortedIds(window), {1, 2}));
+}
+
+TEST(BbsTest, ConstraintBoxMatchesFilteredWindowKernel) {
+  const Dataset data = data::GenerateAntiCorrelated(800, 4, 11);
+  Box box;
+  box.lo.assign(4, 0.2);
+  box.hi.assign(4, 0.8);
+  // Reference: filter ids by hand, then run the window kernel on them.
+  std::vector<TupleId> inside;
+  for (TupleId id = 0; id < data.size(); ++id) {
+    if (box.Contains(data.Row(id).data(), data.dim())) {
+      inside.push_back(id);
+    }
+  }
+  const std::vector<TupleId> expected =
+      SortedIds(BnlSkyline({data, inside}));
+  const SkylineWindow window =
+      BbsSkyline(data, nullptr, nullptr, &box, nullptr);
+  EXPECT_TRUE(SameIdSet(SortedIds(window), expected));
+}
+
+TEST(BbsTest, ConstraintBoxCanEmptyTheInput) {
+  const Dataset data = data::GenerateIndependent(100, 3, 5);
+  Box box;
+  box.lo.assign(3, 2.0);  // No generated row reaches [2, 3].
+  box.hi.assign(3, 3.0);
+  EXPECT_TRUE(BbsSkyline(data, nullptr, nullptr, &box, nullptr).empty());
+}
+
+TEST(BbsTest, CountsAndStatsAreDeterministic) {
+  const Dataset data = data::GenerateAntiCorrelated(1500, 6, 21);
+  DominanceCounter c1;
+  DominanceCounter c2;
+  BbsStats s1;
+  BbsStats s2;
+  const auto ids1 = SortedIds(BbsSkyline(data, &c1, &s1));
+  const auto ids2 = SortedIds(BbsSkyline(data, &c2, &s2));
+  EXPECT_EQ(ids1, ids2);
+  EXPECT_GT(c1.count(), 0u);
+  EXPECT_EQ(c1.count(), c2.count());
+  EXPECT_GT(s1.nodes_visited, 0u);
+  EXPECT_EQ(s1.nodes_visited, s2.nodes_visited);
+  EXPECT_EQ(s1.entries_pruned, s2.entries_pruned);
+  EXPECT_GT(s1.heap_peak, 0u);
+  EXPECT_EQ(s1.heap_peak, s2.heap_peak);
+}
+
+TEST(BbsTest, StatsAccumulateAcrossCalls) {
+  const Dataset data = data::GenerateIndependent(500, 4, 8);
+  BbsStats once;
+  BbsSkyline(data, nullptr, &once);
+  BbsStats twice;
+  BbsScratch scratch;
+  BbsSkyline(data, nullptr, &twice, nullptr, &scratch);
+  BbsSkyline(data, nullptr, &twice, nullptr, &scratch);
+  EXPECT_EQ(twice.nodes_visited, 2 * once.nodes_visited);
+  EXPECT_EQ(twice.entries_pruned, 2 * once.entries_pruned);
+  EXPECT_EQ(twice.heap_peak, 2 * once.heap_peak);
+}
+
+TEST(BbsTest, ScratchReuseAcrossDifferentPartitions) {
+  // One scratch across partitions of wildly different sizes and shapes —
+  // the per-task reuse pattern — must match fresh-scratch runs.
+  BbsScratch scratch;
+  const size_t sizes[] = {700, 3, 128, 999, 1};
+  for (size_t i = 0; i < 5; ++i) {
+    const Dataset data = data::GenerateAntiCorrelated(
+        sizes[i], 2 + i, /*seed=*/100 + i);
+    EXPECT_TRUE(SameIdSet(
+        SortedIds(BbsSkyline(data, nullptr, nullptr, nullptr, &scratch)),
+        ReferenceSkyline(data)))
+        << "partition " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// STR R-tree structural invariants.
+// ---------------------------------------------------------------------
+
+/// Recursively checks subtree invariants; returns the number of nodes
+/// and appends every slot the subtree's leaves cover.
+void CheckSubtree(const StrRtree& tree, uint32_t id, size_t* nodes,
+                  std::vector<uint32_t>* slots) {
+  ++*nodes;
+  const RtreeNode& node = tree.node(id);
+  const size_t dim = tree.dim();
+  ASSERT_GT(node.count, 0u);
+  const double* lo = tree.NodeLo(id);
+  const double* hi = tree.NodeHi(id);
+  double lo_sum = 0.0;
+  for (size_t k = 0; k < dim; ++k) {
+    EXPECT_LE(lo[k], hi[k]);
+    lo_sum += lo[k];
+  }
+  EXPECT_DOUBLE_EQ(tree.NodeMindist(id), lo_sum);
+  if (node.leaf) {
+    for (uint32_t slot = node.first; slot < node.first + node.count;
+         ++slot) {
+      slots->push_back(slot);
+      const double* row = tree.SlotRow(slot);
+      double sum = 0.0;
+      for (size_t k = 0; k < dim; ++k) {
+        EXPECT_GE(row[k], lo[k]);
+        EXPECT_LE(row[k], hi[k]);
+        sum += row[k];
+      }
+      EXPECT_DOUBLE_EQ(tree.SlotSum(slot), sum);
+    }
+    return;
+  }
+  double prev_mindist = -1.0;
+  for (uint32_t i = 0; i < node.count; ++i) {
+    const uint32_t child = tree.ChildAt(node, i);
+    // Child MBR contained in the parent MBR.
+    for (size_t k = 0; k < dim; ++k) {
+      EXPECT_GE(tree.NodeLo(child)[k], lo[k]);
+      EXPECT_LE(tree.NodeHi(child)[k], hi[k]);
+    }
+    // Sibling lists are mindist-ascending (the heap relies on expansion
+    // order only for determinism, but the packing promises it).
+    EXPECT_GE(tree.NodeMindist(child), prev_mindist);
+    prev_mindist = tree.NodeMindist(child);
+    CheckSubtree(tree, child, nodes, slots);
+  }
+}
+
+TEST(StrRtreeTest, EmptyBuild) {
+  const Dataset data = data::GenerateIndependent(10, 3, 2);
+  StrRtree tree;
+  tree.Build(data, {});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(StrRtreeTest, InvariantsAcrossSizesAndDims) {
+  const RtreeOptions options;  // leaf_capacity = 16, fanout = 8.
+  const size_t sizes[] = {1, 15, 16, 17, 128, 1000, 2049};
+  StrRtree tree;
+  for (const size_t n : sizes) {
+    for (const size_t dim : {size_t{2}, size_t{5}}) {
+      const Dataset data = data::GenerateAntiCorrelated(n, dim, 7 + n);
+      std::vector<TupleId> ids(n);
+      for (size_t i = 0; i < n; ++i) {
+        ids[i] = static_cast<TupleId>(i);
+      }
+      tree.Build(data, ids, options);
+      ASSERT_FALSE(tree.empty());
+      EXPECT_EQ(tree.size(), n);
+      EXPECT_EQ(tree.dim(), dim);
+
+      size_t nodes = 0;
+      std::vector<uint32_t> slots;
+      CheckSubtree(tree, tree.root(), &nodes, &slots);
+      EXPECT_EQ(nodes, tree.node_count());
+
+      // Every slot covered exactly once.
+      std::sort(slots.begin(), slots.end());
+      ASSERT_EQ(slots.size(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(slots[i], static_cast<uint32_t>(i));
+      }
+      // Slot ids are a permutation of the input ids.
+      std::vector<TupleId> seen;
+      seen.reserve(n);
+      for (uint32_t slot = 0; slot < n; ++slot) {
+        seen.push_back(tree.SlotId(slot));
+      }
+      std::sort(seen.begin(), seen.end());
+      EXPECT_EQ(seen, ids);
+
+      // STR packs perfectly: exactly ceil(n / B) leaves, every leaf at
+      // most B slots, and at most one leaf below half full.
+      size_t leaves = 0;
+      size_t underfull = 0;
+      for (uint32_t id = 0;
+           id < static_cast<uint32_t>(tree.node_count()); ++id) {
+        const RtreeNode& node = tree.node(id);
+        if (!node.leaf) {
+          EXPECT_LE(node.count, options.fanout);
+          continue;
+        }
+        ++leaves;
+        EXPECT_LE(node.count, options.leaf_capacity);
+        if (node.count < (options.leaf_capacity + 1) / 2) {
+          ++underfull;
+        }
+      }
+      EXPECT_EQ(leaves,
+                (n + options.leaf_capacity - 1) / options.leaf_capacity);
+      EXPECT_LE(underfull, 1u);
+    }
+  }
+}
+
+TEST(StrRtreeTest, RebuildIsDeterministic) {
+  const Dataset data = data::GenerateIndependent(500, 3, 13);
+  std::vector<TupleId> ids(data.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<TupleId>(i);
+  }
+  StrRtree a;
+  a.Build(data, ids);
+  // Reuse the same object (the map-task pattern) after an unrelated
+  // build; the second build must reproduce the first bit for bit.
+  StrRtree b;
+  b.Build(data::GenerateCorrelated(64, 2, 1), {0, 1, 2, 3});
+  b.Build(data, ids);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.size(), b.size());
+  for (uint32_t slot = 0; slot < a.size(); ++slot) {
+    EXPECT_EQ(a.SlotId(slot), b.SlotId(slot));
+  }
+  for (uint32_t id = 0; id < static_cast<uint32_t>(a.node_count()); ++id) {
+    EXPECT_EQ(a.node(id).first, b.node(id).first);
+    EXPECT_EQ(a.node(id).count, b.node(id).count);
+    EXPECT_EQ(a.node(id).leaf, b.node(id).leaf);
+    EXPECT_EQ(a.NodeMindist(id), b.NodeMindist(id));
+  }
+}
+
+}  // namespace
+}  // namespace skymr

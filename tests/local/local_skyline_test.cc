@@ -62,8 +62,8 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(LocalSkylineTest, EmptyRange) {
   const Dataset data = data::GenerateIndependent(10, 2, 1);
-  EXPECT_TRUE(BnlSkyline(data, 3, 3).empty());
-  EXPECT_TRUE(SfsSkyline(data, 3, 3).empty());
+  EXPECT_TRUE(BnlSkyline({data, 3, 3}).empty());
+  EXPECT_TRUE(SfsSkyline({data, 3, 3}).empty());
   EXPECT_TRUE(NaiveSkyline(data, 3, 3).empty());
 }
 
@@ -72,7 +72,7 @@ TEST(LocalSkylineTest, SubrangeOnlySeesItsTuples) {
   data.Append({0.0, 0.0});  // Dominates everything, outside the range.
   data.Append({0.5, 0.6});
   data.Append({0.6, 0.5});
-  const SkylineWindow window = BnlSkyline(data, 1, 3);
+  const SkylineWindow window = BnlSkyline({data, 1, 3});
   EXPECT_TRUE(SameIdSet(SortedIds(window), {1, 2}));
 }
 
@@ -81,7 +81,8 @@ TEST(LocalSkylineTest, ExplicitIdSubset) {
   data.Append({0.1, 0.1});
   data.Append({0.5, 0.6});
   data.Append({0.6, 0.5});
-  const SkylineWindow window = BnlSkyline(data, std::vector<TupleId>{1, 2});
+  const SkylineWindow window =
+      BnlSkyline({data, std::vector<TupleId>{1, 2}});
   EXPECT_TRUE(SameIdSet(SortedIds(window), {1, 2}));
 }
 

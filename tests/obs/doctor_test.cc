@@ -238,6 +238,74 @@ TEST(DoctorTest, FlagsDegradedPipeline) {
   EXPECT_TRUE(Analyze(Report(R"("degraded": false)")).empty());
 }
 
+TEST(DoctorTest, FlagsWindowKernelPastBbsCrossover) {
+  // 10k tuples at dim=6, 2M comparisons (200/tuple), no skymr.bbs.*
+  // counters: a window kernel ground through the crossover region.
+  const std::string json = Report(
+      R"("dim": 6, "input_tuples": 10000,
+         "jobs": [{"name": "mr-gpsrs",
+           "counters": {"skymr.tuple_comparisons": 2000000}}])");
+  const auto findings = Analyze(json);
+  ASSERT_TRUE(HasCode(findings, "local-kernel")) << RenderFindings(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_NE(findings[0].message.find("--local-algorithm=bbs"),
+            std::string::npos);
+}
+
+TEST(DoctorTest, LowDimWindowKernelStaysSilent) {
+  // Same comparison volume at dim=4: below the BBS crossover
+  // dimensionality, so the window kernel is the right call.
+  const std::string json = Report(
+      R"("dim": 4, "input_tuples": 10000,
+         "jobs": [{"name": "mr-gpsrs",
+           "counters": {"skymr.tuple_comparisons": 2000000}}])");
+  EXPECT_FALSE(HasCode(Analyze(json), "local-kernel"));
+}
+
+TEST(DoctorTest, SmallInputNeverTripsKernelCheck) {
+  const std::string json = Report(
+      R"("dim": 6, "input_tuples": 3000,
+         "jobs": [{"name": "mr-gpsrs",
+           "counters": {"skymr.tuple_comparisons": 2000000}}])");
+  EXPECT_FALSE(HasCode(Analyze(json), "local-kernel"));
+}
+
+TEST(DoctorTest, CheapWindowKernelStaysSilent) {
+  // dim=6 but only ~3 comparisons/tuple: correlated-ish data where any
+  // kernel is fine.
+  const std::string json = Report(
+      R"("dim": 6, "input_tuples": 10000,
+         "jobs": [{"name": "mr-gpsrs",
+           "counters": {"skymr.tuple_comparisons": 30000}}])");
+  EXPECT_FALSE(HasCode(Analyze(json), "local-kernel"));
+}
+
+TEST(DoctorTest, ReportsBbsOverkillAsInfo) {
+  // skymr.bbs.* counters present but only ~3 comparisons/tuple: the
+  // R-tree build bought nothing SFS would not have done cheaper.
+  const std::string json = Report(
+      R"("dim": 2, "input_tuples": 10000,
+         "jobs": [{"name": "mr-gpsrs",
+           "counters": {"skymr.tuple_comparisons": 30000,
+                        "skymr.bbs.nodes_visited": 900}}])");
+  const auto findings = Analyze(json);
+  ASSERT_TRUE(HasCode(findings, "local-kernel")) << RenderFindings(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kInfo);
+  EXPECT_NE(findings[0].message.find("--local-algorithm=sfs"),
+            std::string::npos);
+}
+
+TEST(DoctorTest, BusyBbsRunStaysSilent) {
+  // BBS doing real work (many comparisons/tuple) is exactly the right
+  // kernel — neither direction should speak.
+  const std::string json = Report(
+      R"("dim": 8, "input_tuples": 10000,
+         "jobs": [{"name": "mr-gpsrs",
+           "counters": {"skymr.tuple_comparisons": 5000000,
+                        "skymr.bbs.nodes_visited": 40000}}])");
+  EXPECT_TRUE(Analyze(json).empty());
+}
+
 TEST(DoctorTest, RenderFindingsFormats) {
   EXPECT_EQ(RenderFindings({}), "doctor: no findings\n");
   const std::string text = RenderFindings(

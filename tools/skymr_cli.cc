@@ -97,6 +97,7 @@ int Usage() {
       "anti-correlated|clustered>\n"
       "            --card=N --dim=D [--seed=S] --out=FILE\n"
       "  skymr_cli skyline --in=FILE [--header] [--algorithm=NAME]\n"
+      "            [--local-algorithm=bnl|sfs|bbs|auto]\n"
       "            [--mappers=M] [--reducers=R] [--ppd=N] [--data-bounds]\n"
       "            [--constraint=lo:hi,lo:hi,...] [--out=FILE] [--verify]\n"
       "            [--trace-out=FILE] [--report-out=FILE]\n"
@@ -108,6 +109,7 @@ int Usage() {
       "            [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]\n"
       "  skymr_cli doctor  --report=FILE [--fail-on=warning|critical]\n"
       "algorithms: mr-gpsrs mr-gpmrs mr-bnl mr-angle hybrid sky-mr\n"
+      "local algorithms (mapper kernel): bnl sfs bbs auto\n"
       "chaos profiles: %s\n",
       [] {
         std::string names;
@@ -249,6 +251,13 @@ int BuildRunnerConfig(const Args& args, const skymr::Dataset& data,
     return 1;
   }
   config->algorithm = algorithm.value();
+  auto local = skymr::core::ParseLocalAlgorithm(
+      args.GetString("local-algorithm", "bnl"));
+  if (!local.ok()) {
+    std::fprintf(stderr, "%s\n", local.status().ToString().c_str());
+    return 1;
+  }
+  config->local_algorithm = local.value();
   config->engine.num_map_tasks =
       static_cast<int>(args.GetInt("mappers", 13));
   config->engine.num_reducers =
