@@ -14,6 +14,11 @@
 //                     below verbatim)
 //   shuffle_roundtrip one MapReduce job shuffling 5*10^5 * scale records
 //                     map -> sort -> reduce, end to end
+//   metrics_overhead  the shuffle_roundtrip job twice — engine metrics
+//                     off vs a live MetricsRegistry + 10 ms sampler
+//                     thread attached — reporting the overhead fraction
+//                     (the ISSUE-8 gate: < 2%, measured like the
+//                     tracing-on/off comparison)
 //
 // Speedups are computed from best-of-`reps` wall time; every benchmark
 // validates its result against the reference before reporting. The
@@ -36,6 +41,7 @@
 #include "src/local/skyline_window.h"
 #include "src/mapreduce/job.h"
 #include "src/obs/bench_artifact.h"
+#include "src/obs/metrics.h"
 #include "src/relation/dominance.h"
 #include "src/relation/dominance_kernel.h"
 
@@ -357,6 +363,65 @@ ShuffleResult BenchShuffleRoundTrip(double scale, int reps) {
   return out;
 }
 
+// ---------------------------------------------------------------------
+// Benchmark 4: live-metrics cost on the same shuffle workload.
+// ---------------------------------------------------------------------
+struct MetricsOverheadResult {
+  size_t records = 0;
+  double plain_seconds = 0.0;
+  double metrics_seconds = 0.0;
+  /// (metrics - plain) / plain; negative values mean noise, not a win.
+  double overhead_fraction = 0.0;
+  uint64_t samples_taken = 0;
+  std::vector<double> samples;
+};
+
+MetricsOverheadResult BenchMetricsOverhead(double scale, int reps) {
+  MetricsOverheadResult out;
+  out.records = static_cast<size_t>(5e5 * scale);
+  out.records = out.records < 1000 ? 1000 : out.records;
+
+  std::vector<int> inputs(out.records);
+  Rng rng(7);
+  for (int& v : inputs) {
+    v = static_cast<int>(rng.NextBounded(1 << 20));
+  }
+  mr::DistributedCache cache;
+
+  const auto run_job = [&](const mr::EngineOptions& options) {
+    mr::Job<int, int, std::vector<double>, double> job(
+        "hotpath-metrics", [] { return std::make_unique<PayloadMapper>(); },
+        [] { return std::make_unique<PayloadReducer>(); });
+    auto result = job.Run(inputs, options, cache);
+    if (!result.ok()) {
+      std::fprintf(stderr, "metrics_overhead: %s\n",
+                   result.status.ToString().c_str());
+      std::exit(1);
+    }
+    g_sink = result.metrics.shuffle_bytes;
+  };
+
+  mr::EngineOptions plain;
+  plain.num_map_tasks = 8;
+  plain.num_reducers = 4;
+  out.plain_seconds = BestOf(RepSeconds(reps, [&] { run_job(plain); }));
+
+  // Metrics run: registry handles recorded per task + the sampler thread
+  // snapshotting every 10 ms, exactly what `stats --metrics-out` wires up.
+  obs::MetricsRegistry registry;
+  obs::MetricsSampler sampler(&registry, /*period_ms=*/10);
+  mr::EngineOptions with_metrics = plain;
+  with_metrics.metrics = &registry;
+  out.samples = RepSeconds(reps, [&] { run_job(with_metrics); });
+  out.metrics_seconds = BestOf(out.samples);
+  sampler.Stop();
+  out.samples_taken = sampler.samples_taken();
+
+  out.overhead_fraction =
+      (out.metrics_seconds - out.plain_seconds) / out.plain_seconds;
+  return out;
+}
+
 int Run(int argc, char** argv) {
   std::string out_path = "BENCH_hotpath.json";
   double scale = 1.0;
@@ -394,6 +459,12 @@ int Run(int argc, char** argv) {
   const ShuffleResult shuffle = BenchShuffleRoundTrip(scale, reps);
   std::fprintf(stderr, "  %.0f records/s, %.1f MB/s\n",
                shuffle.records_per_s, shuffle.mb_per_s);
+  std::fprintf(stderr, "metrics_overhead...\n");
+  const MetricsOverheadResult metrics = BenchMetricsOverhead(scale, reps);
+  std::fprintf(stderr,
+               "  %+.2f%% vs metrics-off (%llu sampler snapshots)\n",
+               metrics.overhead_fraction * 100.0,
+               static_cast<unsigned long long>(metrics.samples_taken));
 
   obs::BenchArtifact artifact("bench_hotpath");
   artifact.environment().reps = reps;
@@ -441,6 +512,19 @@ int Run(int argc, char** argv) {
     row.deterministic["records"] = static_cast<int64_t>(shuffle.records);
     row.deterministic["shuffle_bytes"] =
         static_cast<int64_t>(shuffle.shuffle_bytes);
+    artifact.AddRow(std::move(row));
+  }
+  {
+    obs::BenchRow row;
+    row.name = "metrics_overhead";
+    row.wall = obs::WallStats::FromSamples(metrics.samples);
+    row.metrics["scale"] = scale;
+    row.metrics["plain_seconds"] = metrics.plain_seconds;
+    row.metrics["metrics_seconds"] = metrics.metrics_seconds;
+    row.metrics["overhead_fraction"] = metrics.overhead_fraction;
+    row.metrics["sampler_samples"] =
+        static_cast<double>(metrics.samples_taken);
+    row.deterministic["records"] = static_cast<int64_t>(metrics.records);
     artifact.AddRow(std::move(row));
   }
 

@@ -57,6 +57,7 @@
 #include "src/mapreduce/distributed_cache.h"
 #include "src/mapreduce/task_metrics.h"
 #include "src/mapreduce/task_scheduler.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace skymr::mr {
@@ -335,6 +336,12 @@ class Job {
     result.metrics.name = name_;
     SKYMR_TRACE_SPAN(std::string("job.") + name_, "mappers",
                      options.num_map_tasks, "reducers", options.num_reducers);
+    // Live metrics (optional): gauge of jobs in flight for the sampler's
+    // time series, sketches fed per task below.
+    obs::ScopedGaugeDelta inflight(
+        options.metrics != nullptr ? options.metrics->gauge("mr.inflight_jobs")
+                                   : nullptr,
+        1);
     // Cache traffic is reported per job as the delta of the cache's
     // lifetime hit/miss totals across this run.
     const uint64_t cache_hits_before = cache.hits();
@@ -365,13 +372,16 @@ class Job {
     // caller's thread after the wave completes.
     std::vector<MapTaskOutput> map_outputs(static_cast<size_t>(m));
     Status wave_status;
+    uint64_t map_wave_id = 0;
     {
-      SKYMR_TRACE_SPAN("map.wave", "tasks", m);
+      SKYMR_TRACE_SPAN_ID(map_wave_span, "map.wave", "tasks", m);
+      map_wave_id = map_wave_span.id();
       wave_status = scheduler.RunWave(
           pool, TaskKind::kMap, m,
           [&](const TaskAttempt& attempt) {
             return RunMapAttempt(
                 attempt, SplitOf(input, attempt.task_id, m), r, cache,
+                map_wave_id,
                 &map_outputs[static_cast<size_t>(attempt.task_id)]);
           },
           &wave_stats);
@@ -400,12 +410,22 @@ class Job {
     // partially consumed state.
     std::vector<ReducerInput> reducer_inputs(static_cast<size_t>(r));
     std::vector<ReduceTaskOutput> reduce_outputs(static_cast<size_t>(r));
+    std::vector<uint64_t> bucket_span_ids(static_cast<size_t>(r), 0);
     {
-      SKYMR_TRACE_SPAN("reduce.wave", "tasks", r);
+      SKYMR_TRACE_SPAN_ID(reduce_wave_span, "reduce.wave", "tasks", r);
+      const uint64_t reduce_wave_id = reduce_wave_span.id();
       ParallelFor(pool, r, [&](int task) {
-        SKYMR_TRACE_SPAN("shuffle.bucket", "reducer", task);
+        // The shuffle edge: contained in the reduce wave, causally fed by
+        // the map wave (the cross-wave link the span DAG rebuilds).
+        SKYMR_TRACE_SPAN_ID(bucket_span, "shuffle.bucket", "reducer", task);
+        bucket_span.SetParent(reduce_wave_id);
+        bucket_span.SetLink(map_wave_id);
+        bucket_span_ids[static_cast<size_t>(task)] = bucket_span.id();
+        Stopwatch shuffle_clock;
         BuildReducerInput(map_outputs, task,
                           &reducer_inputs[static_cast<size_t>(task)]);
+        reducer_inputs[static_cast<size_t>(task)].build_seconds =
+            shuffle_clock.ElapsedSeconds();
       });
       wave_status = scheduler.RunWave(
           pool, TaskKind::kReduce, r,
@@ -413,7 +433,8 @@ class Job {
             return RunReduceAttempt(
                 attempt,
                 reducer_inputs[static_cast<size_t>(attempt.task_id)],
-                scheduler.chaos(), cache,
+                scheduler.chaos(), cache, reduce_wave_id,
+                bucket_span_ids[static_cast<size_t>(attempt.task_id)],
                 &reduce_outputs[static_cast<size_t>(attempt.task_id)]);
           },
           &wave_stats);
@@ -517,6 +538,9 @@ class Job {
         "mr.cache_misses",
         static_cast<int64_t>(cache.misses() - cache_misses_before));
     result.metrics.wall_seconds = job_clock.ElapsedSeconds();
+    if (options.metrics != nullptr) {
+      RecordLiveMetrics(options.metrics, result.metrics, reducer_inputs);
+    }
     result.status = Status::OK();
     return result;
   }
@@ -550,7 +574,36 @@ class Job {
     std::vector<ShuffleEntry> entries;
     std::vector<Slice> slices;
     uint64_t input_bytes = 0;
+    /// Wall time BuildReducerInput took for this bucket — the shuffle
+    /// edge weight the critical-path analyzer consumes.
+    double build_seconds = 0.0;
   };
+
+  /// Feeds one finished job into the live metrics registry: a completion
+  /// counter (exported with rate_per_s) and the latency/byte sketches the
+  /// future query server reads p50/p95/p99 from. Registration is by name,
+  /// so repeated jobs accumulate into the same handles.
+  void RecordLiveMetrics(obs::MetricsRegistry* metrics,
+                         const JobMetrics& job,
+                         const std::vector<ReducerInput>& reducer_inputs) {
+    metrics->counter("mr.jobs_completed")->Add(1);
+    metrics->sketch("mr.job_wall_us")->Record(job.wall_seconds * 1e6);
+    obs::MetricsRegistry::Sketch* map_busy =
+        metrics->sketch("mr.map_task_busy_us");
+    for (const TaskMetrics& t : job.map_tasks) {
+      map_busy->Record(t.busy_seconds * 1e6);
+    }
+    obs::MetricsRegistry::Sketch* reduce_busy =
+        metrics->sketch("mr.reduce_task_busy_us");
+    for (const TaskMetrics& t : job.reduce_tasks) {
+      reduce_busy->Record(t.busy_seconds * 1e6);
+    }
+    obs::MetricsRegistry::Sketch* bucket_bytes =
+        metrics->sketch("mr.shuffle_bucket_bytes");
+    for (const ReducerInput& in : reducer_inputs) {
+      bucket_bytes->Record(static_cast<double>(in.input_bytes));
+    }
+  }
 
   static std::span<const In> SplitOf(std::span<const In> input, int task,
                                      int m) {
@@ -574,15 +627,16 @@ class Job {
   /// can never leak partial state into the shuffle or metrics.
   Status RunMapAttempt(const TaskAttempt& attempt, std::span<const In> split,
                        int num_reducers, const DistributedCache& cache,
-                       MapTaskOutput* out) {
+                       uint64_t wave_span_id, MapTaskOutput* out) {
     PartitionerKind kind = partitioner_kind_;
     if (kind != PartitionerKind::kCustom && num_reducers == 1) {
       kind = PartitionerKind::kSingleReducer;
     }
     auto context = std::make_unique<MapContext<K2, V2>>(
         attempt.task_id, num_reducers, &cache, kind, &partitioner_);
-    SKYMR_TRACE_SPAN("map.task", "task", attempt.task_id, "attempt",
-                     attempt.attempt);
+    SKYMR_TRACE_SPAN_ID(task_span, "map.task", "task", attempt.task_id,
+                        "attempt", attempt.attempt);
+    task_span.SetParent(wave_span_id);
     Stopwatch clock;
     std::unique_ptr<Mapper<In, K2, V2>> mapper = mapper_factory_();
     mapper->Setup(*context);
@@ -599,6 +653,10 @@ class Job {
     if (!attempt.TryCommit()) {
       return Status::OK();  // A duplicate committed first; discard.
     }
+    // Exactly one commit instant per task, under the winning attempt's
+    // span id: the marker BuildSpanDag uses to drop losing attempts.
+    SKYMR_TRACE_INSTANT_UNDER(task_span.id(), "task.commit", "task",
+                              attempt.task_id, "attempt", attempt.attempt);
     out->metrics.busy_seconds = clock.ElapsedSeconds();
     out->metrics.input_records = split.size();
     out->metrics.output_records = context->output_records_;
@@ -714,11 +772,14 @@ class Job {
   /// bytes.
   Status RunReduceAttempt(const TaskAttempt& attempt, const ReducerInput& in,
                           ChaosEngine* chaos, const DistributedCache& cache,
+                          uint64_t wave_span_id, uint64_t bucket_span_id,
                           ReduceTaskOutput* out) {
     const std::vector<ShuffleEntry>& entries = in.entries;
     ReduceContext<Out> context(attempt.task_id, &cache);
-    SKYMR_TRACE_SPAN("reduce.task", "task", attempt.task_id, "attempt",
-                     attempt.attempt);
+    SKYMR_TRACE_SPAN_ID(task_span, "reduce.task", "task", attempt.task_id,
+                        "attempt", attempt.attempt);
+    task_span.SetParent(wave_span_id);
+    task_span.SetLink(bucket_span_id);
     Stopwatch clock;
     const Slice* slices = in.slices.data();
     std::vector<Slice> corrupted;
@@ -753,9 +814,12 @@ class Job {
     if (!attempt.TryCommit()) {
       return Status::OK();  // A duplicate committed first; discard.
     }
+    SKYMR_TRACE_INSTANT_UNDER(task_span.id(), "task.commit", "task",
+                              attempt.task_id, "attempt", attempt.attempt);
     out->metrics.busy_seconds = clock.ElapsedSeconds();
     out->metrics.input_records = entries.size();
     out->metrics.input_bytes = in.input_bytes;
+    out->metrics.shuffle_seconds = in.build_seconds;
     out->metrics.output_records = context.outputs_.size();
     out->metrics.output_bytes = context.output_bytes_;
     out->metrics.attempts = attempt.attempt;

@@ -29,6 +29,10 @@ struct TaskMetrics {
   uint64_t input_bytes = 0;
   /// Number of attempts it took to finish (1 = no retry).
   int attempts = 1;
+  /// Reduce only: wall time spent building this reducer's shuffle input
+  /// (gathering + sorting its bucket). Feeds the critical-path analyzer's
+  /// shuffle edge weight; 0 on map tasks.
+  double shuffle_seconds = 0.0;
   Counters counters;
   /// Distribution metrics recorded by the task (window scan lengths, ...).
   obs::HistogramSet histograms;

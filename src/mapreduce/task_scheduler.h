@@ -41,6 +41,10 @@
 #include "src/common/thread_pool.h"
 #include "src/mapreduce/chaos.h"
 
+namespace skymr::obs {
+class MetricsRegistry;  // metrics.h
+}  // namespace skymr::obs
+
 namespace skymr::mr {
 
 /// Thrown by user code to signal a recoverable task failure; the engine
@@ -99,6 +103,13 @@ struct EngineOptions {
   double speculation_poll_ms = 2.0;
   /// Fault injection (off by default; see chaos.h).
   ChaosSchedule chaos;
+
+  // -- Observability --
+  /// Live metrics sink (obs/metrics.h). When set, Job::Run records
+  /// in-flight job gauges, completion counters, and task/shuffle latency
+  /// sketches into it while the job executes. Null (the default) keeps
+  /// the engine metrics-free; the registry must outlive the run.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Rejects nonsensical engine configurations: non-positive task counts,

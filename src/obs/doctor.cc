@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/obs/job_report.h"
+#include "src/obs/metrics.h"
 
 namespace skymr::obs {
 namespace {
@@ -330,6 +331,78 @@ void CheckLocalKernel(const JsonValue& report, const DoctorOptions& options,
   }
 }
 
+void CheckCriticalPath(const JsonValue& report, const DoctorOptions& options,
+                       std::vector<Finding>* findings) {
+  const JsonValue* cp = report.Find("critical_path");
+  if (cp == nullptr || !cp->is_object()) {
+    return;
+  }
+  const double makespan = cp->GetDouble("makespan_seconds", 0.0);
+
+  // critical-path-phase: one phase owning (nearly) the whole path means
+  // the run is bound by that phase — everything else is free to tune.
+  const JsonValue* phases = cp->Find("phases");
+  if (makespan >= options.min_makespan_seconds && phases != nullptr &&
+      phases->is_array() && phases->AsArray().size() > 1) {
+    for (const JsonValue& phase : phases->AsArray()) {
+      const double fraction = phase.GetDouble("percent", 0.0) / 100.0;
+      if (fraction <= options.critical_phase_fraction) {
+        continue;
+      }
+      const std::string name = phase.GetString("phase", "?");
+      findings->push_back(Finding{
+          Severity::kWarning, "critical-path-phase",
+          Format("phase %s owns %.0f%% of the %.3fs critical path "
+                 "(what-if free: makespan -%.0f%%) — the run is "
+                 "%s-bound; tune that phase before anything else",
+                 name.c_str(), 100.0 * fraction, makespan,
+                 phase.GetDouble("what_if_free_percent", 0.0),
+                 name.c_str())});
+    }
+  }
+
+  // straggler-on-critical-path: unlike task-skew (aggregate wave
+  // statistics), this names the specific step that set the makespan —
+  // either by running far past its wave median or by burning attempts
+  // before committing (crash-retry chains keep winning-attempt busy
+  // times normal, so the attempt count is the only visible scar).
+  const JsonValue* path = cp->Find("path");
+  if (path != nullptr && path->is_array()) {
+    for (const JsonValue& step : path->AsArray()) {
+      const double seconds = step.GetDouble("seconds", 0.0);
+      const double median = step.GetDouble("wave_median_seconds", 0.0);
+      const int64_t attempts = step.GetInt("attempts", 1);
+      const bool slow = seconds >= options.critical_min_step_seconds &&
+                        median > 0.0 &&
+                        seconds > options.critical_straggler_ratio * median;
+      const bool retried = attempts >= options.critical_retry_attempts;
+      if (!slow && !retried) {
+        continue;
+      }
+      const std::string job = step.GetString("job", "?");
+      const std::string kind = step.GetString("kind", "?");
+      const long long task = step.GetInt("task", 0);
+      if (slow) {
+        findings->push_back(Finding{
+            Severity::kWarning, "straggler-on-critical-path",
+            Format("job %s: %s task %lld sits on the critical path at "
+                   "%.3fs vs %.3fs wave median (%.1fx) — this one "
+                   "straggler set the makespan",
+                   job.c_str(), kind.c_str(), task, seconds, median,
+                   seconds / median)});
+      } else {
+        findings->push_back(Finding{
+            Severity::kWarning, "straggler-on-critical-path",
+            Format("job %s: %s task %lld sits on the critical path and "
+                   "needed %lld attempts to commit — its retries "
+                   "stretched the makespan",
+                   job.c_str(), kind.c_str(), task,
+                   static_cast<long long>(attempts))});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const char* SeverityName(Severity severity) {
@@ -370,6 +443,7 @@ StatusOr<std::vector<Finding>> AnalyzeReport(const JsonValue& report,
   CheckCostModel(report, options, &findings);
   CheckPruning(report, options, &findings);
   CheckLocalKernel(report, options, &findings);
+  CheckCriticalPath(report, options, &findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return static_cast<int>(a.severity) >
@@ -394,6 +468,60 @@ StatusOr<std::vector<Finding>> AnalyzeReportFile(
     return doc.status();
   }
   return AnalyzeReport(doc.value(), options);
+}
+
+StatusOr<std::vector<Finding>> AnalyzeMetrics(const JsonValue& metrics,
+                                              const DoctorOptions& options) {
+  if (!metrics.is_object()) {
+    return Status::InvalidArgument("doctor: metrics is not a JSON object");
+  }
+  const std::string schema = metrics.GetString("schema", "");
+  if (schema != kMetricsSchemaVersion) {
+    return Status::InvalidArgument("doctor: expected schema '" +
+                                   std::string(kMetricsSchemaVersion) +
+                                   "', got '" + schema + "'");
+  }
+  std::vector<Finding> findings;
+  // sampler-overhead: the sampler records its own per-sample wall cost
+  // into mr.sampler_sample_us, so its total footprint is that sketch's
+  // sum compared against the registry uptime.
+  const double uptime = metrics.GetDouble("uptime_seconds", 0.0);
+  const JsonValue* sketches = metrics.Find("sketches");
+  const JsonValue* cost = sketches != nullptr && sketches->is_object()
+                              ? sketches->Find("mr.sampler_sample_us")
+                              : nullptr;
+  if (cost != nullptr && cost->is_object() &&
+      uptime >= options.min_sampler_uptime_seconds) {
+    const double spent_seconds = cost->GetDouble("sum", 0.0) / 1e6;
+    const double fraction = spent_seconds / uptime;
+    if (fraction > options.sampler_overhead_fraction) {
+      findings.push_back(Finding{
+          Severity::kWarning, "sampler-overhead",
+          Format("metrics sampler spent %.3fs of %.3fs uptime (%.1f%%) "
+                 "taking %lld samples — lengthen the sampling period",
+                 spent_seconds, uptime, 100.0 * fraction,
+                 static_cast<long long>(cost->GetInt("count", 0)))});
+    }
+  }
+  return findings;
+}
+
+StatusOr<std::vector<Finding>> AnalyzeMetricsJson(
+    std::string_view json, const DoctorOptions& options) {
+  auto doc = ParseJson(json);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  return AnalyzeMetrics(doc.value(), options);
+}
+
+StatusOr<std::vector<Finding>> AnalyzeMetricsFile(
+    const std::string& path, const DoctorOptions& options) {
+  auto doc = ParseJsonFile(path);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  return AnalyzeMetrics(doc.value(), options);
 }
 
 std::string RenderFindings(const std::vector<Finding>& findings) {

@@ -37,10 +37,27 @@
 //   speculation        speculative execution launched duplicates and/or
 //                      a duplicate beat its primary (informational);
 //   degraded           MR-GPMRS failed and the pipeline fell back to
-//                      the single-reducer MR-GPSRS merge.
+//                      the single-reducer MR-GPSRS merge;
+//   critical-path-phase
+//                      one paper phase owns nearly the whole critical
+//                      path (from the report's critical_path block) —
+//                      the run is bound by that phase, so tune it
+//                      (reducer count for merge, partitioner for
+//                      shuffle, PPD for local-skyline);
+//   straggler-on-critical-path
+//                      a critical-path step ran far past its wave
+//                      median, or needed retries to commit — that one
+//                      task, not aggregate skew, set the makespan;
+//   sampler-overhead   the metrics sampler's own per-sample cost (the
+//                      mr.sampler_sample_us sketch in a skymr-metrics-v1
+//                      export) consumed a non-trivial fraction of the
+//                      run — lengthen the sampling period.
 //
 // Every heuristic has a floor below which it stays silent, so a healthy
 // run — including a tiny smoke-scale one — produces zero findings.
+// The first two critical-path checks read skymr-report-v1 documents
+// (AnalyzeReport); sampler-overhead reads skymr-metrics-v1 documents
+// (AnalyzeMetrics).
 
 #ifndef SKYMR_OBS_DOCTOR_H_
 #define SKYMR_OBS_DOCTOR_H_
@@ -123,6 +140,27 @@ struct DoctorOptions {
   double retry_storm_critical_ratio = 2.0;
   /// ... and only when the job retried at least this many times.
   int64_t min_retries = 3;
+
+  /// critical-path-phase: flag when one phase owns more than this
+  /// fraction of the critical path ...
+  double critical_phase_fraction = 0.85;
+  /// ... and only when the makespan is long enough to matter.
+  double min_makespan_seconds = 0.05;
+
+  /// straggler-on-critical-path: flag a path step slower than this
+  /// multiple of its wave median ...
+  double critical_straggler_ratio = 4.0;
+  /// ... when the step itself is slow enough to matter ...
+  double critical_min_step_seconds = 0.02;
+  /// ... or (independently of timing) when the step's task needed at
+  /// least this many attempts to commit.
+  int64_t critical_retry_attempts = 2;
+
+  /// sampler-overhead: flag when the sampler's summed per-sample cost
+  /// exceeds this fraction of the registry uptime ...
+  double sampler_overhead_fraction = 0.02;
+  /// ... measured over at least this much uptime.
+  double min_sampler_uptime_seconds = 0.5;
 };
 
 /// Analyzes a parsed skymr-report-v1 document. Returns findings sorted
@@ -136,6 +174,18 @@ StatusOr<std::vector<Finding>> AnalyzeReport(
 StatusOr<std::vector<Finding>> AnalyzeReportJson(
     std::string_view json, const DoctorOptions& options = {});
 StatusOr<std::vector<Finding>> AnalyzeReportFile(
+    const std::string& path, const DoctorOptions& options = {});
+
+/// Analyzes a parsed skymr-metrics-v1 document (the metrics.h exporter's
+/// output): currently the sampler-overhead heuristic. Returns
+/// InvalidArgument when `metrics` is not a skymr-metrics-v1 object.
+StatusOr<std::vector<Finding>> AnalyzeMetrics(
+    const JsonValue& metrics, const DoctorOptions& options = {});
+
+/// AnalyzeMetrics over a JSON document text / file.
+StatusOr<std::vector<Finding>> AnalyzeMetricsJson(
+    std::string_view json, const DoctorOptions& options = {});
+StatusOr<std::vector<Finding>> AnalyzeMetricsFile(
     const std::string& path, const DoctorOptions& options = {});
 
 /// Renders findings as the text `skymr_cli doctor` prints (one line per

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/cost/cost_model.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/histogram.h"
 #include "src/obs/json.h"
 
@@ -72,7 +73,72 @@ void WriteTaskJson(const mr::TaskMetrics& task, bool is_reduce,
   if (is_reduce) {
     w->Key("input_bytes");
     w->Uint(task.input_bytes);
+    w->Key("shuffle_seconds");
+    w->Double(task.shuffle_seconds);
   }
+  w->EndObject();
+}
+
+void WriteCriticalPathJson(const CriticalPathReport& cp, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("makespan_seconds");
+  w->Double(cp.makespan_seconds);
+  w->Key("phases");
+  w->BeginArray();
+  for (const CpPhase& p : cp.phases) {
+    w->BeginObject();
+    w->Key("phase");
+    w->String(p.phase);
+    w->Key("seconds");
+    w->Double(p.seconds);
+    w->Key("percent");
+    w->Double(p.percent);
+    w->Key("what_if_free_percent");
+    w->Double(p.what_if_free_percent);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("path");
+  w->BeginArray();
+  for (const CpStep& s : cp.steps) {
+    w->BeginObject();
+    w->Key("job");
+    w->String(s.job);
+    w->Key("kind");
+    w->String(s.kind);
+    w->Key("phase");
+    w->String(s.phase);
+    w->Key("task");
+    w->Int(s.task);
+    w->Key("attempts");
+    w->Int(s.attempts);
+    w->Key("seconds");
+    w->Double(s.seconds);
+    w->Key("wave_median_seconds");
+    w->Double(s.wave_median_seconds);
+    w->EndObject();
+  }
+  w->EndArray();
+  // Seed-stable sub-block: CI's determinism gate compares exactly this
+  // object across two same-seed runs.
+  w->Key("deterministic");
+  w->BeginObject();
+  w->Key("dag_signature");
+  w->String(cp.dag_signature);
+  w->Key("phases");
+  w->BeginArray();
+  for (const CpDeterministicPhase& p : cp.deterministic_phases) {
+    w->BeginObject();
+    w->Key("phase");
+    w->String(p.phase);
+    w->Key("records");
+    w->Uint(p.records);
+    w->Key("percent");
+    w->Double(p.percent);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
   w->EndObject();
 }
 
@@ -221,6 +287,11 @@ void WriteJobReport(const SkylineResult& result, std::ostream& os) {
     w.Key("observed_max_reducer_comparisons");
     w.Int(skyline_job->MaxReduceCounter(mr::kCounterPartitionComparisons));
     w.EndObject();
+  }
+  if (const CriticalPathReport cp = AnalyzeCriticalPath(result.jobs);
+      cp.valid) {
+    w.Key("critical_path");
+    WriteCriticalPathJson(cp, &w);
   }
   w.EndObject();
   os << '\n';

@@ -21,18 +21,31 @@
 //                           "median_reduce_busy_seconds": ... },
 //                 "map_tasks": [ {busy_seconds, attempts, input_records,
 //                                 output_records, output_bytes} ],
-//                 "reduce_tasks": [ ... + input_bytes ] } ],
+//                 "reduce_tasks": [ ... + input_bytes, shuffle_seconds ] } ],
 //     "cost_model": { "ppd": ..., "dim": ...,
 //                     "predicted_mapper_comparisons": ...,
 //                     "observed_max_mapper_comparisons": ...,
 //                     "predicted_reducer_comparisons": ...,
-//                     "observed_max_reducer_comparisons": ... } }
+//                     "observed_max_reducer_comparisons": ... },
+//     "critical_path": {
+//       "makespan_seconds": ...,
+//       "phases": [ {phase, seconds, percent, what_if_free_percent} ],
+//       "path": [ {job, kind, phase, task, attempts, seconds,
+//                  wave_median_seconds} ],
+//       "deterministic": { "dag_signature": ...,
+//                          "phases": [ {phase, records, percent} ] } } }
 //
 // "cost_model" is present only for the grid algorithms (ppd > 0). The
 // predictions are the paper's estimates under its uniformity assumptions,
 // not hard bounds: on skewed data, or when ppd selection is capped, the
 // observed counts can exceed them. The point of the block is exactly that
 // comparison (paper Figure 11).
+//
+// "critical_path" (present whenever the run had jobs) is the
+// obs/critical_path.h analysis: phase percents partition the wave-model
+// makespan (they sum to 100), and the "deterministic" sub-block is built
+// from record counts only, so two same-seed runs emit it byte-identically
+// — CI's determinism gate diffs exactly that object.
 
 #ifndef SKYMR_OBS_JOB_REPORT_H_
 #define SKYMR_OBS_JOB_REPORT_H_
@@ -62,7 +75,8 @@ std::string RenderJobMetricsJson(const mr::JobMetrics& metrics);
 
 /// Renders the human-readable summary `skymr_cli stats` prints: per-job
 /// task skew (max/median busy seconds), retries, cache traffic, histogram
-/// summaries, and the cost-model comparison.
+/// summaries, and the cost-model comparison. The critical-path table is
+/// separate (obs::RenderCriticalPathText), printed under --critical-path.
 std::string RenderStatsText(const SkylineResult& result);
 
 }  // namespace skymr::obs

@@ -49,9 +49,12 @@
 #include "src/core/runner.h"
 #include "src/mapreduce/chaos.h"
 
-// Observability: job reports, trace export, report analysis.
+// Observability: job reports, trace export, report analysis,
+// critical-path attribution, and the live metrics registry.
+#include "src/obs/critical_path.h"
 #include "src/obs/doctor.h"
 #include "src/obs/job_report.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 #endif  // SKYMR_SKYMR_H_

@@ -314,6 +314,141 @@ TEST(DoctorTest, RenderFindingsFormats) {
 }
 
 // ---------------------------------------------------------------------
+// Critical-path findings (ISSUE 8): the doctor reads the report's
+// critical_path block, so these splice one in directly.
+// ---------------------------------------------------------------------
+
+TEST(DoctorTest, FlagsCriticalPathPhase) {
+  const std::string json = Report(
+      R"("critical_path": {"makespan_seconds": 0.2,
+           "phases": [
+             {"phase": "local-skyline", "seconds": 0.184, "percent": 92.0,
+              "what_if_free_percent": 88.0},
+             {"phase": "shuffle", "seconds": 0.016, "percent": 8.0,
+              "what_if_free_percent": 3.0}],
+           "path": []})");
+  const auto findings = Analyze(json);
+  ASSERT_TRUE(HasCode(findings, "critical-path-phase"))
+      << RenderFindings(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_NE(findings[0].message.find("local-skyline"), std::string::npos);
+}
+
+TEST(DoctorTest, FastCriticalPathStaysSilent) {
+  // Same 92% concentration but a 10ms makespan: smoke-sized runs are
+  // always dominated by something and must stay doctor-clean.
+  const std::string json = Report(
+      R"("critical_path": {"makespan_seconds": 0.01,
+           "phases": [
+             {"phase": "local-skyline", "seconds": 0.0092, "percent": 92.0,
+              "what_if_free_percent": 88.0},
+             {"phase": "shuffle", "seconds": 0.0008, "percent": 8.0,
+              "what_if_free_percent": 3.0}],
+           "path": []})");
+  EXPECT_TRUE(Analyze(json).empty());
+}
+
+TEST(DoctorTest, SinglePhasePathNeverTripsPhaseCheck) {
+  // A one-phase path trivially owns 100% of itself; that is structure,
+  // not a diagnosis.
+  const std::string json = Report(
+      R"("critical_path": {"makespan_seconds": 0.5,
+           "phases": [{"phase": "merge", "seconds": 0.5, "percent": 100.0,
+                       "what_if_free_percent": 100.0}],
+           "path": []})");
+  EXPECT_TRUE(Analyze(json).empty());
+}
+
+TEST(DoctorTest, FlagsStragglerOnCriticalPathByRatio) {
+  const std::string json = Report(
+      R"("critical_path": {"makespan_seconds": 0.2, "phases": [],
+           "path": [
+             {"job": "skyline", "kind": "map", "phase": "local-skyline",
+              "task": 3, "attempts": 1, "seconds": 0.1,
+              "wave_median_seconds": 0.01}]})");
+  const auto findings = Analyze(json);
+  ASSERT_TRUE(HasCode(findings, "straggler-on-critical-path"))
+      << RenderFindings(findings);
+  EXPECT_NE(findings[0].message.find("10.0x"), std::string::npos);
+}
+
+TEST(DoctorTest, FlagsStragglerOnCriticalPathByRetries) {
+  // Crash-retry chains leave the winning attempt's busy time normal; the
+  // attempt count is the only scar, and it must be enough to fire.
+  const std::string json = Report(
+      R"("critical_path": {"makespan_seconds": 0.2, "phases": [],
+           "path": [
+             {"job": "skyline", "kind": "reduce", "phase": "merge",
+              "task": 0, "attempts": 3, "seconds": 0.001,
+              "wave_median_seconds": 0.001}]})");
+  const auto findings = Analyze(json);
+  ASSERT_TRUE(HasCode(findings, "straggler-on-critical-path"))
+      << RenderFindings(findings);
+  EXPECT_NE(findings[0].message.find("3 attempts"), std::string::npos);
+}
+
+TEST(DoctorTest, FastOrFirstAttemptPathStepsStaySilent) {
+  // 10x over median but under the per-step floor, and a clean
+  // first-attempt step: neither should speak.
+  const std::string json = Report(
+      R"("critical_path": {"makespan_seconds": 0.2, "phases": [],
+           "path": [
+             {"job": "skyline", "kind": "map", "phase": "local-skyline",
+              "task": 1, "attempts": 1, "seconds": 0.01,
+              "wave_median_seconds": 0.001},
+             {"job": "skyline", "kind": "reduce", "phase": "merge",
+              "task": 0, "attempts": 1, "seconds": 0.05,
+              "wave_median_seconds": 0.04}]})");
+  EXPECT_TRUE(Analyze(json).empty());
+}
+
+// ---------------------------------------------------------------------
+// Metrics-snapshot findings (skymr-metrics-v1).
+// ---------------------------------------------------------------------
+
+/// Minimal skymr-metrics-v1 document with a sampler cost sketch whose
+/// sum is `cost_us` microseconds over `uptime` seconds of registry life.
+std::string Metrics(double uptime, double cost_us, int64_t count = 100) {
+  std::ostringstream os;
+  os << R"({"schema": "skymr-metrics-v1", "uptime_seconds": )" << uptime
+     << R"(, "gauges": {}, "counters": {}, "sketches": {)"
+     << R"("mr.sampler_sample_us": {"count": )" << count
+     << R"(, "sum": )" << cost_us
+     << R"(, "min": 1.0, "max": 9.0, "p50": 4.0, "p95": 8.0, "p99": 9.0,)"
+     << R"( "relative_error": 0.01}}})";
+  return os.str();
+}
+
+TEST(DoctorTest, MetricsRejectsWrongSchema) {
+  EXPECT_FALSE(AnalyzeMetricsJson(R"({"schema": "skymr-report-v1"})").ok());
+  EXPECT_FALSE(AnalyzeMetricsJson("[]").ok());
+  EXPECT_FALSE(AnalyzeMetricsJson("nope").ok());
+}
+
+TEST(DoctorTest, FlagsSamplerOverhead) {
+  // 50ms of sampling cost in 1s of uptime = 5% > the 2% budget.
+  auto findings = AnalyzeMetricsJson(Metrics(1.0, 50000.0));
+  ASSERT_TRUE(findings.ok()) << findings.status();
+  ASSERT_TRUE(HasCode(*findings, "sampler-overhead"))
+      << RenderFindings(*findings);
+  EXPECT_EQ((*findings)[0].severity, Severity::kWarning);
+}
+
+TEST(DoctorTest, CheapSamplerStaysSilent) {
+  // 5ms over 1s = 0.5%: well inside budget.
+  auto findings = AnalyzeMetricsJson(Metrics(1.0, 5000.0));
+  ASSERT_TRUE(findings.ok()) << findings.status();
+  EXPECT_TRUE(findings->empty()) << RenderFindings(*findings);
+}
+
+TEST(DoctorTest, ShortLivedSamplerNeverTripsOverheadCheck) {
+  // 50% overhead but only 0.1s of uptime: startup cost, not a trend.
+  auto findings = AnalyzeMetricsJson(Metrics(0.1, 50000.0));
+  ASSERT_TRUE(findings.ok()) << findings.status();
+  EXPECT_TRUE(findings->empty()) << RenderFindings(*findings);
+}
+
+// ---------------------------------------------------------------------
 // End to end: the doctor over reports this repo itself writes.
 // ---------------------------------------------------------------------
 

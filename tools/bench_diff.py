@@ -19,10 +19,14 @@ Two kinds of signal, two kinds of outcome:
                   "wall-regression" warning but still exits 0.
 
 Rows present only in the current artifact are reported as informational
-(they become part of the baseline at the next refresh). To refresh a
-baseline after an intended behavior change, rerun the bench at the
-baseline's scale and copy the artifact over the old file (see
-EXPERIMENTS.md).
+(they become part of the baseline at the next refresh). Rows present only
+in the BASELINE are reported as an explicit "orphaned-row" warning naming
+the row -- a renamed or deleted bench silently skipping its counters is
+exactly the regression-gate hole this catches -- but exit 0 by default so
+a bench rename plus baseline refresh can land in one change; pass
+--strict-rows to make orphaned rows fail. To refresh a baseline after an
+intended behavior change, rerun the bench at the baseline's scale and
+copy the artifact over the old file (see EXPERIMENTS.md).
 """
 
 import argparse
@@ -73,6 +77,9 @@ def main():
                         help="ignore wall regressions when the baseline "
                              "median is below this many seconds "
                              "(default 0.05)")
+    parser.add_argument("--strict-rows", action="store_true",
+                        help="fail (exit 1) when a baseline row has no "
+                             "matching current row, instead of warning")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -91,8 +98,15 @@ def main():
     for name, base_row in base_rows.items():
         cur_row = cur_rows.get(name)
         if cur_row is None:
-            failures.append(f"row {name!r} present in baseline but missing "
-                            "from current artifact")
+            message = (f"orphaned-row: baseline row {name!r} has no "
+                       f"matching row in {args.current} -- its "
+                       "deterministic counters were NOT checked; rename "
+                       "the bench back or refresh the baseline")
+            if args.strict_rows:
+                failures.append(message)
+            else:
+                print(f"bench_diff: {message}")
+                warnings += 1
             continue
         base_det = base_row.get("deterministic", {})
         cur_det = cur_row.get("deterministic", {})

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Validates skymr observability artifacts: a Chrome trace (skymr-trace-v1),
-a job report (skymr-report-v1), and/or a bench artifact (skymr-bench-v1).
+a job report (skymr-report-v1), a bench artifact (skymr-bench-v1), and/or
+a metrics snapshot (skymr-metrics-v1).
 
 Usage:
     check_obs_json.py [--trace trace.json] [--report report.json]
-                      [--bench bench.json]
+                      [--bench bench.json] [--metrics metrics.json]
 
 Exits non-zero with a diagnostic on the first violation. Used by the CI
 obs-smoke and bench-regression jobs; handy locally after `skymr_cli stats
---trace-out ... --report-out ...` or any bench binary run.
+--trace-out ... --report-out ... --metrics-out ...` or any bench binary
+run.
 """
 
 import argparse
@@ -65,6 +67,45 @@ def check_histogram(where, h):
             fail(f"{where}: mean outside [min, max]: {h}")
 
 
+def check_critical_path(where, cp):
+    for key in ("makespan_seconds", "phases", "path", "deterministic"):
+        if key not in cp:
+            fail(f"{where}: missing {key!r}")
+    if cp["makespan_seconds"] < 0:
+        fail(f"{where}: negative makespan")
+    percent_sum = 0.0
+    for p in cp["phases"]:
+        for key in ("phase", "seconds", "percent", "what_if_free_percent"):
+            if key not in p:
+                fail(f"{where}: phase lacks {key!r}: {p}")
+        if p["seconds"] < 0 or p["percent"] < 0:
+            fail(f"{where}: negative phase attribution: {p}")
+        percent_sum += p["percent"]
+    # The phases partition the critical path, so the percents must sum to
+    # 100 (of a nonzero makespan) up to rendering round-off.
+    if cp["makespan_seconds"] > 0 and abs(percent_sum - 100.0) > 1.0:
+        fail(f"{where}: phase percents sum to {percent_sum}, not 100")
+    if cp["phases"] and not cp["path"]:
+        fail(f"{where}: phases present but path empty")
+    for step in cp["path"]:
+        for key in ("job", "kind", "phase", "task", "attempts", "seconds",
+                    "wave_median_seconds"):
+            if key not in step:
+                fail(f"{where}: path step lacks {key!r}: {step}")
+        if step["kind"] not in ("map", "shuffle", "reduce"):
+            fail(f"{where}: path step kind {step['kind']!r}")
+        if step["attempts"] < 1:
+            fail(f"{where}: path step with attempts < 1: {step}")
+    det = cp["deterministic"]
+    if not str(det.get("dag_signature", "")).startswith("jobs="):
+        fail(f"{where}: deterministic.dag_signature malformed: "
+             f"{det.get('dag_signature')!r}")
+    det_sum = sum(p.get("percent", 0.0) for p in det.get("phases", []))
+    det_records = sum(p.get("records", 0) for p in det.get("phases", []))
+    if det_records > 0 and abs(det_sum - 100.0) > 1.0:
+        fail(f"{where}: deterministic percents sum to {det_sum}, not 100")
+
+
 def check_report(path):
     with open(path) as f:
         doc = json.load(f)
@@ -88,6 +129,17 @@ def check_report(path):
         for task in job["map_tasks"] + job["reduce_tasks"]:
             if task["attempts"] < 1:
                 fail(f"{where}: task with attempts < 1: {task}")
+        for task in job["reduce_tasks"]:
+            if task.get("shuffle_seconds", 0) < 0:
+                fail(f"{where}: reduce task with negative shuffle_seconds")
+    # The critical_path block is emitted whenever any job ran tasks; its
+    # phase table must partition the makespan.
+    ran_tasks = any(job["map_tasks"] or job["reduce_tasks"]
+                    for job in doc["jobs"])
+    if ran_tasks and "critical_path" not in doc:
+        fail(f"{path}: jobs ran tasks but critical_path block is missing")
+    if "critical_path" in doc:
+        check_critical_path(f"{path}: critical_path", doc["critical_path"])
     if doc.get("ppd", 0) > 0:
         cm = doc.get("cost_model")
         if cm is None:
@@ -151,20 +203,73 @@ def check_bench(path):
     print(f"check_obs_json: {path}: {len(rows)} bench rows OK")
 
 
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "skymr-metrics-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    for key in ("uptime_seconds", "gauges", "counters", "sketches",
+                "samples"):
+        if key not in doc:
+            fail(f"{path}: missing {key!r}")
+    if doc["uptime_seconds"] < 0:
+        fail(f"{path}: negative uptime")
+    for name, gauge in doc["gauges"].items():
+        if not isinstance(gauge, int):
+            fail(f"{path}: gauge {name!r} is not an int: {gauge!r}")
+    for name, counter in doc["counters"].items():
+        for key in ("value", "rate_per_s"):
+            if key not in counter:
+                fail(f"{path}: counter {name!r} lacks {key!r}")
+        if counter["value"] < 0 or counter["rate_per_s"] < 0:
+            fail(f"{path}: counter {name!r} is negative: {counter}")
+    for name, sk in doc["sketches"].items():
+        where = f"{path}: sketch {name!r}"
+        for key in ("count", "sum", "min", "max", "p50", "p95", "p99",
+                    "relative_error"):
+            if key not in sk:
+                fail(f"{where}: lacks {key!r}")
+        if sk["count"] > 0:
+            if not sk["p50"] <= sk["p95"] <= sk["p99"]:
+                fail(f"{where}: quantiles out of order: {sk}")
+            if not sk["min"] <= sk["max"]:
+                fail(f"{where}: min > max: {sk}")
+        if not 0 < sk["relative_error"] < 1:
+            fail(f"{where}: relative_error out of (0, 1): {sk}")
+    samples = doc["samples"]
+    if not isinstance(samples, list):
+        fail(f"{path}: samples is not a list")
+    last_uptime = -1.0
+    for i, sample in enumerate(samples):
+        for key in ("uptime_seconds", "sample_cost_us", "gauges",
+                    "counters"):
+            if key not in sample:
+                fail(f"{path}: sample {i} lacks {key!r}")
+        if sample["uptime_seconds"] < last_uptime:
+            fail(f"{path}: sample {i} goes back in time")
+        last_uptime = sample["uptime_seconds"]
+    print(f"check_obs_json: {path}: {len(doc['sketches'])} sketches, "
+          f"{len(samples)} samples OK")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace")
     parser.add_argument("--report")
     parser.add_argument("--bench")
+    parser.add_argument("--metrics")
     args = parser.parse_args()
-    if not args.trace and not args.report and not args.bench:
-        parser.error("pass --trace, --report, and/or --bench")
+    if not args.trace and not args.report and not args.bench \
+            and not args.metrics:
+        parser.error("pass --trace, --report, --bench, and/or --metrics")
     if args.trace:
         check_trace(args.trace)
     if args.report:
         check_report(args.report)
     if args.bench:
         check_bench(args.bench)
+    if args.metrics:
+        check_metrics(args.metrics)
 
 
 if __name__ == "__main__":

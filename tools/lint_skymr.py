@@ -32,7 +32,11 @@ Rules:
                     with the entry's name. Also cross-checks that every
                     kCounter* constant in src/mapreduce/counters.h is
                     registered with kind `slot`, and that the slot count
-                    in the registry matches kNumSlots usage.
+                    in the registry matches kNumSlots usage. The check is
+                    bidirectional for `histogram` and `metric` kinds:
+                    each such registry row must be used by at least one
+                    C++ string literal, so deleted metrics cannot leave
+                    stale documentation behind.
   dcheck-message    Every SKYMR_CHECK / SKYMR_DCHECK must stream a
                     message (`<< ...`) describing the violated invariant;
                     a bare check's failure report is just an expression.
@@ -229,11 +233,13 @@ def load_counter_registry(root, findings):
     return exact, prefixes
 
 
-def check_counter_literals(relpath, lines, allowed, findings, registry):
+def check_counter_literals(relpath, lines, allowed, findings, registry,
+                           used_literals):
     exact, prefixes = registry
     for i, line in enumerate(lines, start=1):
         for m in COUNTER_LITERAL_RE.finditer(line):
             name = m.group(1)
+            used_literals.add(name)
             if is_suppressed(allowed, i, "counter-registry"):
                 continue
             if name in exact or name in prefixes:
@@ -244,6 +250,25 @@ def check_counter_literals(relpath, lines, allowed, findings, registry):
                          f"{name!r} is not in the DESIGN.md counter "
                          "inventory (section 13); register it or fix the "
                          "typo")
+
+
+def check_registry_coverage(findings, registry, used_literals):
+    """Reverse direction: histogram/metric rows must be used in C++.
+
+    `slot` rows are covered by check_slot_constants and `counter`/`prefix`
+    rows may name counters that only materialize at runtime, but histogram
+    and metric names are always recorded through a string literal — a
+    registered name no literal mentions is stale documentation.
+    """
+    exact, _ = registry
+    for name, kind in sorted(exact.items()):
+        if kind not in ("histogram", "metric"):
+            continue
+        if name not in used_literals:
+            findings.add("DESIGN.md", 1, "counter-registry",
+                         f"{name!r} has kind `{kind}` but no C++ string "
+                         "literal records it; delete the row or restore "
+                         "the instrumentation")
 
 
 def check_slot_constants(root, findings, registry):
@@ -325,6 +350,7 @@ def main():
         registry = load_counter_registry(root, findings)
         check_slot_constants(root, findings, registry)
 
+    used_literals = set()
     for path in iter_cpp_files(root):
         relpath = os.path.relpath(path, root).replace(os.sep, "/")
         lines = read_lines(path)
@@ -337,9 +363,12 @@ def main():
             check_throw_discipline(relpath, lines, allowed, findings)
         if "counter-registry" in active:
             check_counter_literals(relpath, lines, allowed, findings,
-                                   registry)
+                                   registry, used_literals)
         if "dcheck-message" in active:
             check_dcheck_message(relpath, lines, allowed, findings)
+
+    if "counter-registry" in active:
+        check_registry_coverage(findings, registry, used_literals)
 
     for path, line, rule, message in findings.items:
         print(f"{path}:{line}: {rule}: {message}")

@@ -9,14 +9,20 @@
 //             [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]
 //             [--speculate] [--checkpoint=FILE] [--bench-out=FILE]
 //   skymr_cli stats    --in=data.csv [same flags as skyline]
+//             [--critical-path] [--metrics-out=metrics.json]
 //   skymr_cli compare  --in=data.csv [--header] [--mappers] [--reducers]
 //             [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]
-//   skymr_cli doctor   --report=report.json [--fail-on=warning|critical]
+//   skymr_cli doctor   [--report=report.json] [--metrics=metrics.json]
+//             [--fail-on=warning|critical]
 //
 // `generate` writes a synthetic dataset as CSV; `skyline` computes a
 // (possibly constrained) skyline of a CSV dataset and prints metrics;
 // `stats` runs the same pipeline with tracing on and prints per-task skew,
-// retries, histograms, and the cost-model comparison; `compare` runs all
+// retries, histograms, and the cost-model comparison — `--critical-path`
+// appends the obs/critical_path.h phase-attribution table (which paper
+// phase bounds the makespan, with what-if slack per phase) and
+// `--metrics-out` runs a live metrics registry + sampler thread during
+// the pipeline and writes the skymr-metrics-v1 snapshot; `compare` runs all
 // algorithms on the same input and prints a table; `doctor` analyzes a
 // previously written skymr-report-v1 document and prints severity-ranked
 // findings (task skew, PPD-selection quality, cost-model deviation,
@@ -38,6 +44,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -104,10 +111,12 @@ int Usage() {
       "            [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]\n"
       "            [--speculate] [--checkpoint=FILE] [--bench-out=FILE]\n"
       "  skymr_cli stats   --in=FILE [same flags as skyline]\n"
+      "            [--critical-path] [--metrics-out=FILE]\n"
       "  skymr_cli compare --in=FILE [--header] [--mappers=M] "
       "[--reducers=R]\n"
       "            [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]\n"
-      "  skymr_cli doctor  --report=FILE [--fail-on=warning|critical]\n"
+      "  skymr_cli doctor  [--report=FILE] [--metrics=FILE]\n"
+      "            [--fail-on=warning|critical]\n"
       "algorithms: mr-gpsrs mr-gpmrs mr-bnl mr-angle hybrid sky-mr\n"
       "local algorithms (mapper kernel): bnl sfs bbs auto\n"
       "chaos profiles: %s\n",
@@ -417,16 +426,44 @@ int RunStats(const Args& args) {
     return code;
   }
 
+  // --metrics-out: hook a live registry into the engine and sample it
+  // periodically while the pipeline runs; the export is the final
+  // snapshot plus the sampler's time series.
+  skymr::obs::MetricsRegistry metrics;
+  std::unique_ptr<skymr::obs::MetricsSampler> sampler;
+  const std::string metrics_out = args.GetString("metrics-out", "");
+  if (!metrics_out.empty()) {
+    config.engine.metrics = &metrics;
+    sampler = std::make_unique<skymr::obs::MetricsSampler>(&metrics);
+  }
+
   // stats always collects spans: the trace doubles as the data source for
   // --trace-out and costs little at CLI scales.
   skymr::obs::StartTracing();
   auto result = skymr::ComputeSkyline(*data, config);
   skymr::obs::StopTracing();
+  if (sampler != nullptr) {
+    sampler->Stop();
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
   std::fputs(skymr::obs::RenderStatsText(*result).c_str(), stdout);
+  if (args.Has("critical-path")) {
+    std::fputs(skymr::obs::RenderCriticalPathText(
+                   skymr::obs::AnalyzeCriticalPath(result->jobs))
+                   .c_str(),
+               stdout);
+  }
+  if (!metrics_out.empty()) {
+    if (auto s = metrics.WriteJsonFile(metrics_out, sampler->Samples());
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
   return WriteObsOutputs(args, *result);
 }
 
@@ -488,8 +525,10 @@ int RunCompare(const Args& args) {
 
 int RunDoctor(const Args& args) {
   const std::string report = args.GetString("report", "");
-  if (report.empty()) {
-    std::fprintf(stderr, "doctor requires --report=FILE\n");
+  const std::string metrics = args.GetString("metrics", "");
+  if (report.empty() && metrics.empty()) {
+    std::fprintf(stderr,
+                 "doctor requires --report=FILE and/or --metrics=FILE\n");
     return 2;
   }
   const std::string fail_on = args.GetString("fail-on", "");
@@ -497,19 +536,33 @@ int RunDoctor(const Args& args) {
     std::fprintf(stderr, "--fail-on must be 'warning' or 'critical'\n");
     return 2;
   }
-  auto findings = skymr::obs::AnalyzeReportFile(report);
-  if (!findings.ok()) {
-    std::fprintf(stderr, "%s\n", findings.status().ToString().c_str());
-    return 1;
+  std::vector<skymr::obs::Finding> all;
+  if (!report.empty()) {
+    auto report_findings = skymr::obs::AnalyzeReportFile(report);
+    if (!report_findings.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   report_findings.status().ToString().c_str());
+      return 1;
+    }
+    all.insert(all.end(), report_findings->begin(), report_findings->end());
   }
-  std::fputs(skymr::obs::RenderFindings(*findings).c_str(), stdout);
+  if (!metrics.empty()) {
+    auto metrics_findings = skymr::obs::AnalyzeMetricsFile(metrics);
+    if (!metrics_findings.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   metrics_findings.status().ToString().c_str());
+      return 1;
+    }
+    all.insert(all.end(), metrics_findings->begin(), metrics_findings->end());
+  }
+  std::fputs(skymr::obs::RenderFindings(all).c_str(), stdout);
   if (fail_on.empty()) {
     return 0;
   }
   const skymr::obs::Severity gate = fail_on == "critical"
                                         ? skymr::obs::Severity::kCritical
                                         : skymr::obs::Severity::kWarning;
-  for (const skymr::obs::Finding& finding : *findings) {
+  for (const skymr::obs::Finding& finding : all) {
     if (finding.severity >= gate) {
       return 1;
     }
