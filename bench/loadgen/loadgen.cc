@@ -1,0 +1,554 @@
+#include "bench/loadgen/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "src/common/thread_pool.h"
+#include "src/mapreduce/chaos.h"
+#include "src/obs/bench_artifact.h"
+#include "src/obs/json.h"
+
+namespace skymr::loadgen {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-size-class dataset seed: shared across runs and independent of the
+/// schedule seed, so changing the arrival seed re-orders traffic without
+/// changing any query's answer.
+constexpr uint64_t kDatasetSeedBase = 20140324;
+
+/// Salts for the two independent deterministic draws per query.
+constexpr uint64_t kSaltArrival = 0x6172726976616c73ULL;  // "arrivals"
+constexpr uint64_t kSaltSizePick = 0x73697a657069636bULL;  // "sizepick"
+
+/// One uniform draw in (0, 1]: the top 53 bits of a mixed counter. The
+/// *integer* bits feed the schedule hash so it is machine-independent;
+/// only the timing (never the gate) sees the derived double.
+uint64_t DrawBits(uint64_t seed, uint64_t salt, uint64_t i) {
+  return mr::ChaosMix64(mr::ChaosMix64(seed ^ salt) ^ (i + 1));
+}
+
+double BitsToUnitOpen(uint64_t bits) {
+  // (0, 1]: never 0, so -log() below is finite.
+  return (static_cast<double>(bits >> 11) + 1.0) * 0x1.0p-53;
+}
+
+double NowUs(Clock::time_point epoch) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
+}  // namespace
+
+std::vector<SizeClass> DefaultMix(double scale) {
+  auto scaled = [scale](size_t n) {
+    const double s = static_cast<double>(n) * scale;
+    return std::max<size_t>(200, static_cast<size_t>(s));
+  };
+  std::vector<SizeClass> mix(4);
+  mix[0] = {"small", scaled(600), 3, data::Distribution::kIndependent,
+            Algorithm::kMrGpsrs, /*constrained=*/false, /*weight=*/6};
+  mix[1] = {"medium", scaled(2000), 4, data::Distribution::kIndependent,
+            Algorithm::kMrGpmrs, /*constrained=*/false, /*weight=*/3};
+  mix[2] = {"large", scaled(5000), 5, data::Distribution::kAntiCorrelated,
+            Algorithm::kMrGpmrs, /*constrained=*/false, /*weight=*/1};
+  mix[3] = {"constrained", scaled(1500), 4, data::Distribution::kIndependent,
+            Algorithm::kMrGpmrs, /*constrained=*/true, /*weight=*/2};
+  return mix;
+}
+
+ArrivalSchedule BuildSchedule(const LoadConfig& config) {
+  const std::vector<SizeClass> mix =
+      config.mix.empty() ? DefaultMix(1.0) : config.mix;
+  uint64_t total_weight = 0;
+  for (const SizeClass& sc : mix) {
+    total_weight += sc.weight;
+  }
+  ArrivalSchedule schedule;
+  schedule.arrival_us.reserve(config.queries);
+  schedule.size_class.reserve(config.queries);
+  const double mean_gap_us = 1e6 / config.target_qps;
+  double t = 0.0;
+  uint64_t hash = mr::ChaosMix64(config.seed ^ kSaltArrival);
+  for (int i = 0; i < config.queries; ++i) {
+    const uint64_t gap_bits = DrawBits(config.seed, kSaltArrival, i);
+    // Poisson arrivals: exponential inter-arrival gaps at the target rate.
+    t += -std::log(BitsToUnitOpen(gap_bits)) * mean_gap_us;
+    schedule.arrival_us.push_back(t);
+
+    const uint64_t pick_bits = DrawBits(config.seed, kSaltSizePick, i);
+    int chosen = 0;
+    if (total_weight > 0) {
+      uint64_t ticket = pick_bits % total_weight;
+      for (size_t c = 0; c < mix.size(); ++c) {
+        if (ticket < mix[c].weight) {
+          chosen = static_cast<int>(c);
+          break;
+        }
+        ticket -= mix[c].weight;
+      }
+    }
+    schedule.size_class.push_back(chosen);
+
+    // Integer-only fingerprint: raw draw bits + the pick, never the
+    // floating-point arrival times.
+    hash = mr::ChaosMix64(hash ^ gap_bits);
+    hash = mr::ChaosMix64(hash ^ static_cast<uint64_t>(chosen));
+  }
+  schedule.hash = hash;
+  return schedule;
+}
+
+StatusOr<LoadReport> RunLoad(const LoadConfig& config,
+                             obs::MetricsRegistry* metrics,
+                             obs::Logger* logger) {
+  if (config.queries <= 0) {
+    return Status::InvalidArgument("loadgen: queries must be positive");
+  }
+  if (!(config.target_qps > 0.0)) {
+    return Status::InvalidArgument("loadgen: target_qps must be positive");
+  }
+  if (config.admission_slots <= 0) {
+    return Status::InvalidArgument(
+        "loadgen: admission_slots must be positive");
+  }
+  const std::vector<SizeClass> mix =
+      config.mix.empty() ? DefaultMix(1.0) : config.mix;
+  uint64_t total_weight = 0;
+  for (const SizeClass& sc : mix) {
+    total_weight += sc.weight;
+  }
+  if (total_weight == 0) {
+    return Status::InvalidArgument("loadgen: mix weights sum to zero");
+  }
+
+  // Datasets and runner configs are built once per size class; every
+  // query of a class reuses them, so per-query work is pure compute.
+  std::vector<Dataset> datasets;
+  std::vector<RunnerConfig> runner_configs;
+  datasets.reserve(mix.size());
+  runner_configs.reserve(mix.size());
+  ThreadPool pool(config.threads > 0 ? config.threads
+                                     : ThreadPool::DefaultThreads());
+  for (size_t c = 0; c < mix.size(); ++c) {
+    const SizeClass& sc = mix[c];
+    data::GeneratorConfig gen;
+    gen.distribution = sc.distribution;
+    gen.cardinality = sc.cardinality;
+    gen.dim = sc.dim;
+    gen.seed = kDatasetSeedBase + c;
+    auto data_or = data::Generate(gen);
+    if (!data_or.ok()) {
+      return data_or.status();
+    }
+    datasets.push_back(std::move(data_or).value());
+
+    RunnerConfig rc;
+    rc.algorithm = sc.algorithm;
+    rc.engine.num_map_tasks = config.num_map_tasks;
+    rc.engine.num_reducers = config.num_reducers;
+    rc.engine.max_task_attempts = config.max_task_attempts;
+    rc.engine.chaos = config.chaos;
+    rc.engine.metrics = metrics;
+    rc.engine.log = logger;
+    rc.pool = &pool;
+    if (sc.constrained) {
+      rc.constraint = Box{std::vector<double>(sc.dim, 0.0),
+                          std::vector<double>(sc.dim, 0.6)};
+    }
+    Status valid = rc.Validate();
+    if (!valid.ok()) {
+      return valid;
+    }
+    runner_configs.push_back(std::move(rc));
+  }
+
+  const ArrivalSchedule schedule = BuildSchedule(config);
+
+  LoadReport report;
+  report.schedule_hash = schedule.hash;
+  report.outcomes.resize(config.queries);
+  report.per_size_latency_us.resize(mix.size());
+
+  // Admission state. Arrived queries wait in FIFO order until one of the
+  // admission_slots frees up; each admitted query runs as one pool task
+  // (ComputeSkyline nests its own parallelism onto the same pool via
+  // work-helping, so slots bound *queries*, not threads).
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::deque<int> pending;
+  int inflight = 0;
+  int completed = 0;
+  int64_t max_queue_depth = 0;
+  int64_t max_inflight = 0;
+
+  obs::MetricsRegistry::Gauge* inflight_gauge =
+      metrics != nullptr ? metrics->gauge("query.inflight") : nullptr;
+  obs::MetricsRegistry::Gauge* depth_gauge =
+      metrics != nullptr ? metrics->gauge("query.queue_depth") : nullptr;
+
+  const Clock::time_point epoch = Clock::now();
+
+  // Runs query q on the calling (pool) thread, then admits successors.
+  std::function<void(int)> run_query;
+  std::function<void()> admit_locked = [&]() {
+    while (inflight < config.admission_slots && !pending.empty()) {
+      const int q = pending.front();
+      pending.pop_front();
+      ++inflight;
+      max_inflight = std::max<int64_t>(max_inflight, inflight);
+      if (inflight_gauge != nullptr) {
+        inflight_gauge->Set(inflight);
+      }
+      if (depth_gauge != nullptr) {
+        depth_gauge->Set(static_cast<int64_t>(pending.size()));
+      }
+      pool.Submit([&run_query, q]() { run_query(q); });
+    }
+  };
+
+  run_query = [&](int q) {
+    QueryOutcome& out = report.outcomes[q];
+    out.query_id = static_cast<uint64_t>(q) + 1;
+    out.size_class = schedule.size_class[q];
+    out.scheduled_us = schedule.arrival_us[q];
+    out.dispatch_us = NowUs(epoch);
+
+    if (q == config.slow_query_index && config.slow_query_ms > 0.0) {
+      // The coordinated-omission probe: a deterministic stall occupying
+      // one admission slot. Queries scheduled behind it inherit the
+      // stall in their own (arrival-anchored) latency.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(config.slow_query_ms));
+    }
+
+    const SizeClass& sc = mix[out.size_class];
+    RunnerConfig rc = runner_configs[out.size_class];
+    rc.engine.query.id = out.query_id;
+    rc.engine.query.deadline_ms = config.deadline_ms;
+    rc.engine.query.tag = sc.name;
+
+    auto result_or = ComputeSkyline(datasets[out.size_class], rc);
+    out.done_us = NowUs(epoch);
+    out.ok = result_or.ok();
+    if (out.ok) {
+      const SkylineResult& result = result_or.value();
+      const auto counters =
+          obs::DeterministicCounters(result, sc.cardinality);
+      const auto it = counters.find("skymr.tuple_comparisons");
+      out.comparisons = it != counters.end() ? it->second : 0;
+      out.skyline_size = static_cast<int64_t>(result.skyline.size());
+    }
+    const double latency_us = out.done_us - out.scheduled_us;
+    out.deadline_missed =
+        config.deadline_ms > 0.0 && latency_us > config.deadline_ms * 1e3;
+
+    if (metrics != nullptr) {
+      metrics->counter(out.ok ? "query.completed" : "query.errors")->Add(1);
+      if (out.deadline_missed) {
+        metrics->counter("query.deadline_missed")->Add(1);
+      }
+      metrics->sketch("query.latency_us")->Record(latency_us);
+      metrics->sketch("query.queue_wait_us")
+          ->Record(out.dispatch_us - out.scheduled_us);
+    }
+    if (logger != nullptr && out.deadline_missed) {
+      std::ostringstream msg;
+      msg << "latency " << static_cast<int64_t>(latency_us)
+          << " us over budget " << config.deadline_ms << " ms";
+      obs::Logger::Fields fields;
+      fields.query_id = out.query_id;
+      fields.tag = sc.name;
+      logger->Log(obs::LogSeverity::kWarn, "query.deadline", msg.str(),
+                  fields);
+    }
+
+    std::lock_guard<std::mutex> lock(mu);
+    --inflight;
+    if (inflight_gauge != nullptr) {
+      inflight_gauge->Set(inflight);
+    }
+    ++completed;
+    admit_locked();
+    if (completed == config.queries) {
+      all_done.notify_all();
+    }
+  };
+
+  // The open-loop dispatcher: arrivals happen at their scheduled time no
+  // matter how the system is doing — a stalled engine grows the queue, it
+  // never slows the clock.
+  for (int q = 0; q < config.queries; ++q) {
+    std::this_thread::sleep_until(
+        epoch + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::micro>(
+                        schedule.arrival_us[q])));
+    std::lock_guard<std::mutex> lock(mu);
+    pending.push_back(q);
+    max_queue_depth =
+        std::max<int64_t>(max_queue_depth, static_cast<int64_t>(pending.size()));
+    if (depth_gauge != nullptr) {
+      depth_gauge->Set(static_cast<int64_t>(pending.size()));
+    }
+    admit_locked();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    all_done.wait(lock, [&]() { return completed == config.queries; });
+  }
+  pool.WaitIdle();
+  report.wall_seconds = NowUs(epoch) / 1e6;
+
+  // Sketches are rebuilt from the outcome table in arrival order, so the
+  // report is independent of completion interleaving.
+  for (const QueryOutcome& out : report.outcomes) {
+    const double latency_us = out.done_us - out.scheduled_us;
+    report.latency_us.Add(latency_us);
+    report.queue_wait_us.Add(out.dispatch_us - out.scheduled_us);
+    report.per_size_latency_us[out.size_class].Add(latency_us);
+    report.completed += out.ok ? 1 : 0;
+    report.errors += out.ok ? 0 : 1;
+    report.deadline_missed += out.deadline_missed ? 1 : 0;
+  }
+  report.max_queue_depth = max_queue_depth;
+  report.max_inflight = max_inflight;
+  report.log_dropped = logger != nullptr ? logger->dropped() : 0;
+  return report;
+}
+
+namespace {
+
+void WriteSketchSummary(obs::JsonWriter& w, const obs::QuantileSketch& s) {
+  w.BeginObject();
+  w.Key("count");
+  w.Uint(s.count());
+  w.Key("p50_us");
+  w.Double(s.Quantile(0.50));
+  w.Key("p95_us");
+  w.Double(s.Quantile(0.95));
+  w.Key("p99_us");
+  w.Double(s.Quantile(0.99));
+  w.Key("max_us");
+  w.Double(s.max());
+  w.Key("mean_us");
+  w.Double(s.count() > 0 ? s.sum() / static_cast<double>(s.count()) : 0.0);
+  w.EndObject();
+}
+
+void WriteEnvironment(obs::JsonWriter& w, const obs::BenchEnvironment& env) {
+  w.BeginObject();
+  w.Key("git_sha");
+  w.String(env.git_sha);
+  w.Key("compiler");
+  w.String(env.compiler);
+  w.Key("build_type");
+  w.String(env.build_type);
+  w.Key("cxx_flags");
+  w.String(env.cxx_flags);
+  w.Key("cpu");
+  w.String(env.cpu);
+  w.Key("kernel_backend");
+  w.String(env.kernel_backend);
+  w.Key("tracing_compiled");
+  w.Bool(env.tracing_compiled);
+  w.Key("threads");
+  w.Int(env.threads);
+  w.Key("scale_env");
+  w.String(env.scale_env);
+  w.Key("full_env");
+  w.String(env.full_env);
+  w.Key("reps");
+  w.Int(env.reps);
+  w.EndObject();
+}
+
+/// Emits one bench-v1-shaped row so tools/bench_diff.py can gate the
+/// deterministic section with its existing row machinery. Wall medians
+/// are latency p50 in seconds (soft-warn territory, like every wall).
+void WriteRow(obs::JsonWriter& w, const std::string& name,
+              const obs::QuantileSketch& latency,
+              const std::map<std::string, double>& metrics,
+              const std::map<std::string, int64_t>& deterministic) {
+  w.BeginObject();
+  w.Key("name");
+  w.String(name);
+  w.Key("wall");
+  w.BeginObject();
+  w.Key("reps");
+  w.Int(static_cast<int64_t>(latency.count()));
+  w.Key("median_seconds");
+  w.Double(latency.Quantile(0.5) / 1e6);
+  w.Key("mad_seconds");
+  w.Double(0.0);
+  w.Key("cv");
+  w.Double(0.0);
+  w.Key("min_seconds");
+  w.Double(latency.min() / 1e6);
+  w.Key("max_seconds");
+  w.Double(latency.max() / 1e6);
+  w.Key("mean_seconds");
+  w.Double(latency.count() > 0
+               ? latency.sum() / static_cast<double>(latency.count()) / 1e6
+               : 0.0);
+  w.EndObject();
+  w.Key("metrics");
+  w.BeginObject();
+  for (const auto& [key, value] : metrics) {
+    w.Key(key);
+    w.Double(value);
+  }
+  w.EndObject();
+  w.Key("deterministic");
+  w.BeginObject();
+  for (const auto& [key, value] : deterministic) {
+    w.Key(key);
+    w.Int(value);
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+void WriteLoadArtifact(const LoadConfig& config, const LoadReport& report,
+                       std::ostream& os) {
+  const std::vector<SizeClass> mix =
+      config.mix.empty() ? DefaultMix(1.0) : config.mix;
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema");
+  w.String("skymr-load-v1");
+  w.Key("bench");
+  w.String("loadgen");
+  w.Key("environment");
+  WriteEnvironment(w, obs::CaptureBenchEnvironment());
+
+  w.Key("config");
+  w.BeginObject();
+  w.Key("seed");
+  w.Uint(config.seed);
+  w.Key("target_qps");
+  w.Double(config.target_qps);
+  w.Key("queries");
+  w.Int(config.queries);
+  w.Key("admission_slots");
+  w.Int(config.admission_slots);
+  w.Key("threads");
+  w.Int(config.threads);
+  w.Key("deadline_ms");
+  w.Double(config.deadline_ms);
+  w.Key("chaos_enabled");
+  w.Bool(config.chaos.enabled());
+  w.Key("slow_query_index");
+  w.Int(config.slow_query_index);
+  w.Key("slow_query_ms");
+  w.Double(config.slow_query_ms);
+  w.EndObject();
+
+  // Machine-dependent load summary: the tail-latency story.
+  w.Key("load");
+  w.BeginObject();
+  w.Key("latency");
+  WriteSketchSummary(w, report.latency_us);
+  w.Key("queue_wait");
+  WriteSketchSummary(w, report.queue_wait_us);
+  w.Key("throughput_qps");
+  w.Double(report.wall_seconds > 0.0
+               ? static_cast<double>(report.completed) / report.wall_seconds
+               : 0.0);
+  w.Key("wall_seconds");
+  w.Double(report.wall_seconds);
+  w.Key("counters");
+  w.BeginObject();
+  w.Key("completed");
+  w.Int(report.completed);
+  w.Key("errors");
+  w.Int(report.errors);
+  w.Key("deadline_missed");
+  w.Int(report.deadline_missed);
+  w.Key("max_queue_depth");
+  w.Int(report.max_queue_depth);
+  w.Key("max_inflight");
+  w.Int(report.max_inflight);
+  w.Key("log_dropped");
+  w.Int(report.log_dropped);
+  w.EndObject();
+  w.EndObject();
+
+  // Per-size deterministic aggregates, in arrival (index) order.
+  std::vector<int64_t> size_queries(mix.size(), 0);
+  std::vector<int64_t> size_ok(mix.size(), 0);
+  std::vector<int64_t> size_comparisons(mix.size(), 0);
+  std::vector<int64_t> size_skyline(mix.size(), 0);
+  for (const QueryOutcome& out : report.outcomes) {
+    ++size_queries[out.size_class];
+    size_ok[out.size_class] += out.ok ? 1 : 0;
+    size_comparisons[out.size_class] += out.comparisons;
+    size_skyline[out.size_class] += out.skyline_size;
+  }
+
+  w.Key("rows");
+  w.BeginArray();
+  {
+    // The aggregate row: the schedule fingerprint is split into two
+    // 32-bit halves because JSON numbers are doubles (53-bit mantissa).
+    std::map<std::string, double> m;
+    m["throughput_qps"] =
+        report.wall_seconds > 0.0
+            ? static_cast<double>(report.completed) / report.wall_seconds
+            : 0.0;
+    m["latency_p99_us"] = report.latency_us.Quantile(0.99);
+    m["queue_wait_p99_us"] = report.queue_wait_us.Quantile(0.99);
+    std::map<std::string, int64_t> d;
+    d["queries"] = config.queries;
+    d["schedule_hash_hi"] = static_cast<int64_t>(report.schedule_hash >> 32);
+    d["schedule_hash_lo"] =
+        static_cast<int64_t>(report.schedule_hash & 0xffffffffULL);
+    d["completed"] = report.completed;
+    d["errors"] = report.errors;
+    d["comparisons"] = 0;
+    for (size_t c = 0; c < mix.size(); ++c) {
+      d["comparisons"] += size_comparisons[c];
+    }
+    WriteRow(w, "loadgen", report.latency_us, m, d);
+  }
+  for (size_t c = 0; c < mix.size(); ++c) {
+    std::map<std::string, double> m;
+    m["latency_p99_us"] = report.per_size_latency_us[c].Quantile(0.99);
+    std::map<std::string, int64_t> d;
+    d["queries"] = size_queries[c];
+    d["ok"] = size_ok[c];
+    d["comparisons"] = size_comparisons[c];
+    d["skyline_size"] = size_skyline[c];
+    WriteRow(w, "size:" + mix[c].name, report.per_size_latency_us[c], m, d);
+  }
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+}
+
+Status WriteLoadArtifactFile(const LoadConfig& config,
+                             const LoadReport& report,
+                             const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::Internal("loadgen: cannot open artifact path " + path);
+  }
+  WriteLoadArtifact(config, report, file);
+  if (!file) {
+    return Status::Internal("loadgen: artifact write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace skymr::loadgen

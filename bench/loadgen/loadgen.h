@@ -1,0 +1,151 @@
+// Open-loop workload driver for query-level observability: the traffic
+// harness a resident skyline server would face, run against the
+// in-process engine.
+//
+// Open-loop means arrivals are scheduled ahead of time from a seeded
+// Poisson process at the configured QPS and never wait for the system:
+// if the engine stalls, queries pile up in the admission queue instead
+// of silently slowing the generator down. Latency is measured from each
+// query's *scheduled arrival*, not from when it was dispatched — the
+// coordinated-omission-safe convention (Tene, "How NOT to measure
+// latency"): a 300 ms stall does not just make one query slow, it makes
+// every query scheduled behind it slow, and the percentiles must say so.
+//
+// Determinism: the arrival schedule, size-class assignment, datasets,
+// and every per-query comparison counter depend only on LoadConfig
+// (seed, qps, query count, mix) — never on wall-clock timing — so the
+// `deterministic` section of the emitted skymr-load-v1 artifact is
+// bit-identical across same-seed runs and is hard-gated by
+// tools/bench_diff.py in CI. Latency/throughput numbers are
+// machine-dependent and informational.
+
+#ifndef SKYMR_BENCH_LOADGEN_LOADGEN_H_
+#define SKYMR_BENCH_LOADGEN_LOADGEN_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/runner.h"
+#include "src/data/generator.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+
+namespace skymr::loadgen {
+
+/// One query flavour in the traffic mix: a dataset shape plus the
+/// algorithm/variant answering it. Weighted random assignment per query.
+struct SizeClass {
+  std::string name;
+  size_t cardinality = 1000;
+  size_t dim = 3;
+  data::Distribution distribution = data::Distribution::kIndependent;
+  Algorithm algorithm = Algorithm::kMrGpmrs;
+  /// Constrained-skyline variant: query only the [0, 0.6]^d corner box.
+  bool constrained = false;
+  /// Relative weight in the mix (0 drops the class).
+  uint32_t weight = 1;
+};
+
+/// The default small/medium/large/constrained mix, with cardinalities
+/// multiplied by `scale` (floored at 200 tuples).
+std::vector<SizeClass> DefaultMix(double scale);
+
+struct LoadConfig {
+  /// Seeds the arrival schedule and size assignment (not the datasets,
+  /// which are seeded per size class so every run shares them).
+  uint64_t seed = 1;
+  /// Open-loop arrival rate, queries per second.
+  double target_qps = 40.0;
+  /// Total queries in the schedule.
+  int queries = 48;
+  /// Admission: queries running concurrently; arrivals beyond this wait
+  /// in FIFO order (query.queue_depth gauge).
+  int admission_slots = 2;
+  /// Worker threads of the shared ThreadPool all queries run on
+  /// (0 = hardware concurrency).
+  int threads = 0;
+  /// Latency budget per query; > 0 counts query.deadline_missed.
+  double deadline_ms = 0.0;
+  /// The traffic mix (empty = DefaultMix(1.0)).
+  std::vector<SizeClass> mix;
+  /// Fault injection applied to every query's engine (storm profile +
+  /// max_task_attempts=1 makes queries fail permanently, firing the
+  /// flight-recorder crash dump).
+  mr::ChaosSchedule chaos;
+  int max_task_attempts = 1;
+  /// Deterministic stall injected into query index `slow_query_index`
+  /// (0-based arrival order) after dispatch: the coordinated-omission
+  /// probe. Queries scheduled behind it must show the stall in their
+  /// own latency.
+  int slow_query_index = -1;
+  double slow_query_ms = 0.0;
+  /// Map tasks per query job (small jobs; keep the default modest).
+  int num_map_tasks = 4;
+  int num_reducers = 2;
+};
+
+/// Outcome of one query, indexes parallel to the arrival schedule.
+struct QueryOutcome {
+  uint64_t query_id = 0;       // 1-based stable id
+  int size_class = 0;          // index into config.mix
+  double scheduled_us = 0.0;   // arrival offset from harness epoch
+  double dispatch_us = 0.0;    // when a slot started executing it
+  double done_us = 0.0;        // completion offset
+  bool ok = false;
+  bool deadline_missed = false;
+  /// Deterministic per-query signal: skymr.tuple_comparisons summed over
+  /// the query's jobs, and the skyline cardinality.
+  int64_t comparisons = 0;
+  int64_t skyline_size = 0;
+};
+
+struct LoadReport {
+  std::vector<QueryOutcome> outcomes;
+  /// End-to-end latency from scheduled arrival (CO-safe) and the
+  /// arrival→dispatch queueing wait, microseconds.
+  obs::QuantileSketch latency_us;
+  obs::QuantileSketch queue_wait_us;
+  /// Per size class latency sketches (parallel to config.mix).
+  std::vector<obs::QuantileSketch> per_size_latency_us;
+  uint64_t schedule_hash = 0;
+  int64_t completed = 0;
+  int64_t errors = 0;
+  int64_t deadline_missed = 0;
+  int64_t max_queue_depth = 0;
+  int64_t max_inflight = 0;
+  double wall_seconds = 0.0;
+  /// Logger drop count at the end of the run (mr.log_dropped).
+  int64_t log_dropped = 0;
+};
+
+/// The precomputed open-loop schedule: arrival offsets (us, ascending)
+/// and size-class assignment per query, plus the mix fingerprint. Pure
+/// function of (seed, qps, queries, mix weights).
+struct ArrivalSchedule {
+  std::vector<double> arrival_us;
+  std::vector<int> size_class;
+  uint64_t hash = 0;
+};
+ArrivalSchedule BuildSchedule(const LoadConfig& config);
+
+/// Runs the workload. `metrics` (optional) receives the query.* gauges/
+/// counters/sketches live; `logger` (optional) receives per-query
+/// structured events and is handed to every query's engine — configure
+/// its crash_dump_path to get flight-recorder dumps on chaos faults.
+StatusOr<LoadReport> RunLoad(const LoadConfig& config,
+                             obs::MetricsRegistry* metrics,
+                             obs::Logger* logger);
+
+/// Writes the skymr-load-v1 artifact (see DESIGN.md §16 for the layout).
+void WriteLoadArtifact(const LoadConfig& config, const LoadReport& report,
+                       std::ostream& os);
+Status WriteLoadArtifactFile(const LoadConfig& config,
+                             const LoadReport& report,
+                             const std::string& path);
+
+}  // namespace skymr::loadgen
+
+#endif  // SKYMR_BENCH_LOADGEN_LOADGEN_H_

@@ -1,0 +1,95 @@
+// Harness: src/obs/log.h ParseLogLine on raw bytes — the flight-recorder
+// dump reader and any external log shipper consume these lines, so the
+// parser is an untrusted-input boundary.
+//
+// Properties enforced:
+//   1. ParseLogLine never crashes on any byte sequence — malformed JSON,
+//      wrong types, unknown severities, and oversized strings all come
+//      back as a clean Status or a truncated record;
+//   2. for any line it accepts, FormatLogLine(ParseLogLine(line)) is a
+//      fixpoint: formatting the parsed record and parsing it again
+//      reproduces the same line byte for byte (canonical number
+//      formatting, identical truncation, identical field omission);
+//   3. a synthesized record built from the fuzz bytes (mode byte 1)
+//      survives Format -> Parse with every field intact, including
+//      strings at exactly the capacity boundaries.
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_common.h"
+#include "src/obs/log.h"
+
+namespace {
+
+using skymr::fuzz::FuzzInput;
+using skymr::obs::LogRecord;
+using skymr::obs::LogSeverity;
+
+void FillString(FuzzInput& in, char* out, size_t capacity) {
+  // Up to capacity bytes (deliberately allowed to hit the boundary);
+  // printable-ish remap keeps the record valid without hiding escapes.
+  const size_t n = in.ConsumeIntegralInRange(0, capacity - 1);
+  const std::string raw = in.ConsumeBytes(n);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    out[i] = raw[i] == '\0' ? '.' : raw[i];
+  }
+  out[raw.size()] = '\0';
+}
+
+void RoundTripSynthesized(FuzzInput& in) {
+  LogRecord record;
+  // Integer-valued timestamp: 10 digits survive the writer's %.12g
+  // exactly (fractional ts_us with more significant digits would not).
+  record.ts_us = static_cast<double>(in.ConsumeRaw<uint32_t>());
+  record.severity = static_cast<LogSeverity>(
+      in.ConsumeIntegralInRange(0, 4));
+  // query ids live below 2^53 so JSON doubles hold them exactly.
+  record.query_id = in.ConsumeRaw<uint64_t>() & ((uint64_t{1} << 53) - 1);
+  record.task = static_cast<int32_t>(in.ConsumeIntegralInRange(0, 1u << 20)) -
+                1;  // -1 = absent is reachable
+  record.attempt = static_cast<int32_t>(in.ConsumeIntegralInRange(0, 16));
+  FillString(in, record.event, LogRecord::kEventCapacity);
+  FillString(in, record.job, LogRecord::kTagCapacity);
+  FillString(in, record.tag, LogRecord::kTagCapacity);
+  FillString(in, record.message, LogRecord::kMessageCapacity);
+
+  const std::string line = skymr::obs::FormatLogLine(record);
+  auto parsed = skymr::obs::ParseLogLine(line);
+  SKYMR_FUZZ_ASSERT(parsed.ok());
+  SKYMR_FUZZ_ASSERT(parsed->ts_us == record.ts_us);
+  SKYMR_FUZZ_ASSERT(parsed->severity == record.severity);
+  SKYMR_FUZZ_ASSERT(parsed->query_id == record.query_id);
+  SKYMR_FUZZ_ASSERT(parsed->task == record.task);
+  SKYMR_FUZZ_ASSERT(parsed->attempt == record.attempt);
+  SKYMR_FUZZ_ASSERT(std::strcmp(parsed->event, record.event) == 0);
+  SKYMR_FUZZ_ASSERT(std::strcmp(parsed->job, record.job) == 0);
+  SKYMR_FUZZ_ASSERT(std::strcmp(parsed->tag, record.tag) == 0);
+  SKYMR_FUZZ_ASSERT(std::strcmp(parsed->message, record.message) == 0);
+  SKYMR_FUZZ_ASSERT(skymr::obs::FormatLogLine(*parsed) == line);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 18)) {
+    return 0;  // Real log lines are short; giant inputs slow exploration.
+  }
+  FuzzInput in(data, size);
+  if (in.ConsumeBool()) {
+    RoundTripSynthesized(in);
+    return 0;
+  }
+  const std::string_view line = in.RemainingView();
+  auto parsed = skymr::obs::ParseLogLine(line);
+  if (!parsed.ok()) {
+    return 0;  // Clean rejection is a correct outcome.
+  }
+  const std::string once = skymr::obs::FormatLogLine(parsed.value());
+  auto reparsed = skymr::obs::ParseLogLine(once);
+  SKYMR_FUZZ_ASSERT(reparsed.ok());
+  SKYMR_FUZZ_ASSERT(skymr::obs::FormatLogLine(reparsed.value()) == once);
+  return 0;
+}

@@ -27,6 +27,7 @@
 #include "src/core/messages.h"
 #include "src/data/dataset_io.h"
 #include "src/local/skyline_window.h"
+#include "src/obs/log.h"
 #include "src/relation/dataset.h"
 
 namespace skymr::fuzz {
@@ -111,6 +112,76 @@ void JsonSeeds(const fs::path& root) {
   at_limit.append(255, ']');
   WriteSeed(root, "json_parse", "at_depth_limit", at_limit);
   WriteSeed(root, "json_parse", "truncated", R"({"a":[1,2,{"b":)");
+}
+
+// ----------------------------------------------------------- log_parse
+
+/// Seeds for fuzz_log_parse.cc. First byte picks the mode: even = parse
+/// the remaining bytes as a log line, odd = synthesize a record from the
+/// remaining bytes and round-trip it.
+void LogParseSeeds(const fs::path& root) {
+  const auto raw = [](const std::string& line) {
+    std::string bytes(1, '\0');  // mode 0: raw parse
+    bytes += line;
+    return bytes;
+  };
+
+  // Real FormatLogLine output: a fully-populated record and a minimal one.
+  obs::LogRecord full;
+  full.ts_us = 123456.0;
+  full.severity = obs::LogSeverity::kWarn;
+  full.query_id = 42;
+  full.task = 3;
+  full.attempt = 2;
+  std::strncpy(full.event, "task.retry", sizeof(full.event) - 1);
+  std::strncpy(full.job, "skyline", sizeof(full.job) - 1);
+  std::strncpy(full.tag, "size=large", sizeof(full.tag) - 1);
+  std::strncpy(full.message, "attempt 2 of task 3 after crash",
+               sizeof(full.message) - 1);
+  WriteSeed(root, "log_parse", "full_record", raw(obs::FormatLogLine(full)));
+
+  obs::LogRecord minimal;
+  minimal.ts_us = 1.0;
+  std::strncpy(minimal.event, "job.start", sizeof(minimal.event) - 1);
+  WriteSeed(root, "log_parse", "minimal_record",
+            raw(obs::FormatLogLine(minimal)));
+
+  // Adversarial lines the parser must reject or truncate cleanly.
+  WriteSeed(root, "log_parse", "truncated",
+            raw(R"({"ts_us":12.5,"sev":"info","event":"job)"));
+  WriteSeed(root, "log_parse", "bad_severity",
+            raw(R"({"ts_us":1,"sev":"loud","event":"x"})"));
+  WriteSeed(root, "log_parse", "wrong_types",
+            raw(R"({"ts_us":"soon","sev":4,"event":[1],"query":"q"})"));
+  WriteSeed(root, "log_parse", "oversized_strings",
+            raw(R"({"ts_us":1,"sev":"info","event":")" +
+                std::string(200, 'e') + R"(","msg":")" +
+                std::string(500, 'm') + R"("})"));
+  WriteSeed(root, "log_parse", "huge_query",
+            raw(R"({"ts_us":1,"sev":"info","event":"x","query":1e300})"));
+  WriteSeed(root, "log_parse", "not_an_object", raw(R"(["ts_us",1])"));
+
+  // Synthesized-mode seeds: mode byte 1 + structured draws (short inputs
+  // zero-fill, so even the empty tail is a valid record).
+  SeedBuilder synth;
+  synth.Raw<uint8_t>(1);
+  synth.Raw<uint32_t>(987654);        // ts_us
+  synth.Raw<uint64_t>(3);             // severity draw
+  synth.Raw<uint64_t>(0x1234567890ULL);  // query_id bits
+  synth.Raw<uint64_t>(17);            // task draw
+  synth.Raw<uint64_t>(4);             // attempt draw
+  synth.Raw<uint64_t>(31);            // event length: capacity boundary
+  synth.Text(std::string(31, 'E'));
+  synth.Raw<uint64_t>(0);             // empty job
+  synth.Raw<uint64_t>(5);
+  synth.Text("tag\\\"");              // tag needing JSON escapes
+  synth.Raw<uint64_t>(103);           // message at capacity boundary
+  synth.Text(std::string(103, 'M'));
+  WriteSeed(root, "log_parse", "synth_boundaries", synth.bytes());
+
+  SeedBuilder tiny;
+  tiny.Raw<uint8_t>(1);
+  WriteSeed(root, "log_parse", "synth_empty", tiny.bytes());
 }
 
 // ------------------------------------------------------------ messages
@@ -501,6 +572,7 @@ int main(int argc, char** argv) {
   }
   const std::filesystem::path root(argv[1]);
   skymr::fuzz::JsonSeeds(root);
+  skymr::fuzz::LogParseSeeds(root);
   skymr::fuzz::MessageSeeds(root);
   skymr::fuzz::CheckpointSeeds(root);
   skymr::fuzz::DatasetCsvSeeds(root);

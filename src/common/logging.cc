@@ -8,6 +8,7 @@ namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mutex;
+std::atomic<internal::FatalHook> g_fatal_hook{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -37,6 +38,10 @@ void SetLogLevel(LogLevel level) {
 
 namespace internal {
 
+void SetFatalHook(FatalHook hook) {
+  g_fatal_hook.store(hook, std::memory_order_relaxed);
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
   const char* base = file;
@@ -60,6 +65,13 @@ LogMessage::~LogMessage() {
     std::cerr << line;
   }
   if (level_ == LogLevel::kFatal) {
+    // Give the flight recorder its last chance to dump before the abort;
+    // the hook is cleared first so a hook that itself fatals cannot
+    // recurse.
+    if (FatalHook hook =
+            g_fatal_hook.exchange(nullptr, std::memory_order_acq_rel)) {
+      hook();
+    }
     std::abort();
   }
 }

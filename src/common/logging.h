@@ -37,6 +37,16 @@ void SetLogLevel(LogLevel level);
 
 namespace internal {
 
+/// Callback invoked once, right before a fatal log statement aborts the
+/// process. The observability layer registers a flight-recorder dump
+/// here (obs::Logger::InstallAsFatalDumper) so SKYMR_CHECK failures
+/// leave a post-mortem trail. The hook must be async-signal-tolerant in
+/// spirit: no throwing, no further fatal logging.
+using FatalHook = void (*)();
+
+/// Installs `hook` (nullptr clears). Thread-safe (relaxed atomic).
+void SetFatalHook(FatalHook hook);
+
 /// Accumulates one log line and flushes it on destruction.
 class LogMessage {
  public:

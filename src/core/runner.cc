@@ -14,6 +14,7 @@
 #include "src/core/gpmrs.h"
 #include "src/core/gpsrs.h"
 #include "src/mapreduce/chaos.h"
+#include "src/obs/log.h"
 #include "src/obs/trace.h"
 
 namespace skymr {
@@ -323,15 +324,43 @@ StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
   if (const Status valid = config.Validate(); !valid.ok()) {
     return valid;
   }
+  obs::Logger* log = config.engine.log;
+  if (log != nullptr) {
+    log->LogQuery(obs::LogSeverity::kInfo, config.engine.query,
+                  "query.start",
+                  std::string(AlgorithmName(config.algorithm)) + ", " +
+                      std::to_string(data.size()) + " tuples, dim " +
+                      std::to_string(data.dim()));
+  }
   // API hardening: nothing escapes this boundary as an exception. Task
   // failures inside the engine already surface as Status; this catch is
   // the backstop for anything unexpected (user functors, OOM, bugs).
-  try {
-    return ComputeSkylineImpl(data, config);
-  } catch (const std::exception& e) {
-    return Status::Internal(
-        std::string("skyline pipeline: unexpected exception: ") + e.what());
+  StatusOr<SkylineResult> result = [&]() -> StatusOr<SkylineResult> {
+    try {
+      return ComputeSkylineImpl(data, config);
+    } catch (const std::exception& e) {
+      return Status::Internal(
+          std::string("skyline pipeline: unexpected exception: ") + e.what());
+    }
+  }();
+  if (log != nullptr) {
+    if (result.ok()) {
+      log->LogQuery(
+          obs::LogSeverity::kInfo, config.engine.query, "query.finish",
+          "skyline " + std::to_string(result->skyline.size()) + " of " +
+              std::to_string(data.size()) + " tuples, " +
+              std::to_string(
+                  static_cast<int64_t>(result->wall_seconds * 1e6)) +
+              " us" + (result->degraded ? ", degraded" : ""));
+    } else {
+      // Permanent task failures already NotifyFatal'ed inside the
+      // scheduler; this records the query-level outcome with the same id
+      // so the post-mortem dump names the query that died.
+      log->LogQuery(obs::LogSeverity::kError, config.engine.query,
+                    "query.error", result.status().message());
+    }
   }
+  return result;
 }
 
 }  // namespace skymr

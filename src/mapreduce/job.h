@@ -336,6 +336,21 @@ class Job {
     result.metrics.name = name_;
     SKYMR_TRACE_SPAN(std::string("job.") + name_, "mappers",
                      options.num_map_tasks, "reducers", options.num_reducers);
+    if (options.query.id != 0) {
+      // Correlation spine: stamp the owning query's id into the trace
+      // stream under the job span, mirroring the id every log record of
+      // this job carries.
+      SKYMR_TRACE_INSTANT("query.job", "query",
+                          static_cast<int64_t>(options.query.id));
+    }
+    if (options.log != nullptr) {
+      options.log->LogQuery(
+          obs::LogSeverity::kInfo, options.query, "job.start",
+          std::to_string(options.num_map_tasks) + " mappers, " +
+              std::to_string(options.num_reducers) + " reducers, " +
+              std::to_string(input.size()) + " input records",
+          name_);
+    }
     // Live metrics (optional): gauge of jobs in flight for the sampler's
     // time series, sketches fed per task below.
     obs::ScopedGaugeDelta inflight(
@@ -387,6 +402,10 @@ class Job {
           &wave_stats);
     }
     if (!wave_status.ok()) {
+      if (options.log != nullptr) {
+        options.log->LogQuery(obs::LogSeverity::kError, options.query,
+                              "job.fail", wave_status.message(), name_);
+      }
       result.status = wave_status;
       return result;
     }
@@ -453,6 +472,10 @@ class Job {
     result.metrics.shuffle_bytes = shuffle_bytes;
 
     if (!wave_status.ok()) {
+      if (options.log != nullptr) {
+        options.log->LogQuery(obs::LogSeverity::kError, options.query,
+                              "job.fail", wave_status.message(), name_);
+      }
       result.status = wave_status;
       return result;
     }
@@ -540,6 +563,16 @@ class Job {
     result.metrics.wall_seconds = job_clock.ElapsedSeconds();
     if (options.metrics != nullptr) {
       RecordLiveMetrics(options.metrics, result.metrics, reducer_inputs);
+    }
+    if (options.log != nullptr) {
+      options.log->LogQuery(
+          obs::LogSeverity::kInfo, options.query, "job.finish",
+          std::to_string(result.outputs.size()) + " outputs, " +
+              std::to_string(shuffle_bytes) + " shuffle bytes, " +
+              std::to_string(static_cast<int64_t>(
+                  result.metrics.wall_seconds * 1e6)) +
+              " us",
+          name_);
     }
     result.status = Status::OK();
     return result;

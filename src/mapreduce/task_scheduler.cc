@@ -246,7 +246,7 @@ void TaskScheduler::RunOneAttempt(WaveContext& wave, TaskState& state,
     }
     const Status status = (*wave.body)(handle);
     if (!status.ok()) {
-      MarkFailed(wave, state, status);
+      MarkFailed(wave, state, task, status);
       return;
     }
     if (handle.won()) {
@@ -277,7 +277,7 @@ void TaskScheduler::RunOneAttempt(WaveContext& wave, TaskState& state,
     // Anything else is a bug in user code, not a cluster fault: fail the
     // task permanently instead of letting the exception cross the engine
     // boundary (the public API contract is Status, never throw).
-    MarkFailed(wave, state,
+    MarkFailed(wave, state, task,
                Status::Internal("job '" + job_name_ + "' " +
                                 KindName(wave.kind) + " task " +
                                 std::to_string(task) +
@@ -293,7 +293,7 @@ void TaskScheduler::HandleRetryableFailure(WaveContext& wave,
   const int failures =
       state.failures.fetch_add(1, std::memory_order_relaxed) + 1;
   if (failures >= options_.max_task_attempts) {
-    MarkFailed(wave, state,
+    MarkFailed(wave, state, task,
                Status::Internal("job '" + job_name_ + "' " +
                                 KindName(wave.kind) + " task " +
                                 std::to_string(task) + " failed after " +
@@ -303,10 +303,23 @@ void TaskScheduler::HandleRetryableFailure(WaveContext& wave,
   }
   wave.retries.fetch_add(1, std::memory_order_relaxed);
   SKYMR_TRACE_INSTANT("task.retry", "task", task, "attempt", attempt);
+  if (options_.log != nullptr) {
+    options_.log->LogQuery(obs::LogSeverity::kWarn, options_.query,
+                           "task.retry", what, job_name_, task, attempt);
+  }
 }
 
-void TaskScheduler::MarkFailed(WaveContext& wave, TaskState& state,
+void TaskScheduler::MarkFailed(WaveContext& wave, TaskState& state, int task,
                                Status status) {
+  if (options_.log != nullptr) {
+    // The permanent failure is the engine's "fatal chaos fault": record
+    // it with the query's id, then trigger the flight-recorder crash
+    // dump so the post-mortem shows the events leading up to it.
+    options_.log->LogQuery(obs::LogSeverity::kError, options_.query,
+                           "task.fatal", status.message(), job_name_, task,
+                           0);
+    options_.log->NotifyFatal("task.fatal: job '" + job_name_ + "'");
+  }
   {
     std::lock_guard<std::mutex> lock(wave.error_mutex);
     if (wave.first_error.ok()) {
@@ -386,6 +399,15 @@ void TaskScheduler::RecordWorkerFailure(int worker) {
     worker_blacklisted_[slot] = true;
     ++blacklisted_count_;
     SKYMR_TRACE_INSTANT("worker.blacklist", "worker", worker);
+    if (options_.log != nullptr) {
+      options_.log->LogQuery(obs::LogSeverity::kWarn, options_.query,
+                             "worker.blacklist",
+                             "worker " + std::to_string(worker) +
+                                 " blacklisted after " +
+                                 std::to_string(worker_failures_[slot]) +
+                                 " failures",
+                             job_name_);
+    }
   }
 }
 

@@ -40,6 +40,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/mapreduce/chaos.h"
+#include "src/obs/log.h"
 
 namespace skymr::obs {
 class MetricsRegistry;  // metrics.h
@@ -110,6 +111,17 @@ struct EngineOptions {
   /// sketches into it while the job executes. Null (the default) keeps
   /// the engine metrics-free; the registry must outlive the run.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Structured log + flight recorder (obs/log.h). When set, Job::Run
+  /// and the TaskScheduler emit job/task lifecycle records into it, and
+  /// a permanent (chaos-) task failure triggers the flight-recorder
+  /// crash dump (Logger::NotifyFatal). Null (the default) keeps the
+  /// engine log-free; the logger must outlive the run.
+  obs::Logger* log = nullptr;
+  /// Correlation spine of the query this job serves: its id and tag are
+  /// stamped on every span instant and log record the job's tasks emit,
+  /// so one query's events can be picked out of a shared flight
+  /// recorder. Default (id 0) means "not query-scoped" (batch runs).
+  obs::QueryContext query;
 };
 
 /// Rejects nonsensical engine configurations: non-positive task counts,
@@ -203,7 +215,8 @@ class TaskScheduler {
   static void SleepCancellable(double delay_ms, TaskState& state);
   int PickWorker(int task, int attempt);
   void RecordWorkerFailure(int worker);
-  void MarkFailed(WaveContext& wave, TaskState& state, Status status);
+  void MarkFailed(WaveContext& wave, TaskState& state, int task,
+                  Status status);
   Status RunWaveSpeculative(ThreadPool* pool, WaveContext& wave);
   int WinnerAttempt(const WaveContext& wave, int task) const;
 

@@ -503,6 +503,23 @@ StatusOr<std::vector<Finding>> AnalyzeMetrics(const JsonValue& metrics,
                  static_cast<long long>(cost->GetInt("count", 0)))});
     }
   }
+  // log-drop: the mr.log_dropped counter mirrors Logger::dropped().
+  const JsonValue* counters = metrics.Find("counters");
+  const JsonValue* dropped = counters != nullptr && counters->is_object()
+                                 ? counters->Find("mr.log_dropped")
+                                 : nullptr;
+  if (dropped != nullptr && dropped->is_object()) {
+    const int64_t count = static_cast<int64_t>(dropped->GetInt("value", 0));
+    if (count >= options.min_log_dropped) {
+      findings.push_back(Finding{
+          Severity::kWarning, "log-drop",
+          Format("%lld structured log records were dropped — the flight "
+                 "recorder would have holes exactly where a post-mortem "
+                 "looks; grow Logger ring_capacity or log less on the "
+                 "hot path",
+                 static_cast<long long>(count))});
+    }
+  }
   return findings;
 }
 
@@ -513,6 +530,113 @@ StatusOr<std::vector<Finding>> AnalyzeMetricsJson(
     return doc.status();
   }
   return AnalyzeMetrics(doc.value(), options);
+}
+
+StatusOr<std::vector<Finding>> AnalyzeLoad(const JsonValue& load,
+                                           const DoctorOptions& options) {
+  if (!load.is_object()) {
+    return Status::InvalidArgument("doctor: load is not a JSON object");
+  }
+  const std::string schema = load.GetString("schema", "");
+  if (schema != "skymr-load-v1") {
+    return Status::InvalidArgument(
+        "doctor: expected schema 'skymr-load-v1', got '" + schema + "'");
+  }
+  std::vector<Finding> findings;
+  const JsonValue* summary = load.Find("load");
+  if (summary == nullptr || !summary->is_object()) {
+    return findings;
+  }
+  const JsonValue* latency = summary->Find("latency");
+  const JsonValue* queue_wait = summary->Find("queue_wait");
+  const int64_t queries =
+      latency != nullptr && latency->is_object()
+          ? static_cast<int64_t>(latency->GetInt("count", 0))
+          : 0;
+
+  if (latency != nullptr && latency->is_object() &&
+      queue_wait != nullptr && queue_wait->is_object() &&
+      queries >= options.min_queries_for_load) {
+    const double latency_p50 = latency->GetDouble("p50_us", 0.0);
+    const double latency_p99 = latency->GetDouble("p99_us", 0.0);
+    const double wait_p99 = queue_wait->GetDouble("p99_us", 0.0);
+
+    // queueing-delay: the tail is waiting for admission, not computing.
+    if (wait_p99 >= options.min_queue_wait_p99_us && latency_p99 > 0.0) {
+      const double fraction = wait_p99 / latency_p99;
+      if (fraction > options.queueing_delay_fraction) {
+        const bool critical =
+            fraction > options.queueing_delay_critical_fraction;
+        findings.push_back(Finding{
+            critical ? Severity::kCritical : Severity::kWarning,
+            "queueing-delay",
+            Format("queue wait p99 %.0fus is %.0f%% of end-to-end latency "
+                   "p99 %.0fus over %lld queries — the tail is spent "
+                   "waiting for an admission slot, not computing; add "
+                   "admission slots or threads, or shed offered load",
+                   wait_p99, 100.0 * fraction, latency_p99,
+                   static_cast<long long>(queries))});
+      }
+    }
+
+    // tail-amplification: the open-loop coordinated-omission signature —
+    // a stalled query inflates every arrival scheduled behind it.
+    if (latency_p99 >= options.min_tail_p99_us && latency_p50 > 0.0) {
+      const double ratio = latency_p99 / latency_p50;
+      if (ratio > options.tail_amplification_ratio) {
+        findings.push_back(Finding{
+            Severity::kWarning, "tail-amplification",
+            Format("latency p99 %.0fus is %.0fx the p50 %.0fus over %lld "
+                   "queries — a few stalled queries amplified the tail "
+                   "for everyone scheduled behind them; find the "
+                   "straggler (flight recorder / query.* events) or "
+                   "raise admission slots",
+                   latency_p99, ratio, latency_p50,
+                   static_cast<long long>(queries))});
+      }
+    }
+  }
+
+  // log-drop: a hole in the very stream that post-mortems depend on.
+  const JsonValue* counters = summary->Find("counters");
+  if (counters != nullptr && counters->is_object()) {
+    const int64_t dropped =
+        static_cast<int64_t>(counters->GetInt("log_dropped", 0));
+    if (dropped >= options.min_log_dropped) {
+      findings.push_back(Finding{
+          Severity::kWarning, "log-drop",
+          Format("%lld structured log records were dropped during the run "
+                 "— the flight recorder would have holes exactly where a "
+                 "post-mortem looks; grow Logger ring_capacity or log "
+                 "less on the hot path",
+                 static_cast<long long>(dropped))});
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+  return findings;
+}
+
+StatusOr<std::vector<Finding>> AnalyzeLoadJson(
+    std::string_view json, const DoctorOptions& options) {
+  auto doc = ParseJson(json);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  return AnalyzeLoad(doc.value(), options);
+}
+
+StatusOr<std::vector<Finding>> AnalyzeLoadFile(
+    const std::string& path, const DoctorOptions& options) {
+  auto doc = ParseJsonFile(path);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  return AnalyzeLoad(doc.value(), options);
 }
 
 StatusOr<std::vector<Finding>> AnalyzeMetricsFile(

@@ -51,13 +51,28 @@
 //   sampler-overhead   the metrics sampler's own per-sample cost (the
 //                      mr.sampler_sample_us sketch in a skymr-metrics-v1
 //                      export) consumed a non-trivial fraction of the
-//                      run — lengthen the sampling period.
+//                      run — lengthen the sampling period;
+//   queueing-delay     (load artifacts) the tail of per-query latency is
+//                      dominated by the arrival->dispatch queue wait —
+//                      queries spend their p99 waiting for an admission
+//                      slot, not computing; add slots/threads or shed
+//                      load;
+//   tail-amplification (load artifacts) latency p99 is a large multiple
+//                      of p50 — a few queries (a straggler holding an
+//                      admission slot, a chaos storm) inflated everyone
+//                      scheduled behind them, the open-loop harness's
+//                      coordinated-omission signature;
+//   log-drop           structured log records were dropped (flight-ring
+//                      lap contention or snapshot races) — the crash
+//                      dump would have holes; grow ring_capacity or log
+//                      less on the hot path.
 //
 // Every heuristic has a floor below which it stays silent, so a healthy
 // run — including a tiny smoke-scale one — produces zero findings.
 // The first two critical-path checks read skymr-report-v1 documents
-// (AnalyzeReport); sampler-overhead reads skymr-metrics-v1 documents
-// (AnalyzeMetrics).
+// (AnalyzeReport); sampler-overhead and log-drop read skymr-metrics-v1
+// documents (AnalyzeMetrics); the load heuristics read skymr-load-v1
+// documents (AnalyzeLoad).
 
 #ifndef SKYMR_OBS_DOCTOR_H_
 #define SKYMR_OBS_DOCTOR_H_
@@ -161,6 +176,29 @@ struct DoctorOptions {
   double sampler_overhead_fraction = 0.02;
   /// ... measured over at least this much uptime.
   double min_sampler_uptime_seconds = 0.5;
+
+  /// queueing-delay (load artifacts): flag when the arrival->dispatch
+  /// queue wait p99 exceeds this fraction of the end-to-end latency p99
+  /// (the tail is spent waiting for an admission slot, not computing) ...
+  double queueing_delay_fraction = 0.5;
+  /// ... escalating to critical beyond this fraction ...
+  double queueing_delay_critical_fraction = 0.9;
+  /// ... and only when the queue-wait p99 itself is non-trivial.
+  double min_queue_wait_p99_us = 5000.0;
+
+  /// tail-amplification (load artifacts): flag when latency p99 exceeds
+  /// this multiple of p50 (one slow query inflated everyone behind it) ...
+  double tail_amplification_ratio = 25.0;
+  /// ... and only when the p99 is slow enough to matter.
+  double min_tail_p99_us = 10000.0;
+
+  /// Both load heuristics stay silent below this many measured queries
+  /// (percentiles of a handful of queries are noise).
+  int64_t min_queries_for_load = 20;
+
+  /// log-drop (load artifacts and metrics snapshots): any dropped
+  /// structured log record is flagged once at least this many dropped.
+  int64_t min_log_dropped = 1;
 };
 
 /// Analyzes a parsed skymr-report-v1 document. Returns findings sorted
@@ -186,6 +224,18 @@ StatusOr<std::vector<Finding>> AnalyzeMetrics(
 StatusOr<std::vector<Finding>> AnalyzeMetricsJson(
     std::string_view json, const DoctorOptions& options = {});
 StatusOr<std::vector<Finding>> AnalyzeMetricsFile(
+    const std::string& path, const DoctorOptions& options = {});
+
+/// Analyzes a parsed skymr-load-v1 document (the loadgen's artifact):
+/// queueing-delay, tail-amplification, and log-drop. Returns
+/// InvalidArgument when `load` is not a skymr-load-v1 object.
+StatusOr<std::vector<Finding>> AnalyzeLoad(
+    const JsonValue& load, const DoctorOptions& options = {});
+
+/// AnalyzeLoad over a JSON document text / file.
+StatusOr<std::vector<Finding>> AnalyzeLoadJson(
+    std::string_view json, const DoctorOptions& options = {});
+StatusOr<std::vector<Finding>> AnalyzeLoadFile(
     const std::string& path, const DoctorOptions& options = {});
 
 /// Renders findings as the text `skymr_cli doctor` prints (one line per

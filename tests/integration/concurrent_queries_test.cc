@@ -1,0 +1,155 @@
+// Many ComputeSkyline calls sharing one ThreadPool must behave exactly
+// like serial calls: bit-identical skylines and deterministic counters,
+// no cross-query state. This is the concurrency-labeled test the TSan CI
+// job runs — the engine's nested parallelism (each query fans its map/
+// reduce tasks onto the same pool via work-helping) is where a data race
+// between queries would surface.
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+#include "src/obs/bench_artifact.h"
+#include "src/obs/metrics.h"
+#include "src/skymr.h"
+
+namespace skymr {
+namespace {
+
+struct QuerySpec {
+  size_t cardinality;
+  size_t dim;
+  uint64_t seed;
+  Algorithm algorithm;
+  bool anti_correlated;
+};
+
+Dataset MakeDataset(const QuerySpec& spec) {
+  return spec.anti_correlated
+             ? data::GenerateAntiCorrelated(spec.cardinality, spec.dim,
+                                            spec.seed)
+             : data::GenerateIndependent(spec.cardinality, spec.dim,
+                                         spec.seed);
+}
+
+RunnerConfig MakeConfig(const QuerySpec& spec, ThreadPool* pool) {
+  RunnerConfig config;
+  config.algorithm = spec.algorithm;
+  config.engine.num_map_tasks = 3;
+  config.engine.num_reducers = 3;
+  config.ppd.max_candidate = 5;
+  config.pool = pool;
+  return config;
+}
+
+/// The deterministic fingerprint of one query's result.
+struct QuerySignal {
+  std::vector<TupleId> skyline_ids;
+  std::map<std::string, int64_t> counters;
+
+  bool operator==(const QuerySignal& other) const {
+    return skyline_ids == other.skyline_ids && counters == other.counters;
+  }
+};
+
+QuerySignal SignalOf(const SkylineResult& result, size_t input_tuples) {
+  QuerySignal signal;
+  signal.skyline_ids = result.SkylineIds();
+  std::sort(signal.skyline_ids.begin(), signal.skyline_ids.end());
+  signal.counters = obs::DeterministicCounters(result, input_tuples);
+  return signal;
+}
+
+TEST(ConcurrentQueriesTest, SharedPoolMatchesSerialBitForBit) {
+  const std::vector<QuerySpec> specs = {
+      {900, 3, 101, Algorithm::kMrGpmrs, false},
+      {1200, 4, 102, Algorithm::kMrGpsrs, true},
+      {700, 3, 103, Algorithm::kMrGpmrs, true},
+      {1500, 4, 104, Algorithm::kMrGpmrs, false},
+      {800, 5, 105, Algorithm::kMrGpsrs, false},
+      {1000, 3, 106, Algorithm::kSkyMr, false},
+  };
+
+  // Serial reference: each query alone, each with its own private pool.
+  std::vector<QuerySignal> serial(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const Dataset data = MakeDataset(specs[i]);
+    auto result = ComputeSkyline(data, MakeConfig(specs[i], nullptr));
+    ASSERT_TRUE(result.ok()) << "query " << i << ": " << result.status();
+    serial[i] = SignalOf(*result, specs[i].cardinality);
+  }
+
+  // Concurrent: every query at once, all nesting onto one shared pool,
+  // repeated a few rounds so interleavings vary.
+  ThreadPool pool(4);
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<QuerySignal> concurrent(specs.size());
+    std::vector<Status> statuses(specs.size(), Status::OK());
+    std::vector<std::thread> threads;
+    threads.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      threads.emplace_back([&, i] {
+        const Dataset data = MakeDataset(specs[i]);
+        auto result = ComputeSkyline(data, MakeConfig(specs[i], &pool));
+        if (!result.ok()) {
+          statuses[i] = result.status();
+          return;
+        }
+        concurrent[i] = SignalOf(*result, specs[i].cardinality);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (size_t i = 0; i < specs.size(); ++i) {
+      ASSERT_TRUE(statuses[i].ok())
+          << "round " << round << " query " << i << ": " << statuses[i];
+      EXPECT_EQ(concurrent[i].skyline_ids, serial[i].skyline_ids)
+          << "round " << round << " query " << i;
+      EXPECT_EQ(concurrent[i].counters, serial[i].counters)
+          << "round " << round << " query " << i;
+    }
+  }
+}
+
+TEST(ConcurrentQueriesTest, SharedMetricsRegistrySeesEveryQuery) {
+  // Queries sharing a MetricsRegistry (the loadgen arrangement) must not
+  // lose counter increments to races.
+  obs::MetricsRegistry metrics;
+  ThreadPool pool(4);
+  const QuerySpec spec = {800, 3, 107, Algorithm::kMrGpmrs, false};
+  const Dataset data = MakeDataset(spec);
+
+  // One serial run to learn how many MapReduce jobs a query launches.
+  RunnerConfig reference = MakeConfig(spec, nullptr);
+  auto serial = ComputeSkyline(data, reference);
+  ASSERT_TRUE(serial.ok());
+  const auto jobs_per_query = static_cast<int64_t>(serial->jobs.size());
+  ASSERT_GT(jobs_per_query, 0);
+
+  constexpr int kQueries = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int q = 0; q < kQueries; ++q) {
+    threads.emplace_back([&] {
+      RunnerConfig config = MakeConfig(spec, &pool);
+      config.engine.metrics = &metrics;
+      auto result = ComputeSkyline(data, config);
+      if (!result.ok()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_EQ(metrics.counter("mr.jobs_completed")->Value(),
+            jobs_per_query * kQueries);
+  EXPECT_EQ(metrics.sketch("mr.job_wall_us")->Snapshot().count(),
+            static_cast<uint64_t>(jobs_per_query * kQueries));
+}
+
+}  // namespace
+}  // namespace skymr

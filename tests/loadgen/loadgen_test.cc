@@ -1,0 +1,252 @@
+// Tests of the open-loop traffic harness (bench/loadgen): schedule
+// determinism, coordinated-omission-safe latency accounting, the
+// skymr-load-v1 artifact, the doctor's load heuristics, and the flight
+// recorder post-mortem flow on an injected fatal chaos fault.
+
+#include "bench/loadgen/loadgen.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/doctor.h"
+#include "src/obs/json_parse.h"
+#include "src/obs/metrics.h"
+
+namespace skymr::loadgen {
+namespace {
+
+/// A small fast mix so the harness tests run in well under a second.
+std::vector<SizeClass> TinyMix() {
+  std::vector<SizeClass> mix(2);
+  mix[0] = {"tiny", 200, 3, data::Distribution::kIndependent,
+            Algorithm::kMrGpsrs, /*constrained=*/false, /*weight=*/3};
+  mix[1] = {"boxed", 250, 3, data::Distribution::kIndependent,
+            Algorithm::kMrGpmrs, /*constrained=*/true, /*weight=*/1};
+  return mix;
+}
+
+LoadConfig TinyConfig() {
+  LoadConfig config;
+  config.seed = 11;
+  config.target_qps = 400.0;
+  config.queries = 16;
+  config.admission_slots = 2;
+  config.threads = 4;
+  config.mix = TinyMix();
+  return config;
+}
+
+TEST(ArrivalScheduleTest, IsDeterministicAndSorted) {
+  const LoadConfig config = TinyConfig();
+  const ArrivalSchedule a = BuildSchedule(config);
+  const ArrivalSchedule b = BuildSchedule(config);
+  ASSERT_EQ(a.arrival_us.size(), static_cast<size_t>(config.queries));
+  EXPECT_EQ(a.arrival_us, b.arrival_us);
+  EXPECT_EQ(a.size_class, b.size_class);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_TRUE(std::is_sorted(a.arrival_us.begin(), a.arrival_us.end()));
+  EXPECT_GT(a.arrival_us.front(), 0.0);
+
+  LoadConfig reseeded = config;
+  reseeded.seed = 12;
+  const ArrivalSchedule c = BuildSchedule(reseeded);
+  EXPECT_NE(a.hash, c.hash);
+  EXPECT_NE(a.arrival_us, c.arrival_us);
+}
+
+TEST(RunLoadTest, RejectsBadConfigs) {
+  LoadConfig config = TinyConfig();
+  config.queries = 0;
+  EXPECT_FALSE(RunLoad(config, nullptr, nullptr).ok());
+  config = TinyConfig();
+  config.target_qps = 0.0;
+  EXPECT_FALSE(RunLoad(config, nullptr, nullptr).ok());
+  config = TinyConfig();
+  config.admission_slots = 0;
+  EXPECT_FALSE(RunLoad(config, nullptr, nullptr).ok());
+  config = TinyConfig();
+  config.mix[0].weight = 0;
+  config.mix[1].weight = 0;
+  EXPECT_FALSE(RunLoad(config, nullptr, nullptr).ok());
+}
+
+TEST(RunLoadTest, DeterministicSignalIsBitIdenticalAcrossRuns) {
+  const LoadConfig config = TinyConfig();
+  auto first = RunLoad(config, nullptr, nullptr);
+  auto second = RunLoad(config, nullptr, nullptr);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->schedule_hash, second->schedule_hash);
+  ASSERT_EQ(first->outcomes.size(), second->outcomes.size());
+  for (size_t i = 0; i < first->outcomes.size(); ++i) {
+    const QueryOutcome& a = first->outcomes[i];
+    const QueryOutcome& b = second->outcomes[i];
+    EXPECT_EQ(a.query_id, b.query_id);
+    EXPECT_EQ(a.size_class, b.size_class);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.comparisons, b.comparisons) << "query " << i;
+    EXPECT_EQ(a.skyline_size, b.skyline_size) << "query " << i;
+  }
+  EXPECT_EQ(first->completed, config.queries);
+  EXPECT_EQ(first->errors, 0);
+}
+
+TEST(RunLoadTest, RecordsQueryMetrics) {
+  obs::MetricsRegistry metrics;
+  const LoadConfig config = TinyConfig();
+  auto report = RunLoad(config, &metrics, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(metrics.counter("query.completed")->Value(), config.queries);
+  EXPECT_EQ(metrics.counter("query.errors")->Value(), 0);
+  EXPECT_EQ(metrics.sketch("query.latency_us")->Snapshot().count(),
+            static_cast<uint64_t>(config.queries));
+  EXPECT_EQ(metrics.sketch("query.queue_wait_us")->Snapshot().count(),
+            static_cast<uint64_t>(config.queries));
+  EXPECT_EQ(metrics.gauge("query.inflight")->Value(), 0);
+}
+
+// The acceptance test for coordinated-omission safety: one injected slow
+// query occupying the single admission slot must inflate the measured
+// latency of queries *scheduled behind it* — their clocks started at
+// arrival, not at dispatch.
+TEST(RunLoadTest, SlowQueryInflatesLatencyOfSubsequentQueries) {
+  LoadConfig config = TinyConfig();
+  config.admission_slots = 1;
+  config.queries = 10;
+  config.target_qps = 1000.0;  // ~1ms apart: all arrive during the stall
+  config.slow_query_index = 2;
+  config.slow_query_ms = 300.0;
+  auto report = RunLoad(config, nullptr, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::vector<QueryOutcome>& outcomes = report->outcomes;
+  // Queries behind the stall: even though each *executes* quickly, their
+  // latency from scheduled arrival carries the 300ms stall.
+  for (int q = 3; q < config.queries; ++q) {
+    const double latency_us =
+        outcomes[q].done_us - outcomes[q].scheduled_us;
+    const double queue_wait_us =
+        outcomes[q].dispatch_us - outcomes[q].scheduled_us;
+    EXPECT_GT(latency_us, 200e3) << "query " << q;
+    EXPECT_GT(queue_wait_us, 200e3) << "query " << q;
+  }
+  // The queries admitted before the stall stay fast.
+  for (int q = 0; q < 2; ++q) {
+    EXPECT_LT(outcomes[q].done_us - outcomes[q].scheduled_us, 200e3)
+        << "query " << q;
+  }
+  // And the aggregate tail tells the story: p99 >> p50.
+  EXPECT_GT(report->latency_us.Quantile(0.99), 200e3);
+}
+
+TEST(LoadArtifactTest, WritesValidSchemaWithDeterministicRows) {
+  const LoadConfig config = TinyConfig();
+  auto report = RunLoad(config, nullptr, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status();
+  std::ostringstream os;
+  WriteLoadArtifact(config, report.value(), os);
+  auto doc = obs::ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->GetString("schema", ""), "skymr-load-v1");
+  EXPECT_EQ(doc->GetString("bench", ""), "loadgen");
+  const obs::JsonValue* rows = doc->Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->is_array());
+  // One aggregate row plus one per size class.
+  ASSERT_EQ(rows->AsArray().size(), 1 + config.mix.size());
+  const obs::JsonValue& agg = rows->AsArray()[0];
+  EXPECT_EQ(agg.GetString("name", ""), "loadgen");
+  const obs::JsonValue* det = agg.Find("deterministic");
+  ASSERT_NE(det, nullptr);
+  EXPECT_EQ(det->GetInt("queries", -1), config.queries);
+  const uint64_t hash =
+      (static_cast<uint64_t>(det->GetInt("schedule_hash_hi", 0)) << 32) |
+      static_cast<uint64_t>(det->GetInt("schedule_hash_lo", 0));
+  EXPECT_EQ(hash, report->schedule_hash);
+  // Per-size query counts partition the schedule.
+  int64_t total = 0;
+  for (size_t i = 1; i < rows->AsArray().size(); ++i) {
+    const obs::JsonValue* size_det = rows->AsArray()[i].Find("deterministic");
+    ASSERT_NE(size_det, nullptr);
+    total += size_det->GetInt("queries", 0);
+  }
+  EXPECT_EQ(total, config.queries);
+  // The doctor accepts the artifact and a healthy tiny run is clean.
+  auto findings = obs::AnalyzeLoadJson(os.str());
+  ASSERT_TRUE(findings.ok()) << findings.status();
+}
+
+// The acceptance test for the crash flight recorder: a fatal chaos fault
+// inside the engine (a task out of attempts) must leave a skymr-flight-v1
+// dump on disk, and the dump must contain the failing query's events,
+// findable by its query id.
+TEST(FlightRecorderPostMortemTest, ChaosCrashDumpNamesFailingQuery) {
+  const std::string dump_path =
+      testing::TempDir() + "/loadgen_flight_dump.jsonl";
+  std::remove(dump_path.c_str());
+
+  obs::MetricsRegistry metrics;
+  obs::Logger::Options log_options;
+  log_options.metrics = &metrics;
+  log_options.crash_dump_path = dump_path;
+  obs::Logger logger(log_options);
+
+  LoadConfig config = TinyConfig();
+  config.chaos.seed = 99;
+  config.chaos.crash_rate = 0.5;
+  config.max_task_attempts = 1;  // first injected crash is fatal
+  auto report = RunLoad(config, &metrics, &logger);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_GT(report->errors, 0) << "chaos injected no fatal fault";
+  EXPECT_TRUE(logger.crash_dumped());
+
+  // The first query that failed is the one whose fatal fired the dump.
+  uint64_t failed_query = 0;
+  for (const QueryOutcome& out : report->outcomes) {
+    if (!out.ok) {
+      failed_query = out.query_id;
+      break;
+    }
+  }
+  ASSERT_NE(failed_query, 0u);
+
+  std::ifstream dump(dump_path);
+  ASSERT_TRUE(dump.good()) << "no flight dump at " << dump_path;
+  std::string header_line;
+  ASSERT_TRUE(std::getline(dump, header_line));
+  auto header = obs::ParseJson(header_line);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->GetString("schema", ""), "skymr-flight-v1");
+  EXPECT_NE(header->GetString("reason", "").find("task.fatal"),
+            std::string::npos);
+
+  // Post-mortem: pick the failing query's records out of the dump.
+  std::string line;
+  bool saw_failed_query_event = false;
+  bool saw_fatal_task_event = false;
+  int records = 0;
+  while (std::getline(dump, line)) {
+    auto record = obs::ParseLogLine(line);
+    ASSERT_TRUE(record.ok()) << line;
+    ++records;
+    if (record->query_id == failed_query) {
+      saw_failed_query_event = true;
+      if (std::string(record->event) == "task.fatal") {
+        saw_fatal_task_event = true;
+      }
+    }
+  }
+  EXPECT_EQ(records, header->GetInt("records", -1));
+  EXPECT_TRUE(saw_failed_query_event)
+      << "dump has no events for failing query " << failed_query;
+  EXPECT_TRUE(saw_fatal_task_event)
+      << "dump lacks the task.fatal record of query " << failed_query;
+  std::remove(dump_path.c_str());
+}
+
+}  // namespace
+}  // namespace skymr::loadgen

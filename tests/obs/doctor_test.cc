@@ -449,6 +449,97 @@ TEST(DoctorTest, ShortLivedSamplerNeverTripsOverheadCheck) {
 }
 
 // ---------------------------------------------------------------------
+// Load-artifact findings (skymr-load-v1).
+// ---------------------------------------------------------------------
+
+/// Minimal skymr-load-v1 document: `queries` measured latencies with the
+/// given p50/p99, a queue-wait p99, and a log-drop counter.
+std::string Load(int64_t queries, double p50_us, double p99_us,
+                 double wait_p99_us, int64_t log_dropped = 0) {
+  std::ostringstream os;
+  os << R"({"schema": "skymr-load-v1", "bench": "loadgen", "load": {)"
+     << R"("latency": {"count": )" << queries << R"(, "p50_us": )" << p50_us
+     << R"(, "p95_us": )" << p99_us << R"(, "p99_us": )" << p99_us
+     << R"(, "max_us": )" << p99_us << R"(, "mean_us": )" << p50_us << "}, "
+     << R"("queue_wait": {"count": )" << queries
+     << R"(, "p50_us": 1.0, "p95_us": )" << wait_p99_us
+     << R"(, "p99_us": )" << wait_p99_us << R"(, "max_us": )" << wait_p99_us
+     << R"(, "mean_us": 1.0}, )"
+     << R"("counters": {"completed": )" << queries
+     << R"(, "errors": 0, "deadline_missed": 0, "log_dropped": )"
+     << log_dropped << "}}}";
+  return os.str();
+}
+
+std::vector<Finding> AnalyzeLoadDoc(const std::string& json) {
+  auto findings = AnalyzeLoadJson(json);
+  EXPECT_TRUE(findings.ok()) << findings.status();
+  return findings.ok() ? std::move(findings).value()
+                       : std::vector<Finding>{};
+}
+
+TEST(DoctorTest, LoadRejectsWrongSchema) {
+  EXPECT_FALSE(AnalyzeLoadJson(R"({"schema": "skymr-bench-v1"})").ok());
+  EXPECT_FALSE(AnalyzeLoadJson("[]").ok());
+  EXPECT_FALSE(AnalyzeLoadJson("nope").ok());
+}
+
+TEST(DoctorTest, HealthyLoadIsClean) {
+  // Tail near the median, negligible queue wait, nothing dropped.
+  const auto findings = AnalyzeLoadDoc(Load(100, 2000.0, 8000.0, 500.0));
+  EXPECT_TRUE(findings.empty()) << RenderFindings(findings);
+}
+
+TEST(DoctorTest, FlagsQueueingDelay) {
+  // 60% of the 50ms latency tail is queue wait.
+  const auto findings = AnalyzeLoadDoc(Load(100, 4000.0, 50000.0, 30000.0));
+  ASSERT_TRUE(HasCode(findings, "queueing-delay")) << RenderFindings(findings);
+  for (const Finding& finding : findings) {
+    if (finding.code == "queueing-delay") {
+      EXPECT_EQ(finding.severity, Severity::kWarning);
+    }
+  }
+}
+
+TEST(DoctorTest, SaturatedQueueEscalatesToCritical) {
+  // 96% of the tail is queue wait: the system is purely queueing.
+  const auto findings = AnalyzeLoadDoc(Load(100, 4000.0, 50000.0, 48000.0));
+  ASSERT_TRUE(HasCode(findings, "queueing-delay")) << RenderFindings(findings);
+  EXPECT_EQ(findings[0].code, "queueing-delay");
+  EXPECT_EQ(findings[0].severity, Severity::kCritical);
+}
+
+TEST(DoctorTest, FlagsTailAmplification) {
+  // p99 is 40x p50 with a quiet queue-wait signal below its own floor.
+  const auto findings = AnalyzeLoadDoc(Load(100, 1000.0, 40000.0, 100.0));
+  ASSERT_TRUE(HasCode(findings, "tail-amplification"))
+      << RenderFindings(findings);
+  EXPECT_FALSE(HasCode(findings, "queueing-delay"));
+}
+
+TEST(DoctorTest, FewQueriesNeverTripLoadChecks) {
+  // Same pathological shape, but 8 queries: percentiles are noise.
+  const auto findings = AnalyzeLoadDoc(Load(8, 1000.0, 80000.0, 60000.0));
+  EXPECT_TRUE(findings.empty()) << RenderFindings(findings);
+}
+
+TEST(DoctorTest, FlagsLogDropFromLoadCounters) {
+  const auto findings =
+      AnalyzeLoadDoc(Load(100, 2000.0, 8000.0, 500.0, /*log_dropped=*/7));
+  ASSERT_TRUE(HasCode(findings, "log-drop")) << RenderFindings(findings);
+}
+
+TEST(DoctorTest, FlagsLogDropFromMetricsSnapshot) {
+  const std::string json =
+      R"({"schema": "skymr-metrics-v1", "uptime_seconds": 1.0,)"
+      R"( "gauges": {}, "sketches": {},)"
+      R"( "counters": {"mr.log_dropped": {"value": 3, "rate_per_s": 3.0}}})";
+  auto findings = AnalyzeMetricsJson(json);
+  ASSERT_TRUE(findings.ok()) << findings.status();
+  EXPECT_TRUE(HasCode(*findings, "log-drop")) << RenderFindings(*findings);
+}
+
+// ---------------------------------------------------------------------
 // End to end: the doctor over reports this repo itself writes.
 // ---------------------------------------------------------------------
 

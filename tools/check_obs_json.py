@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Validates skymr observability artifacts: a Chrome trace (skymr-trace-v1),
-a job report (skymr-report-v1), a bench artifact (skymr-bench-v1), and/or
-a metrics snapshot (skymr-metrics-v1).
+a job report (skymr-report-v1), a bench artifact (skymr-bench-v1), a
+metrics snapshot (skymr-metrics-v1), a load artifact (skymr-load-v1), and/or
+a flight-recorder crash dump (skymr-flight-v1).
 
 Usage:
     check_obs_json.py [--trace trace.json] [--report report.json]
                       [--bench bench.json] [--metrics metrics.json]
+                      [--load load.json] [--flight flight.jsonl]
 
 Exits non-zero with a diagnostic on the first violation. Used by the CI
 obs-smoke and bench-regression jobs; handy locally after `skymr_cli stats
@@ -153,13 +155,7 @@ def check_report(path):
     print(f"check_obs_json: {path}: {len(doc['jobs'])} jobs OK")
 
 
-def check_bench(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "skymr-bench-v1":
-        fail(f"{path}: schema is {doc.get('schema')!r}")
-    if not doc.get("bench"):
-        fail(f"{path}: missing 'bench'")
+def check_environment(path, doc):
     env = doc.get("environment")
     if not isinstance(env, dict):
         fail(f"{path}: missing 'environment'")
@@ -168,17 +164,22 @@ def check_bench(path):
                 "scale_env", "full_env", "reps"):
         if key not in env:
             fail(f"{path}: environment lacks {key!r}")
+
+
+def check_rows(path, doc, allow_zero_reps=False):
+    """Validates the bench-v1-shaped rows array shared by skymr-bench-v1
+    and skymr-load-v1; returns the rows keyed by name."""
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         fail(f"{path}: rows missing or empty")
-    names = set()
+    by_name = {}
     for i, row in enumerate(rows):
         where = f"{path}: row {i} ({row.get('name')!r})"
         if not row.get("name"):
             fail(f"{where}: missing 'name'")
-        if row["name"] in names:
+        if row["name"] in by_name:
             fail(f"{where}: duplicate row name")
-        names.add(row["name"])
+        by_name[row["name"]] = row
         wall = row.get("wall")
         if not isinstance(wall, dict):
             fail(f"{where}: missing 'wall'")
@@ -186,10 +187,12 @@ def check_bench(path):
                     "min_seconds", "max_seconds", "mean_seconds"):
             if key not in wall:
                 fail(f"{where}: wall lacks {key!r}")
-        if wall["reps"] < 1:
+        # Load rows report the per-row query count as reps; a size class
+        # may legitimately draw zero queries in a short schedule.
+        if wall["reps"] < (0 if allow_zero_reps else 1):
             fail(f"{where}: wall.reps < 1")
-        if not wall["min_seconds"] <= wall["median_seconds"] \
-                <= wall["max_seconds"]:
+        if wall["reps"] > 0 and not wall["min_seconds"] \
+                <= wall["median_seconds"] <= wall["max_seconds"]:
             fail(f"{where}: wall median outside [min, max]: {wall}")
         det = row.get("deterministic")
         if not isinstance(det, dict) or not det:
@@ -200,7 +203,126 @@ def check_bench(path):
                      f"{value!r}")
         if not isinstance(row.get("metrics"), dict):
             fail(f"{where}: missing 'metrics'")
+    return by_name
+
+
+def check_bench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "skymr-bench-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    if not doc.get("bench"):
+        fail(f"{path}: missing 'bench'")
+    check_environment(path, doc)
+    rows = check_rows(path, doc)
     print(f"check_obs_json: {path}: {len(rows)} bench rows OK")
+
+
+def check_sketch_summary(where, s):
+    for key in ("count", "p50_us", "p95_us", "p99_us", "max_us", "mean_us"):
+        if key not in s:
+            fail(f"{where}: lacks {key!r}")
+    if s["count"] > 0:
+        if not s["p50_us"] <= s["p95_us"] <= s["p99_us"]:
+            fail(f"{where}: percentiles out of order: {s}")
+        if s["p99_us"] > s["max_us"] * 1.01 + 1e-9:
+            # The sketch's p99 is a bucket upper bound (1% relative
+            # error), so it may sit a hair above the exact max.
+            fail(f"{where}: p99 above max: {s}")
+
+
+def check_load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "skymr-load-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    if doc.get("bench") != "loadgen":
+        fail(f"{path}: bench is {doc.get('bench')!r}")
+    check_environment(path, doc)
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        fail(f"{path}: missing 'config'")
+    for key in ("seed", "target_qps", "queries", "admission_slots",
+                "threads", "deadline_ms", "chaos_enabled",
+                "slow_query_index", "slow_query_ms"):
+        if key not in config:
+            fail(f"{path}: config lacks {key!r}")
+    load = doc.get("load")
+    if not isinstance(load, dict):
+        fail(f"{path}: missing 'load'")
+    for key in ("latency", "queue_wait", "throughput_qps", "wall_seconds",
+                "counters"):
+        if key not in load:
+            fail(f"{path}: load lacks {key!r}")
+    check_sketch_summary(f"{path}: load.latency", load["latency"])
+    check_sketch_summary(f"{path}: load.queue_wait", load["queue_wait"])
+    counters = load["counters"]
+    for key in ("completed", "errors", "deadline_missed", "max_queue_depth",
+                "max_inflight", "log_dropped"):
+        if key not in counters:
+            fail(f"{path}: load.counters lacks {key!r}")
+        if counters[key] < 0:
+            fail(f"{path}: load.counters[{key!r}] is negative")
+    if counters["completed"] + counters["errors"] != config["queries"]:
+        fail(f"{path}: completed + errors != queries: {counters}")
+    if load["latency"]["count"] != config["queries"]:
+        fail(f"{path}: latency count {load['latency']['count']} != "
+             f"queries {config['queries']}")
+    rows = check_rows(path, doc, allow_zero_reps=True)
+    agg = rows.get("loadgen")
+    if agg is None:
+        fail(f"{path}: no aggregate 'loadgen' row")
+    det = agg["deterministic"]
+    for key in ("queries", "schedule_hash_hi", "schedule_hash_lo",
+                "completed", "errors", "comparisons"):
+        if key not in det:
+            fail(f"{path}: loadgen row deterministic lacks {key!r}")
+    if det["queries"] != config["queries"]:
+        fail(f"{path}: loadgen row queries != config.queries")
+    size_rows = [r for name, r in rows.items() if name.startswith("size:")]
+    if not size_rows:
+        fail(f"{path}: no per-size rows")
+    size_total = sum(r["deterministic"].get("queries", 0)
+                     for r in size_rows)
+    if size_total != config["queries"]:
+        fail(f"{path}: per-size query counts sum to {size_total}, "
+             f"not {config['queries']}")
+    print(f"check_obs_json: {path}: load artifact with {len(size_rows)} "
+          f"size classes OK")
+
+
+def check_flight(path):
+    """Validates a skymr-flight-v1 crash dump: a header object followed by
+    one structured log record per line."""
+    with open(path) as f:
+        lines = [line for line in f.read().splitlines() if line.strip()]
+    if not lines:
+        fail(f"{path}: empty flight dump")
+    header = json.loads(lines[0])
+    if header.get("schema") != "skymr-flight-v1":
+        fail(f"{path}: header schema is {header.get('schema')!r}")
+    for key in ("reason", "records", "ring_capacity", "dropped"):
+        if key not in header:
+            fail(f"{path}: header lacks {key!r}")
+    records = lines[1:]
+    if len(records) != header["records"]:
+        fail(f"{path}: header says {header['records']} records, "
+             f"found {len(records)}")
+    if len(records) > header["ring_capacity"]:
+        fail(f"{path}: more records than ring_capacity")
+    last_ts = float("-inf")
+    for i, line in enumerate(records):
+        rec = json.loads(line)
+        for key in ("ts_us", "sev", "event"):
+            if key not in rec:
+                fail(f"{path}: record {i} lacks {key!r}: {rec}")
+        if rec["sev"] not in ("debug", "info", "warn", "error", "fatal"):
+            fail(f"{path}: record {i} severity {rec['sev']!r}")
+        if rec["ts_us"] < last_ts:
+            fail(f"{path}: record {i} goes back in time")
+        last_ts = rec["ts_us"]
+    print(f"check_obs_json: {path}: flight dump with {len(records)} "
+          f"records OK")
 
 
 def check_metrics(path):
@@ -258,10 +380,13 @@ def main():
     parser.add_argument("--report")
     parser.add_argument("--bench")
     parser.add_argument("--metrics")
+    parser.add_argument("--load")
+    parser.add_argument("--flight")
     args = parser.parse_args()
     if not args.trace and not args.report and not args.bench \
-            and not args.metrics:
-        parser.error("pass --trace, --report, --bench, and/or --metrics")
+            and not args.metrics and not args.load and not args.flight:
+        parser.error("pass --trace, --report, --bench, --metrics, --load, "
+                     "and/or --flight")
     if args.trace:
         check_trace(args.trace)
     if args.report:
@@ -270,6 +395,10 @@ def main():
         check_bench(args.bench)
     if args.metrics:
         check_metrics(args.metrics)
+    if args.load:
+        check_load(args.load)
+    if args.flight:
+        check_flight(args.flight)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@
 //   skymr_cli compare  --in=data.csv [--header] [--mappers] [--reducers]
 //             [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]
 //   skymr_cli doctor   [--report=report.json] [--metrics=metrics.json]
+//                      [--load=load.json]
 //             [--fail-on=warning|critical]
 //
 // `generate` writes a synthetic dataset as CSV; `skyline` computes a
@@ -115,7 +116,7 @@ int Usage() {
       "  skymr_cli compare --in=FILE [--header] [--mappers=M] "
       "[--reducers=R]\n"
       "            [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]\n"
-      "  skymr_cli doctor  [--report=FILE] [--metrics=FILE]\n"
+      "  skymr_cli doctor  [--report=FILE] [--metrics=FILE] [--load=FILE]\n"
       "            [--fail-on=warning|critical]\n"
       "algorithms: mr-gpsrs mr-gpmrs mr-bnl mr-angle hybrid sky-mr\n"
       "local algorithms (mapper kernel): bnl sfs bbs auto\n"
@@ -526,9 +527,11 @@ int RunCompare(const Args& args) {
 int RunDoctor(const Args& args) {
   const std::string report = args.GetString("report", "");
   const std::string metrics = args.GetString("metrics", "");
-  if (report.empty() && metrics.empty()) {
+  const std::string load = args.GetString("load", "");
+  if (report.empty() && metrics.empty() && load.empty()) {
     std::fprintf(stderr,
-                 "doctor requires --report=FILE and/or --metrics=FILE\n");
+                 "doctor requires --report=FILE, --metrics=FILE, and/or "
+                 "--load=FILE\n");
     return 2;
   }
   const std::string fail_on = args.GetString("fail-on", "");
@@ -554,6 +557,14 @@ int RunDoctor(const Args& args) {
       return 1;
     }
     all.insert(all.end(), metrics_findings->begin(), metrics_findings->end());
+  }
+  if (!load.empty()) {
+    auto load_findings = skymr::obs::AnalyzeLoadFile(load);
+    if (!load_findings.ok()) {
+      std::fprintf(stderr, "%s\n", load_findings.status().ToString().c_str());
+      return 1;
+    }
+    all.insert(all.end(), load_findings->begin(), load_findings->end());
   }
   std::fputs(skymr::obs::RenderFindings(all).c_str(), stdout);
   if (fail_on.empty()) {
