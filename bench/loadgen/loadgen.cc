@@ -16,6 +16,7 @@
 #include "src/mapreduce/chaos.h"
 #include "src/obs/bench_artifact.h"
 #include "src/obs/json.h"
+#include "src/serve/session.h"
 
 namespace skymr::loadgen {
 namespace {
@@ -64,6 +65,24 @@ std::vector<SizeClass> DefaultMix(double scale) {
             Algorithm::kMrGpmrs, /*constrained=*/false, /*weight=*/1};
   mix[3] = {"constrained", scaled(1500), 4, data::Distribution::kIndependent,
             Algorithm::kMrGpmrs, /*constrained=*/true, /*weight=*/2};
+  return mix;
+}
+
+std::vector<SizeClass> ResidentServeMix() {
+  // Dataset-shape fields are the non-resident fallback; with a resident
+  // dataset the classes differ only by algorithm/constraint/lane. The two
+  // unconstrained classes share one bitstring fingerprint (the fingerprint
+  // never includes the algorithm), the constrained class has its own.
+  std::vector<SizeClass> mix(3);
+  mix[0] = {"gpsrs", 1500, 3, data::Distribution::kIndependent,
+            Algorithm::kMrGpsrs, /*constrained=*/false, /*weight=*/4,
+            AdmissionClass::kSmall};
+  mix[1] = {"gpmrs", 4000, 3, data::Distribution::kIndependent,
+            Algorithm::kMrGpmrs, /*constrained=*/false, /*weight=*/3,
+            AdmissionClass::kLarge};
+  mix[2] = {"constrained", 1500, 3, data::Distribution::kIndependent,
+            Algorithm::kMrGpmrs, /*constrained=*/true, /*weight=*/2,
+            AdmissionClass::kSmall};
   return mix;
 }
 
@@ -163,6 +182,7 @@ StatusOr<LoadReport> RunLoad(const LoadConfig& config,
     rc.engine.log = logger;
     rc.pool = &pool;
     if (sc.constrained) {
+      // lint:allow(deprecated-constraint) batch mode drives the legacy shim
       rc.constraint = Box{std::vector<double>(sc.dim, 0.0),
                           std::vector<double>(sc.dim, 0.6)};
     }
@@ -326,6 +346,270 @@ StatusOr<LoadReport> RunLoad(const LoadConfig& config,
   return report;
 }
 
+StatusOr<LoadReport> RunServeLoad(const LoadConfig& config,
+                                  obs::MetricsRegistry* metrics,
+                                  obs::Logger* logger) {
+  if (config.queries <= 0) {
+    return Status::InvalidArgument("loadgen: queries must be positive");
+  }
+  if (!(config.target_qps > 0.0)) {
+    return Status::InvalidArgument("loadgen: target_qps must be positive");
+  }
+  if (config.admission_slots <= 0) {
+    return Status::InvalidArgument(
+        "loadgen: admission_slots must be positive");
+  }
+  if (config.small_reserved_slots < 0 ||
+      config.small_reserved_slots >= config.admission_slots) {
+    return Status::InvalidArgument(
+        "loadgen: small_reserved_slots must leave at least one admission "
+        "slot for large queries");
+  }
+  const std::vector<SizeClass> mix =
+      config.mix.empty() ? (config.resident != nullptr ? ResidentServeMix()
+                                                       : DefaultMix(1.0))
+                         : config.mix;
+  uint64_t total_weight = 0;
+  for (const SizeClass& sc : mix) {
+    total_weight += sc.weight;
+  }
+  if (total_weight == 0) {
+    return Status::InvalidArgument("loadgen: mix weights sum to zero");
+  }
+
+  ThreadPool pool(config.threads > 0 ? config.threads
+                                     : ThreadPool::DefaultThreads());
+  // One two-lane slot budget across every session: admission bounds the
+  // *server*, not any single dataset.
+  AdmissionController admission(
+      {config.admission_slots, config.small_reserved_slots});
+
+  // Resident mode: one session answers every class. Otherwise each class
+  // generates its own dataset (same seeds as RunLoad) behind its own
+  // session; the pool and admission controller stay shared either way.
+  std::vector<Dataset> generated;
+  std::vector<const Dataset*> class_data(mix.size(), config.resident);
+  std::vector<size_t> class_session(mix.size(), 0);
+  if (config.resident == nullptr) {
+    generated.reserve(mix.size());
+    for (size_t c = 0; c < mix.size(); ++c) {
+      const SizeClass& sc = mix[c];
+      data::GeneratorConfig gen;
+      gen.distribution = sc.distribution;
+      gen.cardinality = sc.cardinality;
+      gen.dim = sc.dim;
+      gen.seed = kDatasetSeedBase + c;
+      auto data_or = data::Generate(gen);
+      if (!data_or.ok()) {
+        return data_or.status();
+      }
+      generated.push_back(std::move(data_or).value());
+      class_data[c] = &generated.back();
+      class_session[c] = c;
+    }
+  }
+
+  SessionOptions session_options;
+  session_options.engine.num_map_tasks = config.num_map_tasks;
+  session_options.engine.num_reducers = config.num_reducers;
+  session_options.engine.max_task_attempts = config.max_task_attempts;
+  session_options.engine.chaos = config.chaos;
+  session_options.engine.metrics = metrics;
+  session_options.engine.log = logger;
+  session_options.pool = &pool;
+  session_options.cache = true;
+  session_options.admission = &admission;
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  const size_t session_count =
+      config.resident != nullptr ? 1 : mix.size();
+  sessions.reserve(session_count);
+  for (size_t s = 0; s < session_count; ++s) {
+    const Dataset& data =
+        config.resident != nullptr ? *config.resident : *class_data[s];
+    auto session_or = Session::Open(data, session_options);
+    if (!session_or.ok()) {
+      return session_or.status();
+    }
+    sessions.push_back(std::move(session_or).value());
+  }
+
+  std::vector<QuerySpec> specs(mix.size());
+  for (size_t c = 0; c < mix.size(); ++c) {
+    const SizeClass& sc = mix[c];
+    specs[c].algorithm = sc.algorithm;
+    specs[c].admission = sc.lane;
+    if (sc.constrained) {
+      const size_t dim = class_data[c]->dim();
+      specs[c].constraint = Box{std::vector<double>(dim, 0.0),
+                                std::vector<double>(dim, 0.6)};
+    }
+    Status valid = specs[c].Validate();
+    if (!valid.ok()) {
+      return valid;
+    }
+  }
+
+  // Prime the caches before the open-loop clock starts: the warmup
+  // misses (one per distinct fingerprint) then happen off the clock and
+  // every query of the run proper is a hit. Warmups of classes sharing a
+  // fingerprint count as hits too, so stats stay deterministic.
+  if (config.warmup) {
+    for (size_t c = 0; c < mix.size(); ++c) {
+      Status warm = sessions[class_session[c]]->Warmup(specs[c]);
+      if (!warm.ok()) {
+        return warm;
+      }
+    }
+  }
+
+  // BuildSchedule resolves an empty mix to DefaultMix on its own; hand
+  // it the serve-resolved mix so class picks index this run's classes.
+  LoadConfig resolved = config;
+  resolved.mix = mix;
+  const ArrivalSchedule schedule = BuildSchedule(resolved);
+
+  LoadReport report;
+  report.serve = true;
+  report.schedule_hash = schedule.hash;
+  report.outcomes.resize(config.queries);
+  report.per_size_latency_us.resize(mix.size());
+
+  // Thread-per-query dispatch: Submit blocks inside the admission layer,
+  // and the pool threads must stay free to run the admitted queries'
+  // map/reduce tasks — parking arrivals on pool threads would deadlock
+  // the pool behind its own queue. Each dispatcher sleeps to its own
+  // scheduled arrival, so a stalled engine grows the admission wait, it
+  // never slows the arrival clock.
+  std::vector<double> submit_begin_us(config.queries, 0.0);
+  const Clock::time_point epoch = Clock::now();
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(config.queries);
+  for (int q = 0; q < config.queries; ++q) {
+    dispatchers.emplace_back([&, q]() {
+      std::this_thread::sleep_until(
+          epoch + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::micro>(
+                          schedule.arrival_us[q])));
+      QueryOutcome& out = report.outcomes[q];
+      out.query_id = static_cast<uint64_t>(q) + 1;
+      out.size_class = schedule.size_class[q];
+      out.scheduled_us = schedule.arrival_us[q];
+
+      if (q == config.slow_query_index && config.slow_query_ms > 0.0) {
+        // The coordinated-omission probe. Unlike batch mode the stall
+        // holds a dispatcher thread, not an admission slot — the queries
+        // behind it still inherit the delay through their own
+        // arrival-anchored latency once slots saturate.
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            config.slow_query_ms));
+      }
+
+      const SizeClass& sc = mix[out.size_class];
+      QuerySpec spec = specs[out.size_class];
+      spec.query.id = out.query_id;
+      spec.query.deadline_ms = config.deadline_ms;
+      spec.query.tag = sc.name;
+
+      const double begin_us = NowUs(epoch);
+      submit_begin_us[q] = begin_us;
+      SubmitInfo info;
+      auto result_or =
+          sessions[class_session[out.size_class]]->Submit(spec, &info);
+      out.done_us = NowUs(epoch);
+      out.dispatch_us = begin_us + info.queue_wait_seconds * 1e6;
+      out.ok = result_or.ok();
+      out.cache_hit = info.cache_hit;
+      if (out.ok) {
+        const SkylineResult& result = result_or.value();
+        out.jobs = static_cast<int64_t>(result.jobs.size());
+        out.skyline_size = static_cast<int64_t>(result.skyline.size());
+        // Skyline-phase comparisons only (the last job): a query's count
+        // must not depend on whether it happened to lead the cache's
+        // single-flight — per-class sums stay deterministic even when
+        // classes share a fingerprint and race for the miss.
+        if (!result.jobs.empty()) {
+          const auto& values = result.jobs.back().counters.values();
+          const auto it = values.find("skymr.tuple_comparisons");
+          out.comparisons = it != values.end() ? it->second : 0;
+        }
+      }
+      const double latency_us = out.done_us - out.scheduled_us;
+      out.deadline_missed =
+          config.deadline_ms > 0.0 && latency_us > config.deadline_ms * 1e3;
+
+      if (metrics != nullptr) {
+        metrics->counter(out.ok ? "query.completed" : "query.errors")->Add(1);
+        if (out.deadline_missed) {
+          metrics->counter("query.deadline_missed")->Add(1);
+        }
+        metrics->sketch("query.latency_us")->Record(latency_us);
+        metrics->sketch("query.queue_wait_us")
+            ->Record(out.dispatch_us - out.scheduled_us);
+      }
+      if (logger != nullptr && out.deadline_missed) {
+        std::ostringstream msg;
+        msg << "latency " << static_cast<int64_t>(latency_us)
+            << " us over budget " << config.deadline_ms << " ms";
+        obs::Logger::Fields fields;
+        fields.query_id = out.query_id;
+        fields.tag = sc.name;
+        logger->Log(obs::LogSeverity::kWarn, "query.deadline", msg.str(),
+                    fields);
+      }
+    });
+  }
+  for (std::thread& t : dispatchers) {
+    t.join();
+  }
+  pool.WaitIdle();
+  report.wall_seconds = NowUs(epoch) / 1e6;
+
+  for (const QueryOutcome& out : report.outcomes) {
+    const double latency_us = out.done_us - out.scheduled_us;
+    report.latency_us.Add(latency_us);
+    report.queue_wait_us.Add(out.dispatch_us - out.scheduled_us);
+    report.per_size_latency_us[out.size_class].Add(latency_us);
+    report.completed += out.ok ? 1 : 0;
+    report.errors += out.ok ? 0 : 1;
+    report.deadline_missed += out.deadline_missed ? 1 : 0;
+  }
+
+  // Queue depth is reconstructed from the waiting intervals
+  // [submit, admission): the count of queries simultaneously parked in
+  // the admission layer. Departures sort before arrivals at a tie.
+  std::vector<std::pair<double, int>> events;
+  events.reserve(static_cast<size_t>(config.queries) * 2);
+  for (int q = 0; q < config.queries; ++q) {
+    events.emplace_back(submit_begin_us[q], 1);
+    events.emplace_back(report.outcomes[q].dispatch_us, -1);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+  int64_t depth = 0;
+  for (const auto& [when, delta] : events) {
+    (void)when;
+    depth += delta;
+    report.max_queue_depth = std::max(report.max_queue_depth, depth);
+  }
+  report.max_inflight = admission.peak_inflight();
+
+  for (const std::unique_ptr<Session>& session : sessions) {
+    const SessionStats stats = session->stats();
+    report.session_cache_hits += stats.cache_hits;
+    report.session_cache_misses += stats.cache_misses;
+  }
+  // Every bitstring phase that actually executed went through the cache
+  // as a miss (this harness runs no external checkpoint), so misses ==
+  // bitstring jobs == distinct fingerprints queried.
+  report.bitstring_jobs = report.session_cache_misses;
+  report.log_dropped = logger != nullptr ? logger->dropped() : 0;
+  return report;
+}
+
 namespace {
 
 void WriteSketchSummary(obs::JsonWriter& w, const obs::QuantileSketch& s) {
@@ -422,8 +706,12 @@ void WriteRow(obs::JsonWriter& w, const std::string& name,
 
 void WriteLoadArtifact(const LoadConfig& config, const LoadReport& report,
                        std::ostream& os) {
+  // Must resolve the empty-mix default exactly as the run did, or the
+  // per-size rows would be read against the wrong class list.
   const std::vector<SizeClass> mix =
-      config.mix.empty() ? DefaultMix(1.0) : config.mix;
+      !config.mix.empty() ? config.mix
+      : report.serve && config.resident != nullptr ? ResidentServeMix()
+                                                   : DefaultMix(1.0);
   obs::JsonWriter w(os);
   w.BeginObject();
   w.Key("schema");
@@ -453,6 +741,16 @@ void WriteLoadArtifact(const LoadConfig& config, const LoadReport& report,
   w.Int(config.slow_query_index);
   w.Key("slow_query_ms");
   w.Double(config.slow_query_ms);
+  w.Key("mode");
+  w.String(report.serve ? "serve" : "batch");
+  if (report.serve) {
+    w.Key("small_reserved_slots");
+    w.Int(config.small_reserved_slots);
+    w.Key("warmup");
+    w.Bool(config.warmup);
+    w.Key("resident");
+    w.Bool(config.resident != nullptr);
+  }
   w.EndObject();
 
   // Machine-dependent load summary: the tail-latency story.
@@ -482,6 +780,14 @@ void WriteLoadArtifact(const LoadConfig& config, const LoadReport& report,
   w.Int(report.max_inflight);
   w.Key("log_dropped");
   w.Int(report.log_dropped);
+  if (report.serve) {
+    w.Key("session_cache_hits");
+    w.Int(report.session_cache_hits);
+    w.Key("session_cache_misses");
+    w.Int(report.session_cache_misses);
+    w.Key("bitstring_jobs");
+    w.Int(report.bitstring_jobs);
+  }
   w.EndObject();
   w.EndObject();
 
@@ -490,11 +796,13 @@ void WriteLoadArtifact(const LoadConfig& config, const LoadReport& report,
   std::vector<int64_t> size_ok(mix.size(), 0);
   std::vector<int64_t> size_comparisons(mix.size(), 0);
   std::vector<int64_t> size_skyline(mix.size(), 0);
+  std::vector<int64_t> size_cache_hits(mix.size(), 0);
   for (const QueryOutcome& out : report.outcomes) {
     ++size_queries[out.size_class];
     size_ok[out.size_class] += out.ok ? 1 : 0;
     size_comparisons[out.size_class] += out.comparisons;
     size_skyline[out.size_class] += out.skyline_size;
+    size_cache_hits[out.size_class] += out.cache_hit ? 1 : 0;
   }
 
   w.Key("rows");
@@ -520,11 +828,27 @@ void WriteLoadArtifact(const LoadConfig& config, const LoadReport& report,
     for (size_t c = 0; c < mix.size(); ++c) {
       d["comparisons"] += size_comparisons[c];
     }
+    if (report.serve) {
+      // Serve-only keys stay out of batch artifacts: bench_diff compares
+      // the key-union of deterministic sections, so adding them
+      // unconditionally would break every committed batch baseline.
+      // Single-flight makes both deterministic for a fixed config; which
+      // *query* led a miss is racy, so hit counts only ever appear in
+      // aggregates, never per class.
+      d["session_cache_hits"] = report.session_cache_hits;
+      d["bitstring_jobs"] = report.bitstring_jobs;
+    }
     WriteRow(w, "loadgen", report.latency_us, m, d);
   }
   for (size_t c = 0; c < mix.size(); ++c) {
     std::map<std::string, double> m;
     m["latency_p99_us"] = report.per_size_latency_us[c].Quantile(0.99);
+    if (report.serve) {
+      // Informational (metrics are never hard-gated): without warmup the
+      // class that wins a shared fingerprint's single-flight race eats
+      // the miss, so the split is timing-dependent.
+      m["cache_hits"] = static_cast<double>(size_cache_hits[c]);
+    }
     std::map<std::string, int64_t> d;
     d["queries"] = size_queries[c];
     d["ok"] = size_ok[c];

@@ -32,11 +32,15 @@
 #include "src/data/generator.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/serve/query_spec.h"
 
 namespace skymr::loadgen {
 
 /// One query flavour in the traffic mix: a dataset shape plus the
 /// algorithm/variant answering it. Weighted random assignment per query.
+/// In serve mode over a resident dataset (LoadConfig::resident) the
+/// dataset-shape fields are ignored — classes differ only by
+/// algorithm/constraint/lane, all answered by one Session.
 struct SizeClass {
   std::string name;
   size_t cardinality = 1000;
@@ -47,11 +51,21 @@ struct SizeClass {
   bool constrained = false;
   /// Relative weight in the mix (0 drops the class).
   uint32_t weight = 1;
+  /// Admission lane in serve mode (two-lane slot layer; kAuto
+  /// classifies by the session dataset's cardinality).
+  AdmissionClass lane = AdmissionClass::kAuto;
 };
 
 /// The default small/medium/large/constrained mix, with cardinalities
 /// multiplied by `scale` (floored at 200 tuples).
 std::vector<SizeClass> DefaultMix(double scale);
+
+/// The serve-mode mix over one resident dataset: the same tuples asked
+/// different questions (GPSRS, GPMRS, a constrained box). The
+/// unconstrained classes share one bitstring fingerprint, so the
+/// cross-query cache turns all but the first of their bitstring phases
+/// into hits — the cross-algorithm sharing the session API exists for.
+std::vector<SizeClass> ResidentServeMix();
 
 struct LoadConfig {
   /// Seeds the arrival schedule and size assignment (not the datasets,
@@ -85,6 +99,16 @@ struct LoadConfig {
   /// Map tasks per query job (small jobs; keep the default modest).
   int num_map_tasks = 4;
   int num_reducers = 2;
+  /// ---- Serve mode (RunServeLoad) ----
+  /// Resident dataset shared by every size class; when null each class
+  /// generates its own dataset exactly like batch mode (one Session per
+  /// class instead of one shared Session). Must outlive the run.
+  const Dataset* resident = nullptr;
+  /// Admission slots large queries may not occupy (two-lane layer).
+  int small_reserved_slots = 0;
+  /// Prime the session cache(s) before the open-loop clock starts, so
+  /// even the first arrival of each fingerprint is a hit.
+  bool warmup = false;
 };
 
 /// Outcome of one query, indexes parallel to the arrival schedule.
@@ -100,6 +124,10 @@ struct QueryOutcome {
   /// the query's jobs, and the skyline cardinality.
   int64_t comparisons = 0;
   int64_t skyline_size = 0;
+  /// Serve mode: jobs the query ran (grid cache hits run 1, misses 2)
+  /// and whether its bitstring phase came from the session cache.
+  int64_t jobs = 0;
+  bool cache_hit = false;
 };
 
 struct LoadReport {
@@ -119,6 +147,15 @@ struct LoadReport {
   double wall_seconds = 0.0;
   /// Logger drop count at the end of the run (mr.log_dropped).
   int64_t log_dropped = 0;
+  /// ---- Serve mode ----
+  bool serve = false;
+  /// Session cache traffic summed over every session of the run, and
+  /// the bitstring jobs that actually executed. Deterministic for a
+  /// fixed config: single-flight guarantees exactly one miss per
+  /// distinct fingerprint no matter how queries interleave.
+  int64_t session_cache_hits = 0;
+  int64_t session_cache_misses = 0;
+  int64_t bitstring_jobs = 0;
 };
 
 /// The precomputed open-loop schedule: arrival offsets (us, ascending)
@@ -138,6 +175,18 @@ ArrivalSchedule BuildSchedule(const LoadConfig& config);
 StatusOr<LoadReport> RunLoad(const LoadConfig& config,
                              obs::MetricsRegistry* metrics,
                              obs::Logger* logger);
+
+/// Runs the workload through resident serve::Sessions instead of
+/// one-shot ComputeSkyline calls: one Session over config.resident (or
+/// one per size class when it is null), all sharing one ThreadPool and
+/// one two-lane AdmissionController, with the cross-query bitstring
+/// cache on. Each arrival dispatches on its own thread — Session::Submit
+/// blocks for admission, and pool threads must stay free to run the
+/// admitted queries' map/reduce tasks. Same open-loop clock and
+/// CO-safe latency accounting as RunLoad.
+StatusOr<LoadReport> RunServeLoad(const LoadConfig& config,
+                                  obs::MetricsRegistry* metrics,
+                                  obs::Logger* logger);
 
 /// Writes the skymr-load-v1 artifact (see DESIGN.md §16 for the layout).
 void WriteLoadArtifact(const LoadConfig& config, const LoadReport& report,

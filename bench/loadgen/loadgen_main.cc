@@ -2,10 +2,17 @@
 //
 //   skymr_loadgen [--seed=S] [--qps=Q] [--queries=N] [--slots=K]
 //                 [--threads=T] [--deadline-ms=D] [--scale=X]
+//                 [--serve] [--small-reserved=K] [--warmup]
 //                 [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]
 //                 [--slow-query=I] [--slow-ms=MS]
 //                 [--out=FILE] [--log-out=FILE] [--crash-dump=FILE]
 //                 [--log-level=debug|info|warn|error]
+//
+// --serve drives the traffic through resident serve::Sessions (one per
+// size class here; `skymr_cli serve` is the single-resident-dataset
+// server) with the cross-query bitstring cache and the two-lane
+// admission layer (--small-reserved) on; --warmup primes the caches
+// before the open-loop clock starts.
 //
 // Runs the seeded arrival schedule against the in-process engine and
 // writes the skymr-load-v1 artifact (--out; validated by
@@ -60,6 +67,7 @@ int Usage() {
       stderr,
       "usage: skymr_loadgen [--seed=S] [--qps=Q] [--queries=N] [--slots=K]\n"
       "                     [--threads=T] [--deadline-ms=D] [--scale=X]\n"
+      "                     [--serve] [--small-reserved=K] [--warmup]\n"
       "                     [--chaos-profile=NAME] [--chaos-seed=S]\n"
       "                     [--attempts=N] [--slow-query=I] [--slow-ms=MS]\n"
       "                     [--out=FILE] [--log-out=FILE]\n"
@@ -101,6 +109,10 @@ int main(int argc, char** argv) {
   config.slow_query_index = static_cast<int>(args.GetInt("slow-query", -1));
   config.slow_query_ms = args.GetDouble("slow-ms", 0.0);
   config.max_task_attempts = static_cast<int>(args.GetInt("attempts", 1));
+  const bool serve = args.Has("serve");
+  config.small_reserved_slots =
+      static_cast<int>(args.GetInt("small-reserved", 0));
+  config.warmup = args.Has("warmup");
   // Cardinalities honor SKYMR_SCALE / SKYMR_FULL like every bench; an
   // explicit --scale multiplies on top of that (DefaultMix floors each
   // class at 200 tuples).
@@ -156,7 +168,9 @@ int main(int argc, char** argv) {
     logger.AddSink(log_sink.get());
   }
 
-  auto report_or = skymr::loadgen::RunLoad(config, &metrics, &logger);
+  auto report_or = serve
+                       ? skymr::loadgen::RunServeLoad(config, &metrics, &logger)
+                       : skymr::loadgen::RunLoad(config, &metrics, &logger);
   if (!report_or.ok()) {
     std::fprintf(stderr, "%s\n", report_or.status().ToString().c_str());
     return 1;
@@ -191,6 +205,13 @@ int main(int argc, char** argv) {
       static_cast<long long>(report.max_queue_depth),
       static_cast<long long>(report.max_inflight),
       static_cast<long long>(report.log_dropped));
+  if (report.serve) {
+    std::printf(
+        "session cache: %lld hits, %lld misses, %lld bitstring jobs\n",
+        static_cast<long long>(report.session_cache_hits),
+        static_cast<long long>(report.session_cache_misses),
+        static_cast<long long>(report.bitstring_jobs));
+  }
   if (!out.empty()) {
     std::printf("artifact: %s (schedule hash %016llx)\n", out.c_str(),
                 static_cast<unsigned long long>(report.schedule_hash));

@@ -1,21 +1,9 @@
 #include "src/core/runner.h"
 
 #include <algorithm>
-#include <bit>
-#include <cmath>
 #include <memory>
 
-#include "src/baselines/mr_angle.h"
-#include "src/baselines/mr_bnl.h"
-#include "src/baselines/mr_skymr.h"
-#include "src/common/logging.h"
-#include "src/common/stopwatch.h"
-#include "src/core/checkpoint.h"
-#include "src/core/gpmrs.h"
-#include "src/core/gpsrs.h"
-#include "src/mapreduce/chaos.h"
-#include "src/obs/log.h"
-#include "src/obs/trace.h"
+#include "src/serve/session.h"
 
 namespace skymr {
 
@@ -66,301 +54,29 @@ std::vector<TupleId> SkylineResult::SkylineIds() const {
 }
 
 Status RunnerConfig::Validate() const {
-  SKYMR_RETURN_IF_ERROR(mr::ValidateEngineOptions(engine));
-  if (ppd.explicit_ppd == 1) {
-    return Status::InvalidArgument(
-        "ppd: explicit_ppd must be 0 (auto-select) or >= 2");
+  // The split halves own the checks (serve/session.cc), so the legacy
+  // config and the session API can never drift apart on what counts as
+  // valid: a RunnerConfig is valid iff its split is.
+  const SplitConfig split = SplitRunnerConfig(*this);
+  if (const Status valid = split.session.Validate(); !valid.ok()) {
+    return valid;
   }
-  if (ppd.max_candidate < 2) {
-    return Status::InvalidArgument(
-        "ppd: max_candidate must be >= 2 (the smallest grid)");
-  }
-  if (!(ppd.target_tpp > 0.0 && std::isfinite(ppd.target_tpp))) {
-    return Status::InvalidArgument("ppd: target_tpp must be finite and > 0");
-  }
-  if (ppd.max_cells < 4) {
-    return Status::InvalidArgument(
-        "ppd: max_cells must admit at least the 2^d grid of a 2-d space");
-  }
-  if (algorithm == Algorithm::kMrAngle && angle_partitions < 1) {
-    return Status::InvalidArgument("mr-angle: angle_partitions must be >= 1");
-  }
-  switch (local_algorithm) {
-    case core::LocalAlgorithm::kBnl:
-    case core::LocalAlgorithm::kSfs:
-    case core::LocalAlgorithm::kBbs:
-    case core::LocalAlgorithm::kAuto:
-      break;
-    default:
-      // Configs can arrive from untrusted bytes (fuzz_config); reject
-      // enum values outside the declared range before any job runs.
-      return Status::InvalidArgument("local_algorithm out of range");
-  }
-  return Status::OK();
+  return split.query.Validate();
 }
-
-namespace {
-
-/// Wraps a caller-owned dataset in a non-owning shared_ptr for the
-/// distributed cache. The RunnerConfig contract requires the dataset to
-/// outlive the call.
-std::shared_ptr<const Dataset> Unowned(const Dataset& data) {
-  return {&data, [](const Dataset*) {}};
-}
-
-/// Fills both makespan flavours from the per-job metrics.
-void FillModeledTimes(const mr::ClusterModel& cluster,
-                      SkylineResult* result) {
-  result->modeled_seconds = cluster.PipelineMakespan(result->jobs);
-  mr::ClusterModel no_overhead = cluster;
-  no_overhead.job_startup_seconds = 0.0;
-  no_overhead.task_startup_seconds = 0.0;
-  result->modeled_compute_seconds =
-      no_overhead.PipelineMakespan(result->jobs);
-}
-
-/// Fingerprint of everything that determines the bitstring phase's
-/// output: dataset shape plus a content probe (first/middle/last tuples),
-/// PPD policy, prune mode, bounds choice, and the constraint box. Keyed
-/// lookups in the checkpoint store miss on any change, so resume can
-/// never serve a result computed for different inputs.
-uint64_t BitstringFingerprint(const Dataset& data,
-                              const RunnerConfig& config) {
-  uint64_t h = mr::ChaosMix64(0x736b796d72636b70ULL);
-  const auto mix = [&h](uint64_t v) { h = mr::ChaosMix64(h ^ v); };
-  const auto mix_double = [&mix](double v) {
-    mix(std::bit_cast<uint64_t>(v));
-  };
-  mix(data.size());
-  mix(data.dim());
-  if (data.size() > 0) {
-    for (const size_t probe :
-         {size_t{0}, data.size() / 2, data.size() - 1}) {
-      for (size_t d = 0; d < data.dim(); ++d) {
-        mix_double(data.RowPtr(static_cast<TupleId>(probe))[d]);
-      }
-    }
-  }
-  mix(config.ppd.explicit_ppd);
-  mix(static_cast<uint64_t>(config.ppd.strategy));
-  mix_double(config.ppd.target_tpp);
-  mix(config.ppd.max_candidate);
-  mix(config.ppd.max_cells);
-  mix(static_cast<uint64_t>(config.prune_mode));
-  mix(config.unit_bounds ? 1 : 0);
-  if (config.constraint.has_value()) {
-    for (size_t d = 0; d < config.constraint->lo.size(); ++d) {
-      mix_double(config.constraint->lo[d]);
-      mix_double(config.constraint->hi[d]);
-    }
-  }
-  return h;
-}
-
-StatusOr<SkylineResult> ComputeSkylineImpl(const Dataset& data,
-                                           const RunnerConfig& config) {
-  Stopwatch total_clock;
-  SKYMR_TRACE_SPAN("skyline.pipeline", "tuples",
-                   static_cast<int64_t>(data.size()), "dim",
-                   static_cast<int64_t>(data.dim()));
-  SkylineResult result;
-  if (config.constraint.has_value()) {
-    SKYMR_RETURN_IF_ERROR(config.constraint->Validate(data.dim()));
-  }
-  const Bounds bounds = config.unit_bounds ? Bounds::UnitCube(data.dim())
-                                           : data.ComputeBounds();
-  const std::shared_ptr<const Dataset> shared = Unowned(data);
-  // One pool drives every job of the pipeline; with config.pool the
-  // caller amortizes thread startup across ComputeSkyline calls too.
-  std::unique_ptr<ThreadPool> owned_pool;
-  ThreadPool* pool_ptr = config.pool;
-  if (pool_ptr == nullptr) {
-    const int threads = config.engine.num_threads > 0
-                            ? config.engine.num_threads
-                            : ThreadPool::DefaultThreads();
-    owned_pool = std::make_unique<ThreadPool>(threads);
-    pool_ptr = owned_pool.get();
-  }
-  ThreadPool& pool = *pool_ptr;
-
-  // ---- Baselines: one job, no bitstring phase ----
-  if (config.algorithm == Algorithm::kMrBnl ||
-      config.algorithm == Algorithm::kMrAngle ||
-      config.algorithm == Algorithm::kSkyMr) {
-    auto run_or =
-        config.algorithm == Algorithm::kMrBnl
-            ? baselines::RunMrBnlJob(shared, bounds, config.engine, &pool,
-                                     config.constraint)
-        : config.algorithm == Algorithm::kMrAngle
-            ? baselines::RunMrAngleJob(shared, bounds,
-                                       config.angle_partitions,
-                                       config.engine, &pool,
-                                       config.constraint)
-            : baselines::RunSkyMrJob(shared, bounds, config.skymr,
-                                     config.engine, &pool,
-                                     config.constraint);
-    if (!run_or.ok()) {
-      return run_or.status();
-    }
-    result.skyline = std::move(run_or->skyline);
-    result.jobs.push_back(std::move(run_or->metrics));
-    result.algorithm_used = config.algorithm;
-    result.wall_seconds = total_clock.ElapsedSeconds();
-    FillModeledTimes(config.cluster, &result);
-    return result;
-  }
-
-  // ---- Grid algorithms: bitstring job first ----
-  core::BitstringJobConfig bitstring_config;
-  bitstring_config.bounds = bounds;
-  bitstring_config.candidates =
-      core::CandidatePpds(data.size(), data.dim(), config.ppd);
-  if (bitstring_config.candidates.empty()) {
-    return Status::InvalidArgument(
-        "no feasible PPD candidate: 2^d exceeds the cell budget");
-  }
-  bitstring_config.ppd = config.ppd;
-  bitstring_config.cardinality = data.size();
-  bitstring_config.prune_mode = config.prune_mode;
-  bitstring_config.constraint = config.constraint;
-
-  core::BitstringBuildResult phase;
-  const uint64_t fingerprint = config.checkpoint != nullptr
-                                   ? BitstringFingerprint(data, config)
-                                   : 0;
-  if (config.checkpoint != nullptr &&
-      config.checkpoint->LoadBitstring(fingerprint, &phase)) {
-    // Resume: the whole first job is skipped; result.jobs holds only the
-    // skyline job.
-    result.resumed_from_checkpoint = true;
-    SKYMR_TRACE_INSTANT("checkpoint.resume", "ppd",
-                        static_cast<int64_t>(phase.ppd));
-    SKYMR_LOG(DEBUG) << "bitstring phase resumed from checkpoint (ppd "
-                     << phase.ppd << ")";
-  } else {
-    auto bitstring_or = core::RunBitstringJob(shared, bitstring_config,
-                                              config.engine, &pool);
-    if (!bitstring_or.ok()) {
-      return bitstring_or.status();
-    }
-    result.jobs.push_back(std::move(bitstring_or->metrics));
-    phase = std::move(bitstring_or->result);
-    if (config.checkpoint != nullptr) {
-      config.checkpoint->StoreBitstring(fingerprint, phase);
-    }
-  }
-  result.ppd = phase.ppd;
-  result.nonempty_partitions = phase.nonempty;
-  result.pruned_partitions = phase.pruned;
-  SKYMR_LOG(DEBUG) << "bitstring job: selected PPD " << result.ppd << ", "
-                   << result.nonempty_partitions << " non-empty cells, "
-                   << result.pruned_partitions << " pruned";
-
-  auto grid_or = core::Grid::Create(data.dim(), phase.ppd,
-                                    bounds, config.ppd.max_cells);
-  if (!grid_or.ok()) {
-    return grid_or.status();
-  }
-  const core::Grid& grid = grid_or.value();
-
-  // ---- Decide the skyline job ----
-  Algorithm algorithm = config.algorithm;
-  mr::EngineOptions engine = config.engine;
-  if (algorithm == Algorithm::kHybrid) {
-    result.hybrid_decision = core::DecideHybrid(
-        config.hybrid, data, grid, phase, config.constraint);
-    algorithm = result.hybrid_decision.use_multiple_reducers
-                    ? Algorithm::kMrGpmrs
-                    : Algorithm::kMrGpsrs;
-    engine.num_reducers = result.hybrid_decision.num_reducers;
-  }
-  result.algorithm_used = algorithm;
-
-  auto run_or =
-      algorithm == Algorithm::kMrGpmrs
-          ? core::RunGpmrsJob(shared, grid, phase.bits,
-                              config.merge, engine, &pool,
-                              config.constraint, config.local_algorithm)
-          : core::RunGpsrsJob(shared, grid, phase.bits, engine,
-                              &pool, config.constraint,
-                              config.local_algorithm);
-  if (!run_or.ok() && algorithm == Algorithm::kMrGpmrs &&
-      config.degrade_to_single_reducer &&
-      run_or.status().code() == StatusCode::kInternal) {
-    // Degradation ladder: GPMRS's reducer-group merge keeps failing
-    // (every retry exhausted), so fall back to the GPSRS single-reducer
-    // merge over the same grid and bitstring — slower, but the skyline is
-    // identical by Section 4/5 equivalence.
-    SKYMR_LOG(DEBUG) << "mr-gpmrs failed permanently ("
-                     << run_or.status().message()
-                     << "); degrading to mr-gpsrs";
-    SKYMR_TRACE_INSTANT("degrade.gpsrs");
-    result.degraded = true;
-    result.algorithm_used = Algorithm::kMrGpsrs;
-    run_or = core::RunGpsrsJob(shared, grid, phase.bits, engine, &pool,
-                               config.constraint, config.local_algorithm);
-  }
-  if (!run_or.ok()) {
-    return run_or.status();
-  }
-  result.skyline = std::move(run_or->skyline);
-  result.jobs.push_back(std::move(run_or->metrics));
-  if (result.degraded) {
-    result.jobs.back().counters.Add("mr.degraded_to_gpsrs", 1);
-  }
-  result.wall_seconds = total_clock.ElapsedSeconds();
-  FillModeledTimes(config.cluster, &result);
-  SKYMR_LOG(DEBUG) << AlgorithmName(result.algorithm_used) << ": skyline "
-                   << result.skyline.size() << " of " << data.size()
-                   << " tuples in " << result.wall_seconds << "s wall, "
-                   << result.modeled_seconds << "s modeled";
-  return result;
-}
-
-}  // namespace
 
 StatusOr<SkylineResult> ComputeSkyline(const Dataset& data,
                                        const RunnerConfig& config) {
-  if (const Status valid = config.Validate(); !valid.ok()) {
-    return valid;
+  // Thin shim over a single-query session (serve/session.h): Open
+  // validates the dataset-scoped half and builds the pool, Submit
+  // validates the per-query half and runs the same pipeline this
+  // function always ran — including the query.start/finish logs and the
+  // no-throw boundary.
+  const SplitConfig split = SplitRunnerConfig(config);
+  auto session_or = Session::Open(data, split.session);
+  if (!session_or.ok()) {
+    return session_or.status();
   }
-  obs::Logger* log = config.engine.log;
-  if (log != nullptr) {
-    log->LogQuery(obs::LogSeverity::kInfo, config.engine.query,
-                  "query.start",
-                  std::string(AlgorithmName(config.algorithm)) + ", " +
-                      std::to_string(data.size()) + " tuples, dim " +
-                      std::to_string(data.dim()));
-  }
-  // API hardening: nothing escapes this boundary as an exception. Task
-  // failures inside the engine already surface as Status; this catch is
-  // the backstop for anything unexpected (user functors, OOM, bugs).
-  StatusOr<SkylineResult> result = [&]() -> StatusOr<SkylineResult> {
-    try {
-      return ComputeSkylineImpl(data, config);
-    } catch (const std::exception& e) {
-      return Status::Internal(
-          std::string("skyline pipeline: unexpected exception: ") + e.what());
-    }
-  }();
-  if (log != nullptr) {
-    if (result.ok()) {
-      log->LogQuery(
-          obs::LogSeverity::kInfo, config.engine.query, "query.finish",
-          "skyline " + std::to_string(result->skyline.size()) + " of " +
-              std::to_string(data.size()) + " tuples, " +
-              std::to_string(
-                  static_cast<int64_t>(result->wall_seconds * 1e6)) +
-              " us" + (result->degraded ? ", degraded" : ""));
-    } else {
-      // Permanent task failures already NotifyFatal'ed inside the
-      // scheduler; this records the query-level outcome with the same id
-      // so the post-mortem dump names the query that died.
-      log->LogQuery(obs::LogSeverity::kError, config.engine.query,
-                    "query.error", result.status().message());
-    }
-  }
-  return result;
+  return (*session_or)->Submit(split.query);
 }
 
 }  // namespace skymr

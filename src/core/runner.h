@@ -39,6 +39,12 @@ const char* AlgorithmName(Algorithm algorithm);
 StatusOr<Algorithm> ParseAlgorithm(const std::string& name);
 
 /// Full configuration for one skyline computation.
+///
+/// Legacy surface: RunnerConfig conflates dataset-scoped state and
+/// per-query parameters. New code should open a serve/session.h Session
+/// (SessionOptions + QuerySpec); ComputeSkyline splits a RunnerConfig
+/// into those halves (SplitRunnerConfig) and runs a one-query session,
+/// so both surfaces always agree.
 struct RunnerConfig {
   Algorithm algorithm = Algorithm::kMrGpmrs;
   /// Map/reduce task counts and thread parallelism.
@@ -68,12 +74,19 @@ struct RunnerConfig {
   /// Constrained skyline query: when set, the skyline is computed over
   /// only the tuples inside this box. Partitions outside the box never
   /// enter the bitstring, so they are pruned before any tuple work.
+  ///
+  /// DEPRECATED: the constraint is a per-query parameter — use
+  /// QuerySpec::constraint (serve/query_spec.h). This field keeps
+  /// working through the ComputeSkyline shim; lint_skymr's
+  /// deprecated-constraint rule flags new uses.
   std::optional<Box> constraint;
   /// Worker pool shared across ComputeSkyline calls. When null (the
   /// default) a private pool of engine.num_threads is built per call;
   /// callers running many computations (benchmark loops, the CLI compare
   /// command) pass one pool here so threads are spawned once. The pool
-  /// must outlive the call, and engine.num_threads is ignored when set.
+  /// must outlive the call. Leave engine.num_threads 0 when set: an
+  /// explicit nonzero count that contradicts the pool's size is an
+  /// InvalidArgument (Validate), not a silent no-op.
   ThreadPool* pool = nullptr;
   /// Graceful degradation: when a GPMRS (or hybrid-resolved GPMRS) run
   /// fails permanently — e.g. its reducer-group merge keeps crashing
@@ -90,8 +103,10 @@ struct RunnerConfig {
 
   /// Rejects contradictory configurations before any work runs: task
   /// counts < 1, zero attempt budgets, PPD policy out of range,
-  /// backoff/speculation tunables outside their domains, and chaos
-  /// schedules that can never finish. Called by ComputeSkyline.
+  /// backoff/speculation tunables outside their domains, chaos
+  /// schedules that can never finish, and a num_threads that
+  /// contradicts an external pool. Called by ComputeSkyline; delegates
+  /// to the split halves (SessionOptions/QuerySpec Validate).
   Status Validate() const;
 };
 
@@ -128,6 +143,11 @@ struct SkylineResult {
   /// True when the bitstring phase was served from the checkpoint store
   /// instead of running (RunnerConfig::checkpoint).
   bool resumed_from_checkpoint = false;
+  /// True when the bitstring phase was served from a Session's
+  /// in-session cross-query cache (serve/session.h); the result then
+  /// holds only the skyline job. Always false on the ComputeSkyline
+  /// shim path, which runs a cache-less one-query session.
+  bool session_cache_hit = false;
 };
 
 /// Computes the skyline of `data`. The dataset must outlive the call.

@@ -611,6 +611,32 @@ StatusOr<std::vector<Finding>> AnalyzeLoad(const JsonValue& load,
                  "less on the hot path",
                  static_cast<long long>(dropped))});
     }
+
+    // session-cache-cold: only serve-mode artifacts carry the session
+    // counters; a batch artifact misses both keys and stays silent.
+    const int64_t cache_hits =
+        static_cast<int64_t>(counters->GetInt("session_cache_hits", -1));
+    const int64_t cache_misses =
+        static_cast<int64_t>(counters->GetInt("session_cache_misses", -1));
+    const int64_t lookups = cache_hits + cache_misses;
+    if (cache_hits >= 0 && cache_misses >= 0 &&
+        lookups >= options.min_queries_for_load) {
+      const double hit_fraction =
+          static_cast<double>(cache_hits) / static_cast<double>(lookups);
+      if (hit_fraction < options.min_session_cache_hit_fraction) {
+        findings.push_back(Finding{
+            Severity::kWarning, "session-cache-cold",
+            Format("the resident session's bitstring cache hit only %lld "
+                   "of %lld lookups (%.0f%%) — the phase the session "
+                   "exists to share is being rebuilt per query; check "
+                   "for fingerprint churn (constraint boxes that never "
+                   "repeat) or warm the mix's classes before taking "
+                   "traffic",
+                   static_cast<long long>(cache_hits),
+                   static_cast<long long>(lookups),
+                   100.0 * hit_fraction)});
+      }
+    }
   }
 
   std::stable_sort(findings.begin(), findings.end(),

@@ -199,6 +199,12 @@ struct DoctorOptions {
   /// log-drop (load artifacts and metrics snapshots): any dropped
   /// structured log record is flagged once at least this many dropped.
   int64_t min_log_dropped = 1;
+
+  /// session-cache-cold (serve-mode load artifacts): flag when fewer
+  /// than this fraction of the session's bitstring lookups hit the
+  /// cross-query cache — the resident session is rebuilding the phase
+  /// it exists to share (fingerprint churn, or a mix with no repeats).
+  double min_session_cache_hit_fraction = 0.5;
 };
 
 /// Analyzes a parsed skymr-report-v1 document. Returns findings sorted

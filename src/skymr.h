@@ -21,6 +21,8 @@
 //
 //   * Dataset / generators / CSV IO       (relation/, data/)
 //   * RunnerConfig, Algorithm, ComputeSkyline, PipelineCheckpoint
+//   * Session / SessionOptions / QuerySpec (serve/: the resident
+//     query-server API; ComputeSkyline is a one-query shim over it)
 //   * ChaosSchedule / ChaosProfile        (deterministic fault injection)
 //   * skyline verification                (relation/skyline_verify.h)
 //   * report / trace / doctor writers     (obs/)
@@ -48,6 +50,11 @@
 #include "src/core/checkpoint.h"
 #include "src/core/runner.h"
 #include "src/mapreduce/chaos.h"
+
+// The serving layer: a dataset-resident Session answering concurrent
+// QuerySpecs with admission control and cross-query bitstring caching.
+#include "src/serve/query_spec.h"
+#include "src/serve/session.h"
 
 // Observability: job reports, trace export, report analysis,
 // critical-path attribution, and the live metrics registry.

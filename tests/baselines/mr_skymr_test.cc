@@ -112,6 +112,7 @@ TEST(MrSkyMrTest, ConstrainedQuery) {
   box.hi = {0.8, 0.8};
   RunnerConfig config;
   config.algorithm = Algorithm::kSkyMr;
+  // lint:allow(deprecated-constraint) pins the legacy shim surface
   config.constraint = box;
   auto result = ComputeSkyline(data, config);
   ASSERT_TRUE(result.ok());

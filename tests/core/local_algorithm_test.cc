@@ -77,6 +77,7 @@ TEST(LocalAlgorithmTest, SfsRespectsConstraints) {
   bnl.algorithm = Algorithm::kMrGpmrs;
   bnl.engine.num_reducers = 3;
   bnl.ppd.max_candidate = 4;
+  // lint:allow(deprecated-constraint) pins the legacy shim surface
   bnl.constraint = box;
   bnl.local_algorithm = core::LocalAlgorithm::kBnl;
   RunnerConfig sfs = bnl;
@@ -98,6 +99,7 @@ TEST(LocalAlgorithmTest, BbsRespectsConstraints) {
   bnl.algorithm = Algorithm::kMrGpmrs;
   bnl.engine.num_reducers = 3;
   bnl.ppd.max_candidate = 4;
+  // lint:allow(deprecated-constraint) pins the legacy shim surface
   bnl.constraint = box;
   bnl.local_algorithm = core::LocalAlgorithm::kBnl;
   RunnerConfig bbs = bnl;

@@ -140,6 +140,39 @@ TEST(RunnerTest, ModeledSecondsUsesClusterModel) {
             fast_result->modeled_seconds + 150.0);
 }
 
+TEST(RunnerTest, PoolThreadCountContradictionIsInvalidArgument) {
+  // An explicit engine.num_threads that disagrees with the external
+  // pool's size used to be silently ignored (the pool won); Validate now
+  // rejects the contradiction up front.
+  const Dataset data = data::GenerateIndependent(300, 2, 5);
+  ThreadPool pool(2);
+  RunnerConfig config = BaseConfig(Algorithm::kMrGpsrs);
+  config.pool = &pool;
+  config.engine.num_threads = 3;
+  EXPECT_FALSE(config.Validate().ok());
+  auto result = ComputeSkyline(data, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("contradicts"),
+            std::string::npos)
+      << result.status();
+
+  // Matching the pool's size, or leaving num_threads 0, stays valid.
+  config.engine.num_threads = 2;
+  EXPECT_TRUE(config.Validate().ok());
+  config.engine.num_threads = 0;
+  EXPECT_TRUE(config.Validate().ok());
+  auto ok_result = ComputeSkyline(data, config);
+  ASSERT_TRUE(ok_result.ok()) << ok_result.status();
+  EXPECT_EQ(ExplainSkylineMismatch(data, ok_result->SkylineIds()), "");
+
+  // A num_threads without an external pool sizes the private pool and
+  // was always legal.
+  config.pool = nullptr;
+  config.engine.num_threads = 3;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
 TEST(RunnerTest, AlgorithmNamesRoundTrip) {
   for (const Algorithm algorithm :
        {Algorithm::kMrGpsrs, Algorithm::kMrGpmrs, Algorithm::kMrBnl,

@@ -22,7 +22,7 @@
 namespace skymr {
 namespace {
 
-struct QuerySpec {
+struct CaseSpec {
   size_t cardinality;
   size_t dim;
   uint64_t seed;
@@ -30,7 +30,7 @@ struct QuerySpec {
   bool anti_correlated;
 };
 
-Dataset MakeDataset(const QuerySpec& spec) {
+Dataset MakeDataset(const CaseSpec& spec) {
   return spec.anti_correlated
              ? data::GenerateAntiCorrelated(spec.cardinality, spec.dim,
                                             spec.seed)
@@ -38,7 +38,7 @@ Dataset MakeDataset(const QuerySpec& spec) {
                                          spec.seed);
 }
 
-RunnerConfig MakeConfig(const QuerySpec& spec, ThreadPool* pool) {
+RunnerConfig MakeConfig(const CaseSpec& spec, ThreadPool* pool) {
   RunnerConfig config;
   config.algorithm = spec.algorithm;
   config.engine.num_map_tasks = 3;
@@ -67,7 +67,7 @@ QuerySignal SignalOf(const SkylineResult& result, size_t input_tuples) {
 }
 
 TEST(ConcurrentQueriesTest, SharedPoolMatchesSerialBitForBit) {
-  const std::vector<QuerySpec> specs = {
+  const std::vector<CaseSpec> specs = {
       {900, 3, 101, Algorithm::kMrGpmrs, false},
       {1200, 4, 102, Algorithm::kMrGpsrs, true},
       {700, 3, 103, Algorithm::kMrGpmrs, true},
@@ -117,12 +117,85 @@ TEST(ConcurrentQueriesTest, SharedPoolMatchesSerialBitForBit) {
   }
 }
 
+TEST(ConcurrentQueriesTest, ResidentSessionMatchesSerialShimBitForBit) {
+  // The serve-path analogue of the test above: one resident Session over
+  // one dataset, answering a mixed set of QuerySpecs from many threads
+  // at once. Every result must be bit-identical (skyline ids) to the
+  // legacy one-shot ComputeSkyline shim, and the single-flight cache
+  // must miss exactly once per distinct bitstring fingerprint.
+  const Dataset data = data::GenerateAntiCorrelated(1400, 3, 108);
+
+  Box box;
+  box.lo = {0.0, 0.0, 0.0};
+  box.hi = {0.6, 0.6, 0.6};
+  std::vector<QuerySpec> specs(4);
+  specs[0].algorithm = Algorithm::kMrGpsrs;
+  specs[1].algorithm = Algorithm::kMrGpmrs;
+  specs[2].algorithm = Algorithm::kMrGpmrs;
+  specs[2].constraint = box;
+  specs[3].algorithm = Algorithm::kMrBnl;
+
+  // Serial reference through the one-shot shim.
+  std::vector<std::vector<TupleId>> serial(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    RunnerConfig config;
+    config.algorithm = specs[i].algorithm;
+    // lint:allow(deprecated-constraint) reference runs the legacy shim
+    config.constraint = specs[i].constraint;
+    config.engine.num_map_tasks = 3;
+    config.engine.num_reducers = 3;
+    config.ppd.max_candidate = 5;
+    auto result = ComputeSkyline(data, config);
+    ASSERT_TRUE(result.ok()) << "query " << i << ": " << result.status();
+    serial[i] = result->SkylineIds();
+    std::sort(serial[i].begin(), serial[i].end());
+  }
+
+  ThreadPool pool(4);
+  SessionOptions options;
+  options.engine.num_map_tasks = 3;
+  options.engine.num_reducers = 3;
+  options.ppd.max_candidate = 5;
+  options.pool = &pool;
+  auto session = Session::Open(data, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  constexpr int kRounds = 3;
+  const size_t total = kRounds * specs.size();
+  std::vector<std::vector<TupleId>> concurrent(total);
+  std::vector<Status> statuses(total, Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    threads.emplace_back([&, i] {
+      auto result = (*session)->Submit(specs[i % specs.size()]);
+      if (!result.ok()) {
+        statuses[i] = result.status();
+        return;
+      }
+      concurrent[i] = result->SkylineIds();
+      std::sort(concurrent[i].begin(), concurrent[i].end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t i = 0; i < total; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << "query " << i << ": " << statuses[i];
+    EXPECT_EQ(concurrent[i], serial[i % specs.size()]) << "query " << i;
+  }
+  // Two distinct fingerprints (shared unconstrained + constrained); the
+  // baseline never touches the cache.
+  const SessionStats stats = (*session)->stats();
+  EXPECT_EQ(stats.cache_misses, 2);
+  EXPECT_EQ(stats.cache_hits, kRounds * 3 - 2);
+  EXPECT_EQ(stats.errors, 0);
+}
+
 TEST(ConcurrentQueriesTest, SharedMetricsRegistrySeesEveryQuery) {
   // Queries sharing a MetricsRegistry (the loadgen arrangement) must not
   // lose counter increments to races.
   obs::MetricsRegistry metrics;
   ThreadPool pool(4);
-  const QuerySpec spec = {800, 3, 107, Algorithm::kMrGpmrs, false};
+  const CaseSpec spec = {800, 3, 107, Algorithm::kMrGpmrs, false};
   const Dataset data = MakeDataset(spec);
 
   // One serial run to learn how many MapReduce jobs a query launches.

@@ -47,6 +47,7 @@ TEST(ConstrainedSkylineTest, AllAlgorithmsMatchFilteredReference) {
     config.engine.num_map_tasks = 3;
     config.engine.num_reducers = 4;
     config.ppd.max_candidate = 6;
+    // lint:allow(deprecated-constraint) pins the legacy shim surface
     config.constraint = box;
     auto result = ComputeSkyline(data, config);
     ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm) << ": "
@@ -68,12 +69,14 @@ TEST(ConstrainedSkylineTest, ConstraintChangesTheAnswer) {
   RunnerConfig config;
   config.algorithm = Algorithm::kMrGpmrs;
   config.ppd.explicit_ppd = 4;
+  // lint:allow(deprecated-constraint) pins the legacy shim surface
   config.constraint = MiddleBox(2);
   auto constrained = ComputeSkyline(data, config);
   ASSERT_TRUE(constrained.ok());
   EXPECT_TRUE(SameIdSet(constrained->SkylineIds(), {1, 2}));
 
   RunnerConfig unconstrained = config;
+  // lint:allow(deprecated-constraint) pins the legacy shim surface
   unconstrained.constraint.reset();
   auto global = ComputeSkyline(data, unconstrained);
   ASSERT_TRUE(global.ok());
@@ -88,6 +91,7 @@ TEST(ConstrainedSkylineTest, EmptyBoxEmptySkyline) {
   RunnerConfig config;
   config.algorithm = Algorithm::kMrGpsrs;
   config.ppd.max_candidate = 4;
+  // lint:allow(deprecated-constraint) pins the legacy shim surface
   config.constraint = box;
   auto result = ComputeSkyline(data, config);
   ASSERT_TRUE(result.ok());
@@ -103,6 +107,7 @@ TEST(ConstrainedSkylineTest, FullBoxEqualsUnconstrained) {
   config.algorithm = Algorithm::kMrGpmrs;
   config.engine.num_reducers = 3;
   config.ppd.max_candidate = 4;
+  // lint:allow(deprecated-constraint) pins the legacy shim surface
   config.constraint = box;
   auto constrained = ComputeSkyline(data, config);
   ASSERT_TRUE(constrained.ok());
@@ -116,11 +121,13 @@ TEST(ConstrainedSkylineTest, InvalidBoxRejected) {
   Box bad;
   bad.lo = {0.5};  // Wrong width.
   bad.hi = {0.6};
+  // lint:allow(deprecated-constraint) pins the legacy shim surface
   config.constraint = bad;
   EXPECT_FALSE(ComputeSkyline(data, config).ok());
   Box inverted;
   inverted.lo = {0.8, 0.8};
   inverted.hi = {0.2, 0.2};
+  // lint:allow(deprecated-constraint) pins the legacy shim surface
   config.constraint = inverted;
   EXPECT_FALSE(ComputeSkyline(data, config).ok());
 }

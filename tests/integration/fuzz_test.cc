@@ -115,6 +115,7 @@ TEST(FuzzTest, ConstrainedQueriesAgainstFilteredReference) {
     config.engine.num_map_tasks = 1 + static_cast<int>(rng.NextBounded(4));
     config.engine.num_reducers = 1 + static_cast<int>(rng.NextBounded(4));
     config.ppd.max_candidate = 4;
+    // lint:allow(deprecated-constraint) pins the legacy shim surface
     config.constraint = box;
     auto result = ComputeSkyline(data, config);
     ASSERT_TRUE(result.ok()) << "trial " << trial;

@@ -180,6 +180,136 @@ TEST(LoadArtifactTest, WritesValidSchemaWithDeterministicRows) {
   ASSERT_TRUE(findings.ok()) << findings.status();
 }
 
+// ---------------------------------------------------------------------
+// Serve mode: resident session + cross-query bitstring cache
+// ---------------------------------------------------------------------
+
+TEST(RunServeLoadTest, RejectsBadConfigs) {
+  const Dataset data = data::GenerateIndependent(400, 3, 21);
+  LoadConfig config = TinyConfig();
+  config.resident = &data;
+  config.queries = 0;
+  EXPECT_FALSE(RunServeLoad(config, nullptr, nullptr).ok());
+  config = TinyConfig();
+  config.resident = &data;
+  config.admission_slots = 2;
+  config.small_reserved_slots = 2;  // leaves no slot for large queries
+  EXPECT_FALSE(RunServeLoad(config, nullptr, nullptr).ok());
+}
+
+TEST(RunServeLoadTest, ResidentSessionSharesBitstringAcrossQueries) {
+  const Dataset data = data::GenerateIndependent(400, 3, 21);
+  LoadConfig config = TinyConfig();
+  config.resident = &data;
+  auto report = RunServeLoad(config, nullptr, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->serve);
+  EXPECT_EQ(report->completed, config.queries);
+  EXPECT_EQ(report->errors, 0);
+  // TinyMix has two fingerprints (unconstrained + boxed); every query
+  // past the two leaders rides the cache.
+  EXPECT_EQ(report->session_cache_hits + report->session_cache_misses,
+            config.queries);
+  EXPECT_LE(report->session_cache_misses, 2);
+  EXPECT_GT(report->session_cache_hits, 0);
+  // The acceptance criterion: cache-hit queries skip the bitstring
+  // phase entirely (one job), and the phase ran once per fingerprint.
+  EXPECT_EQ(report->bitstring_jobs, report->session_cache_misses);
+  for (const QueryOutcome& out : report->outcomes) {
+    EXPECT_EQ(out.jobs, out.cache_hit ? 1 : 2)
+        << "query " << out.query_id;
+    EXPECT_GT(out.skyline_size, 0) << "query " << out.query_id;
+  }
+}
+
+TEST(RunServeLoadTest, DeterministicSignalIsBitIdenticalAcrossRuns) {
+  const Dataset data = data::GenerateIndependent(400, 3, 21);
+  LoadConfig config = TinyConfig();
+  config.resident = &data;
+  auto first = RunServeLoad(config, nullptr, nullptr);
+  auto second = RunServeLoad(config, nullptr, nullptr);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->schedule_hash, second->schedule_hash);
+  EXPECT_EQ(first->session_cache_hits, second->session_cache_hits);
+  EXPECT_EQ(first->session_cache_misses, second->session_cache_misses);
+  EXPECT_EQ(first->bitstring_jobs, second->bitstring_jobs);
+  ASSERT_EQ(first->outcomes.size(), second->outcomes.size());
+  for (size_t i = 0; i < first->outcomes.size(); ++i) {
+    const QueryOutcome& a = first->outcomes[i];
+    const QueryOutcome& b = second->outcomes[i];
+    EXPECT_EQ(a.size_class, b.size_class);
+    EXPECT_EQ(a.comparisons, b.comparisons) << "query " << i;
+    EXPECT_EQ(a.skyline_size, b.skyline_size) << "query " << i;
+    EXPECT_EQ(a.cache_hit, b.cache_hit) << "query " << i;
+  }
+}
+
+TEST(RunServeLoadTest, WarmupPrimesEveryClassOffClock) {
+  const Dataset data = data::GenerateIndependent(400, 3, 21);
+  LoadConfig config = TinyConfig();
+  config.resident = &data;
+  config.warmup = true;
+  auto report = RunServeLoad(config, nullptr, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Warmup took the misses off-clock: every scheduled query hits. The
+  // hit count also carries any warmup that found its phase already
+  // cached (classes sharing a fingerprint).
+  EXPECT_LE(report->session_cache_misses, 2);
+  EXPECT_GE(report->session_cache_hits, report->completed);
+  for (const QueryOutcome& out : report->outcomes) {
+    EXPECT_TRUE(out.cache_hit) << "query " << out.query_id;
+    EXPECT_EQ(out.jobs, 1) << "query " << out.query_id;
+  }
+}
+
+TEST(RunServeLoadTest, PerClassSessionsWithoutResidentDataset) {
+  LoadConfig config = TinyConfig();
+  auto report = RunServeLoad(config, nullptr, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->serve);
+  EXPECT_EQ(report->errors, 0);
+  // One session per class, each with its own dataset: one miss each.
+  EXPECT_EQ(report->session_cache_misses, 2);
+  EXPECT_EQ(report->session_cache_hits + report->session_cache_misses,
+            config.queries);
+}
+
+TEST(LoadArtifactTest, ServeArtifactCarriesSessionCounters) {
+  const Dataset data = data::GenerateIndependent(400, 3, 21);
+  LoadConfig config = TinyConfig();
+  config.resident = &data;
+  auto report = RunServeLoad(config, nullptr, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status();
+  std::ostringstream os;
+  WriteLoadArtifact(config, report.value(), os);
+  auto doc = obs::ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->GetString("schema", ""), "skymr-load-v1");
+  const obs::JsonValue* cfg = doc->Find("config");
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_EQ(cfg->GetString("mode", ""), "serve");
+  const obs::JsonValue* load = doc->Find("load");
+  ASSERT_NE(load, nullptr);
+  const obs::JsonValue* counters = load->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetInt("session_cache_hits", -1),
+            report->session_cache_hits);
+  EXPECT_EQ(counters->GetInt("session_cache_misses", -1),
+            report->session_cache_misses);
+  // The cache-effectiveness signal is part of the *deterministic* diff
+  // surface, so a regression that stops sharing the phase fails CI.
+  const obs::JsonValue* rows = doc->Find("rows");
+  ASSERT_NE(rows, nullptr);
+  const obs::JsonValue* det = rows->AsArray()[0].Find("deterministic");
+  ASSERT_NE(det, nullptr);
+  EXPECT_EQ(det->GetInt("session_cache_hits", -1),
+            report->session_cache_hits);
+  EXPECT_EQ(det->GetInt("bitstring_jobs", -1), report->bitstring_jobs);
+  auto findings = obs::AnalyzeLoadJson(os.str());
+  ASSERT_TRUE(findings.ok()) << findings.status();
+}
+
 // The acceptance test for the crash flight recorder: a fatal chaos fault
 // inside the engine (a task out of attempts) must leave a skymr-flight-v1
 // dump on disk, and the dump must contain the failing query's events,

@@ -529,6 +529,59 @@ TEST(DoctorTest, FlagsLogDropFromLoadCounters) {
   ASSERT_TRUE(HasCode(findings, "log-drop")) << RenderFindings(findings);
 }
 
+/// A healthy-latency serve-mode document whose session cache resolved
+/// `hits` of `hits + misses` bitstring lookups.
+std::string ServeLoad(int64_t hits, int64_t misses) {
+  const int64_t queries = hits + misses;
+  std::ostringstream os;
+  os << R"({"schema": "skymr-load-v1", "bench": "loadgen", "load": {)"
+     << R"("latency": {"count": )" << queries
+     << R"(, "p50_us": 2000.0, "p95_us": 8000.0, "p99_us": 8000.0)"
+     << R"(, "max_us": 8000.0, "mean_us": 2000.0}, )"
+     << R"("queue_wait": {"count": )" << queries
+     << R"(, "p50_us": 1.0, "p95_us": 500.0, "p99_us": 500.0)"
+     << R"(, "max_us": 500.0, "mean_us": 1.0}, )"
+     << R"("counters": {"completed": )" << queries
+     << R"(, "errors": 0, "deadline_missed": 0, "log_dropped": 0)"
+     << R"(, "session_cache_hits": )" << hits
+     << R"(, "session_cache_misses": )" << misses
+     << R"(, "bitstring_jobs": )" << misses << "}}}";
+  return os.str();
+}
+
+TEST(DoctorTest, FlagsColdSessionCache) {
+  // 90 of 100 lookups rebuilt the bitstring phase: the cache is cold.
+  const auto findings = AnalyzeLoadDoc(ServeLoad(10, 90));
+  ASSERT_TRUE(HasCode(findings, "session-cache-cold"))
+      << RenderFindings(findings);
+  for (const Finding& finding : findings) {
+    if (finding.code == "session-cache-cold") {
+      EXPECT_EQ(finding.severity, Severity::kWarning);
+    }
+  }
+}
+
+TEST(DoctorTest, WarmSessionCacheIsClean) {
+  const auto findings = AnalyzeLoadDoc(ServeLoad(95, 5));
+  EXPECT_FALSE(HasCode(findings, "session-cache-cold"))
+      << RenderFindings(findings);
+}
+
+TEST(DoctorTest, BatchArtifactWithoutSessionCountersStaysSilent) {
+  // The batch harness writes no session counters at all; their absence
+  // must read as "not a serve run", never as a 0% hit rate.
+  const auto findings = AnalyzeLoadDoc(Load(100, 2000.0, 8000.0, 500.0));
+  EXPECT_FALSE(HasCode(findings, "session-cache-cold"))
+      << RenderFindings(findings);
+}
+
+TEST(DoctorTest, FewLookupsNeverTripSessionCacheCheck) {
+  // 2 misses on a 2-query run is a cold start, not a pathology.
+  const auto findings = AnalyzeLoadDoc(ServeLoad(0, 2));
+  EXPECT_FALSE(HasCode(findings, "session-cache-cold"))
+      << RenderFindings(findings);
+}
+
 TEST(DoctorTest, FlagsLogDropFromMetricsSnapshot) {
   const std::string json =
       R"({"schema": "skymr-metrics-v1", "uptime_seconds": 1.0,)"

@@ -1,0 +1,466 @@
+// Session API tests (DESIGN.md §17): a resident skymr::Session must
+// answer QuerySpecs bit-identically to the one-shot ComputeSkyline shim,
+// share the bitstring phase across queries via the fingerprint-keyed
+// cache (single-flight under concurrency), respect the two-lane
+// admission bounds, and never serve a stale phase when the dataset or
+// the bounds policy changes.
+
+#include "src/serve/session.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/checkpoint.h"
+#include "src/core/runner.h"
+#include "src/data/generator.h"
+#include "src/obs/bench_artifact.h"
+#include "src/relation/skyline_verify.h"
+#include "src/serve/query_spec.h"
+
+namespace skymr {
+namespace {
+
+Dataset MakeData(uint32_t cardinality, uint32_t dim, uint64_t seed) {
+  data::GeneratorConfig gen;
+  gen.distribution = data::Distribution::kIndependent;
+  gen.cardinality = cardinality;
+  gen.dim = dim;
+  gen.seed = seed;
+  return std::move(data::Generate(gen)).value();
+}
+
+SessionOptions BaseOptions() {
+  SessionOptions options;
+  options.engine.num_map_tasks = 3;
+  options.engine.num_reducers = 3;
+  options.ppd.max_candidate = 6;  // Keep candidate sweeps cheap in tests.
+  return options;
+}
+
+/// The RunnerConfig equivalent of BaseOptions() + a QuerySpec, for
+/// parity checks against the legacy one-shot entry point.
+RunnerConfig LegacyConfig(const QuerySpec& spec) {
+  RunnerConfig config;
+  config.algorithm = spec.algorithm;
+  config.local_algorithm = spec.local_algorithm;
+  // lint:allow(deprecated-constraint) parity test drives the legacy shim
+  config.constraint = spec.constraint;
+  config.engine.num_map_tasks = 3;
+  config.engine.num_reducers = 3;
+  config.ppd.max_candidate = 6;
+  return config;
+}
+
+std::vector<TupleId> SortedIds(const SkylineResult& result) {
+  std::vector<TupleId> ids = result.SkylineIds();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Box MiddleBox(uint32_t dim) {
+  Box box;
+  box.lo.assign(dim, 0.0);
+  box.hi.assign(dim, 0.6);
+  return box;
+}
+
+/// A mixed workload: both grid algorithms, a constrained query, and a
+/// baseline with no bitstring phase.
+std::vector<QuerySpec> MixedSpecs(uint32_t dim) {
+  std::vector<QuerySpec> specs;
+  QuerySpec gpsrs;
+  gpsrs.algorithm = Algorithm::kMrGpsrs;
+  specs.push_back(gpsrs);
+  QuerySpec gpmrs;
+  gpmrs.algorithm = Algorithm::kMrGpmrs;
+  specs.push_back(gpmrs);
+  QuerySpec constrained;
+  constrained.algorithm = Algorithm::kMrGpmrs;
+  constrained.constraint = MiddleBox(dim);
+  specs.push_back(constrained);
+  QuerySpec baseline;
+  baseline.algorithm = Algorithm::kMrBnl;
+  specs.push_back(baseline);
+  return specs;
+}
+
+// ---------------------------------------------------------------------
+// Parity with the one-shot shim
+// ---------------------------------------------------------------------
+
+TEST(SessionTest, CacheDisabledSubmitMatchesComputeSkylineExactly) {
+  const Dataset data = MakeData(1500, 3, 71);
+  SessionOptions options = BaseOptions();
+  options.cache = false;  // full pipeline per query, like the shim
+  auto session = Session::Open(data, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  for (const QuerySpec& spec : MixedSpecs(data.dim())) {
+    auto served = (*session)->Submit(spec);
+    ASSERT_TRUE(served.ok()) << served.status();
+    auto direct = ComputeSkyline(data, LegacyConfig(spec));
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    // Bit-identical down to every deterministic counter, not just ids.
+    EXPECT_EQ(SortedIds(*served), SortedIds(*direct));
+    EXPECT_EQ(obs::DeterministicCounters(*served, data.size(), false),
+              obs::DeterministicCounters(*direct, data.size(), false));
+  }
+  EXPECT_EQ((*session)->stats().cache_hits, 0);
+  EXPECT_EQ((*session)->stats().cache_misses, 0);
+}
+
+TEST(SessionTest, CachedSessionAnswersMixBitIdenticalToIndependentRuns) {
+  const Dataset data = MakeData(2000, 3, 72);
+  auto session = Session::Open(data, BaseOptions());
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  const std::vector<QuerySpec> specs = MixedSpecs(data.dim());
+  for (const QuerySpec& spec : specs) {
+    SubmitInfo info;
+    auto served = (*session)->Submit(spec, &info);
+    ASSERT_TRUE(served.ok()) << served.status();
+    auto direct = ComputeSkyline(data, LegacyConfig(spec));
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    EXPECT_EQ(SortedIds(*served), SortedIds(*direct));
+    EXPECT_EQ(served->skyline.size(), direct->skyline.size());
+    EXPECT_EQ(served->ppd, direct->ppd);
+    EXPECT_EQ(served->nonempty_partitions, direct->nonempty_partitions);
+    EXPECT_EQ(served->pruned_partitions, direct->pruned_partitions);
+    EXPECT_EQ(info.cache_hit, served->session_cache_hit);
+  }
+  // gpsrs leads the shared unconstrained fingerprint, gpmrs hits it;
+  // the constrained query is its own fingerprint; the baseline never
+  // touches the bitstring cache.
+  const SessionStats stats = (*session)->stats();
+  EXPECT_EQ(stats.submitted, static_cast<int64_t>(specs.size()));
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(specs.size()));
+  EXPECT_EQ(stats.errors, 0);
+  EXPECT_EQ(stats.cache_misses, 2);
+  EXPECT_EQ(stats.cache_hits, 1);
+}
+
+// ---------------------------------------------------------------------
+// Cache semantics
+// ---------------------------------------------------------------------
+
+TEST(SessionTest, CacheHitSkipsBitstringJobAndMatchesColdResult) {
+  const Dataset data = MakeData(1800, 3, 73);
+  auto session = Session::Open(data, BaseOptions());
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  QuerySpec spec;
+  spec.algorithm = Algorithm::kMrGpsrs;
+  auto cold = (*session)->Submit(spec);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->session_cache_hit);
+  EXPECT_EQ(cold->jobs.size(), 2u);  // bitstring + skyline
+
+  SubmitInfo info;
+  auto warm = (*session)->Submit(spec, &info);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->session_cache_hit);
+  EXPECT_TRUE(info.cache_hit);
+  EXPECT_EQ(warm->jobs.size(), 1u);  // bitstring phase served from cache
+
+  // The cached phase must reproduce the cold run exactly.
+  EXPECT_EQ(SortedIds(*warm), SortedIds(*cold));
+  EXPECT_EQ(warm->ppd, cold->ppd);
+  EXPECT_EQ(warm->nonempty_partitions, cold->nonempty_partitions);
+  EXPECT_EQ(warm->pruned_partitions, cold->pruned_partitions);
+  EXPECT_EQ(ExplainSkylineMismatch(data, warm->SkylineIds()), "");
+}
+
+TEST(SessionTest, UnconstrainedPhaseSharedAcrossAlgorithms) {
+  const Dataset data = MakeData(1500, 3, 74);
+  auto session = Session::Open(data, BaseOptions());
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  QuerySpec gpsrs;
+  gpsrs.algorithm = Algorithm::kMrGpsrs;
+  QuerySpec gpmrs;
+  gpmrs.algorithm = Algorithm::kMrGpmrs;
+  ASSERT_TRUE((*session)->Submit(gpsrs).ok());
+  auto second = (*session)->Submit(gpmrs);
+  ASSERT_TRUE(second.ok()) << second.status();
+  // The phase depends on dataset+grid policy, never on the skyline
+  // algorithm, so the gpmrs query rides the gpsrs-built phase.
+  EXPECT_TRUE(second->session_cache_hit);
+  EXPECT_EQ((*session)->stats().cache_misses, 1);
+  EXPECT_EQ((*session)->stats().cache_hits, 1);
+}
+
+TEST(SessionTest, ConstraintBoxChangesFingerprint) {
+  const Dataset data = MakeData(1500, 3, 75);
+  auto session = Session::Open(data, BaseOptions());
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  QuerySpec plain;
+  plain.algorithm = Algorithm::kMrGpmrs;
+  QuerySpec constrained = plain;
+  constrained.constraint = MiddleBox(data.dim());
+  ASSERT_TRUE((*session)->Submit(plain).ok());
+  auto first_constrained = (*session)->Submit(constrained);
+  ASSERT_TRUE(first_constrained.ok());
+  EXPECT_FALSE(first_constrained->session_cache_hit);
+  auto second_constrained = (*session)->Submit(constrained);
+  ASSERT_TRUE(second_constrained.ok());
+  EXPECT_TRUE(second_constrained->session_cache_hit);
+  EXPECT_EQ(SortedIds(*first_constrained), SortedIds(*second_constrained));
+  EXPECT_EQ((*session)->stats().cache_misses, 2);
+  EXPECT_EQ((*session)->stats().cache_hits, 1);
+}
+
+TEST(SessionTest, WarmupPrimesCacheSoFirstSubmitHits) {
+  const Dataset data = MakeData(1500, 3, 76);
+  auto session = Session::Open(data, BaseOptions());
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  QuerySpec spec;
+  spec.algorithm = Algorithm::kMrGpsrs;
+  ASSERT_TRUE((*session)->Warmup(spec).ok());
+  EXPECT_EQ((*session)->stats().cache_misses, 1);
+  EXPECT_EQ((*session)->stats().submitted, 0);  // warmup is off-ledger
+
+  auto result = (*session)->Submit(spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->session_cache_hit);
+  EXPECT_EQ(result->jobs.size(), 1u);
+  EXPECT_EQ(ExplainSkylineMismatch(data, result->SkylineIds()), "");
+
+  // Warming a baseline is a no-op: there is no bitstring phase to keep.
+  QuerySpec bnl;
+  bnl.algorithm = Algorithm::kMrBnl;
+  ASSERT_TRUE((*session)->Warmup(bnl).ok());
+  EXPECT_EQ((*session)->stats().cache_misses, 1);
+}
+
+// ---------------------------------------------------------------------
+// Fingerprint discipline across sessions (external checkpoint store)
+// ---------------------------------------------------------------------
+
+TEST(SessionTest, FingerprintMissesWhenDatasetOrBoundsChange) {
+  const Dataset data_a = MakeData(1200, 3, 77);
+  const Dataset data_b = MakeData(1200, 3, 78);  // same shape, new content
+  core::PipelineCheckpoint checkpoint;
+  SessionOptions options = BaseOptions();
+  options.checkpoint = &checkpoint;
+
+  QuerySpec spec;
+  spec.algorithm = Algorithm::kMrGpsrs;
+
+  // Session over A stores its phase in the shared checkpoint.
+  {
+    auto session = Session::Open(data_a, options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    auto result = (*session)->Submit(spec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->resumed_from_checkpoint);
+    EXPECT_EQ(checkpoint.size(), 1u);
+  }
+  // A fresh session over the SAME dataset resumes from it...
+  {
+    auto session = Session::Open(data_a, options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    auto result = (*session)->Submit(spec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->resumed_from_checkpoint);
+    EXPECT_EQ(result->jobs.size(), 1u);
+  }
+  // ...but a different dataset must miss, never resume stale state.
+  {
+    auto session = Session::Open(data_b, options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    auto result = (*session)->Submit(spec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->resumed_from_checkpoint);
+    EXPECT_EQ(checkpoint.size(), 2u);
+    EXPECT_EQ(ExplainSkylineMismatch(data_b, result->SkylineIds()), "");
+  }
+  // ...and so must the same dataset under a different bounds policy.
+  {
+    SessionOptions computed_bounds = options;
+    computed_bounds.unit_bounds = false;
+    auto session = Session::Open(data_a, computed_bounds);
+    ASSERT_TRUE(session.ok()) << session.status();
+    auto result = (*session)->Submit(spec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->resumed_from_checkpoint);
+    EXPECT_EQ(checkpoint.size(), 3u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: single-flight cache and admission bounds
+// ---------------------------------------------------------------------
+
+TEST(SessionTest, ConcurrentSubmitSingleFlightMissesOncePerFingerprint) {
+  const Dataset data = MakeData(1500, 3, 79);
+  auto session = Session::Open(data, BaseOptions());
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  // Serial references, from an independent cache-less session.
+  SessionOptions reference_options = BaseOptions();
+  reference_options.cache = false;
+  auto reference = Session::Open(data, reference_options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  const std::vector<QuerySpec> specs = MixedSpecs(data.dim());
+  std::vector<std::vector<TupleId>> expected;
+  for (const QuerySpec& spec : specs) {
+    auto result = (*reference)->Submit(spec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    expected.push_back(SortedIds(*result));
+  }
+
+  constexpr int kRounds = 4;
+  const int total = kRounds * static_cast<int>(specs.size());
+  std::vector<std::vector<TupleId>> got(total);
+  std::vector<Status> failures(total, Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(total);
+  for (int i = 0; i < total; ++i) {
+    threads.emplace_back([&, i] {
+      auto result = (*session)->Submit(specs[i % specs.size()]);
+      if (!result.ok()) {
+        failures[i] = result.status();
+        return;
+      }
+      got[i] = SortedIds(*result);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int i = 0; i < total; ++i) {
+    ASSERT_TRUE(failures[i].ok()) << failures[i];
+    EXPECT_EQ(got[i], expected[i % specs.size()]) << "query " << i;
+  }
+  // Single-flight: exactly one miss per distinct fingerprint (shared
+  // unconstrained + constrained), no matter how the threads interleave.
+  const SessionStats stats = (*session)->stats();
+  EXPECT_EQ(stats.cache_misses, 2);
+  // 3 grid queries per round touch the cache; 2 of the touches led.
+  EXPECT_EQ(stats.cache_hits, kRounds * 3 - 2);
+  EXPECT_EQ(stats.completed, total);
+  EXPECT_EQ(stats.errors, 0);
+}
+
+TEST(SessionTest, AdmissionSlotsBoundConcurrentInflight) {
+  const Dataset data = MakeData(1200, 3, 80);
+  SessionOptions options = BaseOptions();
+  options.admission_slots = 2;
+  auto session = Session::Open(data, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  QuerySpec spec;
+  spec.algorithm = Algorithm::kMrGpsrs;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      auto result = (*session)->Submit(spec);
+      ASSERT_TRUE(result.ok()) << result.status();
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const SessionStats stats = (*session)->stats();
+  EXPECT_LE(stats.peak_inflight, 2);
+  EXPECT_GE(stats.peak_inflight, 1);
+  EXPECT_EQ(stats.completed, 8);
+}
+
+TEST(SessionTest, ReservedSlotsExcludeLargeQueries) {
+  const Dataset data = MakeData(1200, 3, 81);
+  SessionOptions options = BaseOptions();
+  options.admission_slots = 3;
+  options.small_reserved_slots = 2;  // large queries get one slot
+  auto session = Session::Open(data, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  QuerySpec large;
+  large.algorithm = Algorithm::kMrGpsrs;
+  large.admission = AdmissionClass::kLarge;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&] {
+      SubmitInfo info;
+      auto result = (*session)->Submit(large, &info);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_FALSE(info.small_lane);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // Only one large query may run at a time: the other two slots are
+  // reserved for the small lane, which this workload never uses.
+  EXPECT_EQ((*session)->stats().peak_inflight, 1);
+}
+
+// ---------------------------------------------------------------------
+// Options validation and the config split
+// ---------------------------------------------------------------------
+
+TEST(SessionTest, OpenRejectsInvalidOptions) {
+  const Dataset data = MakeData(300, 2, 82);
+
+  SessionOptions negative_slots = BaseOptions();
+  negative_slots.admission_slots = -1;
+  EXPECT_FALSE(Session::Open(data, negative_slots).ok());
+
+  SessionOptions no_large_slot = BaseOptions();
+  no_large_slot.admission_slots = 2;
+  no_large_slot.small_reserved_slots = 2;
+  EXPECT_FALSE(Session::Open(data, no_large_slot).ok());
+
+  ThreadPool pool(2);
+  SessionOptions contradicting_pool = BaseOptions();
+  contradicting_pool.pool = &pool;
+  contradicting_pool.engine.num_threads = 4;
+  auto open = Session::Open(data, contradicting_pool);
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, SubmitRejectsInvalidQuerySpec) {
+  const Dataset data = MakeData(300, 2, 83);
+  auto session = Session::Open(data, BaseOptions());
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  QuerySpec bad_box;
+  bad_box.constraint = Box{};  // wrong dimensionality
+  bad_box.constraint->lo = {0.0, 0.0, 0.0};
+  bad_box.constraint->hi = {1.0, 1.0, 1.0};
+  auto result = (*session)->Submit(bad_box);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*session)->stats().errors, 1);
+}
+
+TEST(SessionTest, SplitRunnerConfigDisablesSharedStateForOneShot) {
+  RunnerConfig config;
+  config.algorithm = Algorithm::kMrGpsrs;
+  config.local_algorithm = core::LocalAlgorithm::kSfs;
+  config.unit_bounds = false;
+  // lint:allow(deprecated-constraint) exercises the legacy field mapping
+  config.constraint = MiddleBox(3);
+  config.engine.num_reducers = 7;
+
+  const SplitConfig split = SplitRunnerConfig(config);
+  EXPECT_FALSE(split.session.cache);
+  EXPECT_EQ(split.session.admission_slots, 0);
+  EXPECT_FALSE(split.session.unit_bounds);
+  EXPECT_EQ(split.session.engine.num_reducers, 7);
+  EXPECT_EQ(split.query.algorithm, Algorithm::kMrGpsrs);
+  EXPECT_EQ(split.query.local_algorithm, core::LocalAlgorithm::kSfs);
+  ASSERT_TRUE(split.query.constraint.has_value());
+  EXPECT_EQ(split.query.constraint->hi[0], 0.6);
+}
+
+}  // namespace
+}  // namespace skymr

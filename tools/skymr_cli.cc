@@ -12,6 +12,8 @@
 //             [--critical-path] [--metrics-out=metrics.json]
 //   skymr_cli compare  --in=data.csv [--header] [--mappers] [--reducers]
 //             [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]
+//   skymr_cli serve    --in=data.csv [--qps=40] [--queries=48] [--slots=3]
+//             [--small-reserved=1] [--warmup] [--out=load.json]
 //   skymr_cli doctor   [--report=report.json] [--metrics=metrics.json]
 //                      [--load=load.json]
 //             [--fail-on=warning|critical]
@@ -24,7 +26,10 @@
 // phase bounds the makespan, with what-if slack per phase) and
 // `--metrics-out` runs a live metrics registry + sampler thread during
 // the pipeline and writes the skymr-metrics-v1 snapshot; `compare` runs all
-// algorithms on the same input and prints a table; `doctor` analyzes a
+// algorithms on the same input and prints a table; `serve` keeps the
+// dataset resident behind a serve/session.h Session and drives it with
+// the open-loop loadgen mix (cross-query bitstring cache + two-lane
+// admission), writing the skymr-load-v1 artifact; `doctor` analyzes a
 // previously written skymr-report-v1 document and prints severity-ranked
 // findings (task skew, PPD-selection quality, cost-model deviation,
 // pruning effectiveness, reducer imbalance, retry storms, worker
@@ -49,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/loadgen/loadgen.h"
 #include "src/obs/bench_artifact.h"
 #include "src/skymr.h"
 
@@ -71,6 +77,11 @@ struct Args {
     const auto it = flags.find(name);
     return it == flags.end() ? fallback : std::strtol(it->second.c_str(),
                                                       nullptr, 10);
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::strtod(it->second.c_str(),
+                                                      nullptr);
   }
 };
 
@@ -116,6 +127,12 @@ int Usage() {
       "  skymr_cli compare --in=FILE [--header] [--mappers=M] "
       "[--reducers=R]\n"
       "            [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]\n"
+      "  skymr_cli serve   --in=FILE [--header] [--seed=S] [--qps=Q]\n"
+      "            [--queries=N] [--slots=K] [--small-reserved=K]\n"
+      "            [--threads=T] [--deadline-ms=D] [--warmup]\n"
+      "            [--mappers=M] [--reducers=R] [--out=load.json]\n"
+      "            [--chaos-profile=NAME] [--chaos-seed=S] [--attempts=N]\n"
+      "            [--trace-out=FILE] [--metrics-out=FILE]\n"
       "  skymr_cli doctor  [--report=FILE] [--metrics=FILE] [--load=FILE]\n"
       "            [--fail-on=warning|critical]\n"
       "algorithms: mr-gpsrs mr-gpmrs mr-bnl mr-angle hybrid sky-mr\n"
@@ -287,40 +304,118 @@ int BuildRunnerConfig(const Args& args, const skymr::Dataset& data,
                    data.dim());
       return 2;
     }
+    // lint:allow(deprecated-constraint) --constraint maps onto the legacy field
     config->constraint = box;
   }
   return 0;
 }
 
-/// Honors --trace-out and --report-out after a pipeline run. The caller
-/// must have had tracing active during the run for --trace-out to contain
-/// events. Returns 0, or the exit code on an I/O error.
-int WriteObsOutputs(const Args& args, const skymr::SkylineResult& result) {
-  const std::string trace_out = args.GetString("trace-out", "");
-  if (!trace_out.empty()) {
-    if (auto s = skymr::obs::WriteChromeTraceFile(trace_out); !s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      return 1;
+/// The shared output-sink plumbing. Every pipeline subcommand
+/// (`skyline`, `stats`, `compare`, `serve`) honors the same artifact
+/// flags through this one helper instead of carrying its own copy of
+/// the file-writing blocks:
+///
+///   --trace-out=FILE    Chrome trace-event JSON of the run
+///   --report-out=FILE   skymr-report-v1 job report (needs a result)
+///   --metrics-out=FILE  live metrics registry + sampler snapshot
+///   --bench-out=FILE    one-row skymr-bench-v1 artifact (needs a result)
+///
+/// Construct before the pipeline runs (arms tracing and the sampler),
+/// call StopCollecting() right after it, then one of the Write methods.
+class OutputSinks {
+ public:
+  /// `always_trace` is the stats contract: collect spans even without
+  /// --trace-out, because the rendered tables read them.
+  OutputSinks(const Args& args, bool always_trace)
+      : trace_out_(args.GetString("trace-out", "")),
+        report_out_(args.GetString("report-out", "")),
+        metrics_out_(args.GetString("metrics-out", "")),
+        bench_out_(args.GetString("bench-out", "")) {
+    if (always_trace || !trace_out_.empty()) {
+      skymr::obs::StartTracing();
     }
-    std::printf("wrote %zu trace events to %s\n",
-                skymr::obs::CollectedEventCount(), trace_out.c_str());
-  }
-  const std::string report_out = args.GetString("report-out", "");
-  if (!report_out.empty()) {
-    if (auto s = skymr::obs::WriteJobReportFile(result, report_out);
-        !s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      return 1;
+    if (!metrics_out_.empty()) {
+      sampler_ = std::make_unique<skymr::obs::MetricsSampler>(&metrics_);
     }
-    std::printf("wrote job report to %s\n", report_out.c_str());
   }
-  return 0;
-}
 
-/// True when this invocation wants trace events collected.
-bool WantsTracing(const Args& args) {
-  return args.Has("trace-out");
-}
+  /// The live registry to hook into the engine; null without
+  /// --metrics-out so runs that don't ask pay nothing.
+  skymr::obs::MetricsRegistry* metrics() {
+    return metrics_out_.empty() ? nullptr : &metrics_;
+  }
+
+  /// Stops tracing and the sampler thread; call once the pipeline is
+  /// done and before any Write method.
+  void StopCollecting() {
+    skymr::obs::StopTracing();
+    if (sampler_ != nullptr) {
+      sampler_->Stop();
+    }
+  }
+
+  /// Writes the sinks that need no single result (--trace-out,
+  /// --metrics-out) — all `compare` and `serve` can honor. Returns 0,
+  /// or the exit code on an I/O error.
+  int WriteRunSinks() {
+    if (!trace_out_.empty()) {
+      if (auto s = skymr::obs::WriteChromeTraceFile(trace_out_); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %zu trace events to %s\n",
+                  skymr::obs::CollectedEventCount(), trace_out_.c_str());
+    }
+    if (!metrics_out_.empty()) {
+      if (auto s = metrics_.WriteJsonFile(metrics_out_, sampler_->Samples());
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote metrics snapshot to %s\n", metrics_out_.c_str());
+    }
+    return 0;
+  }
+
+  /// Writes the per-result sinks (--report-out, --bench-out) and then
+  /// the run sinks. `bench_name` names the bench artifact document.
+  int WriteResultSinks(const skymr::Dataset& data,
+                       const skymr::SkylineResult& result,
+                       bool include_fault_injection,
+                       const char* bench_name) {
+    if (!report_out_.empty()) {
+      if (auto s = skymr::obs::WriteJobReportFile(result, report_out_);
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote job report to %s\n", report_out_.c_str());
+    }
+    if (!bench_out_.empty()) {
+      skymr::obs::BenchArtifact artifact(bench_name);
+      skymr::obs::BenchRow row;
+      row.name = skymr::AlgorithmName(result.algorithm_used);
+      row.wall = skymr::obs::WallStats::FromSamples({result.wall_seconds});
+      row.deterministic = skymr::obs::DeterministicCounters(
+          result, data.size(), include_fault_injection);
+      artifact.AddRow(std::move(row));
+      if (auto s = artifact.WriteFile(bench_out_); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote bench artifact to %s\n", bench_out_.c_str());
+    }
+    return WriteRunSinks();
+  }
+
+ private:
+  const std::string trace_out_;
+  const std::string report_out_;
+  const std::string metrics_out_;
+  const std::string bench_out_;
+  skymr::obs::MetricsRegistry metrics_;
+  std::unique_ptr<skymr::obs::MetricsSampler> sampler_;
+};
 
 int RunSkyline(const Args& args) {
   auto data = LoadInput(args);
@@ -346,11 +441,10 @@ int RunSkyline(const Args& args) {
     config.checkpoint = &checkpoint;
   }
 
-  if (WantsTracing(args)) {
-    skymr::obs::StartTracing();
-  }
+  OutputSinks sinks(args, /*always_trace=*/false);
+  config.engine.metrics = sinks.metrics();
   auto result = skymr::ComputeSkyline(*data, config);
-  skymr::obs::StopTracing();
+  sinks.StopCollecting();
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -370,26 +464,15 @@ int RunSkyline(const Args& args) {
       return 1;
     }
   }
-  if (const int code = WriteObsOutputs(args, *result); code != 0) {
+  if (const int code = sinks.WriteResultSinks(
+          *data, *result,
+          /*include_fault_injection=*/config.engine.chaos.enabled(),
+          "skymr_cli_skyline");
+      code != 0) {
     return code;
   }
-  const std::string bench_out = args.GetString("bench-out", "");
-  if (!bench_out.empty()) {
-    skymr::obs::BenchArtifact artifact("skymr_cli_skyline");
-    skymr::obs::BenchRow row;
-    row.name = skymr::AlgorithmName(result->algorithm_used);
-    row.wall = skymr::obs::WallStats::FromSamples({result->wall_seconds});
-    row.deterministic = skymr::obs::DeterministicCounters(
-        *result, data->size(),
-        /*include_fault_injection=*/config.engine.chaos.enabled());
-    artifact.AddRow(std::move(row));
-    if (auto s = artifact.WriteFile(bench_out); !s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote bench artifact to %s\n", bench_out.c_str());
-  }
 
+  // lint:allow(deprecated-constraint) reads the legacy field set above
   if (args.Has("verify") && !config.constraint.has_value()) {
     const std::string mismatch =
         skymr::ExplainSkylineMismatch(*data, result->SkylineIds());
@@ -427,25 +510,13 @@ int RunStats(const Args& args) {
     return code;
   }
 
-  // --metrics-out: hook a live registry into the engine and sample it
-  // periodically while the pipeline runs; the export is the final
-  // snapshot plus the sampler's time series.
-  skymr::obs::MetricsRegistry metrics;
-  std::unique_ptr<skymr::obs::MetricsSampler> sampler;
-  const std::string metrics_out = args.GetString("metrics-out", "");
-  if (!metrics_out.empty()) {
-    config.engine.metrics = &metrics;
-    sampler = std::make_unique<skymr::obs::MetricsSampler>(&metrics);
-  }
-
-  // stats always collects spans: the trace doubles as the data source for
-  // --trace-out and costs little at CLI scales.
-  skymr::obs::StartTracing();
+  // stats always collects spans: the trace doubles as the data source
+  // for --trace-out and costs little at CLI scales. --metrics-out hooks
+  // the sinks' live registry + sampler into the engine.
+  OutputSinks sinks(args, /*always_trace=*/true);
+  config.engine.metrics = sinks.metrics();
   auto result = skymr::ComputeSkyline(*data, config);
-  skymr::obs::StopTracing();
-  if (sampler != nullptr) {
-    sampler->Stop();
-  }
+  sinks.StopCollecting();
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -457,15 +528,10 @@ int RunStats(const Args& args) {
                    .c_str(),
                stdout);
   }
-  if (!metrics_out.empty()) {
-    if (auto s = metrics.WriteJsonFile(metrics_out, sampler->Samples());
-        !s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
-  }
-  return WriteObsOutputs(args, *result);
+  return sinks.WriteResultSinks(
+      *data, *result,
+      /*include_fault_injection=*/config.engine.chaos.enabled(),
+      "skymr_cli_stats");
 }
 
 int RunCompare(const Args& args) {
@@ -474,9 +540,7 @@ int RunCompare(const Args& args) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
-  if (WantsTracing(args)) {
-    skymr::obs::StartTracing();
-  }
+  OutputSinks sinks(args, /*always_trace=*/false);
   std::printf("%-10s %10s %12s %12s %10s\n", "algorithm", "skyline",
               "modeled[s]", "shuffle[KB]", "wall[s]");
   // One pool for all six pipelines: threads spawn once, not per algorithm.
@@ -488,6 +552,7 @@ int RunCompare(const Args& args) {
     skymr::RunnerConfig config;
     config.algorithm = algorithm;
     config.pool = &pool;
+    config.engine.metrics = sinks.metrics();
     config.engine.num_map_tasks =
         static_cast<int>(args.GetInt("mappers", 13));
     config.engine.num_reducers =
@@ -511,17 +576,91 @@ int RunCompare(const Args& args) {
                 static_cast<double>(shuffle) / 1024.0,
                 result->wall_seconds);
   }
-  skymr::obs::StopTracing();
-  const std::string trace_out = args.GetString("trace-out", "");
-  if (!trace_out.empty()) {
-    if (auto s = skymr::obs::WriteChromeTraceFile(trace_out); !s.ok()) {
+  sinks.StopCollecting();
+  return sinks.WriteRunSinks();
+}
+
+/// `serve`: load a dataset, keep it resident behind a serve::Session,
+/// and drive it with the open-loop loadgen traffic mix
+/// (ResidentServeMix: the same tuples asked GPSRS/GPMRS/constrained
+/// questions, so the cross-query bitstring cache carries most of the
+/// load). Writes the skymr-load-v1 artifact to --out for
+/// tools/bench_diff.py and `doctor --load`. Exit 0 even when individual
+/// queries fail (errors are part of the workload under chaos); nonzero
+/// only for bad flags or harness-level failures.
+int RunServe(const Args& args) {
+  auto data = LoadInput(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  skymr::loadgen::LoadConfig config;
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  config.target_qps = args.GetDouble("qps", 40.0);
+  config.queries = static_cast<int>(args.GetInt("queries", 48));
+  config.admission_slots = static_cast<int>(args.GetInt("slots", 3));
+  config.small_reserved_slots =
+      static_cast<int>(args.GetInt("small-reserved", 1));
+  config.threads = static_cast<int>(args.GetInt("threads", 0));
+  config.deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  config.num_map_tasks = static_cast<int>(args.GetInt("mappers", 4));
+  config.num_reducers = static_cast<int>(args.GetInt("reducers", 2));
+  config.warmup = args.Has("warmup");
+  config.resident = &*data;
+  config.mix = skymr::loadgen::ResidentServeMix();
+  {
+    skymr::mr::EngineOptions engine;
+    engine.max_task_attempts = config.max_task_attempts;
+    if (const int code = ApplyEngineFlags(args, &engine); code != 0) {
+      return code;
+    }
+    config.chaos = engine.chaos;
+    config.max_task_attempts = engine.max_task_attempts;
+  }
+
+  OutputSinks sinks(args, /*always_trace=*/false);
+  auto report_or =
+      skymr::loadgen::RunServeLoad(config, sinks.metrics(), nullptr);
+  sinks.StopCollecting();
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "%s\n", report_or.status().ToString().c_str());
+    return 1;
+  }
+  const skymr::loadgen::LoadReport& report = report_or.value();
+
+  std::printf("serve: %zu x %zu resident tuples, %d queries (%lld ok, "
+              "%lld errors) in %.2f s\n",
+              data->size(), data->dim(), config.queries,
+              static_cast<long long>(report.completed),
+              static_cast<long long>(report.errors), report.wall_seconds);
+  std::printf("latency from scheduled arrival: p50 %.0f us, p95 %.0f us, "
+              "p99 %.0f us, max %.0f us\n",
+              report.latency_us.Quantile(0.50),
+              report.latency_us.Quantile(0.95),
+              report.latency_us.Quantile(0.99), report.latency_us.max());
+  std::printf("admission: wait p99 %.0f us, depth max %lld, inflight max "
+              "%lld\n",
+              report.queue_wait_us.Quantile(0.99),
+              static_cast<long long>(report.max_queue_depth),
+              static_cast<long long>(report.max_inflight));
+  std::printf("session cache: %lld hits, %lld misses, %lld bitstring "
+              "jobs\n",
+              static_cast<long long>(report.session_cache_hits),
+              static_cast<long long>(report.session_cache_misses),
+              static_cast<long long>(report.bitstring_jobs));
+
+  const std::string out = args.GetString("out", "");
+  if (!out.empty()) {
+    if (auto s = skymr::loadgen::WriteLoadArtifactFile(config, report, out);
+        !s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("wrote %zu trace events to %s\n",
-                skymr::obs::CollectedEventCount(), trace_out.c_str());
+    std::printf("artifact: %s (schedule hash %016llx)\n", out.c_str(),
+                static_cast<unsigned long long>(report.schedule_hash));
   }
-  return 0;
+  return sinks.WriteRunSinks();
 }
 
 int RunDoctor(const Args& args) {
@@ -596,6 +735,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "compare") {
     return RunCompare(args);
+  }
+  if (args.command == "serve") {
+    return RunServe(args);
   }
   if (args.command == "doctor") {
     return RunDoctor(args);
